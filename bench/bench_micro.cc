@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark): SteM data-structure throughput, EOT
+// coverage checks, eddy routing overhead, and the cost of the constraint
+// checker (an ablation over ConstraintMode).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "eddy/policies/nary_shj_policy.h"
+#include "query/planner.h"
+#include "stem/eot_store.h"
+#include "stem/stem_index.h"
+#include "storage/generators.h"
+
+namespace stems {
+namespace {
+
+// --- SteM index implementations --------------------------------------------
+
+void BM_StemIndexInsert(benchmark::State& state) {
+  const auto impl = static_cast<StemIndexImpl>(state.range(0));
+  const size_t n = 4096;
+  Rng rng(1);
+  std::vector<Value> keys;
+  for (size_t i = 0; i < n; ++i) keys.push_back(Value::Int64(rng.NextInt(0, 1 << 20)));
+  for (auto _ : state) {
+    auto index = MakeStemIndex(impl, 64);
+    for (size_t i = 0; i < n; ++i) {
+      index->Insert(keys[i], static_cast<uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_StemIndexInsert)
+    ->Arg(static_cast<int>(StemIndexImpl::kHash))
+    ->Arg(static_cast<int>(StemIndexImpl::kOrdered))
+    ->Arg(static_cast<int>(StemIndexImpl::kAdaptive));
+
+void BM_StemIndexLookup(benchmark::State& state) {
+  const auto impl = static_cast<StemIndexImpl>(state.range(0));
+  const size_t n = 4096;
+  Rng rng(2);
+  auto index = MakeStemIndex(impl, 64);
+  std::vector<Value> keys;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(Value::Int64(rng.NextInt(0, 1 << 16)));
+    index->Insert(keys.back(), static_cast<uint32_t>(i));
+  }
+  std::vector<uint32_t> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    index->LookupEq(keys[i++ % n], &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StemIndexLookup)
+    ->Arg(static_cast<int>(StemIndexImpl::kHash))
+    ->Arg(static_cast<int>(StemIndexImpl::kOrdered))
+    ->Arg(static_cast<int>(StemIndexImpl::kAdaptive));
+
+// --- EOT coverage ------------------------------------------------------------
+
+void BM_EotCoverage(benchmark::State& state) {
+  const int64_t num_eots = state.range(0);
+  EotStore store;
+  for (int64_t i = 0; i < num_eots; ++i) {
+    store.Add(MakeEotRowRef({Value::Int64(i), Value::Eot(), Value::Eot()}));
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Covers({{0, Value::Int64(probe++ % (num_eots + 7))}}));
+  }
+}
+BENCHMARK(BM_EotCoverage)->Arg(16)->Arg(256)->Arg(2048);
+
+// --- End-to-end eddy: routing overhead & constraint checker ablation --------
+
+void RunSmallQuery(ConstraintMode mode, benchmark::State& state) {
+  int64_t tuples_routed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Catalog catalog;
+    TableStore store;
+    auto schema = Schema({{"k", ValueType::kInt64}});
+    catalog.AddTable(
+        TableDef{"R", schema, {{"R.scan", AccessMethodKind::kScan, {}}}});
+    catalog.AddTable(
+        TableDef{"S", schema, {{"S.scan", AccessMethodKind::kScan, {}}}});
+    std::vector<ColumnGenSpec> cols{
+        {"k", ColumnGenSpec::Kind::kUniform, 0, 255, 0, 0}};
+    store.AddTable("R", schema, GenerateRows(cols, 512, 51));
+    store.AddTable("S", schema, GenerateRows(cols, 512, 52));
+    QueryBuilder qb(catalog);
+    qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.k");
+    QuerySpec query = qb.Build().ValueOrDie();
+    Simulation sim;
+    ExecutionConfig config;
+    config.scan_defaults.period = Micros(1);
+    config.eddy.constraint_mode = mode;
+    auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
+    eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+    state.ResumeTiming();
+    eddy->RunToCompletion();
+    tuples_routed += static_cast<int64_t>(eddy->tuples_routed());
+  }
+  state.SetItemsProcessed(tuples_routed);
+  state.SetLabel("items = routing steps");
+}
+
+void BM_EddyEndToEnd_CheckerOff(benchmark::State& state) {
+  RunSmallQuery(ConstraintMode::kOff, state);
+}
+void BM_EddyEndToEnd_CheckerRecord(benchmark::State& state) {
+  RunSmallQuery(ConstraintMode::kRecord, state);
+}
+BENCHMARK(BM_EddyEndToEnd_CheckerOff);
+BENCHMARK(BM_EddyEndToEnd_CheckerRecord);
+
+// --- Row hashing / dedup ------------------------------------------------------
+
+void BM_RowHash(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<RowRef> rows;
+  for (int i = 0; i < 1024; ++i) {
+    rows.push_back(MakeRow({Value::Int64(rng.NextInt(0, 1 << 20)),
+                            Value::Int64(rng.NextInt(0, 1 << 20)),
+                            Value::String("payload")}));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rows[i++ % rows.size()]->Hash());
+  }
+}
+BENCHMARK(BM_RowHash);
+
+}  // namespace
+}  // namespace stems
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary prints the series the corresponding paper figure plots
+// (cumulative counts against virtual time), in a fixed-width table that
+// EXPERIMENTS.md records.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "sim/clock.h"
+
+namespace stems::bench {
+
+struct SeriesColumn {
+  std::string name;
+  const CounterSeries* series;
+};
+
+/// Prints `t  v1  v2 ...` rows sampled every `step` up to `horizon`.
+inline void PrintSeriesTable(const std::string& title, SimTime horizon,
+                             SimTime step,
+                             const std::vector<SeriesColumn>& columns) {
+  std::printf("\n## %s\n\n", title.c_str());
+  std::printf("%10s", "t(s)");
+  for (const auto& c : columns) std::printf("  %16s", c.name.c_str());
+  std::printf("\n");
+  for (SimTime t = 0; t <= horizon; t += step) {
+    std::printf("%10.0f", ToSeconds(t));
+    for (const auto& c : columns) {
+      std::printf("  %16lld",
+                  static_cast<long long>(c.series->ValueAt(t)));
+    }
+    std::printf("\n");
+  }
+}
+
+/// Time (virtual seconds) at which `series` reached `target`; -1 if never.
+inline double CompletionSeconds(const CounterSeries& series, int64_t target) {
+  const SimTime t = series.TimeToReach(target);
+  return t == kSimTimeNever ? -1.0 : ToSeconds(t);
+}
+
+inline void PrintKeyValue(const char* key, double value, const char* unit) {
+  std::printf("%-44s %12.2f %s\n", key, value, unit);
+}
+
+inline void PrintKeyValue(const char* key, int64_t value, const char* unit) {
+  std::printf("%-44s %12lld %s\n", key, static_cast<long long>(value), unit);
+}
+
+inline void PrintHeader(const char* bench, const char* paper_ref,
+                        const char* expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", bench);
+  std::printf("  reproduces: %s\n", paper_ref);
+  std::printf("  expected shape: %s\n", expectation);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace stems::bench

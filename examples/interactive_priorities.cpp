@@ -1,0 +1,80 @@
+// Interactive online query processing (paper §1.2, §4.1): the user watches
+// partial results stream in and marks a region of interest; the eddy
+// expedites matching tuples through an index AM while everyone else rides
+// the slow scan.
+//
+// This is the FFF story: "as the user sees these partial results, their
+// interests in different parts of the result may change".
+#include <cstdio>
+
+#include "eddy/policies/nary_shj_policy.h"
+#include "query/planner.h"
+#include "storage/generators.h"
+
+using namespace stems;
+
+namespace {
+
+void RunOnce(bool prioritize, int64_t hot_region) {
+  Catalog catalog;
+  TableStore store;
+  catalog.AddTable(TableDef{
+      "R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}});
+  catalog.AddTable(TableDef{"T",
+                            SchemaT(),
+                            {{"T.scan", AccessMethodKind::kScan, {}},
+                             {"T.idx", AccessMethodKind::kIndex, {0}}}});
+  store.AddTable("R", SchemaR(), GenerateTableR(600, 250, 12));
+  store.AddTable("T", SchemaT(), GenerateTableT(250, 13));
+
+  QueryBuilder qb(catalog);
+  qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
+  QuerySpec query = qb.Build().ValueOrDie();
+
+  Simulation sim;
+  ExecutionConfig config;
+  config.scan_overrides["R.scan"].period = Millis(8);
+  config.scan_overrides["T.scan"].period = Millis(150);  // slow: ~37 s
+  config.index_defaults.latency = std::make_shared<FixedLatency>(Millis(250));
+  if (prioritize) {
+    config.scan_overrides["R.scan"].prioritizer = [hot_region](const Row& r) {
+      return r.value(1).AsInt64() < hot_region;
+    };
+    StemOptions t_stem;
+    t_stem.bounce_mode = ProbeBounceMode::kPrioritized;
+    config.stem_overrides["T"] = t_stem;
+  }
+  config.eddy.result_priority_classifier = [hot_region](const Tuple& t) {
+    const Value* a = t.ValueAt(0, 1);
+    return a != nullptr && a->AsInt64() < hot_region;
+  };
+
+  auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
+  eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+  eddy->RunToCompletion();
+
+  const auto& prio = eddy->ctx()->metrics.Series("results.prioritized");
+  const auto& all = eddy->ctx()->metrics.Series("results");
+  std::printf("  %-22s hot results by 2s/5s/10s: %3lld/%3lld/%3lld  "
+              "(of %lld)   all done at %.1fs\n",
+              prioritize ? "with priority bounce" : "no priorities",
+              static_cast<long long>(prio.ValueAt(Seconds(2))),
+              static_cast<long long>(prio.ValueAt(Seconds(5))),
+              static_cast<long long>(prio.ValueAt(Seconds(10))),
+              static_cast<long long>(prio.total()),
+              ToSeconds(all.TimeToReach(all.total())));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("User explores; at query start they zoom into R.a < 40 "
+              "(the 'hot region').\n\n");
+  RunOnce(/*prioritize=*/false, /*hot_region=*/40);
+  RunOnce(/*prioritize=*/true, /*hot_region=*/40);
+  std::printf(
+      "\nWith the §4.1 priority bounce, hot-region results arrive within "
+      "seconds via the T index\nwhile overall completion stays pinned to "
+      "the scan.\n");
+  return 0;
+}

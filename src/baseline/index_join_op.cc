@@ -1,0 +1,68 @@
+#include "baseline/index_join_op.h"
+
+#include <cassert>
+
+namespace stems {
+
+IndexJoinOp::IndexJoinOp(QueryContext* ctx, std::string name,
+                         uint64_t probe_mask, int table_slot,
+                         std::vector<int> bind_columns,
+                         const StoredTable* store, IndexJoinOpOptions options)
+    : JoinOperator(ctx, std::move(name), {probe_mask}),
+      table_slot_(table_slot),
+      bind_columns_(std::move(bind_columns)),
+      store_(store),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  if (options_.lookup_latency == nullptr) {
+    options_.lookup_latency = std::make_shared<FixedLatency>(Millis(100));
+  }
+}
+
+std::vector<Value> IndexJoinOp::BindValuesFor(const Tuple& tuple) const {
+  std::vector<Value> values;
+  for (int bind_col : bind_columns_) {
+    const Value* found = nullptr;
+    for (const auto& p : ctx_->query->predicates()) {
+      auto col = p.EquiJoinColumnFor(table_slot_);
+      if (!col.has_value() || *col != bind_col) continue;
+      auto peer = p.EquiJoinPeerOf(table_slot_);
+      if (!peer.has_value() || peer->table_slot == table_slot_) continue;
+      const Value* v = tuple.ValueAt(peer->table_slot, peer->column);
+      if (v != nullptr) {
+        found = v;
+        break;
+      }
+    }
+    assert(found != nullptr && "probe tuple cannot bind the index join");
+    values.push_back(*found);
+  }
+  return values;
+}
+
+SimTime IndexJoinOp::ServiceTime(const Tuple& tuple) const {
+  if (tuple.IsEot()) return options_.cache_hit_time;
+  // This is the crux of §4.2: the module's single server is occupied for
+  // the full remote latency on a miss, so every queued probe — including
+  // ones that would be cache hits — waits behind it.
+  if (cache_.count(BindValuesFor(tuple)) > 0) return options_.cache_hit_time;
+  return options_.lookup_latency->Sample(sim()->now(), rng_);
+}
+
+void IndexJoinOp::ProcessData(TuplePtr tuple, int /*side*/) {
+  std::vector<Value> key = BindValuesFor(*tuple);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++index_lookups_;
+    ctx_->metrics.Count(name() + ".probes", sim()->now());
+    it = cache_.emplace(key, store_->Lookup(bind_columns_, key)).first;
+  } else {
+    ++cache_hits_;
+  }
+  for (const RowRef& row : it->second) {
+    TuplePtr result = tuple->ConcatWith(table_slot_, row, 0);
+    if (ApplyEvaluablePredicates(result.get())) Emit(std::move(result));
+  }
+}
+
+}  // namespace stems

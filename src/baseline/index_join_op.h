@@ -1,0 +1,57 @@
+// IndexJoinOp: the traditional index join module of paper Figures 1(a)/5.
+//
+// Encapsulates the two physical operations the paper's §4.2 experiment is
+// about: a lookup cache and a remote index, hidden inside one module with a
+// single input queue. A cache miss occupies the (single-server) module for
+// the full remote latency, so probes that would hit the cache wait behind
+// it — the head-of-line blocking that SteMs eliminate.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "baseline/operator.h"
+#include "sim/latency_model.h"
+#include "storage/table_store.h"
+
+namespace stems {
+
+struct IndexJoinOpOptions {
+  std::shared_ptr<LatencyModel> lookup_latency;  ///< remote index latency
+  SimTime cache_hit_time = Micros(2);
+  uint64_t seed = 42;
+};
+
+class IndexJoinOp : public JoinOperator {
+ public:
+  /// Joins probe tuples against `table_slot` of the query via an index on
+  /// `bind_columns` of `store`. `probe_mask` is the input-side slot mask.
+  IndexJoinOp(QueryContext* ctx, std::string name, uint64_t probe_mask,
+              int table_slot, std::vector<int> bind_columns,
+              const StoredTable* store, IndexJoinOpOptions options);
+
+  uint64_t index_lookups() const { return index_lookups_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+
+ protected:
+  SimTime ServiceTime(const Tuple& tuple) const override;
+  void ProcessData(TuplePtr tuple, int side) override;
+
+ private:
+  std::vector<Value> BindValuesFor(const Tuple& tuple) const;
+
+  int table_slot_;
+  std::vector<int> bind_columns_;
+  const StoredTable* store_;
+  IndexJoinOpOptions options_;
+  mutable Rng rng_;
+
+  /// Lookup cache: completed keys and their rows.
+  std::map<std::vector<Value>, std::vector<RowRef>> cache_;
+  uint64_t index_lookups_ = 0;
+  uint64_t cache_hits_ = 0;
+};
+
+}  // namespace stems

@@ -1,0 +1,111 @@
+#include "baseline/nary_shj_op.h"
+
+#include <cassert>
+
+namespace stems {
+
+namespace {
+/// One input side per slot.
+std::vector<uint64_t> SlotMasks(const QueryContext& ctx) {
+  std::vector<uint64_t> masks;
+  for (size_t s = 0; s < ctx.query->num_slots(); ++s) {
+    masks.push_back(1ULL << s);
+  }
+  return masks;
+}
+}  // namespace
+
+NaryShjOp::NaryShjOp(QueryContext* ctx, std::string name,
+                     NaryShjOpOptions options)
+    : JoinOperator(ctx, std::move(name), SlotMasks(*ctx)),
+      options_(options),
+      stores_(ctx->query->num_slots()) {}
+
+SimTime NaryShjOp::ServiceTime(const Tuple& tuple) const {
+  if (tuple.IsEot()) return options_.build_time;
+  return options_.build_time +
+         options_.probe_time_per_slot *
+             static_cast<SimTime>(ctx_->query->num_slots() - 1);
+}
+
+void NaryShjOp::ProcessData(TuplePtr tuple, int side) {
+  assert(tuple->IsSingleton());
+  const RowRef& row = tuple->component(side).row;
+  // Build into this slot's store and indexes.
+  const uint32_t id = static_cast<uint32_t>(stores_[side].rows.size());
+  for (const auto& p : ctx_->query->predicates()) {
+    auto col = p.EquiJoinColumnFor(side);
+    if (col.has_value()) {
+      stores_[side].indexes[*col][row->value(*col)].push_back(id);
+    }
+  }
+  stores_[side].rows.push_back(row);
+  ++materialized_;
+  // Probe: join the new singleton against everything stored.
+  if (!ApplyEvaluablePredicates(tuple.get())) return;
+  Join(tuple);
+}
+
+void NaryShjOp::Join(const TuplePtr& partial) {
+  if (partial->spanned_mask() == ctx_->query->full_span_mask()) {
+    Emit(partial);
+    return;
+  }
+  // Next slot: the lowest unspanned slot joined to the current span, else
+  // the lowest unspanned (cross product).
+  const int n = static_cast<int>(ctx_->query->num_slots());
+  int next = -1;
+  for (int s = 0; s < n && next < 0; ++s) {
+    if (partial->Spans(s)) continue;
+    for (const auto& p : ctx_->query->predicates()) {
+      if (!p.is_join()) continue;
+      auto col = p.EquiJoinColumnFor(s);
+      if (!col.has_value()) continue;
+      auto peer = p.EquiJoinPeerOf(s);
+      if (peer.has_value() && partial->Spans(peer->table_slot)) {
+        next = s;
+        break;
+      }
+    }
+  }
+  if (next < 0) {
+    for (int s = 0; s < n; ++s) {
+      if (!partial->Spans(s)) {
+        next = s;
+        break;
+      }
+    }
+  }
+  assert(next >= 0);
+
+  // Candidate rows via an index when possible.
+  const SlotStore& store = stores_[next];
+  const std::vector<uint32_t>* candidates = nullptr;
+  std::vector<uint32_t> all;
+  for (const auto& p : ctx_->query->predicates()) {
+    auto col = p.EquiJoinColumnFor(next);
+    if (!col.has_value()) continue;
+    auto peer = p.EquiJoinPeerOf(next);
+    if (!peer.has_value() || !partial->Spans(peer->table_slot)) continue;
+    const Value* v = partial->ValueAt(peer->table_slot, peer->column);
+    auto idx_it = store.indexes.find(*col);
+    if (idx_it == store.indexes.end()) continue;
+    auto it = idx_it->second.find(*v);
+    if (it == idx_it->second.end()) return;  // no matches at all
+    candidates = &it->second;
+    break;
+  }
+  if (candidates == nullptr) {
+    all.resize(store.rows.size());
+    for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+    candidates = &all;
+  }
+
+  for (uint32_t id : *candidates) {
+    TuplePtr extended = partial->ConcatWith(next, store.rows[id], 0);
+    if (!ApplyEvaluablePredicates(extended.get())) continue;
+    Join(extended);
+  }
+}
+
+}  // namespace stems

@@ -1,0 +1,53 @@
+// NaryShjOp: the unified n-ary symmetric hash join of paper Figure 2(ii).
+//
+// One operator holding a hash index per join column of every input table.
+// Each arriving singleton is built into its table's indexes and then joined
+// against all previously stored singletons (a fixed probe order inside the
+// operator — the SteM architecture's whole point is to lift exactly this
+// ordering decision out into the eddy).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/operator.h"
+
+namespace stems {
+
+struct NaryShjOpOptions {
+  SimTime build_time = Micros(2);
+  SimTime probe_time_per_slot = Micros(2);
+};
+
+class NaryShjOp : public JoinOperator {
+ public:
+  NaryShjOp(QueryContext* ctx, std::string name,
+            NaryShjOpOptions options = {});
+
+  /// Singletons materialized (state-size comparison of §2.3: this operator
+  /// stores no intermediate results, unlike a binary-SHJ pipeline).
+  size_t materialized_tuples() const { return materialized_; }
+
+ protected:
+  SimTime ServiceTime(const Tuple& tuple) const override;
+  void ProcessData(TuplePtr tuple, int side) override;
+
+ private:
+  struct SlotStore {
+    std::vector<RowRef> rows;
+    /// column -> value -> row ids
+    std::unordered_map<int,
+                       std::unordered_map<Value, std::vector<uint32_t>,
+                                          ValueHash>>
+        indexes;
+  };
+
+  /// Recursively extends `partial` with rows from unspanned slots.
+  void Join(const TuplePtr& partial);
+
+  NaryShjOpOptions options_;
+  std::vector<SlotStore> stores_;
+  size_t materialized_ = 0;
+};
+
+}  // namespace stems

@@ -1,0 +1,91 @@
+#include "baseline/operator.h"
+
+#include <cassert>
+
+#include "am/scan_am.h"
+
+namespace stems {
+
+JoinOperator::JoinOperator(QueryContext* ctx, std::string name,
+                           std::vector<uint64_t> side_masks)
+    : Module(ctx->sim, std::move(name)),
+      ctx_(ctx),
+      side_masks_(std::move(side_masks)),
+      side_complete_(side_masks_.size(), false) {}
+
+int JoinOperator::SideOf(const Tuple& tuple) const {
+  for (size_t i = 0; i < side_masks_.size(); ++i) {
+    const uint64_t span = tuple.spanned_mask();
+    if (span != 0 && (span & ~side_masks_[i]) == 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool JoinOperator::AllSidesComplete() const {
+  for (bool c : side_complete_) {
+    if (!c) return false;
+  }
+  return true;
+}
+
+void JoinOperator::Process(TuplePtr tuple) {
+  const int side = SideOf(*tuple);
+  assert(side >= 0 && "tuple does not belong to any input side");
+  if (tuple->IsEot()) {
+    if (!side_complete_[side]) {
+      side_complete_[side] = true;
+      if (AllSidesComplete()) {
+        Finalize();
+        Emit(std::move(tuple));  // propagate completion downstream
+      }
+    }
+    return;
+  }
+  ProcessData(std::move(tuple), side);
+}
+
+bool JoinOperator::ApplyEvaluablePredicates(Tuple* tuple) const {
+  for (const auto& p : ctx_->query->predicates()) {
+    if (tuple->PassedPredicate(p.id())) continue;
+    if (!p.CanEvaluate(tuple->spanned_mask())) continue;
+    if (!p.Evaluate(*tuple)) return false;
+    tuple->MarkPredicatePassed(p.id());
+  }
+  return true;
+}
+
+void CollectorSink::Process(TuplePtr tuple) {
+  if (tuple->IsEot() || tuple->is_seed()) return;
+  ctx_->metrics.Count("results", sim()->now());
+  results_.push_back(std::move(tuple));
+}
+
+StaticPlan::StaticPlan(const QuerySpec& query, Simulation* sim) {
+  ctx_.query = &query;
+  ctx_.sim = sim;
+  sink_ = AddModule(std::make_unique<CollectorSink>(&ctx_));
+}
+
+void StaticPlan::Connect(Module* from, Module* to) {
+  from->SetSink([to](TuplePtr t, Module*) { to->Accept(std::move(t)); });
+}
+
+void StaticPlan::ConnectToSink(Module* from) { Connect(from, sink_); }
+
+void StaticPlan::Start() {
+  assert(!started_);
+  started_ = true;
+  const int num_slots = static_cast<int>(ctx_.query->num_slots());
+  for (const auto& m : modules_) {
+    if (m->kind() == ModuleKind::kScanAm) {
+      m->Accept(Tuple::MakeSeed(num_slots));
+    }
+  }
+}
+
+void StaticPlan::Run() {
+  if (!started_) Start();
+  ctx_.sim->Run();
+}
+
+}  // namespace stems

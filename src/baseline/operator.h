@@ -1,0 +1,106 @@
+// Baseline operators: the traditional, statically-chosen join modules the
+// paper compares against (Figures 1(a), 2(i), 2(ii), 5, 8).
+//
+// They run as modules on the same discrete-event simulator as the eddy, so
+// time-series comparisons are apples-to-apples. A StaticPlan wires sources
+// into operators into a sink, mimicking a conventional query plan.
+#pragma once
+
+#include <vector>
+
+#include "runtime/module.h"
+#include "runtime/query_context.h"
+
+namespace stems {
+
+/// Common base: a join operator with a fixed set of input "sides", each a
+/// set of slots. An input tuple belongs to the side whose slot set contains
+/// its span. Scan-EOT tuples mark a side complete; when every side is
+/// complete the operator finalizes (no-op by default) and forwards one EOT
+/// downstream.
+class JoinOperator : public Module {
+ public:
+  JoinOperator(QueryContext* ctx, std::string name,
+               std::vector<uint64_t> side_masks);
+
+  ModuleKind kind() const override { return ModuleKind::kOperator; }
+
+  bool AllSidesComplete() const;
+  int SideOf(const Tuple& tuple) const;
+
+ protected:
+  void Process(TuplePtr tuple) final;
+
+  /// Handles one data tuple (never an EOT).
+  virtual void ProcessData(TuplePtr tuple, int side) = 0;
+  /// Called once, when the last side completes (before the EOT forwards).
+  virtual void Finalize() {}
+
+  /// Evaluates and marks every not-yet-passed predicate evaluable on
+  /// `tuple`; returns false if any fails.
+  bool ApplyEvaluablePredicates(Tuple* tuple) const;
+
+  QueryContext* ctx_;
+
+ private:
+  std::vector<uint64_t> side_masks_;
+  std::vector<bool> side_complete_;
+};
+
+/// Terminal sink: counts result tuples into ctx->metrics ("results") and
+/// stores them.
+class CollectorSink : public Module {
+ public:
+  explicit CollectorSink(QueryContext* ctx)
+      : Module(ctx->sim, "sink"), ctx_(ctx) {}
+
+  ModuleKind kind() const override { return ModuleKind::kOperator; }
+
+  const std::vector<TuplePtr>& results() const { return results_; }
+
+ protected:
+  SimTime ServiceTime(const Tuple&) const override { return 0; }
+  void Process(TuplePtr tuple) override;
+
+ private:
+  QueryContext* ctx_;
+  std::vector<TuplePtr> results_;
+};
+
+/// A statically chosen plan: sources and operators wired into a tree with a
+/// collector at the root (paper Figure 1(a)).
+class StaticPlan {
+ public:
+  StaticPlan(const QuerySpec& query, Simulation* sim);
+
+  QueryContext* ctx() { return &ctx_; }
+
+  /// Registers a module; the plan takes ownership.
+  template <typename M>
+  M* AddModule(std::unique_ptr<M> module) {
+    M* raw = module.get();
+    raw->set_id(static_cast<int>(modules_.size()));
+    modules_.push_back(std::move(module));
+    return raw;
+  }
+
+  /// Routes everything `from` emits into `to`.
+  void Connect(Module* from, Module* to);
+  /// Routes everything `from` emits into the collector sink.
+  void ConnectToSink(Module* from);
+
+  /// Seeds all scan AMs and runs the simulation to completion.
+  void Run();
+  /// Seeds all scan AMs only (caller drives the simulation).
+  void Start();
+
+  const std::vector<TuplePtr>& results() const { return sink_->results(); }
+
+ private:
+  QueryContext ctx_;
+  std::vector<std::unique_ptr<Module>> modules_;
+  CollectorSink* sink_ = nullptr;
+  bool started_ = false;
+};
+
+}  // namespace stems

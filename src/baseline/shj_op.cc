@@ -1,0 +1,80 @@
+#include "baseline/shj_op.h"
+
+#include <cassert>
+
+namespace stems {
+
+ShjOp::ShjOp(QueryContext* ctx, std::string name, uint64_t left_mask,
+             uint64_t right_mask, int key_predicate_id, ShjOpOptions options)
+    : JoinOperator(ctx, std::move(name), {left_mask, right_mask}),
+      options_(options) {
+  const Predicate& p = ctx->query->predicates()[key_predicate_id];
+  assert(p.is_join() && p.op() == CompareOp::kEq &&
+         "SHJ requires an equi-join key predicate");
+  // Assign each end of the predicate to the side containing its slot.
+  const ColumnRef& a = p.lhs();
+  const ColumnRef& b = p.rhs();
+  if (left_mask & (1ULL << a.table_slot)) {
+    sides_[0].key = a;
+    sides_[1].key = b;
+  } else {
+    sides_[0].key = b;
+    sides_[1].key = a;
+  }
+  assert((left_mask & (1ULL << sides_[0].key.table_slot)) != 0);
+  assert((right_mask & (1ULL << sides_[1].key.table_slot)) != 0);
+}
+
+const Value* ShjOp::KeyOf(const Tuple& tuple, int side) const {
+  return tuple.ValueAt(sides_[side].key.table_slot, sides_[side].key.column);
+}
+
+SimTime ShjOp::ServiceTime(const Tuple& tuple) const {
+  if (tuple.IsEot()) return options_.build_time;
+  return options_.build_time + options_.probe_time;
+}
+
+void ShjOp::ProcessData(TuplePtr tuple, int side) {
+  const Value* key = KeyOf(*tuple, side);
+  if (key == nullptr) return;  // cannot join: drop
+  // Build into this side's hash table...
+  sides_[side].hash[*key].push_back(tuple);
+  ++sides_[side].tuples;
+  // ...then immediately probe the other side.
+  const int other = 1 - side;
+  auto it = sides_[other].hash.find(*key);
+  if (it == sides_[other].hash.end()) return;
+  for (const TuplePtr& match : it->second) {
+    // Merge the two component sets.
+    TuplePtr result = tuple;
+    bool ok = true;
+    for (int s = 0; s < match->num_slots(); ++s) {
+      if (!match->Spans(s)) continue;
+      if (result->Spans(s)) {
+        ok = false;  // overlapping spans cannot join
+        break;
+      }
+      result = result->ConcatWith(s, match->component(s).row,
+                                  match->component(s).timestamp == kTsInfinity
+                                      ? 0
+                                      : match->component(s).timestamp);
+    }
+    if (!ok) continue;
+    // Carry over predicate state from both parents, then verify the rest.
+    for (size_t pid = 0; pid < ctx_->query->num_predicates(); ++pid) {
+      if (match->PassedPredicate(static_cast<int>(pid)) ||
+          tuple->PassedPredicate(static_cast<int>(pid))) {
+        result->MarkPredicatePassed(static_cast<int>(pid));
+      }
+    }
+    if (ApplyEvaluablePredicates(result.get())) {
+      // Partial-result accounting, comparable with the SteM engine's
+      // "span.<mask>" series.
+      ctx_->metrics.Count("span." + std::to_string(result->spanned_mask()),
+                          sim()->now());
+      Emit(std::move(result));
+    }
+  }
+}
+
+}  // namespace stems

@@ -1,0 +1,51 @@
+// ShjOp: the classic binary symmetric hash join [23, 30] (paper §2.3).
+//
+// Builds a hash table on each input side and probes the opposite one per
+// arriving tuple; fully pipelined. Instances compose into the "pipelining
+// binary joins" tree of paper Figure 2(i): a lower SHJ's output side feeds
+// an upper SHJ's input side.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/operator.h"
+
+namespace stems {
+
+struct ShjOpOptions {
+  SimTime build_time = Micros(2);
+  SimTime probe_time = Micros(2);
+};
+
+class ShjOp : public JoinOperator {
+ public:
+  /// `left_mask` / `right_mask` are slot masks of the two inputs;
+  /// `key_predicate_id` identifies the equi-join predicate linking them.
+  ShjOp(QueryContext* ctx, std::string name, uint64_t left_mask,
+        uint64_t right_mask, int key_predicate_id, ShjOpOptions options = {});
+
+  /// Tuples currently materialized in both hash tables (for the state-size
+  /// comparison of §2.3).
+  size_t materialized_tuples() const {
+    return sides_[0].tuples + sides_[1].tuples;
+  }
+
+ protected:
+  SimTime ServiceTime(const Tuple& tuple) const override;
+  void ProcessData(TuplePtr tuple, int side) override;
+
+ private:
+  struct Side {
+    std::unordered_map<Value, std::vector<TuplePtr>, ValueHash> hash;
+    ColumnRef key;  ///< the join key column on this side
+    size_t tuples = 0;
+  };
+
+  const Value* KeyOf(const Tuple& tuple, int side) const;
+
+  Side sides_[2];
+  ShjOpOptions options_;
+};
+
+}  // namespace stems

@@ -1,0 +1,42 @@
+// SortMergeJoinOp: blocking sort-merge join — the algorithm a SteM with a
+// tournament-tree (ordered) index simulates under deferred bounce-backs
+// (paper §3.1).
+//
+// Buffers both inputs ("sorted runs"); when both are complete, sorts them
+// by the join key (charging n log n virtual time) and merges, emitting
+// results as the merge advances.
+#pragma once
+
+#include <vector>
+
+#include "baseline/operator.h"
+
+namespace stems {
+
+struct SortMergeJoinOpOptions {
+  SimTime buffer_time = Micros(2);        ///< per input tuple
+  SimTime compare_time = Micros(1);       ///< per comparison during sort
+  SimTime merge_step_time = Micros(2);    ///< per merge advance
+};
+
+class SortMergeJoinOp : public JoinOperator {
+ public:
+  SortMergeJoinOp(QueryContext* ctx, std::string name, uint64_t left_mask,
+                  uint64_t right_mask, int key_predicate_id,
+                  SortMergeJoinOpOptions options = {});
+
+ protected:
+  SimTime ServiceTime(const Tuple& tuple) const override;
+  void ProcessData(TuplePtr tuple, int side) override;
+  void Finalize() override;
+
+ private:
+  const Value* KeyOf(const Tuple& tuple, int side) const;
+  void JoinPair(const TuplePtr& left, const TuplePtr& right);
+
+  SortMergeJoinOpOptions options_;
+  ColumnRef keys_[2];
+  std::vector<TuplePtr> runs_[2];
+};
+
+}  // namespace stems

@@ -1,0 +1,51 @@
+#include "catalog/catalog.h"
+
+namespace stems {
+
+bool TableDef::HasScanAm() const {
+  for (const auto& am : access_methods) {
+    if (am.kind == AccessMethodKind::kScan) return true;
+  }
+  return false;
+}
+
+bool TableDef::HasIndexAm() const {
+  for (const auto& am : access_methods) {
+    if (am.kind == AccessMethodKind::kIndex) return true;
+  }
+  return false;
+}
+
+Status Catalog::AddTable(TableDef def) {
+  for (const auto& t : tables_) {
+    if (t.name == def.name) {
+      return Status::AlreadyExists("table '" + def.name + "' already exists");
+    }
+  }
+  if (def.name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  for (const auto& am : def.access_methods) {
+    if (am.kind == AccessMethodKind::kIndex && am.bind_columns.empty()) {
+      return Status::InvalidArgument("index AM '" + am.name +
+                                     "' must have bind columns");
+    }
+    for (int c : am.bind_columns) {
+      if (c < 0 || static_cast<size_t>(c) >= def.schema.num_columns()) {
+        return Status::OutOfRange("bind column out of range in AM '" +
+                                  am.name + "'");
+      }
+    }
+  }
+  tables_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name == name) return &t;
+  }
+  return Status::NotFound("table '" + name + "' not found");
+}
+
+}  // namespace stems

@@ -1,0 +1,55 @@
+// Catalog: table definitions and the access methods their sources support.
+//
+// In Telegraph FFF (paper §1.2) a "table" may be served by several sources,
+// each exposing scans and/or indexes with particular bind-field sets. The
+// catalog records these capabilities; the planner (query/planner.h) turns
+// them into Access Modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+
+namespace stems {
+
+enum class AccessMethodKind { kScan, kIndex };
+
+/// One access method exposed by a data source for a table.
+///
+/// An index access method answers probes that bind exactly `bind_columns`
+/// (equality bindings, as in the paper's common case); a scan access method
+/// accepts only the seed tuple and streams the whole table.
+struct AccessMethodSpec {
+  std::string name;  ///< unique within the table, e.g. "T.scan", "S.idx_x"
+  AccessMethodKind kind = AccessMethodKind::kScan;
+  std::vector<int> bind_columns;  ///< column ordinals; empty for scans
+};
+
+/// A base table: schema plus the access methods available for it.
+struct TableDef {
+  std::string name;
+  Schema schema;
+  std::vector<AccessMethodSpec> access_methods;
+
+  bool HasScanAm() const;
+  bool HasIndexAm() const;
+};
+
+/// Name-keyed collection of table definitions.
+class Catalog {
+ public:
+  /// Registers a table. Fails if a table with the same name exists.
+  Status AddTable(TableDef def);
+
+  /// Looks up a table by name.
+  Result<const TableDef*> GetTable(const std::string& name) const;
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace stems

@@ -1,0 +1,45 @@
+// Minimal leveled logging for the stems library.
+//
+// Logging is off by default (benchmarks must not be perturbed); tests and
+// examples can raise the level. Not thread-safe by design: the engine is a
+// single-threaded discrete-event simulation (DESIGN.md §5).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace stems {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+/// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define STEMS_LOG(level)                                      \
+  if (::stems::GetLogLevel() <= ::stems::LogLevel::k##level)  \
+  ::stems::internal::LogMessage(::stems::LogLevel::k##level)
+
+}  // namespace stems

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that experiments and
+// property tests are reproducible from a seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stems {
+
+/// xoshiro256** based generator; small, fast, and seedable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p = 0.5);
+
+  /// A random permutation of [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed values in [0, n) with exponent s (s=0 is uniform).
+/// Uses the classic inverse-CDF-over-precomputed-weights approach; suited to
+/// the modest domains of the paper's workloads.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double s, uint64_t seed = 42);
+
+  size_t Next();
+
+ private:
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
+}  // namespace stems

@@ -1,0 +1,142 @@
+// Status / Result error handling for the stems library.
+//
+// The library does not use exceptions (database-engine convention; see the
+// Arrow and RocksDB style guides). Fallible operations return Status, or
+// Result<T> when they produce a value.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace stems {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kInternal,
+  kResourceExhausted,
+  kInvalidQuery,
+};
+
+/// Human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error return type. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status InvalidQuery(std::string msg) {
+    return Status(StatusCode::kInvalidQuery, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error. Use `ValueOrDie()` only where failure is a bug.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() && "Result(Status) must carry error");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& Value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& Value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& Value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value, aborting the process on error.
+  T ValueOrDie() &&;
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnError(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnError(status());
+  return std::get<T>(std::move(repr_));
+}
+
+/// Propagates an error Status from a fallible expression.
+#define STEMS_RETURN_NOT_OK(expr)                   \
+  do {                                              \
+    ::stems::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define STEMS_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto STEMS_CONCAT_(_res, __LINE__) = (expr);      \
+  if (!STEMS_CONCAT_(_res, __LINE__).ok())          \
+    return STEMS_CONCAT_(_res, __LINE__).status();  \
+  lhs = std::move(STEMS_CONCAT_(_res, __LINE__)).Value()
+
+#define STEMS_CONCAT_IMPL_(a, b) a##b
+#define STEMS_CONCAT_(a, b) STEMS_CONCAT_IMPL_(a, b)
+
+}  // namespace stems

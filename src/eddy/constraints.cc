@@ -1,0 +1,187 @@
+#include "eddy/constraints.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "eddy/eddy.h"
+
+namespace stems {
+
+ConstraintChecker::ConstraintChecker(const Eddy* eddy, ConstraintMode mode,
+                                     uint32_t max_routes_per_tuple)
+    : eddy_(eddy), mode_(mode), max_routes_per_tuple_(max_routes_per_tuple) {}
+
+void ConstraintChecker::Report(const Tuple& tuple, const char* constraint,
+                               std::string detail) {
+  if (mode_ == ConstraintMode::kOff) return;
+  detail += " [tuple " + tuple.ToString() + "]";
+  if (mode_ == ConstraintMode::kStrict) {
+    std::fprintf(stderr, "Routing constraint violated: %s: %s\n", constraint,
+                 detail.c_str());
+    std::abort();
+  }
+  violations_.push_back({constraint, std::move(detail)});
+}
+
+bool ConstraintChecker::Check(const Tuple& tuple,
+                              const RouteDecision& decision) {
+  if (mode_ == ConstraintMode::kOff) return true;
+
+  if (tuple.route_count() > max_routes_per_tuple_) {
+    Report(tuple, "BoundedRepetition", "tuple exceeded max routing steps");
+    return false;
+  }
+
+  switch (decision.kind) {
+    case RouteDecision::Kind::kSend:
+      return CheckSend(tuple, decision);
+    case RouteDecision::Kind::kRetire:
+      return CheckRetire(tuple);
+    case RouteDecision::Kind::kPark: {
+      // Parking is only meaningful for prior probers awaiting their
+      // completion table's SteM.
+      if (!tuple.IsPriorProber() ||
+          decision.park_slot != tuple.probe_completion_slot()) {
+        Report(tuple, "ProbeCompletion",
+               "parked on a slot that is not the probe completion table");
+        return false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+bool ConstraintChecker::CheckSend(const Tuple& tuple,
+                                  const RouteDecision& decision) {
+  Module* dest = decision.dest;
+  if (dest == nullptr) {
+    Report(tuple, "Routing", "kSend with null destination");
+    return false;
+  }
+
+  const QuerySpec& query = eddy_->query();
+
+  // ProbeCompletion (Table 2): a prior prober may only go to its probe
+  // completion table's AMs, that table's SteM (a §3.5 re-probe), or
+  // selection modules.
+  if (tuple.IsPriorProber()) {
+    const int cslot = tuple.probe_completion_slot();
+    const std::string& ctable = query.slots()[cslot].table_name;
+    switch (dest->kind()) {
+      case ModuleKind::kSelection:
+        break;
+      case ModuleKind::kStem: {
+        auto* stem = static_cast<Stem*>(dest);
+        if (stem->table_name() != ctable) {
+          Report(tuple, "ProbeCompletion",
+                 "prior prober routed to SteM(" + stem->table_name() +
+                     ") instead of its completion table " + ctable);
+          return false;
+        }
+        break;
+      }
+      case ModuleKind::kIndexAm:
+      case ModuleKind::kScanAm: {
+        auto* am = static_cast<AccessModule*>(dest);
+        if (am->table_name() != ctable) {
+          Report(tuple, "ProbeCompletion",
+                 "prior prober routed to AM on " + am->table_name() +
+                     " instead of its completion table " + ctable);
+          return false;
+        }
+        break;
+      }
+      case ModuleKind::kOperator:
+        break;
+    }
+  }
+
+  // Singleton-specific rules.
+  const int slot = tuple.SingletonSlot();
+  const bool unbuilt_singleton =
+      slot >= 0 && !tuple.is_seed() &&
+      tuple.component(slot).timestamp == kTsInfinity;
+
+  if (unbuilt_singleton && !tuple.IsEot()) {
+    const bool build_required = eddy_->BuildRequired(slot);
+    const bool dest_is_own_stem_build =
+        dest->kind() == ModuleKind::kStem &&
+        static_cast<Stem*>(dest)->ServesSlot(slot) &&
+        decision.intent != RouteIntent::kProbe;
+    const bool dest_is_sm = dest->kind() == ModuleKind::kSelection;
+    if (build_required && !dest_is_own_stem_build && !dest_is_sm) {
+      // BuildFirst (Table 2): before probing anything, a singleton from a
+      // table with multiple AMs or an index AM must build into its SteM.
+      // (Selections first are harmless and permitted, as in CACQ.)
+      Report(tuple, "BuildFirst",
+             "unbuilt singleton of slot " + std::to_string(slot) +
+                 " routed to " + dest->name() + " before building");
+      return false;
+    }
+    if (!build_required && !dest_is_own_stem_build && !dest_is_sm &&
+        !eddy_->options().relax_build_first) {
+      Report(tuple, "BuildFirst",
+             "unbuilt singleton probe requires relax_build_first (§3.5)");
+      return false;
+    }
+  }
+
+  // Index AMs accept only tuples that need them: prior probers completing
+  // their probe (the paper's Fig. 4 flow). Anything else cannot have come
+  // from a SteM bounce and risks missing results.
+  if (dest->kind() == ModuleKind::kIndexAm && !tuple.IsPriorProber()) {
+    Report(tuple, "ProbeCompletion",
+           "non-prior-prober routed to index AM " + dest->name());
+    return false;
+  }
+
+  // Scan AMs accept only seeds.
+  if (dest->kind() == ModuleKind::kScanAm && !tuple.is_seed()) {
+    Report(tuple, "Routing", "non-seed tuple routed to scan AM");
+    return false;
+  }
+
+  // SteM probes must target a slot the tuple does not span.
+  if (dest->kind() == ModuleKind::kStem &&
+      decision.intent == RouteIntent::kProbe) {
+    if (decision.target_slot >= 0 && tuple.Spans(decision.target_slot)) {
+      Report(tuple, "Routing", "probe targets a slot the tuple spans");
+      return false;
+    }
+  }
+
+  return true;
+}
+
+bool ConstraintChecker::CheckRetire(const Tuple& tuple) {
+  // ProbeCompletion (Table 2): a prior prober can be removed only after
+  // probing one of its completion AMs — unless the bounce was optional
+  // (its completion table has a scan AM feeding the shared SteM, so the
+  // missing matches will still rendezvous through the SteMs), or no
+  // completion AM can bind the tuple at all (theta-joined index-only
+  // table: its residual matches are unreachable by construction and are
+  // generated by the other side's probes instead).
+  if (tuple.IsPriorProber() && !tuple.probe_completed()) {
+    const int cslot = tuple.probe_completion_slot();
+    const TableDef* def = eddy_->query().slots()[cslot].def;
+    if (def->HasScanAm() && tuple.AllComponentsBuilt()) return true;
+    bool bindable = false;
+    for (IndexAm* am : eddy_->IndexAmsForSlot(cslot)) {
+      if (!am->ExtractBindValues(tuple, cslot).empty()) {
+        bindable = true;
+        break;
+      }
+    }
+    if (bindable || (def->HasScanAm() && !tuple.AllComponentsBuilt())) {
+      Report(tuple, "ProbeCompletion",
+             "prior prober retired before probing a completion AM on '" +
+                 def->name + "'");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace stems

@@ -1,0 +1,60 @@
+// ConstraintChecker: audits routing decisions against paper Table 2.
+//
+// The SteM BounceBack and TimeStamp constraints live inside the SteM/AM
+// implementations ("the routing policy implementor need not be aware of
+// them at all", §3.5). The remaining constraints — BuildFirst,
+// ProbeCompletion, BoundedRepetition — restrict the *policy*; this checker
+// validates every decision the policy makes, so tests can prove that a
+// policy is correct-by-routing and that deliberately broken policies are
+// caught.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eddy/routing_policy.h"
+#include "runtime/query_context.h"
+
+namespace stems {
+
+class Eddy;
+
+enum class ConstraintMode {
+  kOff,     ///< no checking
+  kRecord,  ///< record violations, allow the route (default; tests assert 0)
+  kStrict,  ///< abort on violation (debugging)
+};
+
+struct ConstraintViolation {
+  std::string constraint;
+  std::string detail;
+};
+
+class ConstraintChecker {
+ public:
+  ConstraintChecker(const Eddy* eddy, ConstraintMode mode,
+                    uint32_t max_routes_per_tuple);
+
+  /// Audits one decision; returns true if it is legal. Illegal decisions
+  /// are recorded (kRecord) or fatal (kStrict).
+  bool Check(const Tuple& tuple, const RouteDecision& decision);
+
+  const std::vector<ConstraintViolation>& violations() const {
+    return violations_;
+  }
+  ConstraintMode mode() const { return mode_; }
+
+ private:
+  void Report(const Tuple& tuple, const char* constraint, std::string detail);
+
+  bool CheckSend(const Tuple& tuple, const RouteDecision& decision);
+  bool CheckRetire(const Tuple& tuple);
+
+  const Eddy* eddy_;
+  ConstraintMode mode_;
+  uint32_t max_routes_per_tuple_;
+  std::vector<ConstraintViolation> violations_;
+};
+
+}  // namespace stems

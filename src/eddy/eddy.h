@@ -1,0 +1,160 @@
+// Eddy: the adaptive tuple router (paper §2.1.1), extended with SteMs.
+//
+// The eddy owns all modules of a query (AMs, SMs, SteMs), continuously
+// routes tuples between them according to a pluggable RoutingPolicy, sends
+// tuples that span all tables and pass all predicates to the output, and
+// terminates when no work remains. It also:
+//   * routes EOT tuples to their table's SteM as builds (paper §2.1.3);
+//   * seeds scan AMs at query start (paper §2.2 step 5);
+//   * parks prior probers waiting for SteM growth and wakes them on change;
+//   * audits every routing decision with a ConstraintChecker.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "am/index_am.h"
+#include "am/scan_am.h"
+#include "eddy/constraints.h"
+#include "eddy/memory_governor.h"
+#include "eddy/routing_policy.h"
+#include "query/join_graph.h"
+#include "runtime/query_context.h"
+#include "sm/selection_module.h"
+#include "stem/stem.h"
+
+namespace stems {
+
+struct EddyOptions {
+  /// Virtual cost of one routing step.
+  SimTime routing_overhead = Micros(1);
+  /// BoundedRepetition backstop: max routing steps per tuple.
+  uint32_t max_routes_per_tuple = 10000;
+  /// §4.1 simplification: build every singleton into its SteM first, even
+  /// when Table 2 would not require it. Policies may rely on it.
+  bool always_build = true;
+  /// §3.5: allow singletons to probe unbuilt (re-probing under
+  /// LastMatchTimeStamp until covered).
+  bool relax_build_first = false;
+  /// Tables whose SteM build is skipped under relax_build_first (the
+  /// paper's "much larger than the others" table). Each must have exactly
+  /// one access method, a scan, and duplicate-free rows (without a SteM
+  /// there is no set-semantics dedup for it).
+  std::vector<std::string> no_build_tables;
+  ConstraintMode constraint_mode = ConstraintMode::kRecord;
+  /// §6: global memory control across SteMs (0 budget = disabled).
+  MemoryGovernorOptions memory;
+  /// Optional classifier for the "results.prioritized" metric: evaluated on
+  /// every output tuple (priority *flags* only propagate through the
+  /// generating side's probes, so metrics use the ground-truth predicate).
+  std::function<bool(const Tuple&)> result_priority_classifier;
+};
+
+class Eddy {
+ public:
+  Eddy(const QuerySpec& query, Simulation* sim, EddyOptions options = {});
+  ~Eddy();
+
+  Eddy(const Eddy&) = delete;
+  Eddy& operator=(const Eddy&) = delete;
+
+  // --- wiring (used by the planner / tests) --------------------------------
+
+  /// Registers a module; the eddy takes ownership and wires its sink.
+  template <typename M>
+  M* AddModule(std::unique_ptr<M> module) {
+    M* raw = module.get();
+    RegisterModule(std::move(module));
+    return raw;
+  }
+
+  void SetPolicy(std::unique_ptr<RoutingPolicy> policy);
+
+  // --- execution -------------------------------------------------------------
+
+  /// Seeds every scan AM (paper §2.2 step 5). Call once.
+  void Start();
+
+  /// Start() + run the simulation until it drains.
+  void RunToCompletion();
+
+  // --- results & stats -------------------------------------------------------
+
+  const std::vector<TuplePtr>& results() const { return results_; }
+  uint64_t num_results() const { return results_.size(); }
+  uint64_t tuples_retired() const { return tuples_retired_; }
+  uint64_t tuples_routed() const { return tuples_routed_; }
+  size_t parked_count() const;
+
+  const std::vector<ConstraintViolation>& violations() const {
+    return checker_->violations();
+  }
+
+  /// The §6 global memory governor (budget configured via EddyOptions).
+  const MemoryGovernor& memory_governor() const { return memory_governor_; }
+
+  QueryContext* ctx() { return &ctx_; }
+  const QuerySpec& query() const { return *ctx_.query; }
+  const JoinGraph& join_graph() const { return join_graph_; }
+  const EddyOptions& options() const { return options_; }
+  Simulation* sim() const { return ctx_.sim; }
+
+  // --- module lookup (policies & checker) ------------------------------------
+
+  const std::vector<std::unique_ptr<Module>>& modules() const {
+    return modules_;
+  }
+  Stem* StemForSlot(int slot) const;
+  Stem* StemForTable(const std::string& table) const;
+  const std::vector<IndexAm*>& IndexAmsForSlot(int slot) const;
+  const std::vector<ScanAm*>& ScanAmsForSlot(int slot) const;
+  SelectionModule* SmForPredicate(int predicate_id) const;
+  const std::vector<SelectionModule*>& selection_modules() const {
+    return sms_;
+  }
+
+  /// Does Table 2's BuildFirst apply to singletons of `slot`'s table (or is
+  /// the eddy running with always_build)?
+  bool BuildRequired(int slot) const;
+
+  /// Injects a tuple into the routing flow (AM emissions arrive this way;
+  /// policies use it for self-join retarget clones).
+  void InjectTuple(TuplePtr tuple);
+
+ private:
+  void RegisterModule(std::unique_ptr<Module> module);
+  void OnModuleEmit(TuplePtr tuple, Module* from);
+  void MaybeStartRouting();
+  void RouteOne(TuplePtr tuple);
+  void OnStemChanged(int table_ordinal);
+
+  QueryContext ctx_;
+  EddyOptions options_;
+  JoinGraph join_graph_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  std::unique_ptr<ConstraintChecker> checker_;
+  MemoryGovernor memory_governor_{MemoryGovernorOptions{}};
+
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::vector<Stem*> stem_by_slot_;
+  std::vector<std::vector<IndexAm*>> index_ams_by_slot_;
+  std::vector<std::vector<ScanAm*>> scan_ams_by_slot_;
+  std::map<int, SelectionModule*> sm_by_pred_;
+  std::vector<SelectionModule*> sms_;
+
+  std::deque<TuplePtr> route_queue_;
+  bool routing_busy_ = false;
+  bool started_ = false;
+
+  /// Prior probers waiting for their completion table's SteM to change.
+  std::map<int, std::vector<TuplePtr>> parked_by_slot_;
+
+  std::vector<TuplePtr> results_;
+  uint64_t tuples_retired_ = 0;
+  uint64_t tuples_routed_ = 0;
+};
+
+}  // namespace stems

@@ -1,0 +1,103 @@
+// MemoryGovernor: global memory control across SteMs (paper §6).
+//
+// "Since SteMs encapsulate the data structures, and communicate directly
+// with the eddy, they enable the eddy to observe and control memory
+// resource utilization across all modules in the query. The eddy can make
+// memory allocation decisions in a globally optimal manner, possibly based
+// on overall memory availability as well as relative frequency of probes
+// into each SteM."
+//
+// The governor holds a global entry budget over all SteMs of a query. When
+// the total exceeds the budget it evicts from one SteM at a time, chosen by
+// a victim policy:
+//   kLargestFirst — shrink the biggest SteM (balances sizes);
+//   kColdestFirst — shrink the SteM with the fewest probes per entry (keep
+//                   hot lookup state, evict bulk state).
+//
+// Eviction turns the affected join into a window join over that table, so
+// the governor is meant for continuous queries / memory-pressure scenarios,
+// mirroring the sliding-window use of SteMs in CACQ/PSoup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stem/stem.h"
+
+namespace stems {
+
+enum class MemoryVictimPolicy { kLargestFirst, kColdestFirst };
+
+struct MemoryGovernorOptions {
+  /// Total live entries allowed across all SteMs (0 = unlimited).
+  size_t global_entry_budget = 0;
+  MemoryVictimPolicy victim_policy = MemoryVictimPolicy::kLargestFirst;
+  /// Evict in chunks to amortize governor invocations.
+  size_t eviction_batch = 16;
+};
+
+class MemoryGovernor {
+ public:
+  explicit MemoryGovernor(MemoryGovernorOptions options)
+      : options_(options) {}
+
+  /// Registers a SteM to govern (the eddy does this as SteMs register).
+  void Watch(Stem* stem) { stems_.push_back(stem); }
+
+  size_t TotalEntries() const {
+    size_t n = 0;
+    for (const Stem* s : stems_) n += s->num_entries();
+    return n;
+  }
+
+  uint64_t total_evicted() const { return total_evicted_; }
+
+  /// Enforces the budget; called by the eddy after SteM growth.
+  void Rebalance() {
+    if (options_.global_entry_budget == 0 || stems_.empty()) return;
+    while (TotalEntries() > options_.global_entry_budget) {
+      Stem* victim = PickVictim();
+      if (victim == nullptr) return;
+      const size_t over = TotalEntries() - options_.global_entry_budget;
+      const size_t chunk =
+          over < options_.eviction_batch ? over : options_.eviction_batch;
+      const size_t evicted = victim->EvictOldest(chunk);
+      total_evicted_ += evicted;
+      if (evicted == 0) return;  // nothing evictable
+    }
+  }
+
+ private:
+  Stem* PickVictim() const {
+    Stem* best = nullptr;
+    double best_score = -1;
+    for (Stem* s : stems_) {
+      if (s->num_entries() == 0) continue;
+      double score = 0;
+      switch (options_.victim_policy) {
+        case MemoryVictimPolicy::kLargestFirst:
+          score = static_cast<double>(s->num_entries());
+          break;
+        case MemoryVictimPolicy::kColdestFirst: {
+          // Fewest probes per stored entry = coldest.
+          const double probes_per_entry =
+              static_cast<double>(s->probes_processed()) /
+              static_cast<double>(s->num_entries());
+          score = 1.0 / (probes_per_entry + 1e-9);
+          break;
+        }
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  MemoryGovernorOptions options_;
+  std::vector<Stem*> stems_;
+  uint64_t total_evicted_ = 0;
+};
+
+}  // namespace stems

@@ -1,0 +1,65 @@
+#include "eddy/policies/lottery_policy.h"
+
+#include <cmath>
+
+namespace stems {
+
+double LotteryPolicy::StemWeight(const Stem& stem) const {
+  // Observed matches per probe: selective SteMs (fewer matches) win more
+  // tickets, since probing them first shrinks intermediate results.
+  const double probes =
+      static_cast<double>(stem.probes_processed()) + 1.0;
+  const double matches = static_cast<double>(stem.matches_emitted());
+  const double selectivity = matches / probes;
+  double weight = 1.0 / (0.1 + selectivity);
+  // Backpressure: long queues lose tickets.
+  weight /= std::pow(1.0 + static_cast<double>(stem.queue_length()),
+                     options_.queue_penalty);
+  return weight < options_.min_weight ? options_.min_weight : weight;
+}
+
+int LotteryPolicy::ChooseProbeSlot(const Tuple& /*tuple*/,
+                                   const std::vector<int>& candidates) {
+  double total = 0;
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (int slot : candidates) {
+    const Stem* stem = eddy_->StemForSlot(slot);
+    const double w = stem != nullptr ? StemWeight(*stem) : options_.min_weight;
+    weights.push_back(w);
+    total += w;
+  }
+  double draw = rng_.NextDouble() * total;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    draw -= weights[i];
+    if (draw <= 0) return candidates[i];
+  }
+  return candidates.back();
+}
+
+IndexAm* LotteryPolicy::ChooseIndexAm(const Tuple& /*tuple*/,
+                                      const std::vector<IndexAm*>& ams) {
+  // Competitive access method selection: weight inversely with the AM's
+  // backlog and observed latency, keeping a floor so slow AMs still get
+  // occasional probes (they may recover; paper §3.2).
+  double total = 0;
+  std::vector<double> weights;
+  weights.reserve(ams.size());
+  for (IndexAm* am : ams) {
+    const double eta =
+        static_cast<double>(am->MeanLookupLatency()) *
+        (1.0 + static_cast<double>(am->outstanding() + am->queue_length()));
+    double w = 1e6 / (eta + 1.0);
+    if (w < options_.min_weight) w = options_.min_weight;
+    weights.push_back(w);
+    total += w;
+  }
+  double draw = rng_.NextDouble() * total;
+  for (size_t i = 0; i < ams.size(); ++i) {
+    draw -= weights[i];
+    if (draw <= 0) return ams[i];
+  }
+  return ams.back();
+}
+
+}  // namespace stems

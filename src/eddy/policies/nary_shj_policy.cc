@@ -1,0 +1,19 @@
+#include "eddy/policies/nary_shj_policy.h"
+
+namespace stems {
+
+int NaryShjPolicy::ChooseProbeSlot(const Tuple& /*tuple*/,
+                                   const std::vector<int>& candidates) {
+  for (int preferred : probe_order_) {
+    for (int c : candidates) {
+      if (c == preferred) return c;
+    }
+  }
+  int best = candidates.front();
+  for (int c : candidates) {
+    if (c < best) best = c;
+  }
+  return best;
+}
+
+}  // namespace stems

@@ -1,0 +1,70 @@
+// PolicyBase: the constraint-respecting routing skeleton shared by all
+// built-in policies.
+//
+// PolicyBase encodes the generalized n-ary symmetric hash join flow of
+// paper §2.3/§3 — build first, then probe adjacent SteMs, complete probes
+// through index AMs, park §3.5 re-probers — and leaves the *choices* to
+// subclasses:
+//   * ChooseProbeSlot    — join ordering / spanning tree selection
+//   * ChooseIndexAm      — competitive access method selection
+//   * ShouldProbeIndexAm — whether an optional bounce is worth an index
+//                          lookup (join algorithm hybridization, §4.3)
+//   * SelectionsFirst    — selection pushdown vs. adaptive interleaving
+#pragma once
+
+#include <vector>
+
+#include "eddy/eddy.h"
+#include "eddy/routing_policy.h"
+
+namespace stems {
+
+class PolicyBase : public RoutingPolicy {
+ public:
+  RouteDecision Route(const TuplePtr& tuple) override;
+
+ protected:
+  /// Picks the next SteM to probe from non-empty `candidates` (slots).
+  virtual int ChooseProbeSlot(const Tuple& tuple,
+                              const std::vector<int>& candidates) = 0;
+
+  /// Picks one of the bindable index AMs on the completion table.
+  virtual IndexAm* ChooseIndexAm(const Tuple& tuple,
+                                 const std::vector<IndexAm*>& ams);
+
+  /// For *optional* bounces (the completion table also has a scan AM):
+  /// probe the index anyway, or retire and let the scan deliver the
+  /// matches? Default: always use the index.
+  virtual bool ShouldProbeIndexAm(const Tuple& tuple,
+                                  const std::vector<IndexAm*>& ams) {
+    (void)tuple;
+    (void)ams;
+    return true;
+  }
+
+  /// After a probe completed through one AM, hedge it through another
+  /// bindable AM on the same table? (Competitive access methods, §3.2: the
+  /// eddy can run multiple AMs for the same request and take whichever
+  /// answers first — the shared SteM absorbs the overlap.) Default: no.
+  virtual bool ShouldHedgeProbe(const Tuple& tuple,
+                                const std::vector<IndexAm*>& unprobed) {
+    (void)tuple;
+    (void)unprobed;
+    return false;
+  }
+
+  /// Route tuples through pending selection modules before SteM probes?
+  virtual bool SelectionsFirst() const { return true; }
+
+  /// Slots whose SteM `tuple` may probe next: unspanned, unprobed, joined
+  /// to the tuple's span (falls back to unconnected slots for cross
+  /// products).
+  std::vector<int> ProbeCandidates(const Tuple& tuple) const;
+
+ private:
+  RouteDecision RoutePriorProber(const TuplePtr& tuple);
+  /// Spawns the strict-timestamp retarget clone for self-joins, once.
+  void MaybeSpawnRetargetClone(const TuplePtr& tuple);
+};
+
+}  // namespace stems

@@ -1,0 +1,69 @@
+// RoutingPolicy: the eddy's pluggable brain (paper §2.1.1, §4.1).
+//
+// The eddy asks the policy where to send each tuple next. Policies decide
+// join orders, join algorithms, access-method choice and spanning trees —
+// all the adaptation the paper describes happens here. Correctness does not
+// depend on the policy: the routing constraints of Table 2 are enforced by
+// the SteMs/AMs internally and audited by the eddy's ConstraintChecker.
+#pragma once
+
+#include "runtime/module.h"
+#include "runtime/tuple.h"
+
+namespace stems {
+
+class Eddy;
+
+/// What the eddy should do with a tuple.
+struct RouteDecision {
+  enum class Kind {
+    kSend,    ///< deliver to `dest`
+    kRetire,  ///< remove from the dataflow
+    kPark,    ///< hold until the SteM serving `park_slot` changes
+  };
+
+  Kind kind = Kind::kRetire;
+  Module* dest = nullptr;
+  RouteIntent intent = RouteIntent::kAuto;
+  int target_slot = -1;
+  bool exclude_equal_ts = false;
+  int park_slot = -1;
+
+  static RouteDecision Send(Module* dest, RouteIntent intent,
+                            int target_slot = -1,
+                            bool exclude_equal_ts = false) {
+    RouteDecision d;
+    d.kind = Kind::kSend;
+    d.dest = dest;
+    d.intent = intent;
+    d.target_slot = target_slot;
+    d.exclude_equal_ts = exclude_equal_ts;
+    return d;
+  }
+  static RouteDecision Retire() { return RouteDecision{}; }
+  static RouteDecision Park(int slot) {
+    RouteDecision d;
+    d.kind = Kind::kPark;
+    d.park_slot = slot;
+    return d;
+  }
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called once, after all modules are registered.
+  virtual void Attach(Eddy* eddy) { eddy_ = eddy; }
+
+  /// Chooses the next step for `tuple`. The eddy has already handled
+  /// output-eligible tuples, seeds and EOTs.
+  virtual RouteDecision Route(const TuplePtr& tuple) = 0;
+
+ protected:
+  Eddy* eddy_ = nullptr;
+};
+
+}  // namespace stems

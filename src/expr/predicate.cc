@@ -1,0 +1,125 @@
+#include "expr/predicate.h"
+
+#include <cassert>
+
+namespace stems {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null() || lhs.is_eot() || rhs.is_eot()) {
+    return false;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs < rhs || lhs == rhs;
+    case CompareOp::kGt:
+      return rhs < lhs;
+    case CompareOp::kGe:
+      return rhs < lhs || lhs == rhs;
+  }
+  return false;
+}
+
+Predicate Predicate::Selection(int id, ColumnRef lhs, CompareOp op,
+                               Value constant) {
+  Predicate p;
+  p.id_ = id;
+  p.lhs_ = lhs;
+  p.op_ = op;
+  p.constant_ = std::move(constant);
+  p.slots_ = {lhs.table_slot};
+  return p;
+}
+
+Predicate Predicate::Join(int id, ColumnRef lhs, CompareOp op, ColumnRef rhs) {
+  Predicate p;
+  p.id_ = id;
+  p.lhs_ = lhs;
+  p.op_ = op;
+  p.rhs_col_ = rhs;
+  p.slots_ = {lhs.table_slot};
+  if (rhs.table_slot != lhs.table_slot) p.slots_.push_back(rhs.table_slot);
+  return p;
+}
+
+bool Predicate::CanEvaluate(uint64_t spanned_mask) const {
+  for (int s : slots_) {
+    if (!(spanned_mask & (1ULL << s))) return false;
+  }
+  return true;
+}
+
+bool Predicate::Evaluate(const ValueSource& tuple) const {
+  const Value* lhs = tuple.ValueAt(lhs_.table_slot, lhs_.column);
+  assert(lhs != nullptr && "predicate evaluated on unspanned slot");
+  if (!is_join()) {
+    return CompareValues(*lhs, op_, constant_);
+  }
+  const Value* rhs = tuple.ValueAt(rhs_col_->table_slot, rhs_col_->column);
+  assert(rhs != nullptr && "predicate evaluated on unspanned slot");
+  return CompareValues(*lhs, op_, *rhs);
+}
+
+std::optional<int> Predicate::EquiJoinColumnFor(int slot) const {
+  if (!is_join() || op_ != CompareOp::kEq) return std::nullopt;
+  if (lhs_.table_slot == slot) return lhs_.column;
+  if (rhs_col_->table_slot == slot) return rhs_col_->column;
+  return std::nullopt;
+}
+
+std::optional<ColumnRef> Predicate::EquiJoinPeerOf(int slot) const {
+  if (!is_join() || op_ != CompareOp::kEq) return std::nullopt;
+  if (lhs_.table_slot == slot) return rhs_col_;
+  if (rhs_col_->table_slot == slot) return lhs_;
+  return std::nullopt;
+}
+
+std::string Predicate::ToString() const {
+  auto col = [](const ColumnRef& c) {
+    return "t" + std::to_string(c.table_slot) + ".c" + std::to_string(c.column);
+  };
+  std::string out = "p" + std::to_string(id_) + ": " + col(lhs_) + " " +
+                    CompareOpName(op_) + " ";
+  if (is_join()) {
+    out += col(*rhs_col_);
+  } else {
+    out += constant_.ToString();
+  }
+  return out;
+}
+
+const Value* OverlayValueSource::ValueAt(int slot, int col) const {
+  if (slot == slot_) {
+    if (row_values_ == nullptr ||
+        static_cast<size_t>(col) >= row_values_->size()) {
+      return nullptr;
+    }
+    return &(*row_values_)[col];
+  }
+  return base_.ValueAt(slot, col);
+}
+
+}  // namespace stems

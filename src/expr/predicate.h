@@ -1,0 +1,103 @@
+// Predicates over (composite) tuples.
+//
+// A query's WHERE clause is a conjunction of simple comparisons, each of
+// which is either a selection (column op constant) or a join predicate
+// (column op column). Each predicate gets a stable id within the query;
+// TupleState tracks which predicate ids a tuple has passed (the "done bits"
+// of the eddy paper).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace stems {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// Applies `op` to two values. Comparisons involving NULL are false
+/// (SQL-style); EOT markers never satisfy a comparison.
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// Read-only access to the base-table components of a (possibly composite)
+/// tuple, by (table slot, column). Returns nullptr when the slot is not
+/// spanned. Implemented by runtime::Tuple and by overlay views.
+class ValueSource {
+ public:
+  virtual ~ValueSource() = default;
+  virtual const Value* ValueAt(int slot, int col) const = 0;
+};
+
+/// One conjunct of the WHERE clause.
+class Predicate {
+ public:
+  /// Selection: `lhs op constant`.
+  static Predicate Selection(int id, ColumnRef lhs, CompareOp op,
+                             Value constant);
+  /// Join: `lhs op rhs` over two table slots.
+  static Predicate Join(int id, ColumnRef lhs, CompareOp op, ColumnRef rhs);
+
+  int id() const { return id_; }
+  bool is_join() const { return rhs_col_.has_value(); }
+  CompareOp op() const { return op_; }
+  const ColumnRef& lhs() const { return lhs_; }
+  /// Valid only when is_join().
+  const ColumnRef& rhs() const { return *rhs_col_; }
+  /// Valid only when !is_join().
+  const Value& constant() const { return constant_; }
+
+  /// Table slots this predicate references (1 for selections, 2 for joins;
+  /// a self-join predicate on one slot yields that slot once).
+  const std::vector<int>& slots() const { return slots_; }
+
+  /// True iff every referenced slot is present in `spanned` (bitmask over
+  /// table slots).
+  bool CanEvaluate(uint64_t spanned_mask) const;
+
+  /// Evaluates the predicate; all referenced slots must be present.
+  bool Evaluate(const ValueSource& tuple) const;
+
+  /// For an equi-join predicate, the column it binds on `slot` (if the
+  /// predicate references that slot). Used by SteMs to build hash indexes on
+  /// join columns (paper §2.1.4).
+  std::optional<int> EquiJoinColumnFor(int slot) const;
+  /// The column on the *other* side of an equi-join predicate w.r.t. `slot`.
+  std::optional<ColumnRef> EquiJoinPeerOf(int slot) const;
+
+  std::string ToString() const;
+
+ private:
+  Predicate() = default;
+
+  int id_ = -1;
+  ColumnRef lhs_;
+  CompareOp op_ = CompareOp::kEq;
+  std::optional<ColumnRef> rhs_col_;
+  Value constant_;
+  std::vector<int> slots_;
+};
+
+/// A ValueSource that overlays one extra base-table component (a candidate
+/// match row interpreted at `slot`) on top of a base tuple. Used by SteMs to
+/// evaluate predicates between a probe tuple and a stored row without
+/// materializing the concatenation.
+class OverlayValueSource : public ValueSource {
+ public:
+  OverlayValueSource(const ValueSource& base, int slot,
+                     const std::vector<Value>* row_values)
+      : base_(base), slot_(slot), row_values_(row_values) {}
+
+  const Value* ValueAt(int slot, int col) const override;
+
+ private:
+  const ValueSource& base_;
+  int slot_;
+  const std::vector<Value>* row_values_;
+};
+
+}  // namespace stems

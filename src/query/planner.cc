@@ -1,0 +1,68 @@
+#include "query/planner.h"
+
+#include <set>
+
+#include "query/validation.h"
+
+namespace stems {
+
+Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
+                                        const TableStore& store,
+                                        Simulation* sim,
+                                        const ExecutionConfig& config) {
+  // Step 1: bind-order validation (paper §2.2, via [18]).
+  STEMS_RETURN_NOT_OK(ValidateBindOrder(query));
+  if (query.num_predicates() > 64) {
+    return Status::InvalidQuery("at most 64 predicates supported");
+  }
+
+  auto eddy = std::make_unique<Eddy>(query, sim, config.eddy);
+  QueryContext* ctx = eddy->ctx();
+
+  // Step 4 (done early so AMs can assume SteMs exist): one SteM per base
+  // table, shared across all FROM-clause instances of that table.
+  std::set<std::string> tables_done;
+  for (const auto& inst : query.slots()) {
+    if (!tables_done.insert(inst.table_name).second) continue;
+    StemOptions opts = config.stem_defaults;
+    auto it = config.stem_overrides.find(inst.table_name);
+    if (it != config.stem_overrides.end()) opts = it->second;
+    eddy->AddModule(std::make_unique<Stem>(ctx, inst.table_name, opts));
+  }
+
+  // Step 2: an AM for every access method that can possibly be used.
+  tables_done.clear();
+  for (const auto& inst : query.slots()) {
+    if (!tables_done.insert(inst.table_name).second) continue;
+    STEMS_ASSIGN_OR_RETURN(const StoredTable* data,
+                           store.GetTable(inst.table_name));
+    for (const auto& am : inst.def->access_methods) {
+      if (am.kind == AccessMethodKind::kScan) {
+        ScanAmOptions opts = config.scan_defaults;
+        auto it = config.scan_overrides.find(am.name);
+        if (it != config.scan_overrides.end()) opts = it->second;
+        eddy->AddModule(std::make_unique<ScanAm>(
+            ctx, am.name, inst.table_name, data->rows(), opts));
+      } else {
+        IndexAmOptions opts = config.index_defaults;
+        auto it = config.index_overrides.find(am.name);
+        if (it != config.index_overrides.end()) opts = it->second;
+        eddy->AddModule(std::make_unique<IndexAm>(
+            ctx, am.name, inst.table_name, am.bind_columns, data, opts));
+      }
+    }
+  }
+
+  // Step 3: an SM per selection predicate.
+  if (config.create_selection_modules) {
+    for (const auto& p : query.predicates()) {
+      if (!p.is_join()) {
+        eddy->AddModule(std::make_unique<SelectionModule>(ctx, &p));
+      }
+    }
+  }
+
+  return eddy;
+}
+
+}  // namespace stems

@@ -1,0 +1,53 @@
+// Planner: instantiates a query as an eddy plus modules (paper §2.2).
+//
+// "The use of an eddy and SteMs obviates the need for query optimization
+// because there are no a priori decisions to be made." The planner only:
+//   1. validates the query against bind-field constraints (Nail-style),
+//   2. creates an AM for every usable access method,
+//   3. creates an SM for every selection predicate,
+//   4. creates one SteM per base table (shared across self-join instances),
+//   5. arranges seed tuples for the scans (done by Eddy::Start()).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "am/index_am.h"
+#include "am/scan_am.h"
+#include "eddy/eddy.h"
+#include "query/query_spec.h"
+#include "stem/stem.h"
+#include "storage/table_store.h"
+
+namespace stems {
+
+/// Per-experiment knobs: module timing, SteM behaviour, eddy options.
+struct ExecutionConfig {
+  EddyOptions eddy;
+
+  StemOptions stem_defaults;
+  /// Overrides keyed by table name.
+  std::map<std::string, StemOptions> stem_overrides;
+
+  ScanAmOptions scan_defaults;
+  /// Overrides keyed by access method name (AccessMethodSpec::name).
+  std::map<std::string, ScanAmOptions> scan_overrides;
+
+  IndexAmOptions index_defaults;
+  /// Overrides keyed by access method name.
+  std::map<std::string, IndexAmOptions> index_overrides;
+
+  /// Create selection modules for selection predicates (they are an
+  /// optimization: SteM probes enforce selections regardless).
+  bool create_selection_modules = true;
+};
+
+/// Builds a ready-to-run eddy for `query` over `store`. The caller still
+/// picks a routing policy (Eddy::SetPolicy) before Start().
+Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
+                                        const TableStore& store,
+                                        Simulation* sim,
+                                        const ExecutionConfig& config = {});
+
+}  // namespace stems

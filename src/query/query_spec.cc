@@ -1,0 +1,128 @@
+#include "query/query_spec.h"
+
+namespace stems {
+
+std::vector<const Predicate*> QuerySpec::JoinPredicatesOn(int slot) const {
+  std::vector<const Predicate*> out;
+  for (const auto& p : predicates_) {
+    if (!p.is_join()) continue;
+    for (int s : p.slots()) {
+      if (s == slot) {
+        out.push_back(&p);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const Predicate*> QuerySpec::SelectionsOn(int slot) const {
+  std::vector<const Predicate*> out;
+  for (const auto& p : predicates_) {
+    if (!p.is_join() && p.lhs().table_slot == slot) out.push_back(&p);
+  }
+  return out;
+}
+
+Result<int> QuerySpec::SlotOf(const std::string& alias) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].alias == alias) return static_cast<int>(i);
+  }
+  return Status::NotFound("no table instance with alias '" + alias + "'");
+}
+
+std::string QuerySpec::ToString() const {
+  std::string out = "SELECT * FROM ";
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += slots_[i].table_name;
+    if (slots_[i].alias != slots_[i].table_name) out += " " + slots_[i].alias;
+  }
+  if (!predicates_.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < predicates_.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += predicates_[i].ToString();
+    }
+  }
+  return out;
+}
+
+QueryBuilder& QueryBuilder::AddTable(const std::string& table_name,
+                                     const std::string& alias) {
+  TableInstance inst;
+  inst.table_name = table_name;
+  inst.alias = alias.empty() ? table_name : alias;
+  tables_.push_back(std::move(inst));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AddJoin(const std::string& lhs,
+                                    const std::string& rhs, CompareOp op) {
+  joins_.push_back({lhs, rhs, op});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::AddSelection(const std::string& column,
+                                         CompareOp op, Value constant) {
+  selections_.push_back({column, op, std::move(constant)});
+  return *this;
+}
+
+Result<ColumnRef> QueryBuilder::Resolve(const QuerySpec& spec,
+                                        const std::string& qualified) const {
+  auto dot = qualified.find('.');
+  if (dot == std::string::npos) {
+    return Status::InvalidArgument("column reference '" + qualified +
+                                   "' must be qualified as Alias.column");
+  }
+  const std::string alias = qualified.substr(0, dot);
+  const std::string column = qualified.substr(dot + 1);
+  STEMS_ASSIGN_OR_RETURN(int slot, spec.SlotOf(alias));
+  auto col = spec.slots()[slot].def->schema.FindColumn(column);
+  if (!col.has_value()) {
+    return Status::NotFound("column '" + column + "' not found in table '" +
+                            spec.slots()[slot].table_name + "'");
+  }
+  return ColumnRef{slot, static_cast<int>(*col)};
+}
+
+Result<QuerySpec> QueryBuilder::Build() {
+  if (tables_.empty()) {
+    return Status::InvalidQuery("query has no tables");
+  }
+  if (tables_.size() > 64) {
+    return Status::InvalidQuery("at most 64 table instances supported");
+  }
+  QuerySpec spec;
+  for (auto inst : tables_) {
+    STEMS_ASSIGN_OR_RETURN(const TableDef* def,
+                           catalog_.GetTable(inst.table_name));
+    inst.def = def;
+    for (const auto& existing : spec.slots_) {
+      if (existing.alias == inst.alias) {
+        return Status::InvalidQuery("duplicate alias '" + inst.alias + "'");
+      }
+    }
+    spec.slots_.push_back(std::move(inst));
+  }
+  int next_id = 0;
+  for (const auto& j : joins_) {
+    STEMS_ASSIGN_OR_RETURN(ColumnRef lhs, Resolve(spec, j.lhs));
+    STEMS_ASSIGN_OR_RETURN(ColumnRef rhs, Resolve(spec, j.rhs));
+    if (lhs.table_slot == rhs.table_slot) {
+      return Status::InvalidQuery(
+          "join predicate references a single table instance; "
+          "express it as a selection");
+    }
+    spec.predicates_.push_back(Predicate::Join(next_id++, lhs, j.op, rhs));
+  }
+  for (const auto& s : selections_) {
+    STEMS_ASSIGN_OR_RETURN(ColumnRef col, Resolve(spec, s.column));
+    spec.predicates_.push_back(
+        Predicate::Selection(next_id++, col, s.op, s.constant));
+  }
+  return spec;
+}
+
+}  // namespace stems

@@ -1,0 +1,100 @@
+// QuerySpec: a select-project-join query over catalog tables.
+//
+// A query is a FROM list of table instances ("slots"; self-joins occupy
+// multiple slots of the same base table, sharing one SteM per §2.2), plus a
+// conjunction of selection and join predicates. Projections are implicit
+// (every module projects as early as possible, paper footnote 1); GroupBy /
+// aggregation live above the eddy and are out of scope, as in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "expr/predicate.h"
+
+namespace stems {
+
+/// One entry of the FROM list.
+struct TableInstance {
+  std::string table_name;
+  std::string alias;          ///< defaults to table_name
+  const TableDef* def = nullptr;
+};
+
+class QuerySpec {
+ public:
+  const std::vector<TableInstance>& slots() const { return slots_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  size_t num_slots() const { return slots_.size(); }
+  size_t num_predicates() const { return predicates_.size(); }
+
+  /// Bitmask with one bit per table slot, all set.
+  uint64_t full_span_mask() const { return (1ULL << slots_.size()) - 1; }
+
+  /// Join predicates that reference `slot`.
+  std::vector<const Predicate*> JoinPredicatesOn(int slot) const;
+  /// Selection predicates that reference only `slot`.
+  std::vector<const Predicate*> SelectionsOn(int slot) const;
+
+  /// Slot index for an alias.
+  Result<int> SlotOf(const std::string& alias) const;
+
+  std::string ToString() const;
+
+ private:
+  friend class QueryBuilder;
+  std::vector<TableInstance> slots_;
+  std::vector<Predicate> predicates_;
+};
+
+/// Fluent construction of QuerySpecs with "Alias.column" name resolution.
+///
+///   QueryBuilder qb(catalog);
+///   qb.AddTable("R").AddTable("S");
+///   qb.AddJoin("R.a", "S.x");
+///   qb.AddSelection("R.key", CompareOp::kLt, Value::Int64(10));
+///   STEMS_ASSIGN_OR_RETURN(QuerySpec q, qb.Build());
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Adds a FROM entry; `alias` defaults to the table name.
+  QueryBuilder& AddTable(const std::string& table_name,
+                         const std::string& alias = "");
+
+  /// Adds an equi-join (or theta-join) predicate "A.col op B.col".
+  QueryBuilder& AddJoin(const std::string& lhs, const std::string& rhs,
+                        CompareOp op = CompareOp::kEq);
+
+  /// Adds a selection predicate "A.col op constant".
+  QueryBuilder& AddSelection(const std::string& column, CompareOp op,
+                             Value constant);
+
+  /// Resolves names and returns the spec; reports the first error found.
+  Result<QuerySpec> Build();
+
+ private:
+  struct PendingJoin {
+    std::string lhs, rhs;
+    CompareOp op;
+  };
+  struct PendingSelection {
+    std::string column;
+    CompareOp op;
+    Value constant;
+  };
+
+  Result<ColumnRef> Resolve(const QuerySpec& spec,
+                            const std::string& qualified) const;
+
+  const Catalog& catalog_;
+  std::vector<TableInstance> tables_;
+  std::vector<PendingJoin> joins_;
+  std::vector<PendingSelection> selections_;
+  Status deferred_error_;
+};
+
+}  // namespace stems

@@ -1,0 +1,58 @@
+#include "query/validation.h"
+
+namespace stems {
+
+bool IndexAmReachable(const QuerySpec& query, int slot,
+                      const AccessMethodSpec& am, uint64_t reachable_mask) {
+  for (int bind_col : am.bind_columns) {
+    bool bound = false;
+    for (const auto& p : query.predicates()) {
+      auto col = p.EquiJoinColumnFor(slot);
+      if (!col.has_value() || *col != bind_col) continue;
+      auto peer = p.EquiJoinPeerOf(slot);
+      if (peer.has_value() && peer->table_slot != slot &&
+          (reachable_mask & (1ULL << peer->table_slot))) {
+        bound = true;
+        break;
+      }
+    }
+    if (!bound) return false;
+  }
+  return true;
+}
+
+Status ValidateBindOrder(const QuerySpec& query) {
+  const size_t n = query.num_slots();
+  uint64_t reachable = 0;
+  // Scannable tables are immediately reachable.
+  for (size_t i = 0; i < n; ++i) {
+    if (query.slots()[i].def->HasScanAm()) reachable |= 1ULL << i;
+  }
+  // Fixpoint over index AMs.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (reachable & (1ULL << i)) continue;
+      for (const auto& am : query.slots()[i].def->access_methods) {
+        if (am.kind != AccessMethodKind::kIndex) continue;
+        if (IndexAmReachable(query, static_cast<int>(i), am, reachable)) {
+          reachable |= 1ULL << i;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!(reachable & (1ULL << i))) {
+      return Status::InvalidQuery(
+          "table instance '" + query.slots()[i].alias +
+          "' is unreachable: no scan AM and no index AM whose bind fields "
+          "can be satisfied");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stems

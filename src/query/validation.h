@@ -1,0 +1,27 @@
+// Query validation (paper §2.2 step 1).
+//
+// Before instantiating modules, the planner checks that the query *can* be
+// executed given the bind-field constraints of the data sources, using a
+// fixpoint in the spirit of the Nail! subgoal-ordering algorithm [18]: a
+// table is reachable if it has a scan AM, or if it has an index AM whose
+// bind columns are all equi-joined to columns of already-reachable tables.
+#pragma once
+
+#include "common/status.h"
+#include "query/query_spec.h"
+
+namespace stems {
+
+/// Returns OK iff every table instance in the query is reachable under the
+/// bind-field constraints; otherwise an InvalidQuery status naming the first
+/// unreachable table.
+Status ValidateBindOrder(const QuerySpec& query);
+
+/// True iff `slot` can satisfy the bind columns of index AM `am` given that
+/// the slots in `reachable_mask` are already available: every bind column of
+/// the AM appears in some equi-join predicate whose other side lies in a
+/// reachable slot.
+bool IndexAmReachable(const QuerySpec& query, int slot,
+                      const AccessMethodSpec& am, uint64_t reachable_mask);
+
+}  // namespace stems

@@ -1,0 +1,31 @@
+// BruteForceEvaluator: ground truth for correctness tests.
+//
+// Computes the full select-project-join result by nested iteration over the
+// stored tables (set semantics: base tables are deduplicated first, to
+// match the SteM's set-semantics duplicate elimination, paper §3.2).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/query_spec.h"
+#include "runtime/tuple.h"
+#include "storage/table_store.h"
+
+namespace stems {
+
+/// Canonical serialization of a full-span result tuple, independent of the
+/// path that produced it.
+std::string ResultKey(const Tuple& tuple);
+
+/// All query results as canonical keys.
+std::set<std::string> BruteForceResultSet(const QuerySpec& query,
+                                          const TableStore& store);
+
+/// Canonical keys of an executed result list (e.g. Eddy::results()).
+/// `duplicates` (optional) receives keys that appeared more than once.
+std::set<std::string> KeysOf(const std::vector<TuplePtr>& results,
+                             std::vector<std::string>* duplicates = nullptr);
+
+}  // namespace stems

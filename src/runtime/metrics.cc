@@ -1,0 +1,53 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+
+namespace stems {
+
+void CounterSeries::Increment(SimTime now, int64_t delta) {
+  total_ += delta;
+  if (!points_.empty() && points_.back().first == now) {
+    points_.back().second = total_;
+  } else {
+    points_.emplace_back(now, total_);
+  }
+}
+
+int64_t CounterSeries::ValueAt(SimTime t) const {
+  // Last point with time <= t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime lhs, const std::pair<SimTime, int64_t>& p) {
+        return lhs < p.first;
+      });
+  if (it == points_.begin()) return 0;
+  return std::prev(it)->second;
+}
+
+std::vector<int64_t> CounterSeries::Sample(SimTime horizon,
+                                           size_t num_samples) const {
+  std::vector<int64_t> out;
+  out.reserve(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    SimTime t = static_cast<SimTime>(
+        static_cast<double>(horizon) * static_cast<double>(i) /
+        static_cast<double>(num_samples > 1 ? num_samples - 1 : 1));
+    out.push_back(ValueAt(t));
+  }
+  return out;
+}
+
+SimTime CounterSeries::TimeToReach(int64_t value) const {
+  for (const auto& [t, v] : points_) {
+    if (v >= value) return t;
+  }
+  return kSimTimeNever;
+}
+
+const CounterSeries& MetricsRecorder::Series(const std::string& name) const {
+  static const CounterSeries kEmpty;
+  auto it = series_.find(name);
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+}  // namespace stems

@@ -1,0 +1,57 @@
+// MetricsRecorder: time-series counters for experiments.
+//
+// The paper's evaluation plots cumulative quantities against time (results
+// output, index probes made). Counters here record (virtual time, value)
+// step series that benches sample on a fixed grid to print figure data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace stems {
+
+/// A monotone step series of (time, cumulative value).
+class CounterSeries {
+ public:
+  void Increment(SimTime now, int64_t delta = 1);
+
+  int64_t total() const { return total_; }
+  const std::vector<std::pair<SimTime, int64_t>>& points() const {
+    return points_;
+  }
+
+  /// Value of the counter at time `t` (steps are right-continuous).
+  int64_t ValueAt(SimTime t) const;
+
+  /// Samples the series at `num_samples` evenly spaced times over
+  /// [0, horizon].
+  std::vector<int64_t> Sample(SimTime horizon, size_t num_samples) const;
+
+  /// Earliest time at which the counter reached `value`; kSimTimeNever if it
+  /// never did.
+  SimTime TimeToReach(int64_t value) const;
+
+ private:
+  std::vector<std::pair<SimTime, int64_t>> points_;
+  int64_t total_ = 0;
+};
+
+/// Named counter series.
+class MetricsRecorder {
+ public:
+  void Count(const std::string& name, SimTime now, int64_t delta = 1) {
+    series_[name].Increment(now, delta);
+  }
+
+  const CounterSeries& Series(const std::string& name) const;
+  bool Has(const std::string& name) const { return series_.count(name) > 0; }
+
+ private:
+  std::map<std::string, CounterSeries> series_;
+};
+
+}  // namespace stems

@@ -1,0 +1,57 @@
+#include "runtime/module.h"
+
+#include <cassert>
+
+namespace stems {
+
+const char* ModuleKindName(ModuleKind kind) {
+  switch (kind) {
+    case ModuleKind::kSelection:
+      return "SM";
+    case ModuleKind::kScanAm:
+      return "ScanAM";
+    case ModuleKind::kIndexAm:
+      return "IndexAM";
+    case ModuleKind::kStem:
+      return "SteM";
+    case ModuleKind::kOperator:
+      return "Op";
+  }
+  return "?";
+}
+
+Module::Module(Simulation* sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void Module::Accept(TuplePtr tuple) {
+  ++stats_.tuples_in;
+  queue_.push_back({std::move(tuple), sim_->now()});
+  if (queue_.size() > stats_.max_queue_len) {
+    stats_.max_queue_len = queue_.size();
+  }
+  MaybeStartService();
+}
+
+void Module::Emit(TuplePtr tuple) {
+  assert(sink_ && "module output not wired");
+  ++stats_.tuples_out;
+  sink_(std::move(tuple), this);
+}
+
+void Module::MaybeStartService() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  QueueEntry entry = std::move(queue_.front());
+  queue_.pop_front();
+  stats_.queue_wait_time +=
+      static_cast<uint64_t>(sim_->now() - entry.enqueued_at);
+  const SimTime service = ServiceTime(*entry.tuple);
+  stats_.busy_time += static_cast<uint64_t>(service);
+  sim_->Schedule(service, [this, t = std::move(entry.tuple)]() mutable {
+    Process(std::move(t));
+    busy_ = false;
+    MaybeStartService();
+  });
+}
+
+}  // namespace stems

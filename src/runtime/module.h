@@ -1,0 +1,103 @@
+// Module: the base class of all query processing modules (paper §2.1).
+//
+// Each module has an input queue and a service model; in the paper each
+// module runs in its own thread, here each runs as an actor on the
+// discrete-event simulator (single-threaded asynchrony, paper [24]).
+// Modules receive tuples from the eddy and emit tuples back to the eddy
+// through their sink.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "runtime/tuple.h"
+#include "sim/clock.h"
+#include "sim/simulation.h"
+
+namespace stems {
+
+enum class ModuleKind { kSelection, kScanAm, kIndexAm, kStem, kOperator };
+
+const char* ModuleKindName(ModuleKind kind);
+
+/// Observable per-module statistics; the eddy's routing policies feed on
+/// these (paper §4.1: expected processing time, expected matches).
+struct ModuleStats {
+  uint64_t tuples_in = 0;        ///< tuples accepted
+  uint64_t tuples_out = 0;       ///< tuples emitted (incl. bounce-backs)
+  uint64_t busy_time = 0;        ///< total virtual service time
+  uint64_t queue_wait_time = 0;  ///< summed virtual queueing delay
+  size_t max_queue_len = 0;
+
+  /// Mean virtual time a tuple spends queued + in service.
+  double MeanLatency() const {
+    if (tuples_in == 0) return 0;
+    return static_cast<double>(queue_wait_time + busy_time) /
+           static_cast<double>(tuples_in);
+  }
+};
+
+class Module {
+ public:
+  using TupleSink = std::function<void(TuplePtr, Module* from)>;
+
+  Module(Simulation* sim, std::string name);
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+
+  virtual ModuleKind kind() const = 0;
+
+  /// Wires the module's output to the eddy (or a test collector).
+  void SetSink(TupleSink sink) { sink_ = std::move(sink); }
+
+  /// Enqueues a tuple for processing; service starts when the (single)
+  /// server frees up.
+  void Accept(TuplePtr tuple);
+
+  size_t queue_length() const { return queue_.size(); }
+  bool busy() const { return busy_; }
+  /// True when no queued or in-service work remains. AMs with outstanding
+  /// asynchronous lookups override this.
+  virtual bool Quiescent() const { return queue_.empty() && !busy_; }
+
+  const ModuleStats& stats() const { return stats_; }
+
+ protected:
+  /// Virtual service time charged for processing `tuple`.
+  virtual SimTime ServiceTime(const Tuple& tuple) const = 0;
+
+  /// Processes one tuple after its service time has elapsed. Implementations
+  /// emit results (and bounce-backs) via Emit().
+  virtual void Process(TuplePtr tuple) = 0;
+
+  /// Sends a tuple back to the eddy.
+  void Emit(TuplePtr tuple);
+
+  Simulation* sim() const { return sim_; }
+
+ private:
+  void MaybeStartService();
+
+  Simulation* sim_;
+  std::string name_;
+  int id_ = -1;
+  TupleSink sink_;
+
+  struct QueueEntry {
+    TuplePtr tuple;
+    SimTime enqueued_at;
+  };
+  std::deque<QueueEntry> queue_;
+  bool busy_ = false;
+  ModuleStats stats_;
+};
+
+}  // namespace stems

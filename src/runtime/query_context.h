@@ -1,0 +1,31 @@
+// QueryContext: per-query shared state handed to every module.
+#pragma once
+
+#include "query/query_spec.h"
+#include "runtime/metrics.h"
+#include "runtime/tuple.h"
+#include "sim/simulation.h"
+
+namespace stems {
+
+/// Owned by the query executor (Eddy or a static plan); modules keep a
+/// non-owning pointer for its lifetime.
+struct QueryContext {
+  const QuerySpec* query = nullptr;
+  Simulation* sim = nullptr;
+  TimestampAuthority ts;
+  MetricsRecorder metrics;
+
+  /// Slots of `query` whose table instance is `table_name`.
+  std::vector<int> SlotsOfTable(const std::string& table_name) const {
+    std::vector<int> out;
+    for (size_t i = 0; i < query->num_slots(); ++i) {
+      if (query->slots()[i].table_name == table_name) {
+        out.push_back(static_cast<int>(i));
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace stems

@@ -1,0 +1,115 @@
+#include "runtime/tuple.h"
+
+#include <bit>
+#include <cassert>
+
+namespace stems {
+
+TuplePtr Tuple::MakeSingleton(int num_slots, int slot, RowRef row) {
+  auto t = std::make_shared<Tuple>(num_slots);
+  t->SetComponent(slot, std::move(row));
+  return t;
+}
+
+TuplePtr Tuple::MakeSeed(int num_slots) {
+  auto t = std::make_shared<Tuple>(num_slots);
+  t->is_seed_ = true;
+  return t;
+}
+
+int Tuple::SpanSize() const { return std::popcount(spanned_mask_); }
+
+int Tuple::SingletonSlot() const {
+  if (SpanSize() != 1) return -1;
+  return std::countr_zero(spanned_mask_);
+}
+
+void Tuple::SetComponent(int slot, RowRef row, BuildTs ts) {
+  assert(slot >= 0 && slot < num_slots());
+  components_[slot].row = std::move(row);
+  components_[slot].timestamp = ts;
+  if (components_[slot].row != nullptr) {
+    spanned_mask_ |= 1ULL << slot;
+  } else {
+    spanned_mask_ &= ~(1ULL << slot);
+  }
+}
+
+void Tuple::SetBuilt(int slot, BuildTs ts) {
+  assert(Spans(slot));
+  components_[slot].timestamp = ts;
+}
+
+BuildTs Tuple::Timestamp() const {
+  BuildTs max_ts = 0;
+  for (int s = 0; s < num_slots(); ++s) {
+    if (!Spans(s)) continue;
+    BuildTs ts = components_[s].timestamp;
+    if (ts == kTsInfinity) return kTsInfinity;
+    if (ts > max_ts) max_ts = ts;
+  }
+  return max_ts;
+}
+
+bool Tuple::AllComponentsBuilt() const {
+  for (int s = 0; s < num_slots(); ++s) {
+    if (Spans(s) && components_[s].timestamp == kTsInfinity) return false;
+  }
+  return true;
+}
+
+bool Tuple::IsEot() const {
+  for (const auto& c : components_) {
+    if (c.row != nullptr && c.row->IsEot()) return true;
+  }
+  return false;
+}
+
+TuplePtr Tuple::ConcatWith(int slot, RowRef row, BuildTs row_ts) const {
+  assert(!Spans(slot) && "concatenation target slot already spanned");
+  auto t = std::make_shared<Tuple>(num_slots());
+  t->components_ = components_;
+  t->spanned_mask_ = spanned_mask_;
+  t->preds_passed_ = preds_passed_;
+  t->prioritized_ = prioritized_;
+  t->SetComponent(slot, std::move(row), row_ts);
+  return t;
+}
+
+TuplePtr Tuple::RetargetSingleton(int to_slot) const {
+  const int from = SingletonSlot();
+  assert(from >= 0 && "retarget requires a singleton");
+  auto t = std::make_shared<Tuple>(num_slots());
+  t->SetComponent(to_slot, components_[from].row, components_[from].timestamp);
+  t->prioritized_ = prioritized_;
+  // Predicate state does not transfer: passed bits refer to the old slot.
+  return t;
+}
+
+const Value* Tuple::ValueAt(int slot, int col) const {
+  if (slot < 0 || slot >= num_slots()) return nullptr;
+  const auto& c = components_[slot];
+  if (c.row == nullptr || static_cast<size_t>(col) >= c.row->num_values()) {
+    return nullptr;
+  }
+  return &c.row->value(col);
+}
+
+std::string Tuple::ToString() const {
+  if (is_seed_) return "<seed>";
+  std::string out = "{";
+  bool first = true;
+  for (int s = 0; s < num_slots(); ++s) {
+    if (!Spans(s)) continue;
+    if (!first) out += " ";
+    first = false;
+    out += "s" + std::to_string(s) + ":" + components_[s].row->ToString();
+    if (components_[s].timestamp != kTsInfinity) {
+      out += "@" + std::to_string(components_[s].timestamp);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace stems

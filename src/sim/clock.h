@@ -1,0 +1,28 @@
+// Virtual time.
+//
+// The engine runs in discrete-event simulated time (DESIGN.md §5): the paper
+// implemented remote-source latencies as wall-clock sleeps; we implement
+// them as virtual-time delays, which preserves all ordering/queueing effects
+// while making every experiment deterministic and fast.
+#pragma once
+
+#include <cstdint>
+
+namespace stems {
+
+/// Virtual time in microseconds since query start.
+using SimTime = int64_t;
+
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+/// Convenience constructors.
+constexpr SimTime Micros(int64_t us) { return us; }
+constexpr SimTime Millis(int64_t ms) { return ms * 1000; }
+constexpr SimTime Seconds(double s) {
+  return static_cast<SimTime>(s * 1e6);
+}
+
+/// SimTime expressed in (virtual) seconds, for reporting.
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace stems

@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace stems {
+
+void EventQueue::Push(SimTime time, Action action) {
+  heap_.push(Entry{time, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::NextTime() const {
+  return heap_.empty() ? kSimTimeNever : heap_.top().time;
+}
+
+EventQueue::Action EventQueue::Pop(SimTime* time) {
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the Entry is moved out via const_cast,
+  // which is safe because pop() immediately removes it.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  *time = top.time;
+  Action action = std::move(top.action);
+  heap_.pop();
+  return action;
+}
+
+}  // namespace stems

@@ -1,0 +1,46 @@
+// Time-ordered event queue for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace stems {
+
+/// Min-heap of (time, insertion order) keyed closures. Events at equal time
+/// run in insertion order, which makes executions fully deterministic.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void Push(SimTime time, Action action);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; kSimTimeNever when empty.
+  SimTime NextTime() const;
+
+  /// Removes and returns the earliest event.
+  Action Pop(SimTime* time);
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace stems

@@ -1,0 +1,15 @@
+#include "sim/latency_model.h"
+
+#include <cmath>
+
+namespace stems {
+
+SimTime ExponentialLatency::Sample(SimTime /*now*/, Rng& rng) {
+  double u = rng.NextDouble();
+  // Guard against log(0).
+  if (u <= 0) u = 1e-12;
+  double draw = -std::log(1.0 - u) * static_cast<double>(mean_);
+  return static_cast<SimTime>(draw);
+}
+
+}  // namespace stems

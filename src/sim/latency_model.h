@@ -1,0 +1,86 @@
+// Latency models for simulated remote sources.
+//
+// The paper's experiments implement index lookups "as sleeps of identical
+// duration" (Table 3) and stress source delays/stalls (§1.2, §3.4). These
+// models generate those behaviours in virtual time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/clock.h"
+
+namespace stems {
+
+/// Samples the service latency of one request issued at `now`.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual SimTime Sample(SimTime now, Rng& rng) = 0;
+};
+
+/// Constant latency — the paper's "sleeps of identical duration".
+class FixedLatency : public LatencyModel {
+ public:
+  explicit FixedLatency(SimTime latency) : latency_(latency) {}
+  SimTime Sample(SimTime, Rng&) override { return latency_; }
+
+ private:
+  SimTime latency_;
+};
+
+/// Uniform latency in [lo, hi].
+class UniformLatency : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {}
+  SimTime Sample(SimTime, Rng& rng) override {
+    return lo_ + static_cast<SimTime>(
+                     rng.NextBounded(static_cast<uint64_t>(hi_ - lo_ + 1)));
+  }
+
+ private:
+  SimTime lo_, hi_;
+};
+
+/// Wraps an inner model with stall windows: a request issued during
+/// [start, end) completes no earlier than `end` (an autonomously maintained
+/// web source going quiet, paper §1.2).
+class StallWindowLatency : public LatencyModel {
+ public:
+  struct Window {
+    SimTime start;
+    SimTime end;
+  };
+
+  StallWindowLatency(std::unique_ptr<LatencyModel> inner,
+                     std::vector<Window> windows)
+      : inner_(std::move(inner)), windows_(std::move(windows)) {}
+
+  SimTime Sample(SimTime now, Rng& rng) override {
+    SimTime base = inner_->Sample(now, rng);
+    for (const auto& w : windows_) {
+      if (now >= w.start && now < w.end) {
+        SimTime until_end = w.end - now;
+        return base > until_end ? base : until_end;
+      }
+    }
+    return base;
+  }
+
+ private:
+  std::unique_ptr<LatencyModel> inner_;
+  std::vector<Window> windows_;
+};
+
+/// Exponentially distributed latency with the given mean (bursty sources).
+class ExponentialLatency : public LatencyModel {
+ public:
+  explicit ExponentialLatency(SimTime mean) : mean_(mean) {}
+  SimTime Sample(SimTime now, Rng& rng) override;
+
+ private:
+  SimTime mean_;
+};
+
+}  // namespace stems

@@ -1,0 +1,53 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace stems {
+
+void Simulation::Schedule(SimTime delay, EventQueue::Action action) {
+  if (delay < 0) delay = 0;
+  queue_.Push(now_ + delay, std::move(action));
+}
+
+void Simulation::At(SimTime when, EventQueue::Action action) {
+  assert(when >= now_ && "cannot schedule in the past");
+  queue_.Push(when, std::move(action));
+}
+
+SimTime Simulation::Run() {
+  while (!queue_.empty()) {
+    SimTime t;
+    auto action = queue_.Pop(&t);
+    now_ = t;
+    ++events_processed_;
+    action();
+  }
+  return now_;
+}
+
+bool Simulation::RunUntil(SimTime limit) {
+  while (!queue_.empty() && queue_.NextTime() <= limit) {
+    SimTime t;
+    auto action = queue_.Pop(&t);
+    now_ = t;
+    ++events_processed_;
+    action();
+  }
+  if (now_ < limit) now_ = limit;
+  return queue_.empty();
+}
+
+uint64_t Simulation::RunSteps(uint64_t max_events) {
+  uint64_t run = 0;
+  while (!queue_.empty() && run < max_events) {
+    SimTime t;
+    auto action = queue_.Pop(&t);
+    now_ = t;
+    ++events_processed_;
+    ++run;
+    action();
+  }
+  return run;
+}
+
+}  // namespace stems

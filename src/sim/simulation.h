@@ -1,0 +1,45 @@
+// Simulation: the discrete-event driver all modules run on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace stems {
+
+/// Owns virtual time and the event queue. Modules schedule work with
+/// Schedule()/At(); the driver executes events in time order until the
+/// queue drains or a time/step limit is hit.
+class Simulation {
+ public:
+  SimTime now() const { return now_; }
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Schedules `action` to run `delay` after now. Negative delays clamp to 0
+  /// (runs after currently pending events at `now`).
+  void Schedule(SimTime delay, EventQueue::Action action);
+
+  /// Schedules `action` at absolute time `when` (>= now).
+  void At(SimTime when, EventQueue::Action action);
+
+  /// Runs until the event queue is empty. Returns the final time.
+  SimTime Run();
+
+  /// Runs events up to and including time `limit`. Returns true if the
+  /// queue drained (no events remain), false if events beyond `limit`
+  /// are still pending.
+  bool RunUntil(SimTime limit);
+
+  /// Runs at most `max_events` events; returns events actually run.
+  uint64_t RunSteps(uint64_t max_events);
+
+  bool Idle() const { return queue_.empty(); }
+
+ private:
+  SimTime now_ = 0;
+  uint64_t events_processed_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace stems

@@ -1,0 +1,31 @@
+#include "sm/selection_module.h"
+
+#include <cassert>
+
+namespace stems {
+
+SelectionModule::SelectionModule(QueryContext* ctx, const Predicate* predicate,
+                                 SimTime service_time)
+    : Module(ctx->sim, "SM(" + predicate->ToString() + ")"),
+      ctx_(ctx),
+      predicate_(predicate),
+      service_time_(service_time) {}
+
+void SelectionModule::Process(TuplePtr tuple) {
+  assert(predicate_->CanEvaluate(tuple->spanned_mask()) &&
+         "tuple routed to SM whose predicate it cannot evaluate");
+  if (tuple->PassedPredicate(predicate_->id())) {
+    // Idempotent: already verified (e.g. by a SteM probe).
+    Emit(std::move(tuple));
+    return;
+  }
+  if (predicate_->Evaluate(*tuple)) {
+    tuple->MarkPredicatePassed(predicate_->id());
+    Emit(std::move(tuple));
+  } else {
+    ++dropped_;
+    ctx_->metrics.Count("sm.dropped", sim()->now());
+  }
+}
+
+}  // namespace stems

@@ -1,0 +1,36 @@
+// Selection Module (paper §2.1.2).
+//
+// Bounces a tuple back iff it passes the module's predicate, marking the
+// pass in the tuple's TupleState; drops it from the dataflow otherwise.
+#pragma once
+
+#include "expr/predicate.h"
+#include "runtime/module.h"
+#include "runtime/query_context.h"
+
+namespace stems {
+
+class SelectionModule : public Module {
+ public:
+  /// `service_time` is the per-tuple virtual cost of evaluating the
+  /// predicate.
+  SelectionModule(QueryContext* ctx, const Predicate* predicate,
+                  SimTime service_time = Micros(1));
+
+  ModuleKind kind() const override { return ModuleKind::kSelection; }
+
+  const Predicate* predicate() const { return predicate_; }
+  uint64_t dropped() const { return dropped_; }
+
+ protected:
+  SimTime ServiceTime(const Tuple&) const override { return service_time_; }
+  void Process(TuplePtr tuple) override;
+
+ private:
+  QueryContext* ctx_;
+  const Predicate* predicate_;
+  SimTime service_time_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace stems

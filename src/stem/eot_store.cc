@@ -1,0 +1,44 @@
+#include "stem/eot_store.h"
+
+namespace stems {
+
+void EotStore::Add(RowRef eot_row) {
+  if (!dedup_.insert(eot_row).second) return;
+  bool all_eot = true;
+  for (const auto& v : eot_row->values()) {
+    if (!v.is_eot()) {
+      all_eot = false;
+      break;
+    }
+  }
+  if (all_eot) full_coverage_ = true;
+  rows_.push_back(std::move(eot_row));
+}
+
+bool EotStore::Covers(
+    const std::vector<std::pair<int, Value>>& binds) const {
+  if (full_coverage_) return true;
+  for (const auto& row : rows_) {
+    bool covers = true;
+    for (size_t c = 0; c < row->num_values(); ++c) {
+      const Value& v = row->value(c);
+      if (v.is_eot()) continue;  // unconstrained by this EOT
+      // Bound column of the EOT: the probe must bind it to the same value.
+      bool matched = false;
+      for (const auto& [col, val] : binds) {
+        if (col == static_cast<int>(c) && val == v) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) return true;
+  }
+  return false;
+}
+
+}  // namespace stems

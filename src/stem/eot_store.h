@@ -1,0 +1,38 @@
+// EotStore: End-Of-Transmission tuples held inside a SteM (paper §2.1.3).
+//
+// An EOT row records that some AM has returned *all* matches for a probing
+// predicate: its bound columns carry the probe's values and every other
+// column carries the EOT marker. A probe is "covered" — the SteM provably
+// holds all its matches — iff some stored EOT's bound columns are a subset
+// of the probe's bound columns with equal values. The scan EOT (no bound
+// columns) covers every probe.
+#pragma once
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "types/row.h"
+
+namespace stems {
+
+class EotStore {
+ public:
+  /// Adds an EOT row (set semantics: duplicates are ignored).
+  void Add(RowRef eot_row);
+
+  /// `binds` are (column, value) pairs the probe fixes by equality.
+  bool Covers(const std::vector<std::pair<int, Value>>& binds) const;
+
+  /// True once a scan EOT (all-EOT row) is present.
+  bool HasFullCoverage() const { return full_coverage_; }
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<RowRef> rows_;
+  std::unordered_set<RowRef, RowRefContentHash, RowRefContentEq> dedup_;
+  bool full_coverage_ = false;
+};
+
+}  // namespace stems

@@ -1,0 +1,397 @@
+#include "stem/stem.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stems {
+
+Stem::Stem(QueryContext* ctx, std::string table_name, StemOptions options)
+    : Module(ctx->sim, "SteM(" + table_name + ")"),
+      ctx_(ctx),
+      table_name_(std::move(table_name)),
+      options_(options) {
+  table_slots_ = ctx_->SlotsOfTable(table_name_);
+  assert(!table_slots_.empty() && "SteM table does not appear in the query");
+  const TableDef* def = ctx_->query->slots()[table_slots_.front()].def;
+  table_has_scan_am_ = def->HasScanAm();
+  table_has_index_am_ = def->HasIndexAm();
+
+  // One secondary index per column of this table involved in a join
+  // predicate on any of its slots (paper §2.1.4). Range-joined columns are
+  // indexed too: with an ordered implementation they serve range probes,
+  // otherwise LookupRange declines and probes fall back to full scans.
+  auto add_index = [this](int col) {
+    for (const auto& [c, idx] : indexes_) {
+      if (c == col) return;
+    }
+    indexes_.emplace_back(
+        col, MakeStemIndex(options_.index_impl, options_.adaptive_threshold));
+  };
+  for (const auto& p : ctx_->query->predicates()) {
+    if (!p.is_join()) continue;
+    for (int slot : table_slots_) {
+      auto col = p.EquiJoinColumnFor(slot);
+      if (col.has_value()) {
+        add_index(*col);
+        continue;
+      }
+      if (p.lhs().table_slot == slot) add_index(p.lhs().column);
+      if (p.rhs().table_slot == slot) add_index(p.rhs().column);
+    }
+  }
+  if (options_.num_partitions > 1) {
+    deferred_bounces_.resize(options_.num_partitions);
+  }
+}
+
+bool Stem::ServesSlot(int slot) const {
+  return std::find(table_slots_.begin(), table_slots_.end(), slot) !=
+         table_slots_.end();
+}
+
+std::string Stem::IndexImplFor(int column) const {
+  for (const auto& [c, idx] : indexes_) {
+    if (c == column) return idx->impl_name();
+  }
+  return "";
+}
+
+size_t Stem::PartitionOf(const Tuple& tuple) const {
+  if (options_.num_partitions <= 1 || indexes_.empty()) return 0;
+  const int part_col = indexes_.front().first;
+  const int slot = tuple.SingletonSlot();
+  if (slot >= 0 && ServesSlot(slot)) {
+    const Value* v = tuple.ValueAt(slot, part_col);  // build side
+    return v == nullptr ? 0 : v->Hash() % options_.num_partitions;
+  }
+  // Probe side: the value bound to the partitioning column, if any.
+  int target = tuple.route_target_slot();
+  if (target < 0 || !ServesSlot(target)) target = table_slots_.front();
+  const auto binds = ProbeBindings(tuple, target);
+  for (const auto& [col, val] : binds) {
+    if (col == part_col) return val.Hash() % options_.num_partitions;
+  }
+  return 0;
+}
+
+SimTime Stem::ServiceTime(const Tuple& tuple) const {
+  const int slot = tuple.SingletonSlot();
+  const bool is_build =
+      tuple.route_intent() == RouteIntent::kBuild ||
+      (tuple.route_intent() == RouteIntent::kAuto && slot >= 0 &&
+       ServesSlot(slot) && tuple.component(slot).timestamp == kTsInfinity);
+  if (is_build) return options_.build_service_time;
+  SimTime t = options_.probe_service_time;
+  if (options_.partition_switch_penalty > 0) {
+    const size_t part = PartitionOf(tuple);
+    if (part != last_probed_partition_) t += options_.partition_switch_penalty;
+  }
+  return t;
+}
+
+void Stem::Process(TuplePtr tuple) {
+  const int slot = tuple->SingletonSlot();
+  switch (tuple->route_intent()) {
+    case RouteIntent::kBuild:
+      ProcessBuild(std::move(tuple));
+      return;
+    case RouteIntent::kProbe:
+      ProcessProbe(std::move(tuple));
+      return;
+    case RouteIntent::kAuto:
+      if (slot >= 0 && ServesSlot(slot) &&
+          tuple->component(slot).timestamp == kTsInfinity) {
+        ProcessBuild(std::move(tuple));
+      } else {
+        ProcessProbe(std::move(tuple));
+      }
+      return;
+  }
+}
+
+void Stem::ProcessBuild(TuplePtr tuple) {
+  const int slot = tuple->SingletonSlot();
+  assert(slot >= 0 && ServesSlot(slot) &&
+         "build tuple is not a singleton of this SteM's table");
+  RowRef row = tuple->component(slot).row;
+
+  if (row->IsEot()) {
+    // EOTs are built into the SteM alongside data tuples (paper §2.1.3) and
+    // are not bounced back.
+    eots_.Add(std::move(row));
+    // Any coverage change can complete deferred work and wake parked
+    // probers.
+    FlushDeferredBounces();
+    NotifyChange();
+    return;
+  }
+
+  // Set-semantics duplicate elimination (paper §3.2): competing AMs build
+  // into the same SteM; the copy that arrives second is absorbed, and is
+  // *not* bounced back (SteM BounceBack constraint) so it never probes.
+  if (dedup_.count(row) > 0) {
+    ++duplicates_absorbed_;
+    ctx_->metrics.Count(name() + ".dups", sim()->now());
+    return;
+  }
+
+  const BuildTs ts = ctx_->ts.Issue();
+  ++builds_;
+  InsertRow(row, ts);
+  tuple->SetBuilt(slot, ts);
+  EvictIfNeeded();
+  NotifyChange();
+
+  if (options_.num_partitions > 1 && options_.bounce_batch > 1) {
+    // Grace-mode: defer the bounce-back, clustered by hash partition
+    // (paper §3.1's "asynchronous hash index"). The tuple will re-enter the
+    // dataflow when its partition's batch fills or on an EOT/flush.
+    const size_t part = PartitionOf(*tuple);
+    deferred_bounces_[part].push_back(std::move(tuple));
+    if (deferred_bounces_[part].size() >= options_.bounce_batch) {
+      auto batch = std::move(deferred_bounces_[part]);
+      deferred_bounces_[part].clear();
+      for (auto& t : batch) Emit(std::move(t));
+    }
+    return;
+  }
+  Emit(std::move(tuple));
+}
+
+void Stem::InsertRow(RowRef row, BuildTs ts) {
+  const uint32_t id = static_cast<uint32_t>(entries_.size());
+  for (auto& [col, index] : indexes_) {
+    index->Insert(row->value(col), id);
+  }
+  dedup_.insert(row);
+  entries_.push_back(Entry{std::move(row), ts});
+  ++live_entries_;
+  if (ts > max_entry_ts_) max_entry_ts_ = ts;
+}
+
+void Stem::EvictIfNeeded() {
+  if (options_.max_entries == 0) return;
+  if (live_entries_ > options_.max_entries) {
+    EvictOldest(live_entries_ - options_.max_entries);
+  }
+}
+
+size_t Stem::EvictOldest(size_t n) {
+  size_t evicted = 0;
+  while (evicted < n && next_eviction_ < entries_.size()) {
+    Entry& victim = entries_[next_eviction_++];
+    if (victim.row == nullptr) continue;  // already a tombstone
+    dedup_.erase(victim.row);
+    victim.row = nullptr;  // tombstone; index ids skip it at lookup
+    --live_entries_;
+    ++evictions_;
+    ++evicted;
+    ctx_->metrics.Count(name() + ".evictions", sim()->now());
+  }
+  return evicted;
+}
+
+void Stem::NotifyChange() {
+  if (change_listener_) change_listener_();
+}
+
+void Stem::FlushDeferredBounces() {
+  for (auto& partition : deferred_bounces_) {
+    auto batch = std::move(partition);
+    partition.clear();
+    for (auto& t : batch) Emit(std::move(t));
+  }
+}
+
+std::vector<std::pair<int, Value>> Stem::ProbeBindings(
+    const Tuple& tuple, int target_slot) const {
+  std::vector<std::pair<int, Value>> binds;
+  for (const auto& p : ctx_->query->predicates()) {
+    auto col = p.EquiJoinColumnFor(target_slot);
+    if (!col.has_value()) continue;
+    auto peer = p.EquiJoinPeerOf(target_slot);
+    if (!peer.has_value() || peer->table_slot == target_slot) continue;
+    const Value* v = tuple.ValueAt(peer->table_slot, peer->column);
+    if (v != nullptr) binds.emplace_back(*col, *v);
+  }
+  return binds;
+}
+
+std::vector<uint32_t> Stem::Candidates(const Tuple& tuple, int target_slot,
+                                       const std::vector<std::pair<int, Value>>& binds,
+                                       bool* full_scan) const {
+  std::vector<uint32_t> out;
+  *full_scan = true;
+  for (const auto& [col, val] : binds) {
+    for (const auto& [idx_col, index] : indexes_) {
+      if (idx_col == col) {
+        index->LookupEq(val, &out);
+        *full_scan = false;
+        return out;
+      }
+    }
+  }
+
+  // No equality binding: try a range predicate against an ordered index
+  // (paper §2.1.4: "we allow a SteM to perform searches on arbitrary
+  // predicates"). Works when the SteM uses StemIndexImpl::kOrdered.
+  for (const auto& p : ctx_->query->predicates()) {
+    if (!p.is_join() || p.op() == CompareOp::kEq || p.op() == CompareOp::kNe) {
+      continue;
+    }
+    // Orient the comparison as <stem column> OP <probe value>.
+    int stem_col;
+    CompareOp op = p.op();
+    const ColumnRef* peer;
+    if (p.lhs().table_slot == target_slot) {
+      stem_col = p.lhs().column;
+      peer = &p.rhs();
+    } else if (p.rhs().table_slot == target_slot) {
+      stem_col = p.rhs().column;
+      peer = &p.lhs();
+      // Flip the operator: probe OP stem  ==>  stem OP' probe.
+      switch (op) {
+        case CompareOp::kLt: op = CompareOp::kGt; break;
+        case CompareOp::kLe: op = CompareOp::kGe; break;
+        case CompareOp::kGt: op = CompareOp::kLt; break;
+        case CompareOp::kGe: op = CompareOp::kLe; break;
+        default: break;
+      }
+    } else {
+      continue;
+    }
+    const Value* v = tuple.ValueAt(peer->table_slot, peer->column);
+    if (v == nullptr) continue;
+    for (const auto& [idx_col, index] : indexes_) {
+      if (idx_col != stem_col) continue;
+      const bool lower = op == CompareOp::kGt || op == CompareOp::kGe;
+      const bool inclusive = op == CompareOp::kLe || op == CompareOp::kGe;
+      const bool served = index->LookupRange(lower ? v : nullptr, inclusive,
+                                             lower ? nullptr : v, inclusive,
+                                             &out);
+      if (served) {
+        *full_scan = false;
+        return out;
+      }
+      out.clear();  // index cannot serve ranges; fall through to full scan
+    }
+  }
+
+  // No usable index: all live entries are candidates; remaining predicates
+  // are verified per candidate.
+  out.reserve(entries_.size());
+  for (uint32_t id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].row != nullptr) out.push_back(id);
+  }
+  return out;
+}
+
+void Stem::ProcessProbe(TuplePtr tuple) {
+  assert(!tuple->is_seed() && "seed tuple routed to a SteM");
+  int target_slot = tuple->route_target_slot();
+  if (target_slot < 0 || !ServesSlot(target_slot) ||
+      tuple->Spans(target_slot)) {
+    target_slot = -1;
+    for (int s : table_slots_) {
+      if (!tuple->Spans(s)) {
+        target_slot = s;
+        break;
+      }
+    }
+    assert(target_slot >= 0 && "probe tuple already spans all SteM slots");
+  }
+
+  if (options_.partition_switch_penalty > 0) {
+    last_probed_partition_ = PartitionOf(*tuple);
+  }
+
+  const auto binds = ProbeBindings(*tuple, target_slot);
+  bool full_scan = false;
+  const auto candidates = Candidates(*tuple, target_slot, binds, &full_scan);
+
+  // All not-yet-passed predicates evaluable on the concatenation (paper
+  // Table 1: matches satisfy "all query predicates that can be evaluated on
+  // the columns in t and s"). This deliberately includes predicates already
+  // evaluable on the probe alone (e.g. an unvisited selection), so results
+  // always carry complete predicate state.
+  const uint64_t new_span = tuple->spanned_mask() | (1ULL << target_slot);
+  std::vector<const Predicate*> preds;
+  for (const auto& p : ctx_->query->predicates()) {
+    if (!tuple->PassedPredicate(p.id()) && p.CanEvaluate(new_span)) {
+      preds.push_back(&p);
+    }
+  }
+
+  const BuildTs probe_ts = tuple->Timestamp();
+  const BuildTs last_match_ts = tuple->last_match_ts();
+  ++probes_processed_;
+  uint32_t matches_this_probe = 0;
+
+  for (uint32_t id : candidates) {
+    const Entry& entry = entries_[id];
+    if (entry.row == nullptr) continue;  // evicted
+    // TimeStamp constraint (§3.1): the later-arriving side generates the
+    // result. §3.5 re-probes skip matches already seen (LastMatchTimeStamp).
+    if (tuple->exclude_equal_ts() ? entry.ts >= probe_ts
+                                  : entry.ts > probe_ts) {
+      continue;
+    }
+    if (entry.ts <= last_match_ts) continue;
+    OverlayValueSource overlay(*tuple, target_slot, &entry.row->values());
+    bool pass = true;
+    for (const Predicate* p : preds) {
+      if (!p->Evaluate(overlay)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    TuplePtr concat = tuple->ConcatWith(target_slot, entry.row, entry.ts);
+    for (const Predicate* p : preds) concat->MarkPredicatePassed(p->id());
+    ++matches_emitted_;
+    ++matches_this_probe;
+    // Partial-result accounting (online metric, §1.2/§3.4): intermediate
+    // spans are the partial results FFF surfaces to users.
+    ctx_->metrics.Count("span." + std::to_string(concat->spanned_mask()),
+                        sim()->now());
+    Emit(std::move(concat));
+  }
+
+  tuple->MarkProbedStem(target_slot);
+  tuple->set_last_probe_matches(matches_this_probe);
+
+  // SteM BounceBack constraint (paper Table 2) for probe tuples.
+  const bool covered = eots_.Covers(binds);
+  bool bounce;
+  if (covered) {
+    bounce = false;  // all matches provably delivered
+  } else if (table_has_index_am_ &&
+             (options_.bounce_mode == ProbeBounceMode::kAlways ||
+              (options_.bounce_mode == ProbeBounceMode::kPrioritized &&
+               tuple->prioritized()))) {
+    // Optional bounce (§4.1 / §4.3): give the policy a chance to expedite
+    // this probe's matches through an index AM. Because the table has AMs
+    // feeding the shared SteM, the policy may also safely retire the tuple
+    // instead (when a scan AM exists).
+    bounce = true;
+  } else if (table_has_scan_am_ && tuple->AllComponentsBuilt()) {
+    // Missing matches will find this tuple's components in their SteMs when
+    // they arrive from the scan.
+    bounce = false;
+  } else {
+    bounce = true;
+  }
+
+  if (bounce) {
+    tuple->set_last_match_ts(max_entry_ts_);
+    tuple->MarkPriorProber(target_slot);
+    ++probes_bounced_;
+    ctx_->metrics.Count(name() + ".bounces", sim()->now());
+    Emit(std::move(tuple));
+  }
+  // Otherwise the probe tuple leaves the dataflow here: every result it
+  // could still contribute to will be generated by later-arriving builds
+  // probing the SteMs holding this tuple's components (TimeStamp rule).
+}
+
+}  // namespace stems

@@ -1,0 +1,172 @@
+// State Module (SteM) — the paper's core contribution (§2.1.4, §3).
+//
+// A SteM is "half a join": a dictionary of singleton tuples from one base
+// table, supporting build (insert), probe (lookup + concatenate), and
+// optionally eviction. One SteM exists per base table and is shared by all
+// join predicates, all access methods, and all FROM-clause instances of
+// that table.
+//
+// The SteM enforces, internally, the constraints of paper Table 2 that
+// belong to it:
+//   SteM BounceBack — builds bounce unless duplicates (set semantics);
+//     probes bounce unless the SteM provably has all matches (EOT coverage)
+//     or the table has a scan AM and all the probe's components are built.
+//   TimeStamp — a probe returns match m iff ts(probe) >= ts(m), and (§3.5)
+//     only matches newer than the probe's LastMatchTimeStamp.
+//
+// Optional behaviours:
+//   * priority bounce (§4.1): on tables with index AMs, prioritized probe
+//     tuples are bounced even when a scan is running, so they can seed
+//     index lookups and surface their matches sooner;
+//   * eviction (sliding window over entry count) for continuous queries;
+//   * deferred, partition-clustered bounce-backs of build tuples plus a
+//     partition-switch probe penalty — the "asynchronous hash index" of
+//     §3.1 that makes the eddy's routing simulate Grace hash join.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/module.h"
+#include "runtime/query_context.h"
+#include "stem/eot_store.h"
+#include "stem/stem_index.h"
+
+namespace stems {
+
+/// When, beyond the mandatory cases, a SteM bounces probe tuples on a table
+/// that also has index AMs:
+///   kConstraintOnly — only the bounces Table 2 requires;
+///   kPrioritized    — additionally bounce user-prioritized probes (§4.1);
+///   kAlways         — bounce every uncovered probe, giving the routing
+///                     policy the option of exploring index AMs (this is
+///                     what enables the §4.3 index/hash hybridization).
+enum class ProbeBounceMode { kConstraintOnly, kPrioritized, kAlways };
+
+struct StemOptions {
+  StemIndexImpl index_impl = StemIndexImpl::kHash;
+  size_t adaptive_threshold = 64;
+
+  SimTime build_service_time = Micros(2);
+  SimTime probe_service_time = Micros(2);
+
+  ProbeBounceMode bounce_mode = ProbeBounceMode::kConstraintOnly;
+
+  /// Sliding window: keep at most this many entries (0 = unbounded).
+  size_t max_entries = 0;
+
+  /// Grace-mode (§3.1): when > 1, build bounce-backs are buffered per hash
+  /// partition of the first join column and released in clusters of
+  /// `bounce_batch` (or on Flush()/scan-EOT); probes pay
+  /// `partition_switch_penalty` when they touch a different partition than
+  /// the previous probe (models partition I/O locality).
+  size_t num_partitions = 1;
+  size_t bounce_batch = 1;
+  SimTime partition_switch_penalty = 0;
+};
+
+class Stem : public Module {
+ public:
+  Stem(QueryContext* ctx, std::string table_name, StemOptions options = {});
+
+  ModuleKind kind() const override { return ModuleKind::kStem; }
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<int>& table_slots() const { return table_slots_; }
+  /// True if `slot` is one of this SteM's table instances.
+  bool ServesSlot(int slot) const;
+
+  size_t num_entries() const { return live_entries_; }
+  const EotStore& eot_store() const { return eots_; }
+  /// Largest build timestamp stored (0 when empty); §3.5 re-probe gating.
+  BuildTs max_entry_ts() const { return max_entry_ts_; }
+
+  uint64_t duplicates_absorbed() const { return duplicates_absorbed_; }
+  uint64_t probes_bounced() const { return probes_bounced_; }
+  uint64_t probes_processed() const { return probes_processed_; }
+  uint64_t matches_emitted() const { return matches_emitted_; }
+  uint64_t builds() const { return builds_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// Registered by the eddy: fires after every build/EOT arrival so parked
+  /// prior probers can be re-dispatched.
+  void SetChangeListener(std::function<void()> listener) {
+    change_listener_ = std::move(listener);
+  }
+
+  /// Releases any deferred (Grace-mode) bounce-backs immediately.
+  void FlushDeferredBounces();
+
+  /// Evicts up to `n` of the oldest live entries (used by the eddy's
+  /// global MemoryGovernor, paper §6: "the eddy can make memory allocation
+  /// decisions in a globally optimal manner"). Returns entries evicted.
+  size_t EvictOldest(size_t n);
+
+  /// The name of the index implementation currently backing `column`
+  /// ("hash", "ordered", "list"); empty if the column is not indexed.
+  std::string IndexImplFor(int column) const;
+
+  /// Equality bindings (stem column, probe value) that `tuple` fixes when
+  /// probing for matches at `target_slot`.
+  std::vector<std::pair<int, Value>> ProbeBindings(const Tuple& tuple,
+                                                   int target_slot) const;
+
+ protected:
+  SimTime ServiceTime(const Tuple& tuple) const override;
+  void Process(TuplePtr tuple) override;
+
+ private:
+  struct Entry {
+    RowRef row;  ///< null after eviction (tombstone)
+    BuildTs ts = 0;
+  };
+
+  void ProcessBuild(TuplePtr tuple);
+  void ProcessProbe(TuplePtr tuple);
+  void InsertRow(RowRef row, BuildTs ts);
+  void EvictIfNeeded();
+  void NotifyChange();
+  size_t PartitionOf(const Tuple& tuple) const;
+
+  /// Candidate entry ids for a probe: equality bindings through the hash
+  /// index when possible, range join predicates through an ordered index
+  /// otherwise ("searches on arbitrary predicates", §2.1.4); `full_scan`
+  /// set when the result is all entries (no usable index).
+  std::vector<uint32_t> Candidates(
+      const Tuple& tuple, int target_slot,
+      const std::vector<std::pair<int, Value>>& binds, bool* full_scan) const;
+
+  QueryContext* ctx_;
+  std::string table_name_;
+  std::vector<int> table_slots_;
+  bool table_has_scan_am_ = false;
+  bool table_has_index_am_ = false;
+  StemOptions options_;
+
+  std::vector<Entry> entries_;
+  size_t live_entries_ = 0;
+  size_t next_eviction_ = 0;
+  BuildTs max_entry_ts_ = 0;
+  std::unordered_set<RowRef, RowRefContentHash, RowRefContentEq> dedup_;
+  EotStore eots_;
+
+  /// join column -> index (indexes are secondary: ids into entries_).
+  std::vector<std::pair<int, std::unique_ptr<StemIndex>>> indexes_;
+
+  /// Grace mode state.
+  std::vector<std::vector<TuplePtr>> deferred_bounces_;
+  mutable size_t last_probed_partition_ = SIZE_MAX;
+
+  std::function<void()> change_listener_;
+
+  uint64_t duplicates_absorbed_ = 0;
+  uint64_t probes_bounced_ = 0;
+  uint64_t probes_processed_ = 0;
+  uint64_t matches_emitted_ = 0;
+  uint64_t builds_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace stems

@@ -1,0 +1,89 @@
+#include "stem/stem_index.h"
+
+namespace stems {
+
+void HashStemIndex::Insert(const Value& key, uint32_t entry_id) {
+  map_[key].push_back(entry_id);
+  ++count_;
+}
+
+void HashStemIndex::LookupEq(const Value& key,
+                             std::vector<uint32_t>* out) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+void OrderedStemIndex::Insert(const Value& key, uint32_t entry_id) {
+  map_[key].push_back(entry_id);
+  ++count_;
+}
+
+void OrderedStemIndex::LookupEq(const Value& key,
+                                std::vector<uint32_t>* out) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+bool OrderedStemIndex::LookupRange(const Value* lo, bool lo_inclusive,
+                                   const Value* hi, bool hi_inclusive,
+                                   std::vector<uint32_t>* out) const {
+  auto begin = map_.begin();
+  if (lo != nullptr) {
+    begin = lo_inclusive ? map_.lower_bound(*lo) : map_.upper_bound(*lo);
+  }
+  for (auto it = begin; it != map_.end(); ++it) {
+    if (hi != nullptr) {
+      if (hi_inclusive ? (*hi < it->first) : !(it->first < *hi)) break;
+    }
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  return true;
+}
+
+void AdaptiveStemIndex::Insert(const Value& key, uint32_t entry_id) {
+  if (hash_ != nullptr) {
+    hash_->Insert(key, entry_id);
+    return;
+  }
+  list_.emplace_back(key, entry_id);
+  if (list_.size() > upgrade_threshold_) {
+    // Upgrade: rebuild as a hash index (done by the SteM itself, independent
+    // of all other modules — paper §3.1).
+    hash_ = std::make_unique<HashStemIndex>();
+    for (const auto& [k, id] : list_) hash_->Insert(k, id);
+    list_.clear();
+    list_.shrink_to_fit();
+  }
+}
+
+void AdaptiveStemIndex::LookupEq(const Value& key,
+                                 std::vector<uint32_t>* out) const {
+  if (hash_ != nullptr) {
+    hash_->LookupEq(key, out);
+    return;
+  }
+  for (const auto& [k, id] : list_) {
+    if (k == key) out->push_back(id);
+  }
+}
+
+size_t AdaptiveStemIndex::size() const {
+  return hash_ != nullptr ? hash_->size() : list_.size();
+}
+
+std::unique_ptr<StemIndex> MakeStemIndex(StemIndexImpl impl,
+                                         size_t adaptive_threshold) {
+  switch (impl) {
+    case StemIndexImpl::kHash:
+      return std::make_unique<HashStemIndex>();
+    case StemIndexImpl::kOrdered:
+      return std::make_unique<OrderedStemIndex>();
+    case StemIndexImpl::kAdaptive:
+      return std::make_unique<AdaptiveStemIndex>(adaptive_threshold);
+  }
+  return nullptr;
+}
+
+}  // namespace stems

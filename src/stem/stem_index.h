@@ -1,0 +1,103 @@
+// In-memory secondary indexes inside a SteM (paper §2.1.4, §3.1).
+//
+// A SteM keeps one index per join column of its table. The paper's first
+// constraint relaxation lets the SteM choose and even switch its index
+// implementation independently of the routing: we provide a hash index, an
+// ordered (tree) index, and an adaptive index that starts as a plain list
+// and upgrades itself to a hash table once it grows (the paper's example).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "types/value.h"
+
+namespace stems {
+
+/// Maps join-column values to entry ids within the owning SteM.
+class StemIndex {
+ public:
+  virtual ~StemIndex() = default;
+
+  virtual void Insert(const Value& key, uint32_t entry_id) = 0;
+
+  /// Appends ids of entries whose key equals `key`.
+  virtual void LookupEq(const Value& key, std::vector<uint32_t>* out) const = 0;
+
+  /// Appends ids with lo <= key <= hi (bounds optional); only ordered
+  /// indexes support this efficiently — others fall back to full scans at
+  /// the SteM level and must return false.
+  virtual bool LookupRange(const Value* lo, bool lo_inclusive, const Value* hi,
+                           bool hi_inclusive, std::vector<uint32_t>* out) const {
+    (void)lo;
+    (void)lo_inclusive;
+    (void)hi;
+    (void)hi_inclusive;
+    (void)out;
+    return false;
+  }
+
+  virtual size_t size() const = 0;
+
+  /// Implementation name, for stats/tests ("hash", "ordered", "list").
+  virtual const char* impl_name() const = 0;
+};
+
+/// Hash index: O(1) equality lookups.
+class HashStemIndex : public StemIndex {
+ public:
+  void Insert(const Value& key, uint32_t entry_id) override;
+  void LookupEq(const Value& key, std::vector<uint32_t>* out) const override;
+  size_t size() const override { return count_; }
+  const char* impl_name() const override { return "hash"; }
+
+ private:
+  std::unordered_map<Value, std::vector<uint32_t>, ValueHash> map_;
+  size_t count_ = 0;
+};
+
+/// Ordered index: supports range lookups (tournament-tree stand-in).
+class OrderedStemIndex : public StemIndex {
+ public:
+  void Insert(const Value& key, uint32_t entry_id) override;
+  void LookupEq(const Value& key, std::vector<uint32_t>* out) const override;
+  bool LookupRange(const Value* lo, bool lo_inclusive, const Value* hi,
+                   bool hi_inclusive, std::vector<uint32_t>* out) const override;
+  size_t size() const override { return count_; }
+  const char* impl_name() const override { return "ordered"; }
+
+ private:
+  std::map<Value, std::vector<uint32_t>> map_;
+  size_t count_ = 0;
+};
+
+/// Starts as an unordered list (cheap while small), upgrades to a hash
+/// index past `upgrade_threshold` entries — the paper's §3.1 example of a
+/// SteM adapting its own implementation.
+class AdaptiveStemIndex : public StemIndex {
+ public:
+  explicit AdaptiveStemIndex(size_t upgrade_threshold = 64)
+      : upgrade_threshold_(upgrade_threshold) {}
+
+  void Insert(const Value& key, uint32_t entry_id) override;
+  void LookupEq(const Value& key, std::vector<uint32_t>* out) const override;
+  size_t size() const override;
+  const char* impl_name() const override {
+    return hash_ == nullptr ? "list" : "hash";
+  }
+
+ private:
+  size_t upgrade_threshold_;
+  std::vector<std::pair<Value, uint32_t>> list_;
+  std::unique_ptr<HashStemIndex> hash_;
+};
+
+enum class StemIndexImpl { kHash, kOrdered, kAdaptive };
+
+std::unique_ptr<StemIndex> MakeStemIndex(StemIndexImpl impl,
+                                         size_t adaptive_threshold = 64);
+
+}  // namespace stems

@@ -1,0 +1,107 @@
+#include "storage/generators.h"
+
+#include <cassert>
+
+namespace stems {
+
+std::vector<RowRef> GenerateRows(const std::vector<ColumnGenSpec>& columns,
+                                 size_t num_rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ZipfGenerator> zipfs;
+  zipfs.reserve(columns.size());
+  for (const auto& c : columns) {
+    // One generator per column to keep draws independent of column order.
+    zipfs.emplace_back(c.kind == ColumnGenSpec::Kind::kZipf
+                           ? static_cast<size_t>(c.domain)
+                           : 1,
+                       c.zipf_s, seed ^ (zipfs.size() + 1));
+  }
+  std::vector<RowRef> rows;
+  rows.reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    std::vector<Value> values;
+    values.reserve(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const auto& spec = columns[c];
+      switch (spec.kind) {
+        case ColumnGenSpec::Kind::kSequential:
+          values.push_back(Value::Int64(static_cast<int64_t>(i) + spec.lo));
+          break;
+        case ColumnGenSpec::Kind::kUniform:
+          values.push_back(Value::Int64(rng.NextInt(spec.lo, spec.hi)));
+          break;
+        case ColumnGenSpec::Kind::kZipf:
+          values.push_back(
+              Value::Int64(static_cast<int64_t>(zipfs[c].Next()) + spec.lo));
+          break;
+        case ColumnGenSpec::Kind::kConstant:
+          values.push_back(Value::Int64(spec.lo));
+          break;
+        case ColumnGenSpec::Kind::kRoundRobin:
+          values.push_back(Value::Int64(
+              static_cast<int64_t>(i % static_cast<size_t>(spec.domain)) +
+              spec.lo));
+          break;
+      }
+    }
+    rows.push_back(MakeRow(std::move(values)));
+  }
+  return rows;
+}
+
+Schema SchemaFor(const std::vector<ColumnGenSpec>& columns) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(columns.size());
+  for (const auto& c : columns) defs.push_back({c.name, ValueType::kInt64});
+  return Schema(std::move(defs));
+}
+
+Schema SchemaR() {
+  return Schema({{"key", ValueType::kInt64}, {"a", ValueType::kInt64}});
+}
+
+std::vector<RowRef> GenerateTableR(size_t num_rows, size_t num_distinct_a,
+                                   uint64_t seed) {
+  assert(num_distinct_a > 0);
+  Rng rng(seed);
+  std::vector<RowRef> rows;
+  rows.reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    rows.push_back(MakeRow(
+        {Value::Int64(static_cast<int64_t>(i)),
+         Value::Int64(rng.NextInt(0, static_cast<int64_t>(num_distinct_a) - 1))}));
+  }
+  return rows;
+}
+
+Schema SchemaS() {
+  return Schema({{"x", ValueType::kInt64}, {"y", ValueType::kInt64}});
+}
+
+std::vector<RowRef> GenerateTableS(size_t domain) {
+  std::vector<RowRef> rows;
+  rows.reserve(domain);
+  for (size_t v = 0; v < domain; ++v) {
+    rows.push_back(MakeRow({Value::Int64(static_cast<int64_t>(v)),
+                            Value::Int64(static_cast<int64_t>(v))}));
+  }
+  return rows;
+}
+
+Schema SchemaT() {
+  return Schema({{"key", ValueType::kInt64}, {"payload", ValueType::kInt64}});
+}
+
+std::vector<RowRef> GenerateTableT(size_t num_rows, uint64_t seed) {
+  Rng rng(seed);
+  auto perm = rng.Permutation(num_rows);
+  std::vector<RowRef> rows;
+  rows.reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    rows.push_back(MakeRow({Value::Int64(static_cast<int64_t>(perm[i])),
+                            Value::Int64(static_cast<int64_t>(perm[i]) * 7)}));
+  }
+  return rows;
+}
+
+}  // namespace stems

@@ -1,0 +1,66 @@
+// Synthetic data generators, including the paper's Table 3 sources.
+//
+// Table 3 of the paper:
+//   R(key, a):  1000 tuples, scan AM; `key` is the primary key, `a` has 250
+//               distinct values randomly assigned.
+//   S(x, y):    asynchronous index AMs on both x and y; every tuple has
+//               x = y (a keyed web service: probing either key returns the
+//               matching record).
+//   T(key):     1000 tuples; asynchronous index AM on `key` plus a scan AM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace stems {
+
+/// Value distribution for one generated column.
+struct ColumnGenSpec {
+  enum class Kind {
+    kSequential,  ///< 0, 1, 2, ... (primary keys)
+    kUniform,     ///< uniform integers in [lo, hi]
+    kZipf,        ///< zipf over [0, domain) with exponent s
+    kConstant,    ///< `lo` for every row
+    kRoundRobin,  ///< i % domain — exactly `domain` distinct values
+  };
+  std::string name;
+  Kind kind = Kind::kSequential;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  int64_t domain = 1;
+  double zipf_s = 1.0;
+};
+
+/// Generates `num_rows` rows for the given column specs.
+std::vector<RowRef> GenerateRows(const std::vector<ColumnGenSpec>& columns,
+                                 size_t num_rows, uint64_t seed);
+
+/// Schema matching a set of column specs (all int64).
+Schema SchemaFor(const std::vector<ColumnGenSpec>& columns);
+
+// ---------------------------------------------------------------------------
+// Paper Table 3 sources.
+// ---------------------------------------------------------------------------
+
+/// R(key, a): `num_rows` rows, `a` uniform over `num_distinct_a` values.
+std::vector<RowRef> GenerateTableR(size_t num_rows, size_t num_distinct_a,
+                                   uint64_t seed);
+Schema SchemaR();
+
+/// S(x, y): one row per value of [0, domain), with x = y. Models the keyed
+/// web service: an index probe on x (or y) for value v returns row (v, v).
+std::vector<RowRef> GenerateTableS(size_t domain);
+Schema SchemaS();
+
+/// T(key): `num_rows` rows with key = 0..num_rows-1, scanned in a
+/// seed-determined random order (so hash-join matches arrive probabilistically,
+/// as in Fig 8).
+std::vector<RowRef> GenerateTableT(size_t num_rows, uint64_t seed);
+Schema SchemaT();
+
+}  // namespace stems

@@ -1,0 +1,62 @@
+#include "storage/table_store.h"
+
+namespace stems {
+
+size_t StoredTable::IndexKeyHash::operator()(
+    const std::vector<Value>& k) const {
+  size_t h = 0x811c9dc5u;
+  for (const auto& v : k) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool StoredTable::IndexKeyEq::operator()(const std::vector<Value>& a,
+                                         const std::vector<Value>& b) const {
+  return a == b;
+}
+
+const std::vector<RowRef>& StoredTable::Lookup(
+    const std::vector<int>& bind_columns,
+    const std::vector<Value>& bind_values) const {
+  static const std::vector<RowRef> kEmpty;
+  auto [it, inserted] = indexes_.try_emplace(bind_columns);
+  Index& index = it->second;
+  if (inserted) {
+    for (const auto& row : rows_) {
+      std::vector<Value> key;
+      key.reserve(bind_columns.size());
+      for (int c : bind_columns) key.push_back(row->value(c));
+      index[std::move(key)].push_back(row);
+    }
+  }
+  auto hit = index.find(bind_values);
+  return hit == index.end() ? kEmpty : hit->second;
+}
+
+Status TableStore::AddTable(const std::string& name, Schema schema,
+                            std::vector<RowRef> rows) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("stored table '" + name + "' already exists");
+  }
+  tables_.emplace(name, StoredTable(std::move(schema), std::move(rows)));
+  return Status::OK();
+}
+
+Result<const StoredTable*> TableStore::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("stored table '" + name + "' not found");
+  }
+  return &it->second;
+}
+
+Result<StoredTable*> TableStore::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("stored table '" + name + "' not found");
+  }
+  return &it->second;
+}
+
+}  // namespace stems

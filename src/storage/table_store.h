@@ -1,0 +1,69 @@
+// In-memory storage backing the simulated data sources.
+//
+// A TableStore holds the rows of each base table. Access Modules draw from
+// it: scan AMs stream all rows; index AMs look up rows by bind-column
+// values (with lazily built hash indexes, standing in for the remote
+// source's own index).
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace stems {
+
+/// Rows of one table plus lazily built lookup indexes.
+class StoredTable {
+ public:
+  StoredTable() = default;
+  StoredTable(Schema schema, std::vector<RowRef> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<RowRef>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  void AppendRow(RowRef row) { rows_.push_back(std::move(row)); }
+
+  /// Rows whose `bind_columns` equal `bind_values` (order-aligned). Builds a
+  /// hash index over that column set on first use.
+  const std::vector<RowRef>& Lookup(const std::vector<int>& bind_columns,
+                                    const std::vector<Value>& bind_values) const;
+
+ private:
+  struct IndexKeyHash {
+    size_t operator()(const std::vector<Value>& k) const;
+  };
+  struct IndexKeyEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+  using Index = std::unordered_map<std::vector<Value>, std::vector<RowRef>,
+                                   IndexKeyHash, IndexKeyEq>;
+
+  Schema schema_;
+  std::vector<RowRef> rows_;
+  // Keyed by the bind-column set; mutable because index construction is a
+  // caching detail of the logically-const Lookup.
+  mutable std::map<std::vector<int>, Index> indexes_;
+};
+
+/// Name-keyed collection of stored tables.
+class TableStore {
+ public:
+  Status AddTable(const std::string& name, Schema schema,
+                  std::vector<RowRef> rows);
+
+  Result<const StoredTable*> GetTable(const std::string& name) const;
+  Result<StoredTable*> GetMutableTable(const std::string& name);
+
+ private:
+  std::map<std::string, StoredTable> tables_;
+};
+
+}  // namespace stems

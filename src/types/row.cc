@@ -1,0 +1,31 @@
+#include "types/row.h"
+
+namespace stems {
+
+size_t Row::Hash() const {
+  size_t h = is_eot_ ? 0x51ed270b0u : 0x811c9dc5u;
+  for (const auto& v : values_) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string Row::ToString() const {
+  std::string out = is_eot_ ? "EOT[" : "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+RowRef MakeRow(std::vector<Value> values) {
+  return std::make_shared<const Row>(std::move(values));
+}
+
+RowRef MakeEotRowRef(std::vector<Value> values) {
+  return std::make_shared<const Row>(std::move(values), /*is_eot=*/true);
+}
+
+}  // namespace stems

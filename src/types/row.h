@@ -1,0 +1,71 @@
+// Row: a single base-table tuple (one base-table component, paper Def. 1).
+//
+// Rows are immutable once created and shared by reference: a row built into
+// a SteM and appearing inside many concatenated result tuples is stored once.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace stems {
+
+class Row;
+using RowRef = std::shared_ptr<const Row>;
+
+class Row {
+ public:
+  /// `is_eot` marks an End-Of-Transmission tuple (paper §2.1.3). The paper
+  /// encodes EOTs purely by placing EOT markers in non-bound fields; we
+  /// additionally carry an explicit flag because an EOT whose bind columns
+  /// cover the whole schema has no non-bound field left to mark (e.g. an
+  /// index EOT on a single-column table).
+  explicit Row(std::vector<Value> values, bool is_eot = false)
+      : values_(std::move(values)), is_eot_(is_eot) {
+    if (!is_eot_) {
+      for (const auto& v : values_) {
+        if (v.is_eot()) {
+          is_eot_ = true;
+          break;
+        }
+      }
+    }
+  }
+
+  size_t num_values() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// True iff this row is an End-Of-Transmission tuple, not data.
+  bool IsEot() const { return is_eot_; }
+
+  /// Content equality (used for set-semantics duplicate removal, §3.2);
+  /// EOT rows never equal data rows.
+  bool operator==(const Row& other) const {
+    return is_eot_ == other.is_eot_ && values_ == other.values_;
+  }
+
+  /// Hash of all values, consistent with operator==.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+  bool is_eot_ = false;
+};
+
+/// Convenience builders.
+RowRef MakeRow(std::vector<Value> values);
+RowRef MakeEotRowRef(std::vector<Value> values);
+
+struct RowRefContentHash {
+  size_t operator()(const RowRef& r) const { return r->Hash(); }
+};
+struct RowRefContentEq {
+  bool operator()(const RowRef& a, const RowRef& b) const { return *a == *b; }
+};
+
+}  // namespace stems

@@ -1,0 +1,24 @@
+#include "types/schema.h"
+
+namespace stems {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace stems

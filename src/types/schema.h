@@ -1,0 +1,48 @@
+// Column and table schemas.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace stems {
+
+/// Definition of one column of a base table.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with the given name, if any.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// Identifies a column of a table *instance* in a query: (table slot, column
+/// ordinal). Table slots index the FROM list, so self-joins get distinct
+/// slots even though they share a SteM (paper §2.2).
+struct ColumnRef {
+  int table_slot = -1;
+  int column = -1;
+
+  bool operator==(const ColumnRef& other) const = default;
+};
+
+}  // namespace stems

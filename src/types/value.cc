@@ -1,0 +1,98 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace stems {
+
+double Value::NumericValue() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      assert(false && "NumericValue on non-numeric Value");
+      return 0;
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  const bool numeric_a =
+      type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  const bool numeric_b =
+      other.type() == ValueType::kInt64 || other.type() == ValueType::kDouble;
+  if (numeric_a && numeric_b) {
+    return NumericValue() == other.NumericValue();
+  }
+  return repr_ == other.repr_;
+}
+
+bool Value::operator<(const Value& other) const {
+  auto rank = [](ValueType t) -> int {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+      case ValueType::kEot:
+        return 3;
+    }
+    return 4;
+  };
+  const int ra = rank(type()), rb = rank(other.type());
+  if (ra != rb) return ra < rb;
+  switch (ra) {
+    case 0:
+    case 3:
+      return false;  // nulls (and EOTs) are mutually equal
+    case 1:
+      return NumericValue() < other.NumericValue();
+    case 2:
+      return AsString() < other.AsString();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      // Hash through double so that Int64(3) and Double(3.0), which compare
+      // equal, also hash equal.
+      return std::hash<double>()(static_cast<double>(AsInt64()));
+    case ValueType::kDouble:
+      return std::hash<double>()(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+    case ValueType::kEot:
+      return 0x2545f4914f6cdd1dULL;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+    case ValueType::kEot:
+      return "EOT";
+  }
+  return "?";
+}
+
+}  // namespace stems

@@ -1,0 +1,74 @@
+// Value: the scalar cell type of the engine.
+//
+// A Value is null, an int64, a double, a string, or the special EOT marker
+// used by End-Of-Transmission tuples (paper §2.1.3): an AM that has returned
+// all matches for a probe emits a tuple with EOT markers in the non-bound
+// fields, and that tuple is stored in SteMs alongside regular tuples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace stems {
+
+enum class ValueType : uint8_t { kNull = 0, kInt64, kDouble, kString, kEot };
+
+class Value {
+ public:
+  /// Null value.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Repr(std::in_place_index<1>, v)); }
+  static Value Double(double v) { return Value(Repr(std::in_place_index<2>, v)); }
+  static Value String(std::string v) {
+    return Value(Repr(std::in_place_index<3>, std::move(v)));
+  }
+  /// The EOT marker (paper §2.1.3). Compares equal only to itself.
+  static Value Eot() { return Value(Repr(std::in_place_index<4>, EotTag{})); }
+
+  ValueType type() const { return static_cast<ValueType>(repr_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_eot() const { return type() == ValueType::kEot; }
+
+  int64_t AsInt64() const { return std::get<1>(repr_); }
+  double AsDouble() const { return std::get<2>(repr_); }
+  const std::string& AsString() const { return std::get<3>(repr_); }
+
+  /// Numeric value as double (int64 widened); only valid for numeric types.
+  double NumericValue() const;
+
+  /// SQL-style equality except: null == null is true here (we use Value
+  /// equality for set-semantics duplicate elimination, paper §3.2, where
+  /// "identical tuple" includes identical nulls). Predicate evaluation
+  /// treats null comparisons as false separately (see expr/predicate.h).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order over values: by type first (null < int64/double < string
+  /// < eot), numerics compared cross-type by numeric value.
+  bool operator<(const Value& other) const;
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  struct EotTag {
+    bool operator==(const EotTag&) const { return true; }
+  };
+  using Repr =
+      std::variant<std::monostate, int64_t, double, std::string, EotTag>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace stems

@@ -1,0 +1,235 @@
+// Unit tests: scan and index access modules (paper §2.1.3, §3.3).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "am/index_am.h"
+#include "am/scan_am.h"
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::IndexSpec;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::ScanSpec;
+using testing::TestDb;
+
+class AmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}}),
+                 {ScanSpec("R.scan")});
+    db_.AddTable("S", IntSchema({"x", "p"}),
+                 IntRows({{1, 10}, {1, 11}, {2, 20}}),
+                 {IndexSpec("S.idx", {0})});
+    QueryBuilder qb(db_.catalog);
+    qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+    query_ = qb.Build().ValueOrDie();
+    ctx_.query = &query_;
+    ctx_.sim = &sim_;
+  }
+
+  TestDb db_;
+  QuerySpec query_;
+  Simulation sim_;
+  QueryContext ctx_;
+  std::vector<TuplePtr> out_;
+};
+
+TEST_F(AmTest, ScanEmitsRowsPacedThenEot) {
+  ScanAmOptions opts;
+  opts.period = Millis(10);
+  ScanAm scan(&ctx_, "R.scan", "R",
+              db_.store.GetTable("R").ValueOrDie()->rows(), opts);
+  std::vector<SimTime> times;
+  scan.SetSink([&](TuplePtr t, Module*) {
+    times.push_back(sim_.now());
+    out_.push_back(std::move(t));
+  });
+  scan.Accept(Tuple::MakeSeed(2));
+  EXPECT_FALSE(scan.Quiescent());
+  sim_.Run();
+  ASSERT_EQ(out_.size(), 3u);  // 2 rows + scan EOT
+  EXPECT_FALSE(out_[0]->IsEot());
+  EXPECT_FALSE(out_[1]->IsEot());
+  EXPECT_TRUE(out_[2]->IsEot());
+  EXPECT_EQ(out_[0]->SingletonSlot(), 0);
+  // Pacing: one row per period.
+  EXPECT_GE(times[1] - times[0], Millis(10));
+  EXPECT_TRUE(scan.finished());
+  EXPECT_TRUE(scan.Quiescent());
+  EXPECT_EQ(scan.rows_emitted(), 2u);
+}
+
+TEST_F(AmTest, ScanStallWindowDelaysRows) {
+  ScanAmOptions opts;
+  opts.period = Millis(10);
+  opts.stall_windows = {{Millis(15), Millis(500)}};
+  ScanAm scan(&ctx_, "R.scan", "R",
+              db_.store.GetTable("R").ValueOrDie()->rows(), opts);
+  std::vector<SimTime> times;
+  scan.SetSink([&](TuplePtr t, Module*) {
+    if (!t->IsEot()) times.push_back(sim_.now());
+  });
+  scan.Accept(Tuple::MakeSeed(2));
+  sim_.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_LT(times[0], Millis(15));   // before the stall
+  EXPECT_GE(times[1], Millis(500));  // deferred to window end
+}
+
+TEST_F(AmTest, ScanIgnoresDuplicateSeeds) {
+  ScanAm scan(&ctx_, "R.scan", "R",
+              db_.store.GetTable("R").ValueOrDie()->rows(), {});
+  size_t emitted = 0;
+  scan.SetSink([&](TuplePtr, Module*) { ++emitted; });
+  scan.Accept(Tuple::MakeSeed(2));
+  scan.Accept(Tuple::MakeSeed(2));
+  sim_.Run();
+  EXPECT_EQ(emitted, 3u);  // rows + one EOT, not doubled
+}
+
+TEST_F(AmTest, ScanPrioritizerMarksTuples) {
+  ScanAmOptions opts;
+  opts.prioritizer = [](const Row& r) { return r.value(0).AsInt64() == 2; };
+  ScanAm scan(&ctx_, "R.scan", "R",
+              db_.store.GetTable("R").ValueOrDie()->rows(), opts);
+  scan.SetSink([&](TuplePtr t, Module*) { out_.push_back(std::move(t)); });
+  scan.Accept(Tuple::MakeSeed(2));
+  sim_.Run();
+  EXPECT_FALSE(out_[0]->prioritized());  // row [1]
+  EXPECT_TRUE(out_[1]->prioritized());   // row [2]
+}
+
+IndexAmOptions FastIndexOptions(SimTime latency = Millis(5),
+                                int concurrency = 1) {
+  IndexAmOptions o;
+  o.latency = std::make_shared<FixedLatency>(latency);
+  o.concurrency = concurrency;
+  return o;
+}
+
+TEST_F(AmTest, IndexProbeReturnsMatchesEotAndBouncesProbe) {
+  IndexAm am(&ctx_, "S.idx", "S", {0}, db_.store.GetTable("S").ValueOrDie(),
+             FastIndexOptions());
+  am.SetSink([&](TuplePtr t, Module*) { out_.push_back(std::move(t)); });
+  TuplePtr probe = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(1)}));
+  probe->SetBuilt(0, 1);
+  probe->MarkPriorProber(1);
+  am.Accept(probe);
+  sim_.Run();
+  // Bounced probe + 2 matches + EOT.
+  ASSERT_EQ(out_.size(), 4u);
+  EXPECT_TRUE(probe->probe_completed());
+  int matches = 0, eots = 0;
+  for (const auto& t : out_) {
+    if (t.get() == probe.get()) continue;
+    if (t->IsEot()) {
+      ++eots;
+      EXPECT_EQ(t->component(1).row->value(0).AsInt64(), 1);  // bind value
+    } else {
+      ++matches;
+      EXPECT_EQ(t->SingletonSlot(), 1);
+      EXPECT_EQ(t->ValueAt(1, 0)->AsInt64(), 1);
+    }
+  }
+  EXPECT_EQ(matches, 2);
+  EXPECT_EQ(eots, 1);
+  EXPECT_EQ(am.lookups_issued(), 1u);
+  EXPECT_TRUE(am.Quiescent());
+}
+
+TEST_F(AmTest, IndexCoalescesDuplicateProbes) {
+  IndexAm am(&ctx_, "S.idx", "S", {0}, db_.store.GetTable("S").ValueOrDie(),
+             FastIndexOptions());
+  am.SetSink([&](TuplePtr t, Module*) { out_.push_back(std::move(t)); });
+  for (int i = 0; i < 3; ++i) {
+    TuplePtr p = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(1)}));
+    p->SetBuilt(0, static_cast<BuildTs>(i + 1));
+    p->MarkPriorProber(1);
+    am.Accept(p);
+  }
+  sim_.Run();
+  EXPECT_EQ(am.lookups_issued(), 1u);
+  EXPECT_EQ(am.probes_coalesced(), 2u);
+  // All three probes bounced; matches + EOT emitted once.
+  EXPECT_EQ(am.matches_emitted(), 2u);
+}
+
+TEST_F(AmTest, IndexCoalescingCanBeDisabled) {
+  IndexAmOptions o = FastIndexOptions();
+  o.coalesce_duplicate_probes = false;
+  IndexAm am(&ctx_, "S.idx", "S", {0}, db_.store.GetTable("S").ValueOrDie(),
+             std::move(o));
+  am.SetSink([&](TuplePtr, Module*) {});
+  for (int i = 0; i < 3; ++i) {
+    TuplePtr p = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(1)}));
+    p->SetBuilt(0, static_cast<BuildTs>(i + 1));
+    p->MarkPriorProber(1);
+    am.Accept(p);
+  }
+  sim_.Run();
+  EXPECT_EQ(am.lookups_issued(), 3u);  // redundant remote work
+}
+
+TEST_F(AmTest, IndexConcurrencyLimitsOutstandingLookups) {
+  // 4 distinct keys, concurrency 2, latency 5ms: two waves of lookups.
+  db_.AddTable("S2", IntSchema({"x"}), IntRows({{1}, {2}, {3}, {4}}),
+               {IndexSpec("S2.idx", {0})});
+  IndexAm am(&ctx_, "S.idx", "S", {0}, db_.store.GetTable("S").ValueOrDie(),
+             FastIndexOptions(Millis(5), 2));
+  std::vector<SimTime> eot_times;
+  am.SetSink([&](TuplePtr t, Module*) {
+    if (t->IsEot()) eot_times.push_back(sim_.now());
+  });
+  for (int64_t k = 1; k <= 4; ++k) {
+    TuplePtr p = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(k)}));
+    p->SetBuilt(0, static_cast<BuildTs>(k));
+    p->MarkPriorProber(1);
+    am.Accept(p);
+  }
+  sim_.Run();
+  ASSERT_EQ(eot_times.size(), 4u);
+  // First two complete at ~5ms, second two at ~10ms.
+  EXPECT_LT(eot_times[1], Millis(6));
+  EXPECT_GE(eot_times[2], Millis(10));
+}
+
+TEST_F(AmTest, IndexLatencyStatsObserved) {
+  IndexAm am(&ctx_, "S.idx", "S", {0}, db_.store.GetTable("S").ValueOrDie(),
+             FastIndexOptions(Millis(40)));
+  am.SetSink([&](TuplePtr, Module*) {});
+  TuplePtr p = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(2)}));
+  p->SetBuilt(0, 1);
+  p->MarkPriorProber(1);
+  am.Accept(p);
+  sim_.Run();
+  EXPECT_EQ(am.MeanLookupLatency(), Millis(40));
+  EXPECT_EQ(am.outstanding(), 0u);
+}
+
+TEST_F(AmTest, ExtractBindValues) {
+  IndexAm am(&ctx_, "S.idx", "S", {0}, db_.store.GetTable("S").ValueOrDie(),
+             FastIndexOptions());
+  TuplePtr p = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(7)}));
+  auto values = am.ExtractBindValues(*p, 1);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0].AsInt64(), 7);
+  // A tuple that spans S cannot bind S's own slot through a peer.
+  TuplePtr s = Tuple::MakeSingleton(2, 1,
+                                    MakeRow({Value::Int64(1), Value::Int64(2)}));
+  EXPECT_TRUE(am.ExtractBindValues(*s, 1).empty());
+}
+
+TEST_F(AmTest, MakeEotRowEncodesBinding) {
+  RowRef eot = MakeEotRow(3, {1}, {Value::Int64(9)});
+  EXPECT_TRUE(eot->IsEot());
+  EXPECT_TRUE(eot->value(0).is_eot());
+  EXPECT_EQ(eot->value(1).AsInt64(), 9);
+  EXPECT_TRUE(eot->value(2).is_eot());
+}
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,214 @@
+// Baseline operator tests: every traditional join module must produce the
+// brute-force result set on the same data the eddy runs on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/grace_hash_join_op.h"
+#include "baseline/index_join_op.h"
+#include "baseline/nary_shj_op.h"
+#include "baseline/shj_op.h"
+#include "baseline/sort_merge_join_op.h"
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::IndexSpec;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::ScanSpec;
+using testing::TestDb;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.AddTable("R", IntSchema({"a", "r"}),
+                 IntRows({{1, 100}, {2, 200}, {3, 300}, {2, 201}}),
+                 {ScanSpec("R.scan")});
+    db_.AddTable("S", IntSchema({"x", "y"}),
+                 IntRows({{1, 7}, {2, 8}, {2, 9}, {5, 7}}),
+                 {ScanSpec("S.scan"), IndexSpec("S.idx", {0})});
+    db_.AddTable("T", IntSchema({"b"}), IntRows({{7}, {8}}),
+                 {ScanSpec("T.scan")});
+    QueryBuilder qb(db_.catalog);
+    qb.AddTable("R").AddTable("S");
+    qb.AddJoin("R.a", "S.x");  // predicate 0
+    two_table_ = qb.Build().ValueOrDie();
+
+    QueryBuilder qb3(db_.catalog);
+    qb3.AddTable("R").AddTable("S").AddTable("T");
+    qb3.AddJoin("R.a", "S.x").AddJoin("S.y", "T.b");  // predicates 0, 1
+    three_table_ = qb3.Build().ValueOrDie();
+  }
+
+  ScanAm* AddScan(StaticPlan* plan, const char* table, const QuerySpec& q) {
+    (void)q;
+    ScanAmOptions opts;
+    opts.period = Micros(10);
+    return plan->AddModule(std::make_unique<ScanAm>(
+        plan->ctx(), std::string(table) + ".scan", table,
+        db_.store.GetTable(table).ValueOrDie()->rows(), opts));
+  }
+
+  void ExpectMatchesBruteForce(const QuerySpec& q, StaticPlan& plan) {
+    plan.Run();
+    std::vector<std::string> dups;
+    auto keys = KeysOf(plan.results(), &dups);
+    EXPECT_TRUE(dups.empty()) << dups.size() << " duplicates";
+    EXPECT_EQ(keys, BruteForceResultSet(q, db_.store));
+  }
+
+  TestDb db_;
+  QuerySpec two_table_;
+  QuerySpec three_table_;
+};
+
+TEST_F(BaselineTest, ShjMatchesBruteForce) {
+  Simulation sim;
+  StaticPlan plan(two_table_, &sim);
+  auto* r = AddScan(&plan, "R", two_table_);
+  auto* s = AddScan(&plan, "S", two_table_);
+  auto* shj = plan.AddModule(
+      std::make_unique<ShjOp>(plan.ctx(), "shj", 0b01, 0b10, 0));
+  plan.Connect(r, shj);
+  plan.Connect(s, shj);
+  plan.ConnectToSink(shj);
+  ExpectMatchesBruteForce(two_table_, plan);
+  EXPECT_EQ(shj->materialized_tuples(), 8u);  // 4 + 4 singletons
+}
+
+TEST_F(BaselineTest, IndexJoinMatchesBruteForce) {
+  Simulation sim;
+  StaticPlan plan(two_table_, &sim);
+  auto* r = AddScan(&plan, "R", two_table_);
+  IndexJoinOpOptions opts;
+  opts.lookup_latency = std::make_shared<FixedLatency>(Micros(100));
+  auto* join = plan.AddModule(std::make_unique<IndexJoinOp>(
+      plan.ctx(), "idxjoin", 0b01, 1, std::vector<int>{0},
+      db_.store.GetTable("S").ValueOrDie(), opts));
+  plan.Connect(r, join);
+  plan.ConnectToSink(join);
+  ExpectMatchesBruteForce(two_table_, plan);
+  // 3 distinct R.a values -> 3 lookups; the duplicate a=2 hits the cache.
+  EXPECT_EQ(join->index_lookups(), 3u);
+  EXPECT_EQ(join->cache_hits(), 1u);
+}
+
+TEST_F(BaselineTest, BinaryShjPipelineMatchesBruteForce) {
+  Simulation sim;
+  StaticPlan plan(three_table_, &sim);
+  auto* r = AddScan(&plan, "R", three_table_);
+  auto* s = AddScan(&plan, "S", three_table_);
+  auto* t = AddScan(&plan, "T", three_table_);
+  auto* rs = plan.AddModule(
+      std::make_unique<ShjOp>(plan.ctx(), "rs", 0b001, 0b010, 0));
+  auto* rst = plan.AddModule(
+      std::make_unique<ShjOp>(plan.ctx(), "rst", 0b011, 0b100, 1));
+  plan.Connect(r, rs);
+  plan.Connect(s, rs);
+  plan.Connect(rs, rst);
+  plan.Connect(t, rst);
+  plan.ConnectToSink(rst);
+  ExpectMatchesBruteForce(three_table_, plan);
+  // The upper join materializes intermediate RS tuples (paper §2.3).
+  EXPECT_GT(rst->materialized_tuples(), 2u);
+}
+
+TEST_F(BaselineTest, NaryShjOpMatchesBruteForce) {
+  Simulation sim;
+  StaticPlan plan(three_table_, &sim);
+  auto* r = AddScan(&plan, "R", three_table_);
+  auto* s = AddScan(&plan, "S", three_table_);
+  auto* t = AddScan(&plan, "T", three_table_);
+  auto* nary = plan.AddModule(std::make_unique<NaryShjOp>(plan.ctx(), "nary"));
+  plan.Connect(r, nary);
+  plan.Connect(s, nary);
+  plan.Connect(t, nary);
+  plan.ConnectToSink(nary);
+  ExpectMatchesBruteForce(three_table_, plan);
+  // Stores only base singletons.
+  EXPECT_EQ(nary->materialized_tuples(), 10u);  // 4 + 4 + 2
+}
+
+TEST_F(BaselineTest, GraceHashJoinMatchesBruteForce) {
+  Simulation sim;
+  StaticPlan plan(two_table_, &sim);
+  auto* r = AddScan(&plan, "R", two_table_);
+  auto* s = AddScan(&plan, "S", two_table_);
+  GraceHashJoinOpOptions opts;
+  opts.num_partitions = 4;
+  auto* grace = plan.AddModule(std::make_unique<GraceHashJoinOp>(
+      plan.ctx(), "grace", 0b01, 0b10, 0, opts));
+  plan.Connect(r, grace);
+  plan.Connect(s, grace);
+  plan.ConnectToSink(grace);
+  ExpectMatchesBruteForce(two_table_, plan);
+}
+
+TEST_F(BaselineTest, GraceResultsOnlyAfterInputsComplete) {
+  Simulation sim;
+  StaticPlan plan(two_table_, &sim);
+  auto* r = AddScan(&plan, "R", two_table_);
+  auto* s = AddScan(&plan, "S", two_table_);
+  auto* grace = plan.AddModule(std::make_unique<GraceHashJoinOp>(
+      plan.ctx(), "grace", 0b01, 0b10, 0));
+  plan.Connect(r, grace);
+  plan.Connect(s, grace);
+  plan.ConnectToSink(grace);
+  plan.Start();
+  sim.RunUntil(Micros(45));  // scans still running (4 rows x 10us + EOT)
+  EXPECT_TRUE(plan.results().empty());
+  sim.Run();
+  EXPECT_FALSE(plan.results().empty());
+}
+
+TEST_F(BaselineTest, HybridHashEmitsEarlyForResidentPartition) {
+  Simulation sim;
+  StaticPlan plan(two_table_, &sim);
+  auto* r = AddScan(&plan, "R", two_table_);
+  auto* s = AddScan(&plan, "S", two_table_);
+  GraceHashJoinOpOptions opts;
+  opts.num_partitions = 1;
+  opts.memory_resident_partitions = 1;  // fully pipelined
+  auto* hybrid = plan.AddModule(std::make_unique<GraceHashJoinOp>(
+      plan.ctx(), "hybrid", 0b01, 0b10, 0, opts));
+  plan.Connect(r, hybrid);
+  plan.Connect(s, hybrid);
+  plan.ConnectToSink(hybrid);
+  plan.Start();
+  sim.RunUntil(Micros(60));
+  EXPECT_FALSE(plan.results().empty());  // pipelined results before EOT
+  sim.Run();
+  auto keys = KeysOf(plan.results(), nullptr);
+  EXPECT_EQ(keys, BruteForceResultSet(two_table_, db_.store));
+}
+
+TEST_F(BaselineTest, SortMergeJoinMatchesBruteForce) {
+  Simulation sim;
+  StaticPlan plan(two_table_, &sim);
+  auto* r = AddScan(&plan, "R", two_table_);
+  auto* s = AddScan(&plan, "S", two_table_);
+  auto* smj = plan.AddModule(std::make_unique<SortMergeJoinOp>(
+      plan.ctx(), "smj", 0b01, 0b10, 0));
+  plan.Connect(r, smj);
+  plan.Connect(s, smj);
+  plan.ConnectToSink(smj);
+  ExpectMatchesBruteForce(two_table_, plan);
+}
+
+TEST_F(BaselineTest, JoinOperatorSideRouting) {
+  Simulation sim;
+  StaticPlan plan(two_table_, &sim);
+  ShjOp op(plan.ctx(), "shj", 0b01, 0b10, 0);
+  TuplePtr left = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(1),
+                                                      Value::Int64(2)}));
+  TuplePtr right = Tuple::MakeSingleton(2, 1, MakeRow({Value::Int64(1),
+                                                       Value::Int64(2)}));
+  EXPECT_EQ(op.SideOf(*left), 0);
+  EXPECT_EQ(op.SideOf(*right), 1);
+  EXPECT_FALSE(op.AllSidesComplete());
+}
+
+}  // namespace
+}  // namespace stems

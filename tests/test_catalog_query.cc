@@ -1,0 +1,219 @@
+// Unit tests: catalog, query building, join graph, bind-order validation.
+#include <gtest/gtest.h>
+
+#include "query/join_graph.h"
+#include "query/validation.h"
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::IndexSpec;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::ScanSpec;
+using testing::TestDb;
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable({"R", IntSchema({"a"}), {ScanSpec("s")}}).ok());
+  EXPECT_EQ(c.AddTable({"R", IntSchema({"a"}), {ScanSpec("s")}}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, IndexAmRequiresValidBindColumns) {
+  Catalog c;
+  EXPECT_EQ(
+      c.AddTable({"R", IntSchema({"a"}), {IndexSpec("i", {})}}).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      c.AddTable({"S", IntSchema({"a"}), {IndexSpec("i", {3})}}).code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST(CatalogTest, AmKindPredicates) {
+  TableDef both{"T", IntSchema({"a"}), {ScanSpec("s"), IndexSpec("i", {0})}};
+  EXPECT_TRUE(both.HasScanAm());
+  EXPECT_TRUE(both.HasIndexAm());
+  TableDef scan_only{"U", IntSchema({"a"}), {ScanSpec("s")}};
+  EXPECT_FALSE(scan_only.HasIndexAm());
+}
+
+class QueryBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.AddTable("R", IntSchema({"a", "b"}), IntRows({}), {ScanSpec("R.s")});
+    db_.AddTable("S", IntSchema({"x"}), IntRows({}), {ScanSpec("S.s")});
+  }
+  TestDb db_;
+};
+
+TEST_F(QueryBuilderTest, ResolvesQualifiedColumns) {
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  auto q = qb.Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.Value().num_slots(), 2u);
+  EXPECT_EQ(q.Value().predicates()[0].lhs().table_slot, 0);
+  EXPECT_EQ(q.Value().predicates()[0].rhs().table_slot, 1);
+}
+
+TEST_F(QueryBuilderTest, ErrorsAreReported) {
+  {
+    QueryBuilder qb(db_.catalog);
+    EXPECT_EQ(qb.Build().status().code(), StatusCode::kInvalidQuery);
+  }
+  {
+    QueryBuilder qb(db_.catalog);
+    qb.AddTable("Nope");
+    EXPECT_EQ(qb.Build().status().code(), StatusCode::kNotFound);
+  }
+  {
+    QueryBuilder qb(db_.catalog);
+    qb.AddTable("R").AddTable("R");  // duplicate alias
+    EXPECT_EQ(qb.Build().status().code(), StatusCode::kInvalidQuery);
+  }
+  {
+    QueryBuilder qb(db_.catalog);
+    qb.AddTable("R").AddTable("S").AddJoin("R.zzz", "S.x");
+    EXPECT_EQ(qb.Build().status().code(), StatusCode::kNotFound);
+  }
+  {
+    QueryBuilder qb(db_.catalog);
+    qb.AddTable("R").AddTable("S").AddJoin("unqualified", "S.x");
+    EXPECT_EQ(qb.Build().status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    QueryBuilder qb(db_.catalog);
+    qb.AddTable("R").AddTable("S").AddJoin("R.a", "R.b");  // same slot
+    EXPECT_EQ(qb.Build().status().code(), StatusCode::kInvalidQuery);
+  }
+}
+
+TEST_F(QueryBuilderTest, SelfJoinAliases) {
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R", "r1").AddTable("R", "r2").AddJoin("r1.a", "r2.b");
+  auto q = qb.Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.Value().slots()[0].table_name, "R");
+  EXPECT_EQ(q.Value().slots()[1].table_name, "R");
+}
+
+TEST_F(QueryBuilderTest, HelperAccessors) {
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  qb.AddSelection("R.b", CompareOp::kGt, Value::Int64(0));
+  QuerySpec q = qb.Build().ValueOrDie();
+  EXPECT_EQ(q.JoinPredicatesOn(0).size(), 1u);
+  EXPECT_EQ(q.JoinPredicatesOn(1).size(), 1u);
+  EXPECT_EQ(q.SelectionsOn(0).size(), 1u);
+  EXPECT_EQ(q.SelectionsOn(1).size(), 0u);
+  EXPECT_EQ(q.SlotOf("S").ValueOrDie(), 1);
+  EXPECT_EQ(q.full_span_mask(), 0b11u);
+}
+
+TEST(JoinGraphTest, ChainIsAcyclic) {
+  TestDb db;
+  db.AddTable("A", IntSchema({"x"}), {}, {ScanSpec("a")});
+  db.AddTable("B", IntSchema({"x"}), {}, {ScanSpec("b")});
+  db.AddTable("C", IntSchema({"x"}), {}, {ScanSpec("c")});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("A").AddTable("B").AddTable("C");
+  qb.AddJoin("A.x", "B.x").AddJoin("B.x", "C.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  JoinGraph g(q);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_FALSE(g.IsCyclic());
+  EXPECT_EQ(g.Neighbors(1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(g.SpanningTrees().size(), 1u);
+}
+
+TEST(JoinGraphTest, TriangleIsCyclicWithThreeSpanningTrees) {
+  TestDb db;
+  db.AddTable("A", IntSchema({"x"}), {}, {ScanSpec("a")});
+  db.AddTable("B", IntSchema({"x"}), {}, {ScanSpec("b")});
+  db.AddTable("C", IntSchema({"x"}), {}, {ScanSpec("c")});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("A").AddTable("B").AddTable("C");
+  qb.AddJoin("A.x", "B.x").AddJoin("B.x", "C.x").AddJoin("C.x", "A.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  JoinGraph g(q);
+  EXPECT_TRUE(g.IsCyclic());
+  EXPECT_EQ(g.SpanningTrees().size(), 3u);
+}
+
+TEST(JoinGraphTest, DisconnectedGraph) {
+  TestDb db;
+  db.AddTable("A", IntSchema({"x"}), {}, {ScanSpec("a")});
+  db.AddTable("B", IntSchema({"x"}), {}, {ScanSpec("b")});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("A").AddTable("B");  // cross product
+  QuerySpec q = qb.Build().ValueOrDie();
+  JoinGraph g(q);
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_TRUE(g.SpanningTrees().empty());
+}
+
+TEST(ValidationTest, ScanTablesAlwaysReachable) {
+  TestDb db;
+  db.AddTable("A", IntSchema({"x"}), {}, {ScanSpec("a")});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("A");
+  EXPECT_TRUE(ValidateBindOrder(qb.Build().ValueOrDie()).ok());
+}
+
+TEST(ValidationTest, IndexChainReachable) {
+  // A(scan) -> B(index bound by A) -> C(index bound by B): valid.
+  TestDb db;
+  db.AddTable("A", IntSchema({"x"}), {}, {ScanSpec("a")});
+  db.AddTable("B", IntSchema({"x", "y"}), {}, {IndexSpec("b", {0})});
+  db.AddTable("C", IntSchema({"z"}), {}, {IndexSpec("c", {0})});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("A").AddTable("B").AddTable("C");
+  qb.AddJoin("A.x", "B.x").AddJoin("B.y", "C.z");
+  EXPECT_TRUE(ValidateBindOrder(qb.Build().ValueOrDie()).ok());
+}
+
+TEST(ValidationTest, MutuallyDependentIndexesRejected) {
+  // B and C are index-only and can only bind each other: no seed.
+  TestDb db;
+  db.AddTable("B", IntSchema({"x"}), {}, {IndexSpec("b", {0})});
+  db.AddTable("C", IntSchema({"z"}), {}, {IndexSpec("c", {0})});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("B").AddTable("C");
+  qb.AddJoin("B.x", "C.z");
+  EXPECT_EQ(ValidateBindOrder(qb.Build().ValueOrDie()).code(),
+            StatusCode::kInvalidQuery);
+}
+
+TEST(ValidationTest, ThetaBindingDoesNotCount) {
+  // The index bind column is only theta-joined: cannot be bound.
+  TestDb db;
+  db.AddTable("A", IntSchema({"x"}), {}, {ScanSpec("a")});
+  db.AddTable("B", IntSchema({"x"}), {}, {IndexSpec("b", {0})});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("A").AddTable("B");
+  qb.AddJoin("A.x", "B.x", CompareOp::kLt);
+  EXPECT_EQ(ValidateBindOrder(qb.Build().ValueOrDie()).code(),
+            StatusCode::kInvalidQuery);
+}
+
+TEST(ValidationTest, MultiColumnBindNeedsAllColumns) {
+  TestDb db;
+  db.AddTable("A", IntSchema({"x", "y"}), {}, {ScanSpec("a")});
+  db.AddTable("B", IntSchema({"p", "q"}), {}, {IndexSpec("b", {0, 1})});
+  {
+    QueryBuilder qb(db.catalog);
+    qb.AddTable("A").AddTable("B").AddJoin("A.x", "B.p");
+    EXPECT_FALSE(ValidateBindOrder(qb.Build().ValueOrDie()).ok());
+  }
+  {
+    QueryBuilder qb(db.catalog);
+    qb.AddTable("A").AddTable("B");
+    qb.AddJoin("A.x", "B.p").AddJoin("A.y", "B.q");
+    EXPECT_TRUE(ValidateBindOrder(qb.Build().ValueOrDie()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,141 @@
+// Unit tests: common substrate (Status/Result, Rng, Zipf).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace stems {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad column");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad column");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad column");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                    StatusCode::kNotFound, StatusCode::kAlreadyExists,
+                    StatusCode::kOutOfRange, StatusCode::kUnsupported,
+                    StatusCode::kInternal, StatusCode::kResourceExhausted,
+                    StatusCode::kInvalidQuery}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Value(), 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 3);
+}
+
+Status FailingHelper() { return Status::Internal("boom"); }
+
+Status UsesReturnNotOk() {
+  STEMS_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+Result<int> ProducesValue() { return 5; }
+
+Status UsesAssignOrReturn(int* out) {
+  STEMS_ASSIGN_OR_RETURN(int v, ProducesValue());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(ResultTest, Macros) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kInternal);
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(7);
+  auto perm = rng.Permutation(100);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(ZipfTest, SkewedTowardSmallRanks) {
+  ZipfGenerator zipf(1000, 1.2, 5);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    if (zipf.Next() < 10) ++low;
+  }
+  // With s=1.2 the top-10 ranks carry a large share of the mass.
+  EXPECT_GT(low, total / 4);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniformish) {
+  ZipfGenerator zipf(10, 0.0, 6);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Next()];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,167 @@
+// End-to-end eddy correctness on small hand-checked queries
+// (paper Theorems 1 and 2 in miniature).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::EddyRun;
+using testing::ExpectCorrect;
+using testing::FastConfig;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::IndexSpec;
+using testing::MakePolicy;
+using testing::PolicyKind;
+using testing::RunEddy;
+using testing::ScanSpec;
+using testing::TestDb;
+
+class EddyBasicTest : public ::testing::Test {
+ protected:
+  TestDb db_;
+};
+
+TEST_F(EddyBasicTest, TwoTableEquiJoinScans) {
+  db_.AddTable("R", IntSchema({"key", "a"}),
+               IntRows({{1, 10}, {2, 20}, {3, 10}}), {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "p"}),
+               IntRows({{10, 100}, {20, 200}, {30, 300}}),
+               {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 3u);  // (1,10)-(10,100), (3,10)-(10,100), (2,20)-(20,200)
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+TEST_F(EddyBasicTest, TwoTableJoinEmptyResult) {
+  db_.AddTable("R", IntSchema({"key", "a"}), IntRows({{1, 1}, {2, 2}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({{7}, {8}}),
+               {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 0u);
+  EXPECT_EQ(run.violations, 0u);
+}
+
+TEST_F(EddyBasicTest, EmptyTable) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), {}, {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+TEST_F(EddyBasicTest, SingleTableSelection) {
+  db_.AddTable("R", IntSchema({"key", "a"}),
+               IntRows({{1, 5}, {2, 15}, {3, 25}}), {ScanSpec("R.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddSelection("R.a", CompareOp::kGt, Value::Int64(10));
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 2u);
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+TEST_F(EddyBasicTest, JoinWithSelectionsBothSides) {
+  db_.AddTable("R", IntSchema({"key", "a"}),
+               IntRows({{1, 1}, {2, 2}, {3, 3}, {4, 4}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "v"}),
+               IntRows({{1, 10}, {2, 20}, {3, 30}, {4, 40}}),
+               {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  qb.AddSelection("R.key", CompareOp::kGe, Value::Int64(2));
+  qb.AddSelection("S.v", CompareOp::kLt, Value::Int64(40));
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 2u);  // (2,2)x(2,20), (3,3)x(3,30)
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+TEST_F(EddyBasicTest, ThreeTableChain) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}, {3}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "y"}),
+               IntRows({{1, 7}, {2, 8}, {3, 9}, {3, 7}}),
+               {ScanSpec("S.scan")});
+  db_.AddTable("T", IntSchema({"b"}), IntRows({{7}, {8}}),
+               {ScanSpec("T.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddTable("T");
+  qb.AddJoin("R.a", "S.x").AddJoin("S.y", "T.b");
+  QuerySpec q = qb.Build().ValueOrDie();
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+TEST_F(EddyBasicTest, ThreeTableChainAllPolicies) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}, {3}, {4}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "y"}),
+               IntRows({{1, 7}, {2, 8}, {4, 9}, {4, 7}, {1, 7}}),
+               {ScanSpec("S.scan")});
+  db_.AddTable("T", IntSchema({"b", "c"}),
+               IntRows({{7, 0}, {8, 1}, {9, 2}}), {ScanSpec("T.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddTable("T");
+  qb.AddJoin("R.a", "S.x").AddJoin("S.y", "T.b");
+  QuerySpec q = qb.Build().ValueOrDie();
+  for (auto kind : {PolicyKind::kNaryShj, PolicyKind::kLottery,
+                    PolicyKind::kBenefitCost}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ExpectCorrect(q, db_, FastConfig(), MakePolicy(kind));
+  }
+}
+
+TEST_F(EddyBasicTest, CrossProduct) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({{10}, {20}, {30}}),
+               {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 6u);
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+TEST_F(EddyBasicTest, ThetaJoinLessThan) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {5}, {9}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({{3}, {6}}),
+               {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x", CompareOp::kLt);
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 3u);  // 1<3, 1<6, 5<6
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+TEST_F(EddyBasicTest, DuplicateRowsInBaseTableAreSetSemantics) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {1}, {2}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({{1}, {2}, {2}}),
+               {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 2u);  // set semantics (paper §3.2)
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,252 @@
+// Eddy correctness across the full query-class ladder of paper §3:
+// index AMs (§3.3), competitive AMs (§3.2), cyclic queries (§3.4),
+// relaxed BuildFirst (§3.5), self-joins (§2.2).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::EddyRun;
+using testing::ExpectCorrect;
+using testing::FastConfig;
+using testing::IndexSpec;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::MakePolicy;
+using testing::PolicyKind;
+using testing::RunEddy;
+using testing::ScanSpec;
+using testing::TestDb;
+
+class EddyQueriesTest : public ::testing::Test {
+ protected:
+  TestDb db_;
+};
+
+// §3.3 / Figure 4: the inner table has only index AMs; probes must complete
+// through the index, matches rendezvous through the probe side's SteM.
+TEST_F(EddyQueriesTest, IndexOnlyInnerTable) {
+  db_.AddTable("R", IntSchema({"key", "a"}),
+               IntRows({{1, 10}, {2, 20}, {3, 10}, {4, 30}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "p"}),
+               IntRows({{10, 100}, {20, 200}, {40, 400}}),
+               {IndexSpec("S.idx_x", {0})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 3u);
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+// Two index AMs on different key columns of the same table (paper Table 3's
+// source S): the query can bind either.
+TEST_F(EddyQueriesTest, IndexOnlyTableTwoKeys) {
+  db_.AddTable("R", IntSchema({"a", "b"}),
+               IntRows({{1, 5}, {2, 6}, {3, 7}}), {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "y"}),
+               IntRows({{1, 1}, {2, 2}, {3, 3}, {4, 4}}),
+               {IndexSpec("S.idx_x", {0}), IndexSpec("S.idx_y", {1})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+// §3.3: table with BOTH scan and index AM — the shared SteM deduplicates
+// whatever arrives from either access path; no duplicate results.
+TEST_F(EddyQueriesTest, ScanPlusIndexOnSameTable) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}, {3}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("T", IntSchema({"key", "v"}),
+               IntRows({{1, 11}, {2, 22}, {3, 33}, {4, 44}}),
+               {ScanSpec("T.scan"), IndexSpec("T.idx", {0})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
+  QuerySpec q = qb.Build().ValueOrDie();
+  // SteM(T) must bounce probes (kAlways) for the policy to use the index.
+  ExecutionConfig config = FastConfig();
+  StemOptions t_opts;
+  t_opts.bounce_mode = ProbeBounceMode::kAlways;
+  config.stem_overrides["T"] = t_opts;
+  for (auto kind : {PolicyKind::kNaryShj, PolicyKind::kBenefitCost}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ExpectCorrect(q, db_, config, MakePolicy(kind));
+  }
+}
+
+// §3.2: two scan AMs on one table (competing sources serving the same
+// data); set-semantics dedup in the SteM removes the overlap.
+TEST_F(EddyQueriesTest, CompetitiveScanAms) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}, {3}}),
+               {ScanSpec("R.scan1"), ScanSpec("R.scan2")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({{1}, {3}}),
+               {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 2u);
+  EXPECT_TRUE(run.duplicates.empty());
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+// §3.4: fully cyclic 3-way join (predicates on all three pairs). No
+// spanning tree is fixed; ProbeCompletion prevents duplicate derivations.
+TEST_F(EddyQueriesTest, CyclicTriangleQuery) {
+  db_.AddTable("R", IntSchema({"a", "c"}),
+               IntRows({{1, 7}, {2, 8}, {1, 8}}), {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "y"}),
+               IntRows({{1, 4}, {2, 5}, {1, 5}}), {ScanSpec("S.scan")});
+  db_.AddTable("T", IntSchema({"b", "d"}),
+               IntRows({{4, 7}, {5, 8}, {4, 8}}), {ScanSpec("T.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddTable("T");
+  qb.AddJoin("R.a", "S.x").AddJoin("S.y", "T.b").AddJoin("T.d", "R.c");
+  QuerySpec q = qb.Build().ValueOrDie();
+  JoinGraph graph(q);
+  EXPECT_TRUE(graph.IsCyclic());
+  for (auto kind : {PolicyKind::kNaryShj, PolicyKind::kLottery,
+                    PolicyKind::kBenefitCost}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ExpectCorrect(q, db_, FastConfig(), MakePolicy(kind));
+  }
+}
+
+// Cyclic query with an index-AM table inside the cycle.
+TEST_F(EddyQueriesTest, CyclicWithIndexAm) {
+  db_.AddTable("R", IntSchema({"a", "c"}),
+               IntRows({{1, 7}, {2, 8}}), {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "y"}),
+               IntRows({{1, 4}, {2, 5}}), {ScanSpec("S.scan")});
+  db_.AddTable("T", IntSchema({"b", "d"}),
+               IntRows({{4, 7}, {5, 8}, {5, 7}}),
+               {IndexSpec("T.idx_b", {0})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddTable("T");
+  qb.AddJoin("R.a", "S.x").AddJoin("S.y", "T.b").AddJoin("T.d", "R.c");
+  QuerySpec q = qb.Build().ValueOrDie();
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+// §2.2: self-join — two instances of one table share a single SteM.
+TEST_F(EddyQueriesTest, SelfJoin) {
+  db_.AddTable("R", IntSchema({"key", "mgr"}),
+               IntRows({{1, 2}, {2, 3}, {3, 1}, {4, 4}}),
+               {ScanSpec("R.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R", "e").AddTable("R", "m").AddJoin("e.mgr", "m.key");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 4u);  // (1,2),(2,3),(3,1),(4,4 self)
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+TEST_F(EddyQueriesTest, SelfJoinCrossKeysAllPairs) {
+  db_.AddTable("R", IntSchema({"g", "v"}),
+               IntRows({{1, 10}, {1, 20}, {1, 30}, {2, 40}}),
+               {ScanSpec("R.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R", "l").AddTable("R", "r").AddJoin("l.g", "r.g");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 10u);  // 3x3 within group 1 + 1 within group 2
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+// §3.5: relaxed BuildFirst — the large table's singletons probe without
+// building, re-probing via LastMatchTimeStamp until covered.
+TEST_F(EddyQueriesTest, RelaxedBuildFirst) {
+  db_.AddTable("Big", IntSchema({"a"}),
+               IntRows({{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}),
+               {ScanSpec("Big.scan")});
+  db_.AddTable("Small", IntSchema({"x"}), IntRows({{2}, {4}, {6}}),
+               {ScanSpec("Small.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("Big").AddTable("Small").AddJoin("Big.a", "Small.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+
+  ExecutionConfig config = FastConfig();
+  config.eddy.relax_build_first = true;
+  config.eddy.no_build_tables = {"Big"};
+  // Make Big much faster than Small so unbuilt Big probes genuinely arrive
+  // before Small rows and must wait/re-probe.
+  config.scan_overrides["Big.scan"] = {};
+  config.scan_overrides["Big.scan"].period = Micros(5);
+  config.scan_overrides["Small.scan"] = {};
+  config.scan_overrides["Small.scan"].period = Millis(5);
+  ExpectCorrect(q, db_, config, MakePolicy(PolicyKind::kNaryShj));
+}
+
+// Star query: center joins three satellites on different columns.
+TEST_F(EddyQueriesTest, StarQueryFourTables) {
+  db_.AddTable("C", IntSchema({"a", "b", "c"}),
+               IntRows({{1, 4, 7}, {2, 5, 8}, {3, 6, 9}}),
+               {ScanSpec("C.scan")});
+  db_.AddTable("X", IntSchema({"a"}), IntRows({{1}, {2}}),
+               {ScanSpec("X.scan")});
+  db_.AddTable("Y", IntSchema({"b"}), IntRows({{4}, {6}}),
+               {ScanSpec("Y.scan")});
+  db_.AddTable("Z", IntSchema({"c"}), IntRows({{7}, {8}, {9}}),
+               {ScanSpec("Z.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("C").AddTable("X").AddTable("Y").AddTable("Z");
+  qb.AddJoin("C.a", "X.a").AddJoin("C.b", "Y.b").AddJoin("C.c", "Z.c");
+  QuerySpec q = qb.Build().ValueOrDie();
+  for (auto kind : {PolicyKind::kNaryShj, PolicyKind::kLottery}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ExpectCorrect(q, db_, FastConfig(), MakePolicy(kind));
+  }
+}
+
+// A query that cannot be executed: index-only table whose bind column has
+// no join predicate.
+TEST_F(EddyQueriesTest, UnbindableQueryRejected) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}}), {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "y"}), IntRows({{1, 2}}),
+               {IndexSpec("S.idx_y", {1})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");  // binds x, not y
+  QuerySpec q = qb.Build().ValueOrDie();
+  Simulation sim;
+  auto planned = PlanQuery(q, db_.store, &sim, FastConfig());
+  EXPECT_FALSE(planned.ok());
+  EXPECT_EQ(planned.status().code(), StatusCode::kInvalidQuery);
+}
+
+// Index AM whose table also carries a selection: residual predicate applies.
+TEST_F(EddyQueriesTest, IndexAmWithResidualSelection) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}, {3}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "v"}),
+               IntRows({{1, 10}, {2, 20}, {3, 30}, {3, 5}}),
+               {IndexSpec("S.idx", {0})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  qb.AddSelection("S.v", CompareOp::kGe, Value::Int64(10));
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 3u);
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+// Two join predicates between the same pair of tables.
+TEST_F(EddyQueriesTest, ParallelEdgesBetweenTwoTables) {
+  db_.AddTable("R", IntSchema({"a", "b"}),
+               IntRows({{1, 4}, {2, 5}, {3, 6}}), {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "y"}),
+               IntRows({{1, 4}, {2, 9}, {3, 6}}), {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S");
+  qb.AddJoin("R.a", "S.x").AddJoin("R.b", "S.y");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 2u);  // rows 1 and 3 match on both
+  ExpectCorrect(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+}
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,198 @@
+// Failure injection: source stalls, bursty latencies, slow mirrors,
+// pathological data (all duplicates, empty sides, key skew) — correctness
+// must hold in every case, and progress properties must match the paper's
+// claims (e.g. competitive AMs mask a stalled source).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::EddyRun;
+using testing::FastConfig;
+using testing::IndexSpec;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::MakePolicy;
+using testing::PolicyKind;
+using testing::RunEddy;
+using testing::ScanSpec;
+using testing::TestDb;
+
+void ExpectCorrectRun(const QuerySpec& q, const TestDb& db,
+                      const ExecutionConfig& config, PolicyKind kind) {
+  EddyRun run = RunEddy(q, db, config, MakePolicy(kind));
+  EXPECT_TRUE(run.duplicates.empty());
+  EXPECT_EQ(run.keys, BruteForceResultSet(q, db.store));
+  EXPECT_EQ(run.violations, 0u);
+}
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  TestDb db_;
+};
+
+TEST_F(FailureInjectionTest, ScanStallMidQuery) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}, {3}, {4}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({{2}, {4}, {6}}),
+               {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  ExecutionConfig config = FastConfig();
+  config.scan_overrides["S.scan"].period = Micros(20);
+  config.scan_overrides["S.scan"].stall_windows = {
+      {Micros(30), Millis(500)}};  // long mid-scan outage
+  ExpectCorrectRun(q, db_, config, PolicyKind::kNaryShj);
+}
+
+TEST_F(FailureInjectionTest, IndexSourceStallsThenRecovers) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}, {3}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x", "v"}),
+               IntRows({{1, 10}, {2, 20}, {3, 30}}),
+               {IndexSpec("S.idx", {0})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  ExecutionConfig config = FastConfig();
+  config.index_defaults.latency = std::make_shared<StallWindowLatency>(
+      std::make_unique<FixedLatency>(Micros(100)),
+      std::vector<StallWindowLatency::Window>{{Micros(50), Millis(200)}});
+  ExpectCorrectRun(q, db_, config, PolicyKind::kNaryShj);
+}
+
+TEST_F(FailureInjectionTest, BurstyExponentialLatencies) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{0}, {1}, {2}, {3}, {4}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({{0}, {2}, {4}}),
+               {IndexSpec("S.idx", {0})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    ExecutionConfig config = FastConfig();
+    config.index_defaults.latency =
+        std::make_shared<ExponentialLatency>(Millis(2));
+    config.index_defaults.seed = seed;
+    config.index_defaults.concurrency = 2;
+    SCOPED_TRACE(seed);
+    ExpectCorrectRun(q, db_, config, PolicyKind::kLottery);
+  }
+}
+
+TEST_F(FailureInjectionTest, AllRowsIdentical) {
+  // Pathological: every row a duplicate; set semantics collapse to one.
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{7}, {7}, {7}, {7}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({{7}, {7}}),
+               {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 1u);
+  EXPECT_TRUE(run.duplicates.empty());
+}
+
+TEST_F(FailureInjectionTest, HeavyKeySkew) {
+  // One hot key matching everything, many cold keys matching nothing.
+  std::vector<std::vector<int64_t>> r_rows, s_rows;
+  for (int i = 0; i < 40; ++i) r_rows.push_back({i % 2 == 0 ? 0 : 100 + i});
+  for (int i = 0; i < 10; ++i) s_rows.push_back({i == 0 ? 0 : 500 + i});
+  db_.AddTable("R", IntSchema({"a"}), IntRows(r_rows), {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows(s_rows), {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  ExpectCorrectRun(q, db_, FastConfig(), PolicyKind::kBenefitCost);
+}
+
+TEST_F(FailureInjectionTest, EmptyProbeSideIndexTable) {
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({}), {IndexSpec("S.idx", {0})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db_, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  EXPECT_EQ(run.num_results, 0u);
+  EXPECT_EQ(run.violations, 0u);
+  EXPECT_EQ(run.parked, 0u);  // EOTs release everything
+}
+
+TEST_F(FailureInjectionTest, CompetitiveAmsMaskStalledMirror) {
+  // Progress property (paper §3.2): with a healthy mirror, completion is
+  // not hostage to the stalled one.
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{0}, {1}, {2}, {3}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}),
+               IntRows({{0}, {1}, {2}, {3}}),
+               {IndexSpec("S.slow", {0}), IndexSpec("S.fast", {0})});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+
+  ExecutionConfig config = FastConfig();
+  config.scan_defaults.period = Micros(10);
+  config.index_overrides["S.fast"].latency =
+      std::make_shared<FixedLatency>(Micros(100));
+  config.index_overrides["S.slow"].latency =
+      std::make_shared<FixedLatency>(Seconds(30));  // effectively dead
+
+  Simulation sim;
+  auto eddy = PlanQuery(q, db_.store, &sim, config).ValueOrDie();
+  eddy->SetPolicy(MakePolicy(PolicyKind::kBenefitCost));
+  eddy->RunToCompletion();
+  EXPECT_EQ(eddy->num_results(), 4u);
+  // All results well before the dead mirror's 30s latency.
+  EXPECT_LT(eddy->ctx()->metrics.Series("results").TimeToReach(4),
+            Seconds(10));
+}
+
+TEST_F(FailureInjectionTest, SlowConsumerBackpressureStats) {
+  // A very slow SteM accumulates queue; stats must reflect the wait.
+  db_.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}, {3}, {4}, {5}}),
+               {ScanSpec("R.scan")});
+  db_.AddTable("S", IntSchema({"x"}), IntRows({{1}}), {ScanSpec("S.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  ExecutionConfig config = FastConfig();
+  StemOptions slow;
+  slow.build_service_time = Millis(50);
+  slow.probe_service_time = Millis(50);
+  config.stem_overrides["S"] = slow;
+  config.scan_defaults.period = Micros(5);
+  Simulation sim;
+  auto eddy = PlanQuery(q, db_.store, &sim, config).ValueOrDie();
+  eddy->SetPolicy(MakePolicy(PolicyKind::kNaryShj));
+  eddy->RunToCompletion();
+  EXPECT_EQ(eddy->num_results(), 1u);
+  EXPECT_GT(eddy->StemForTable("S")->stats().queue_wait_time, 0u);
+  EXPECT_GT(eddy->StemForTable("S")->stats().max_queue_len, 1u);
+}
+
+TEST_F(FailureInjectionTest, RelaxedBuildFirstUnderStalls) {
+  db_.AddTable("Big", IntSchema({"a"}),
+               IntRows({{1}, {2}, {3}, {4}, {5}, {6}}),
+               {ScanSpec("Big.scan")});
+  db_.AddTable("Small", IntSchema({"x"}), IntRows({{2}, {4}}),
+               {ScanSpec("Small.scan")});
+  QueryBuilder qb(db_.catalog);
+  qb.AddTable("Big").AddTable("Small").AddJoin("Big.a", "Small.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+  ExecutionConfig config = FastConfig();
+  config.eddy.relax_build_first = true;
+  config.eddy.no_build_tables = {"Big"};
+  config.scan_overrides["Big.scan"].period = Micros(1);
+  config.scan_overrides["Small.scan"].period = Millis(2);
+  config.scan_overrides["Small.scan"].stall_windows = {
+      {Millis(1), Millis(300)}};
+  ExpectCorrectRun(q, db_, config, PolicyKind::kNaryShj);
+}
+
+}  // namespace
+}  // namespace stems

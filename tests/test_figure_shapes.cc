@@ -1,0 +1,207 @@
+// Integration regression tests for the paper's headline results: scaled-
+// down versions of Figures 7 and 8 whose *shapes* are asserted, so a
+// routing or SteM regression that silently destroys the adaptation story
+// (while staying correct) still fails the suite.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/index_join_op.h"
+#include "baseline/operator.h"
+#include "baseline/shj_op.h"
+#include "eddy/policies/benefit_cost_policy.h"
+#include "eddy/policies/nary_shj_policy.h"
+#include "query/planner.h"
+#include "storage/generators.h"
+
+namespace stems {
+namespace {
+
+// --- Figure 7 in miniature ----------------------------------------------------
+
+class Fig7ShapeTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 200;
+  static constexpr size_t kDistinct = 50;
+  static constexpr SimTime kScanPeriod = Millis(5);
+  static constexpr SimTime kIndexLatency = Millis(150);
+
+  void SetUp() override {
+    TableDef r{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}};
+    TableDef s{"S", SchemaS(), {{"S.idx", AccessMethodKind::kIndex, {0}}}};
+    ASSERT_TRUE(catalog_.AddTable(r).ok());
+    ASSERT_TRUE(catalog_.AddTable(s).ok());
+    ASSERT_TRUE(store_.AddTable("R", SchemaR(),
+                                GenerateTableR(kRows, kDistinct, 7)).ok());
+    ASSERT_TRUE(
+        store_.AddTable("S", SchemaS(), GenerateTableS(kDistinct)).ok());
+    QueryBuilder qb(catalog_);
+    qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+    query_ = qb.Build().ValueOrDie();
+  }
+
+  void RunIndexJoin(CounterSeries* results, uint64_t* probes) {
+    Simulation sim;
+    StaticPlan plan(query_, &sim);
+    ScanAmOptions scan_opts;
+    scan_opts.period = kScanPeriod;
+    auto* scan = plan.AddModule(std::make_unique<ScanAm>(
+        plan.ctx(), "R.scan", "R", store_.GetTable("R").ValueOrDie()->rows(),
+        scan_opts));
+    IndexJoinOpOptions jopts;
+    jopts.lookup_latency = std::make_shared<FixedLatency>(kIndexLatency);
+    auto* join = plan.AddModule(std::make_unique<IndexJoinOp>(
+        plan.ctx(), "ij", 0b01, 1, std::vector<int>{0},
+        store_.GetTable("S").ValueOrDie(), jopts));
+    plan.Connect(scan, join);
+    plan.ConnectToSink(join);
+    plan.Run();
+    *results = plan.ctx()->metrics.Series("results");
+    *probes = static_cast<uint64_t>(join->index_lookups());
+  }
+
+  void RunStems(CounterSeries* results, uint64_t* probes) {
+    Simulation sim;
+    ExecutionConfig config;
+    config.scan_defaults.period = kScanPeriod;
+    config.index_defaults.latency =
+        std::make_shared<FixedLatency>(kIndexLatency);
+    auto eddy = PlanQuery(query_, store_, &sim, config).ValueOrDie();
+    eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+    eddy->RunToCompletion();
+    ASSERT_TRUE(eddy->violations().empty());
+    *results = eddy->ctx()->metrics.Series("results");
+    *probes = static_cast<uint64_t>(
+        eddy->ctx()->metrics.Series("S.idx.probes").total());
+  }
+
+  Catalog catalog_;
+  TableStore store_;
+  QuerySpec query_;
+};
+
+TEST_F(Fig7ShapeTest, StemsAheadThroughoutSameCompletion) {
+  CounterSeries ij, st;
+  uint64_t ij_probes = 0, st_probes = 0;
+  RunIndexJoin(&ij, &ij_probes);
+  RunStems(&st, &st_probes);
+
+  // Identical totals and near-identical remote work (Fig 7(ii)).
+  EXPECT_EQ(ij.total(), st.total());
+  EXPECT_EQ(ij.total(), static_cast<int64_t>(kRows));
+  EXPECT_EQ(ij_probes, st_probes);
+
+  // SteMs lead at every mid-execution sample (Fig 7(i)).
+  const SimTime completion = st.TimeToReach(st.total());
+  int stem_ahead = 0, samples = 0;
+  for (int pct = 20; pct <= 80; pct += 10) {
+    const SimTime t = completion * pct / 100;
+    ++samples;
+    if (st.ValueAt(t) >= ij.ValueAt(t)) ++stem_ahead;
+  }
+  EXPECT_EQ(stem_ahead, samples);
+  // Big online-metric advantage at the halfway point.
+  EXPECT_GT(st.ValueAt(completion / 2), 2 * ij.ValueAt(completion / 2));
+
+  // Similar overall completion (within 10%).
+  const double ij_done = static_cast<double>(ij.TimeToReach(ij.total()));
+  const double st_done = static_cast<double>(completion);
+  EXPECT_LT(std::abs(ij_done - st_done) / ij_done, 0.10);
+}
+
+// --- Figure 8 in miniature -----------------------------------------------------
+
+class Fig8ShapeTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 200;
+  static constexpr SimTime kRScan = Millis(6);
+  static constexpr SimTime kTScan = Millis(12);
+  static constexpr SimTime kIndexLatency = Millis(25);
+
+  void SetUp() override {
+    TableDef r{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}};
+    TableDef t{"T",
+               SchemaT(),
+               {{"T.scan", AccessMethodKind::kScan, {}},
+                {"T.idx", AccessMethodKind::kIndex, {0}}}};
+    ASSERT_TRUE(catalog_.AddTable(r).ok());
+    ASSERT_TRUE(catalog_.AddTable(t).ok());
+    std::vector<RowRef> r_rows;
+    for (size_t i = 0; i < kRows; ++i) {
+      r_rows.push_back(MakeRow({Value::Int64(static_cast<int64_t>(i)),
+                                Value::Int64(0)}));
+    }
+    ASSERT_TRUE(store_.AddTable("R", SchemaR(), std::move(r_rows)).ok());
+    ASSERT_TRUE(
+        store_.AddTable("T", SchemaT(), GenerateTableT(kRows, 11)).ok());
+    QueryBuilder qb(catalog_);
+    qb.AddTable("R").AddTable("T").AddJoin("R.key", "T.key");
+    query_ = qb.Build().ValueOrDie();
+  }
+
+  CounterSeries RunHashJoin() {
+    Simulation sim;
+    StaticPlan plan(query_, &sim);
+    ScanAmOptions r_opts, t_opts;
+    r_opts.period = kRScan;
+    t_opts.period = kTScan;
+    auto* r = plan.AddModule(std::make_unique<ScanAm>(
+        plan.ctx(), "R.scan", "R", store_.GetTable("R").ValueOrDie()->rows(),
+        r_opts));
+    auto* t = plan.AddModule(std::make_unique<ScanAm>(
+        plan.ctx(), "T.scan", "T", store_.GetTable("T").ValueOrDie()->rows(),
+        t_opts));
+    auto* shj = plan.AddModule(
+        std::make_unique<ShjOp>(plan.ctx(), "shj", 0b01, 0b10, 0));
+    plan.Connect(r, shj);
+    plan.Connect(t, shj);
+    plan.ConnectToSink(shj);
+    plan.Run();
+    return plan.ctx()->metrics.Series("results");
+  }
+
+  CounterSeries RunHybrid() {
+    Simulation sim;
+    ExecutionConfig config;
+    config.scan_overrides["R.scan"].period = kRScan;
+    config.scan_overrides["T.scan"].period = kTScan;
+    config.index_defaults.latency =
+        std::make_shared<FixedLatency>(kIndexLatency);
+    StemOptions t_stem;
+    t_stem.bounce_mode = ProbeBounceMode::kAlways;
+    config.stem_overrides["T"] = t_stem;
+    auto eddy = PlanQuery(query_, store_, &sim, config).ValueOrDie();
+    eddy->SetPolicy(std::make_unique<BenefitCostPolicy>());
+    eddy->RunToCompletion();
+    EXPECT_TRUE(eddy->violations().empty());
+    EXPECT_EQ(eddy->num_results(), kRows);
+    return eddy->ctx()->metrics.Series("results");
+  }
+
+  Catalog catalog_;
+  TableStore store_;
+  QuerySpec query_;
+};
+
+TEST_F(Fig8ShapeTest, HybridTracksOrBeatsHashJoin) {
+  CounterSeries hash = RunHashJoin();
+  CounterSeries hybrid = RunHybrid();
+  EXPECT_EQ(hash.total(), hybrid.total());
+
+  const SimTime hash_done = hash.TimeToReach(hash.total());
+  // Hybrid is never far behind the hash join mid-flight, and is strictly
+  // ahead early (it also uses the index).
+  for (int pct = 10; pct <= 90; pct += 20) {
+    const SimTime t = hash_done * pct / 100;
+    EXPECT_GE(hybrid.ValueAt(t) + 5, hash.ValueAt(t)) << "at " << pct << "%";
+  }
+  EXPECT_GT(hybrid.ValueAt(hash_done / 10), hash.ValueAt(hash_done / 10));
+  // Completion within 15% of the hash join (the paper's "slightly more").
+  const double ratio =
+      static_cast<double>(hybrid.TimeToReach(hybrid.total())) /
+      static_cast<double>(hash_done);
+  EXPECT_LT(ratio, 1.15);
+}
+
+}  // namespace
+}  // namespace stems

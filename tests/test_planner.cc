@@ -1,0 +1,126 @@
+// Planner tests: §2.2 module instantiation and configuration overrides.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::FastConfig;
+using testing::IndexSpec;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::MakePolicy;
+using testing::PolicyKind;
+using testing::ScanSpec;
+using testing::TestDb;
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.AddTable("R", IntSchema({"a"}), IntRows({{1}}),
+                 {ScanSpec("R.scan"), ScanSpec("R.scan2")});
+    db_.AddTable("S", IntSchema({"x", "y"}), IntRows({{1, 1}}),
+                 {ScanSpec("S.scan"), IndexSpec("S.idx", {0})});
+    QueryBuilder qb(db_.catalog);
+    qb.AddTable("R").AddTable("S", "s1").AddTable("S", "s2");
+    qb.AddJoin("R.a", "s1.x").AddJoin("s1.y", "s2.x");
+    qb.AddSelection("R.a", CompareOp::kGe, Value::Int64(0));
+    query_ = qb.Build().ValueOrDie();
+  }
+
+  TestDb db_;
+  QuerySpec query_;
+};
+
+TEST_F(PlannerTest, InstantiatesModulesPerPaperSection22) {
+  Simulation sim;
+  auto eddy = PlanQuery(query_, db_.store, &sim, FastConfig()).ValueOrDie();
+
+  int stems = 0, scans = 0, indexes = 0, sms = 0;
+  for (const auto& m : eddy->modules()) {
+    switch (m->kind()) {
+      case ModuleKind::kStem:
+        ++stems;
+        break;
+      case ModuleKind::kScanAm:
+        ++scans;
+        break;
+      case ModuleKind::kIndexAm:
+        ++indexes;
+        break;
+      case ModuleKind::kSelection:
+        ++sms;
+        break;
+      default:
+        break;
+    }
+  }
+  // One SteM per base TABLE (S appears twice in FROM but gets one SteM).
+  EXPECT_EQ(stems, 2);
+  // Every usable access method gets an AM.
+  EXPECT_EQ(scans, 3);   // R.scan, R.scan2, S.scan
+  EXPECT_EQ(indexes, 1); // S.idx
+  // One SM per selection predicate.
+  EXPECT_EQ(sms, 1);
+
+  // The shared SteM serves both S slots.
+  Stem* s_stem = eddy->StemForTable("S");
+  ASSERT_NE(s_stem, nullptr);
+  EXPECT_TRUE(s_stem->ServesSlot(1));
+  EXPECT_TRUE(s_stem->ServesSlot(2));
+  EXPECT_EQ(eddy->StemForSlot(1), eddy->StemForSlot(2));
+}
+
+TEST_F(PlannerTest, SelectionModulesCanBeDisabled) {
+  ExecutionConfig config = FastConfig();
+  config.create_selection_modules = false;
+  Simulation sim;
+  auto eddy = PlanQuery(query_, db_.store, &sim, config).ValueOrDie();
+  EXPECT_TRUE(eddy->selection_modules().empty());
+  // Correctness is unaffected: SteM probes enforce selections.
+  eddy->SetPolicy(MakePolicy(PolicyKind::kNaryShj));
+  eddy->RunToCompletion();
+  EXPECT_EQ(KeysOf(eddy->results(), nullptr),
+            BruteForceResultSet(query_, db_.store));
+}
+
+TEST_F(PlannerTest, StemOverridesApply) {
+  ExecutionConfig config = FastConfig();
+  StemOptions s_opts;
+  s_opts.max_entries = 123;
+  config.stem_overrides["S"] = s_opts;
+  Simulation sim;
+  auto eddy = PlanQuery(query_, db_.store, &sim, config).ValueOrDie();
+  // Indirect check: the override changed the module (observable via
+  // behaviour elsewhere); here we simply verify both SteMs exist and the
+  // planner did not crash wiring overrides.
+  EXPECT_NE(eddy->StemForTable("S"), nullptr);
+  EXPECT_NE(eddy->StemForTable("R"), nullptr);
+}
+
+TEST_F(PlannerTest, BuildRequiredFollowsTable2) {
+  Simulation sim;
+  auto eddy = PlanQuery(query_, db_.store, &sim, FastConfig()).ValueOrDie();
+  // R has two scan AMs -> build required; S has an index AM -> required.
+  EXPECT_TRUE(eddy->BuildRequired(0));
+  EXPECT_TRUE(eddy->BuildRequired(1));
+  EXPECT_TRUE(eddy->BuildRequired(2));
+}
+
+TEST_F(PlannerTest, TooManyPredicatesRejected) {
+  TestDb db;
+  db.AddTable("A", IntSchema({"x"}), IntRows({{1}}), {ScanSpec("a")});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("A");
+  for (int i = 0; i < 65; ++i) {
+    qb.AddSelection("A.x", CompareOp::kGe, Value::Int64(-i));
+  }
+  QuerySpec q = qb.Build().ValueOrDie();
+  Simulation sim;
+  auto planned = PlanQuery(q, db.store, &sim, FastConfig());
+  EXPECT_FALSE(planned.ok());
+}
+
+}  // namespace
+}  // namespace stems

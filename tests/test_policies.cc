@@ -1,0 +1,188 @@
+// Routing policy behaviour tests: the *adaptation* claims, at policy level.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::EddyRun;
+using testing::FastConfig;
+using testing::IndexSpec;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::MakePolicy;
+using testing::PolicyKind;
+using testing::RunEddy;
+using testing::ScanSpec;
+using testing::TestDb;
+
+TEST(NaryShjPolicyTest, RespectsConfiguredProbeOrder) {
+  // Chain R-S with S joined to both R and T; the probe order config flips
+  // which SteM an S singleton probes first. Observable through per-stem
+  // probe counters.
+  TestDb db;
+  db.AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}}), {ScanSpec("R.s")});
+  db.AddTable("S", IntSchema({"x", "y"}), IntRows({{1, 5}, {2, 6}}),
+              {ScanSpec("S.s")});
+  db.AddTable("T", IntSchema({"b"}), IntRows({{5}, {6}}), {ScanSpec("T.s")});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("R").AddTable("S").AddTable("T");
+  qb.AddJoin("R.a", "S.x").AddJoin("S.y", "T.b");
+  QuerySpec q = qb.Build().ValueOrDie();
+
+  auto run_with_order = [&](std::vector<int> order) {
+    Simulation sim;
+    auto eddy = PlanQuery(q, db.store, &sim, FastConfig()).ValueOrDie();
+    eddy->SetPolicy(std::make_unique<NaryShjPolicy>(order));
+    eddy->RunToCompletion();
+    return std::make_pair(eddy->StemForTable("R")->probes_processed(),
+                          eddy->StemForTable("T")->probes_processed());
+  };
+  // Prefer probing T first: SteM(T) sees S singletons plus composites.
+  auto [r_probes_t_first, t_probes_t_first] = run_with_order({2, 0, 1});
+  auto [r_probes_r_first, t_probes_r_first] = run_with_order({0, 1, 2});
+  // With T preferred, SteM(T) receives at least as many probes as before.
+  EXPECT_GE(t_probes_t_first, t_probes_r_first);
+  EXPECT_LE(r_probes_t_first, r_probes_r_first);
+}
+
+TEST(LotteryPolicyTest, AvoidsBackloggedStem) {
+  // One stem is made very slow; the lottery should route most probes to the
+  // other join order once queues build up.
+  TestDb db;
+  db.AddTable("C", IntSchema({"a", "b"}),
+              IntRows({{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}, {6, 6}}),
+              {ScanSpec("C.s")});
+  db.AddTable("X", IntSchema({"a"}), IntRows({{1}, {2}, {3}}),
+              {ScanSpec("X.s")});
+  db.AddTable("Y", IntSchema({"b"}), IntRows({{1}, {2}}), {ScanSpec("Y.s")});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("C").AddTable("X").AddTable("Y");
+  qb.AddJoin("C.a", "X.a").AddJoin("C.b", "Y.b");
+  QuerySpec q = qb.Build().ValueOrDie();
+
+  ExecutionConfig config = FastConfig();
+  StemOptions slow;
+  slow.probe_service_time = Millis(20);
+  slow.build_service_time = Millis(20);
+  config.stem_overrides["X"] = slow;
+  config.scan_defaults.period = Micros(50);
+
+  Simulation sim;
+  auto eddy = PlanQuery(q, db.store, &sim, config).ValueOrDie();
+  LotteryPolicyOptions opts;
+  opts.seed = 7;
+  eddy->SetPolicy(std::make_unique<LotteryPolicy>(opts));
+  eddy->RunToCompletion();
+  // Correct results regardless.
+  EXPECT_EQ(KeysOf(eddy->results(), nullptr),
+            BruteForceResultSet(q, db.store));
+  EXPECT_EQ(eddy->violations().size(), 0u);
+}
+
+TEST(BenefitCostPolicyTest, HedgesToFastMirrorAfterSlowPick) {
+  // Regression for the DEC-Rdb problem: the first probe lands on a dead
+  // mirror; the policy must hedge to the healthy one instead of waiting.
+  TestDb db;
+  db.AddTable("R", IntSchema({"a"}), IntRows({{0}, {1}, {2}, {3}}),
+              {ScanSpec("R.scan")});
+  db.AddTable("S", IntSchema({"x"}), IntRows({{0}, {1}, {2}, {3}}),
+              {IndexSpec("S.dead", {0}), IndexSpec("S.live", {0})});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+  QuerySpec q = qb.Build().ValueOrDie();
+
+  ExecutionConfig config = FastConfig();
+  config.scan_defaults.period = Micros(10);
+  config.index_overrides["S.dead"].latency =
+      std::make_shared<FixedLatency>(Seconds(60));
+  config.index_overrides["S.live"].latency =
+      std::make_shared<FixedLatency>(Millis(1));
+
+  Simulation sim;
+  auto eddy = PlanQuery(q, db.store, &sim, config).ValueOrDie();
+  eddy->SetPolicy(MakePolicy(PolicyKind::kBenefitCost));
+  eddy->RunToCompletion();
+  EXPECT_EQ(eddy->num_results(), 4u);
+  // All results long before the dead mirror's latency.
+  EXPECT_LT(eddy->ctx()->metrics.Series("results").TimeToReach(4),
+            Seconds(30));
+  EXPECT_GT(eddy->ctx()->metrics.Series("S.live.probes").total(), 0);
+}
+
+TEST(BenefitCostPolicyTest, DeclinesIndexWhenScanIsFaster) {
+  // T's scan finishes almost immediately while the index is slow: the
+  // policy should send (almost) nothing to the index.
+  TestDb db;
+  db.AddTable("R", IntSchema({"a"}), IntRows({{0}, {1}, {2}, {3}}),
+              {ScanSpec("R.scan")});
+  db.AddTable("T", IntSchema({"key"}), IntRows({{0}, {1}, {2}, {3}}),
+              {ScanSpec("T.scan"), IndexSpec("T.idx", {0})});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
+  QuerySpec q = qb.Build().ValueOrDie();
+
+  ExecutionConfig config = FastConfig();
+  config.scan_overrides["R.scan"].period = Millis(10);
+  config.scan_overrides["T.scan"].period = Micros(10);  // near-instant
+  config.index_defaults.latency = std::make_shared<FixedLatency>(Seconds(5));
+  StemOptions t_stem;
+  t_stem.bounce_mode = ProbeBounceMode::kAlways;
+  config.stem_overrides["T"] = t_stem;
+
+  Simulation sim;
+  auto eddy = PlanQuery(q, db.store, &sim, config).ValueOrDie();
+  BenefitCostPolicyOptions opts;
+  opts.explore_epsilon = 0.0;  // isolate the cost model from exploration
+  eddy->SetPolicy(std::make_unique<BenefitCostPolicy>(opts));
+  eddy->RunToCompletion();
+  EXPECT_EQ(eddy->num_results(), 4u);
+  EXPECT_EQ(eddy->ctx()->metrics.Series("T.idx.probes").total(), 0);
+}
+
+TEST(BenefitCostPolicyTest, UsesIndexWhenScanIsHopeless) {
+  // Opposite extreme: glacial scan, snappy index.
+  TestDb db;
+  db.AddTable("R", IntSchema({"a"}), IntRows({{0}, {1}, {2}, {3}}),
+              {ScanSpec("R.scan")});
+  db.AddTable("T", IntSchema({"key"}), IntRows({{0}, {1}, {2}, {3}}),
+              {ScanSpec("T.scan"), IndexSpec("T.idx", {0})});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
+  QuerySpec q = qb.Build().ValueOrDie();
+
+  ExecutionConfig config = FastConfig();
+  config.scan_overrides["R.scan"].period = Millis(1);
+  config.scan_overrides["T.scan"].period = Seconds(10);
+  config.index_defaults.latency = std::make_shared<FixedLatency>(Millis(5));
+  StemOptions t_stem;
+  t_stem.bounce_mode = ProbeBounceMode::kAlways;
+  config.stem_overrides["T"] = t_stem;
+
+  Simulation sim;
+  auto eddy = PlanQuery(q, db.store, &sim, config).ValueOrDie();
+  eddy->SetPolicy(MakePolicy(PolicyKind::kBenefitCost));
+  eddy->RunToCompletion();
+  EXPECT_EQ(eddy->num_results(), 4u);
+  // All results within a few index round-trips, far before the scan.
+  EXPECT_LT(eddy->ctx()->metrics.Series("results").TimeToReach(4), Seconds(1));
+  EXPECT_EQ(eddy->ctx()->metrics.Series("T.idx.probes").total(), 4);
+}
+
+TEST(PolicySelfJoinCloneTest, CloneSpawnedExactlyOnce) {
+  TestDb db;
+  db.AddTable("R", IntSchema({"g"}), IntRows({{1}, {1}, {2}}),
+              {ScanSpec("R.scan")});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("R", "l").AddTable("R", "r").AddJoin("l.g", "r.g");
+  QuerySpec q = qb.Build().ValueOrDie();
+  EddyRun run = RunEddy(q, db, FastConfig(), MakePolicy(PolicyKind::kNaryShj));
+  // Set semantics: {1},{2} distinct rows -> pairs (1,1),(2,2).
+  EXPECT_EQ(run.num_results, 2u);
+  EXPECT_TRUE(run.duplicates.empty());
+  EXPECT_EQ(run.violations, 0u);
+}
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,98 @@
+// Unit tests: predicates and their evaluation over composite tuples.
+#include <gtest/gtest.h>
+
+#include "expr/predicate.h"
+#include "runtime/tuple.h"
+
+namespace stems {
+namespace {
+
+TEST(CompareValuesTest, AllOperators) {
+  const Value a = Value::Int64(3), b = Value::Int64(5);
+  EXPECT_TRUE(CompareValues(a, CompareOp::kLt, b));
+  EXPECT_TRUE(CompareValues(a, CompareOp::kLe, b));
+  EXPECT_TRUE(CompareValues(a, CompareOp::kLe, a));
+  EXPECT_TRUE(CompareValues(b, CompareOp::kGt, a));
+  EXPECT_TRUE(CompareValues(b, CompareOp::kGe, b));
+  EXPECT_TRUE(CompareValues(a, CompareOp::kEq, a));
+  EXPECT_TRUE(CompareValues(a, CompareOp::kNe, b));
+  EXPECT_FALSE(CompareValues(a, CompareOp::kEq, b));
+}
+
+TEST(CompareValuesTest, NullAndEotNeverMatch) {
+  for (auto op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                  CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_FALSE(CompareValues(Value::Null(), op, Value::Int64(1)));
+    EXPECT_FALSE(CompareValues(Value::Int64(1), op, Value::Null()));
+    EXPECT_FALSE(CompareValues(Value::Eot(), op, Value::Eot()));
+  }
+}
+
+TEST(PredicateTest, SelectionEvaluation) {
+  Predicate p = Predicate::Selection(0, ColumnRef{0, 1}, CompareOp::kGt,
+                                     Value::Int64(10));
+  EXPECT_FALSE(p.is_join());
+  EXPECT_EQ(p.slots(), std::vector<int>{0});
+
+  TuplePtr t = Tuple::MakeSingleton(
+      2, 0, MakeRow({Value::Int64(1), Value::Int64(15)}));
+  EXPECT_TRUE(p.CanEvaluate(t->spanned_mask()));
+  EXPECT_TRUE(p.Evaluate(*t));
+
+  TuplePtr f = Tuple::MakeSingleton(
+      2, 0, MakeRow({Value::Int64(1), Value::Int64(5)}));
+  EXPECT_FALSE(p.Evaluate(*f));
+}
+
+TEST(PredicateTest, JoinEvaluationAndCanEvaluate) {
+  Predicate p =
+      Predicate::Join(1, ColumnRef{0, 0}, CompareOp::kEq, ColumnRef{1, 1});
+  EXPECT_TRUE(p.is_join());
+  EXPECT_EQ(p.slots().size(), 2u);
+  EXPECT_FALSE(p.CanEvaluate(0b01));
+  EXPECT_FALSE(p.CanEvaluate(0b10));
+  EXPECT_TRUE(p.CanEvaluate(0b11));
+
+  auto t = std::make_shared<Tuple>(2);
+  t->SetComponent(0, MakeRow({Value::Int64(7)}));
+  t->SetComponent(1, MakeRow({Value::Int64(0), Value::Int64(7)}));
+  EXPECT_TRUE(p.Evaluate(*t));
+}
+
+TEST(PredicateTest, EquiJoinHelpers) {
+  Predicate p =
+      Predicate::Join(0, ColumnRef{0, 2}, CompareOp::kEq, ColumnRef{3, 1});
+  EXPECT_EQ(*p.EquiJoinColumnFor(0), 2);
+  EXPECT_EQ(*p.EquiJoinColumnFor(3), 1);
+  EXPECT_FALSE(p.EquiJoinColumnFor(1).has_value());
+  EXPECT_EQ(p.EquiJoinPeerOf(0)->table_slot, 3);
+  EXPECT_EQ(p.EquiJoinPeerOf(3)->column, 2);
+
+  Predicate theta =
+      Predicate::Join(1, ColumnRef{0, 0}, CompareOp::kLt, ColumnRef{1, 0});
+  EXPECT_FALSE(theta.EquiJoinColumnFor(0).has_value());
+}
+
+TEST(PredicateTest, OverlayValueSource) {
+  auto base = std::make_shared<Tuple>(2);
+  base->SetComponent(0, MakeRow({Value::Int64(1)}));
+  std::vector<Value> candidate{Value::Int64(2), Value::Int64(3)};
+  OverlayValueSource overlay(*base, 1, &candidate);
+  EXPECT_EQ(overlay.ValueAt(0, 0)->AsInt64(), 1);
+  EXPECT_EQ(overlay.ValueAt(1, 0)->AsInt64(), 2);
+  EXPECT_EQ(overlay.ValueAt(1, 1)->AsInt64(), 3);
+  EXPECT_EQ(overlay.ValueAt(1, 2), nullptr);
+
+  Predicate p =
+      Predicate::Join(0, ColumnRef{0, 0}, CompareOp::kLt, ColumnRef{1, 1});
+  EXPECT_TRUE(p.Evaluate(overlay));
+}
+
+TEST(PredicateTest, ToStringIsReadable) {
+  Predicate p = Predicate::Selection(2, ColumnRef{1, 0}, CompareOp::kLe,
+                                     Value::Int64(9));
+  EXPECT_EQ(p.ToString(), "p2: t1.c0 <= 9");
+}
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,123 @@
+// Unit tests: discrete-event simulator and latency models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/latency_model.h"
+#include "sim/simulation.h"
+
+namespace stems {
+namespace {
+
+TEST(EventQueueTest, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(5, [&] { order.push_back(2); });
+  q.Push(10, [&] { order.push_back(3); });
+  q.Push(1, [&] { order.push_back(4); });
+  while (!q.empty()) {
+    SimTime t;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{4, 2, 1, 3}));
+}
+
+TEST(EventQueueTest, NextTime) {
+  EventQueue q;
+  EXPECT_EQ(q.NextTime(), kSimTimeNever);
+  q.Push(7, [] {});
+  EXPECT_EQ(q.NextTime(), 7);
+}
+
+TEST(SimulationTest, TimeAdvancesMonotonically) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  sim.Schedule(100, [&] { times.push_back(sim.now()); });
+  sim.Schedule(50, [&] {
+    times.push_back(sim.now());
+    sim.Schedule(25, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{50, 75, 100}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  bool ran = false;
+  sim.Schedule(10, [&] {
+    sim.Schedule(-5, [&] {
+      ran = true;
+      EXPECT_EQ(sim.now(), 10);
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulationTest, RunUntilStopsAtLimit) {
+  Simulation sim;
+  int count = 0;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    sim.At(t, [&] { ++count; });
+  }
+  EXPECT_FALSE(sim.RunUntil(50));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_TRUE(sim.RunUntil(1000));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulationTest, RunSteps) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.Schedule(i, [&] { ++count; });
+  EXPECT_EQ(sim.RunSteps(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(sim.Idle());
+}
+
+TEST(LatencyModelTest, Fixed) {
+  FixedLatency m(Millis(30));
+  Rng rng(1);
+  EXPECT_EQ(m.Sample(0, rng), Millis(30));
+  EXPECT_EQ(m.Sample(Seconds(5), rng), Millis(30));
+}
+
+TEST(LatencyModelTest, UniformWithinBounds) {
+  UniformLatency m(10, 20);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    SimTime s = m.Sample(0, rng);
+    EXPECT_GE(s, 10);
+    EXPECT_LE(s, 20);
+  }
+}
+
+TEST(LatencyModelTest, StallWindowDefersCompletion) {
+  StallWindowLatency m(std::make_unique<FixedLatency>(Millis(10)),
+                       {{Seconds(1), Seconds(5)}});
+  Rng rng(3);
+  // Outside the window: base latency.
+  EXPECT_EQ(m.Sample(0, rng), Millis(10));
+  EXPECT_EQ(m.Sample(Seconds(6), rng), Millis(10));
+  // Inside: completes no earlier than the window end.
+  EXPECT_EQ(m.Sample(Seconds(2), rng), Seconds(3));
+  // Near the end, base latency dominates again.
+  EXPECT_EQ(m.Sample(Seconds(5) - Millis(1), rng), Millis(10));
+}
+
+TEST(LatencyModelTest, ExponentialHasRoughlyRightMean) {
+  ExponentialLatency m(Millis(100));
+  Rng rng(4);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(m.Sample(0, rng));
+  const double mean = sum / n;
+  EXPECT_GT(mean, 90000.0);
+  EXPECT_LT(mean, 110000.0);
+}
+
+}  // namespace
+}  // namespace stems

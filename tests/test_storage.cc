@@ -1,0 +1,106 @@
+// Unit tests: table store lookup indexes and the Table 3 generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/generators.h"
+#include "storage/table_store.h"
+
+namespace stems {
+namespace {
+
+TEST(StoredTableTest, LookupByBindColumns) {
+  StoredTable t(Schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}}),
+                {MakeRow({Value::Int64(1), Value::Int64(10)}),
+                 MakeRow({Value::Int64(2), Value::Int64(20)}),
+                 MakeRow({Value::Int64(1), Value::Int64(30)})});
+  auto& hits = t.Lookup({0}, {Value::Int64(1)});
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(t.Lookup({0}, {Value::Int64(9)}).empty());
+  // Multi-column binding.
+  auto& exact = t.Lookup({0, 1}, {Value::Int64(1), Value::Int64(30)});
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0]->value(1).AsInt64(), 30);
+}
+
+TEST(TableStoreTest, AddAndGet) {
+  TableStore store;
+  ASSERT_TRUE(store.AddTable("R", Schema({{"a", ValueType::kInt64}}),
+                             {MakeRow({Value::Int64(1)})})
+                  .ok());
+  EXPECT_EQ(store.AddTable("R", Schema(), {}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(store.GetTable("R").ok());
+  EXPECT_EQ(store.GetTable("X").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.GetTable("R").ValueOrDie()->num_rows(), 1u);
+}
+
+TEST(GeneratorsTest, TableRMatchesTable3) {
+  auto rows = GenerateTableR(1000, 250, 7);
+  ASSERT_EQ(rows.size(), 1000u);
+  std::set<int64_t> keys, values;
+  for (const auto& r : rows) {
+    keys.insert(r->value(0).AsInt64());
+    values.insert(r->value(1).AsInt64());
+    EXPECT_GE(r->value(1).AsInt64(), 0);
+    EXPECT_LT(r->value(1).AsInt64(), 250);
+  }
+  EXPECT_EQ(keys.size(), 1000u);       // key is a primary key
+  EXPECT_GT(values.size(), 230u);      // ~250 distinct values of a
+}
+
+TEST(GeneratorsTest, TableSHasEqualKeys) {
+  auto rows = GenerateTableS(100);
+  ASSERT_EQ(rows.size(), 100u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r->value(0), r->value(1));  // x = y (Table 3)
+  }
+}
+
+TEST(GeneratorsTest, TableTIsAPermutation) {
+  auto rows = GenerateTableT(500, 3);
+  std::set<int64_t> keys;
+  for (const auto& r : rows) keys.insert(r->value(0).AsInt64());
+  EXPECT_EQ(keys.size(), 500u);
+  EXPECT_EQ(*keys.begin(), 0);
+  EXPECT_EQ(*keys.rbegin(), 499);
+  // Scan order must differ from key order (randomized arrival).
+  bool sorted = true;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i]->value(0).AsInt64() < rows[i - 1]->value(0).AsInt64()) {
+      sorted = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(sorted);
+}
+
+TEST(GeneratorsTest, GenericColumnKinds) {
+  std::vector<ColumnGenSpec> specs{
+      {"seq", ColumnGenSpec::Kind::kSequential, 5, 0, 0, 0},
+      {"uni", ColumnGenSpec::Kind::kUniform, 0, 9, 0, 0},
+      {"zipf", ColumnGenSpec::Kind::kZipf, 0, 0, 100, 1.0},
+      {"const", ColumnGenSpec::Kind::kConstant, 42, 0, 0, 0},
+      {"rr", ColumnGenSpec::Kind::kRoundRobin, 0, 0, 3, 0}};
+  auto rows = GenerateRows(specs, 30, 1);
+  ASSERT_EQ(rows.size(), 30u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i]->value(0).AsInt64(), static_cast<int64_t>(i) + 5);
+    EXPECT_GE(rows[i]->value(1).AsInt64(), 0);
+    EXPECT_LE(rows[i]->value(1).AsInt64(), 9);
+    EXPECT_LT(rows[i]->value(2).AsInt64(), 100);
+    EXPECT_EQ(rows[i]->value(3).AsInt64(), 42);
+    EXPECT_EQ(rows[i]->value(4).AsInt64(),
+              static_cast<int64_t>(i % 3));
+  }
+  EXPECT_EQ(SchemaFor(specs).num_columns(), 5u);
+}
+
+TEST(GeneratorsTest, DeterministicForSeed) {
+  auto a = GenerateTableR(100, 10, 42);
+  auto b = GenerateTableR(100, 10, 42);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(*a[i], *b[i]);
+}
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,155 @@
+// Parameterized configuration sweeps: canned workloads executed under every
+// combination of routing policy, SteM index implementation and bounce mode
+// must all produce the brute-force result set (TEST_P property style).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::EddyRun;
+using testing::IndexSpec;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::MakePolicy;
+using testing::PolicyKind;
+using testing::RunEddy;
+using testing::ScanSpec;
+using testing::TestDb;
+
+enum class Workload {
+  kTwoTableScan,
+  kThreeChainMixedAms,
+  kCyclicTriangle,
+  kStarSchema,
+};
+
+std::string WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kTwoTableScan:
+      return "TwoTableScan";
+    case Workload::kThreeChainMixedAms:
+      return "ThreeChainMixedAms";
+    case Workload::kCyclicTriangle:
+      return "CyclicTriangle";
+    case Workload::kStarSchema:
+      return "StarSchema";
+  }
+  return "?";
+}
+
+void BuildWorkload(Workload w, TestDb* db, QuerySpec* query) {
+  switch (w) {
+    case Workload::kTwoTableScan: {
+      db->AddTable("R", IntSchema({"a", "p"}),
+                   IntRows({{1, 9}, {2, 8}, {3, 7}, {2, 6}, {5, 5}}),
+                   {ScanSpec("R.scan")});
+      db->AddTable("S", IntSchema({"x"}), IntRows({{1}, {2}, {4}, {5}}),
+                   {ScanSpec("S.scan")});
+      QueryBuilder qb(db->catalog);
+      qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
+      qb.AddSelection("R.p", CompareOp::kGt, Value::Int64(4));
+      *query = qb.Build().ValueOrDie();
+      return;
+    }
+    case Workload::kThreeChainMixedAms: {
+      db->AddTable("R", IntSchema({"a"}), IntRows({{1}, {2}, {3}, {4}}),
+                   {ScanSpec("R.scan")});
+      db->AddTable("S", IntSchema({"x", "y"}),
+                   IntRows({{1, 5}, {2, 6}, {3, 5}, {9, 6}}),
+                   {ScanSpec("S.scan"), IndexSpec("S.idx", {0})});
+      db->AddTable("T", IntSchema({"b", "v"}),
+                   IntRows({{5, 50}, {6, 60}, {7, 70}}),
+                   {IndexSpec("T.idx", {0})});
+      QueryBuilder qb(db->catalog);
+      qb.AddTable("R").AddTable("S").AddTable("T");
+      qb.AddJoin("R.a", "S.x").AddJoin("S.y", "T.b");
+      *query = qb.Build().ValueOrDie();
+      return;
+    }
+    case Workload::kCyclicTriangle: {
+      db->AddTable("R", IntSchema({"a", "c"}),
+                   IntRows({{1, 7}, {2, 8}, {1, 8}, {3, 7}}),
+                   {ScanSpec("R.scan")});
+      db->AddTable("S", IntSchema({"x", "y"}),
+                   IntRows({{1, 4}, {2, 5}, {1, 5}, {3, 4}}),
+                   {ScanSpec("S.scan")});
+      db->AddTable("T", IntSchema({"b", "d"}),
+                   IntRows({{4, 7}, {5, 8}, {4, 8}, {5, 7}}),
+                   {ScanSpec("T.scan")});
+      QueryBuilder qb(db->catalog);
+      qb.AddTable("R").AddTable("S").AddTable("T");
+      qb.AddJoin("R.a", "S.x").AddJoin("S.y", "T.b").AddJoin("T.d", "R.c");
+      *query = qb.Build().ValueOrDie();
+      return;
+    }
+    case Workload::kStarSchema: {
+      db->AddTable("F", IntSchema({"d1", "d2", "m"}),
+                   IntRows({{1, 10, 5}, {2, 20, 6}, {1, 20, 7}, {3, 10, 8}}),
+                   {ScanSpec("F.scan")});
+      db->AddTable("D1", IntSchema({"k"}), IntRows({{1}, {2}}),
+                   {ScanSpec("D1.scan")});
+      db->AddTable("D2", IntSchema({"k", "n"}),
+                   IntRows({{10, 0}, {20, 1}}), {ScanSpec("D2.scan")});
+      QueryBuilder qb(db->catalog);
+      qb.AddTable("F").AddTable("D1").AddTable("D2");
+      qb.AddJoin("F.d1", "D1.k").AddJoin("F.d2", "D2.k");
+      qb.AddSelection("F.m", CompareOp::kLe, Value::Int64(7));
+      *query = qb.Build().ValueOrDie();
+      return;
+    }
+  }
+}
+
+using SweepParam = std::tuple<Workload, PolicyKind, StemIndexImpl, int>;
+
+class SweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SweepTest, MatchesBruteForce) {
+  const auto [workload, policy, index_impl, bounce] = GetParam();
+  TestDb db;
+  QuerySpec query;
+  BuildWorkload(workload, &db, &query);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  ExecutionConfig config = stems::testing::FastConfig();
+  config.stem_defaults.index_impl = index_impl;
+  config.stem_defaults.adaptive_threshold = 2;  // force list->hash upgrades
+  config.stem_defaults.bounce_mode = static_cast<ProbeBounceMode>(bounce);
+
+  EddyRun run = RunEddy(query, db, config, MakePolicy(policy));
+  EXPECT_TRUE(run.duplicates.empty());
+  EXPECT_EQ(run.keys, BruteForceResultSet(query, db.store));
+  EXPECT_EQ(run.violations, 0u);
+  EXPECT_EQ(run.parked, 0u);
+}
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto [workload, policy, index_impl, bounce] = info.param;
+  static const char* kPolicy[] = {"NaryShj", "Lottery", "BenefitCost"};
+  static const char* kIndex[] = {"Hash", "Ordered", "Adaptive"};
+  static const char* kBounce[] = {"ConstraintOnly", "Prioritized", "Always"};
+  return WorkloadName(workload) + "_" +
+         kPolicy[static_cast<int>(policy)] + "_" +
+         kIndex[static_cast<int>(index_impl)] + "_" +
+         kBounce[bounce];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigurations, SweepTest,
+    ::testing::Combine(
+        ::testing::Values(Workload::kTwoTableScan,
+                          Workload::kThreeChainMixedAms,
+                          Workload::kCyclicTriangle, Workload::kStarSchema),
+        ::testing::Values(PolicyKind::kNaryShj, PolicyKind::kLottery,
+                          PolicyKind::kBenefitCost),
+        ::testing::Values(StemIndexImpl::kHash, StemIndexImpl::kOrdered,
+                          StemIndexImpl::kAdaptive),
+        ::testing::Values(0, 2)),  // kConstraintOnly, kAlways
+    SweepName);
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,139 @@
+// Unit tests: Tuple, TupleState and timestamp semantics (paper Defs. 1-3,
+// §3.1, §3.5).
+#include <gtest/gtest.h>
+
+#include "runtime/metrics.h"
+#include "runtime/tuple.h"
+
+namespace stems {
+namespace {
+
+TEST(TupleTest, SingletonBasics) {
+  TuplePtr t = Tuple::MakeSingleton(3, 1, MakeRow({Value::Int64(5)}));
+  EXPECT_TRUE(t->IsSingleton());
+  EXPECT_EQ(t->SingletonSlot(), 1);
+  EXPECT_EQ(t->spanned_mask(), 0b010u);
+  EXPECT_TRUE(t->Spans(1));
+  EXPECT_FALSE(t->Spans(0));
+  EXPECT_EQ(t->SpanSize(), 1);
+  EXPECT_EQ(t->ValueAt(1, 0)->AsInt64(), 5);
+  EXPECT_EQ(t->ValueAt(0, 0), nullptr);
+  EXPECT_EQ(t->ValueAt(1, 7), nullptr);
+}
+
+TEST(TupleTest, SeedTuple) {
+  TuplePtr seed = Tuple::MakeSeed(2);
+  EXPECT_TRUE(seed->is_seed());
+  EXPECT_EQ(seed->spanned_mask(), 0u);
+  EXPECT_EQ(seed->SingletonSlot(), -1);
+}
+
+TEST(TupleTest, TimestampInfinityBeforeBuild) {
+  // Paper §3.1: before building, ts is infinity.
+  TuplePtr t = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(1)}));
+  EXPECT_EQ(t->Timestamp(), kTsInfinity);
+  EXPECT_FALSE(t->AllComponentsBuilt());
+  t->SetBuilt(0, 17);
+  EXPECT_EQ(t->Timestamp(), 17u);
+  EXPECT_TRUE(t->AllComponentsBuilt());
+}
+
+TEST(TupleTest, CompositeTimestampIsLastArrival) {
+  // Paper §3.1: a composite's timestamp is its last-arriving component's.
+  TuplePtr a = Tuple::MakeSingleton(3, 0, MakeRow({Value::Int64(1)}));
+  a->SetBuilt(0, 5);
+  TuplePtr ab = a->ConcatWith(1, MakeRow({Value::Int64(2)}), 9);
+  EXPECT_EQ(ab->Timestamp(), 9u);
+  TuplePtr abc = ab->ConcatWith(2, MakeRow({Value::Int64(3)}), 7);
+  EXPECT_EQ(abc->Timestamp(), 9u);
+  // An unbuilt component makes the whole tuple "infinity".
+  TuplePtr with_unbuilt = a->ConcatWith(1, MakeRow({Value::Int64(2)}),
+                                        kTsInfinity);
+  EXPECT_EQ(with_unbuilt->Timestamp(), kTsInfinity);
+}
+
+TEST(TupleTest, ConcatPreservesStateAndPriority) {
+  TuplePtr a = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(1)}));
+  a->MarkPredicatePassed(3);
+  a->set_prioritized(true);
+  TuplePtr ab = a->ConcatWith(1, MakeRow({Value::Int64(2)}), 1);
+  EXPECT_TRUE(ab->PassedPredicate(3));
+  EXPECT_TRUE(ab->prioritized());
+  EXPECT_EQ(ab->spanned_mask(), 0b11u);
+  // The original is untouched.
+  EXPECT_EQ(a->spanned_mask(), 0b01u);
+}
+
+TEST(TupleTest, PriorProberState) {
+  TuplePtr t = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(1)}));
+  EXPECT_FALSE(t->IsPriorProber());
+  t->MarkPriorProber(1);
+  EXPECT_TRUE(t->IsPriorProber());
+  EXPECT_EQ(t->probe_completion_slot(), 1);
+  EXPECT_FALSE(t->probe_completed());
+  t->MarkProbeCompleted();
+  EXPECT_TRUE(t->probe_completed());
+}
+
+TEST(TupleTest, RetargetSingletonMovesComponent) {
+  TuplePtr t = Tuple::MakeSingleton(2, 0, MakeRow({Value::Int64(1)}));
+  t->SetBuilt(0, 4);
+  t->MarkPredicatePassed(0);
+  TuplePtr moved = t->RetargetSingleton(1);
+  EXPECT_TRUE(moved->Spans(1));
+  EXPECT_FALSE(moved->Spans(0));
+  EXPECT_EQ(moved->component(1).timestamp, 4u);
+  // Predicate state must not transfer (bits refer to the old slot).
+  EXPECT_FALSE(moved->PassedPredicate(0));
+}
+
+TEST(TupleTest, EotDetection) {
+  TuplePtr t = Tuple::MakeSingleton(
+      2, 0, MakeEotRowRef({Value::Int64(1), Value::Eot()}));
+  EXPECT_TRUE(t->IsEot());
+}
+
+TEST(TupleTest, TimestampAuthorityMonotone) {
+  TimestampAuthority ts;
+  BuildTs a = ts.Issue();
+  BuildTs b = ts.Issue();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(ts.last_issued(), b);
+}
+
+TEST(CounterSeriesTest, StepSemantics) {
+  CounterSeries s;
+  s.Increment(10);
+  s.Increment(10);
+  s.Increment(20, 3);
+  EXPECT_EQ(s.total(), 5);
+  EXPECT_EQ(s.ValueAt(5), 0);
+  EXPECT_EQ(s.ValueAt(10), 2);
+  EXPECT_EQ(s.ValueAt(15), 2);
+  EXPECT_EQ(s.ValueAt(20), 5);
+  EXPECT_EQ(s.ValueAt(100), 5);
+  EXPECT_EQ(s.TimeToReach(1), 10);
+  EXPECT_EQ(s.TimeToReach(5), 20);
+  EXPECT_EQ(s.TimeToReach(6), kSimTimeNever);
+}
+
+TEST(CounterSeriesTest, Sampling) {
+  CounterSeries s;
+  s.Increment(0);
+  s.Increment(100, 9);
+  auto samples = s.Sample(100, 3);
+  EXPECT_EQ(samples, (std::vector<int64_t>{1, 1, 10}));
+}
+
+TEST(MetricsRecorderTest, NamedSeries) {
+  MetricsRecorder m;
+  m.Count("a", 5);
+  m.Count("a", 7, 2);
+  EXPECT_TRUE(m.Has("a"));
+  EXPECT_FALSE(m.Has("b"));
+  EXPECT_EQ(m.Series("a").total(), 3);
+  EXPECT_EQ(m.Series("missing").total(), 0);  // empty sentinel
+}
+
+}  // namespace
+}  // namespace stems

@@ -1,0 +1,85 @@
+// Unit tests: Value, Schema, Row (including EOT semantics).
+#include <gtest/gtest.h>
+
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace stems {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int64(42).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_TRUE(Value::Eot().is_eot());
+}
+
+TEST(ValueTest, CrossNumericEquality) {
+  EXPECT_EQ(Value::Int64(3), Value::Double(3.0));
+  EXPECT_NE(Value::Int64(3), Value::Double(3.5));
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(ValueTest, EotOnlyEqualsEot) {
+  EXPECT_EQ(Value::Eot(), Value::Eot());
+  EXPECT_NE(Value::Eot(), Value::Int64(0));
+  EXPECT_NE(Value::Eot(), Value::Null());
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value::Null(), Value::Int64(-100));
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_LT(Value::Int64(5), Value::String("a"));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_LT(Value::String("z"), Value::Eot());
+  EXPECT_FALSE(Value::Eot() < Value::Eot());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Eot().ToString(), "EOT");
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s({{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(*s.FindColumn("b"), 1u);
+  EXPECT_FALSE(s.FindColumn("missing").has_value());
+  EXPECT_EQ(s.ToString(), "(a, b)");
+}
+
+TEST(RowTest, ContentEqualityAndHash) {
+  RowRef a = MakeRow({Value::Int64(1), Value::String("x")});
+  RowRef b = MakeRow({Value::Int64(1), Value::String("x")});
+  RowRef c = MakeRow({Value::Int64(2), Value::String("x")});
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(a->Hash(), b->Hash());
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(RowTest, EotFlagExplicitAndInferred) {
+  // Inferred from an EOT marker field.
+  RowRef marked = MakeRow({Value::Int64(5), Value::Eot()});
+  EXPECT_TRUE(marked->IsEot());
+  // Explicit flag for all-bound EOTs (single-column tables).
+  RowRef flagged = MakeEotRowRef({Value::Int64(5)});
+  EXPECT_TRUE(flagged->IsEot());
+  // The EOT [5] must NOT equal the data row [5] — it would otherwise join
+  // as phantom data (regression test for a real bug).
+  RowRef data = MakeRow({Value::Int64(5)});
+  EXPECT_FALSE(data->IsEot());
+  EXPECT_FALSE(*flagged == *data);
+  EXPECT_NE(flagged->Hash(), data->Hash());
+}
+
+TEST(RowTest, ToStringMarksEot) {
+  EXPECT_EQ(MakeEotRowRef({Value::Int64(5)})->ToString(), "EOT[5]");
+  EXPECT_EQ(MakeRow({Value::Int64(5)})->ToString(), "[5]");
+}
+
+}  // namespace
+}  // namespace stems

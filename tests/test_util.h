@@ -1,0 +1,143 @@
+// Shared helpers for the stems test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "eddy/eddy.h"
+#include "eddy/policies/benefit_cost_policy.h"
+#include "eddy/policies/lottery_policy.h"
+#include "eddy/policies/nary_shj_policy.h"
+#include "query/planner.h"
+#include "query/query_spec.h"
+#include "reference/brute_force.h"
+#include "storage/table_store.h"
+
+namespace stems::testing {
+
+/// Catalog + data in one bundle.
+struct TestDb {
+  Catalog catalog;
+  TableStore store;
+
+  /// Registers a table with both definition and data.
+  void AddTable(const std::string& name, Schema schema,
+                std::vector<RowRef> rows,
+                std::vector<AccessMethodSpec> access_methods) {
+    TableDef def;
+    def.name = name;
+    def.schema = schema;
+    def.access_methods = std::move(access_methods);
+    ASSERT_TRUE(catalog.AddTable(std::move(def)).ok());
+    ASSERT_TRUE(store.AddTable(name, std::move(schema), std::move(rows)).ok());
+  }
+};
+
+inline AccessMethodSpec ScanSpec(const std::string& name) {
+  return AccessMethodSpec{name, AccessMethodKind::kScan, {}};
+}
+
+inline AccessMethodSpec IndexSpec(const std::string& name,
+                                  std::vector<int> bind_columns) {
+  return AccessMethodSpec{name, AccessMethodKind::kIndex,
+                          std::move(bind_columns)};
+}
+
+/// Rows of int64 columns from a literal list.
+inline std::vector<RowRef> IntRows(
+    const std::vector<std::vector<int64_t>>& data) {
+  std::vector<RowRef> rows;
+  rows.reserve(data.size());
+  for (const auto& r : data) {
+    std::vector<Value> values;
+    values.reserve(r.size());
+    for (int64_t v : r) values.push_back(Value::Int64(v));
+    rows.push_back(MakeRow(std::move(values)));
+  }
+  return rows;
+}
+
+inline Schema IntSchema(const std::vector<std::string>& names) {
+  std::vector<ColumnDef> cols;
+  for (const auto& n : names) cols.push_back({n, ValueType::kInt64});
+  return Schema(std::move(cols));
+}
+
+enum class PolicyKind { kNaryShj, kLottery, kBenefitCost };
+
+inline std::unique_ptr<RoutingPolicy> MakePolicy(PolicyKind kind,
+                                                 uint64_t seed = 42) {
+  switch (kind) {
+    case PolicyKind::kNaryShj:
+      return std::make_unique<NaryShjPolicy>();
+    case PolicyKind::kLottery: {
+      LotteryPolicyOptions o;
+      o.seed = seed;
+      return std::make_unique<LotteryPolicy>(o);
+    }
+    case PolicyKind::kBenefitCost: {
+      BenefitCostPolicyOptions o;
+      o.seed = seed;
+      return std::make_unique<BenefitCostPolicy>(o);
+    }
+  }
+  return nullptr;
+}
+
+struct EddyRun {
+  std::set<std::string> keys;
+  std::vector<std::string> duplicates;
+  size_t num_results = 0;
+  size_t violations = 0;
+  size_t parked = 0;
+};
+
+/// Plans, runs to completion, and summarizes.
+inline EddyRun RunEddy(const QuerySpec& query, const TestDb& db,
+                       const ExecutionConfig& config,
+                       std::unique_ptr<RoutingPolicy> policy) {
+  Simulation sim;
+  auto planned = PlanQuery(query, db.store, &sim, config);
+  EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+  std::unique_ptr<Eddy> eddy = std::move(planned).ValueOrDie();
+  eddy->SetPolicy(std::move(policy));
+  eddy->RunToCompletion();
+
+  EddyRun run;
+  run.num_results = eddy->results().size();
+  run.keys = KeysOf(eddy->results(), &run.duplicates);
+  run.violations = eddy->violations().size();
+  run.parked = eddy->parked_count();
+  return run;
+}
+
+/// The Theorem 1 + Theorem 2 check: no duplicates, no missing results, no
+/// constraint violations, nothing left parked.
+inline void ExpectCorrect(const QuerySpec& query, const TestDb& db,
+                          const ExecutionConfig& config,
+                          std::unique_ptr<RoutingPolicy> policy) {
+  EddyRun run = RunEddy(query, db, config, std::move(policy));
+  const std::set<std::string> expected =
+      BruteForceResultSet(query, db.store);
+  EXPECT_TRUE(run.duplicates.empty())
+      << run.duplicates.size() << " duplicate results, first: "
+      << run.duplicates.front();
+  EXPECT_EQ(run.keys, expected);
+  EXPECT_EQ(run.violations, 0u);
+  EXPECT_EQ(run.parked, 0u);
+}
+
+/// A config with near-zero module costs, for pure correctness tests.
+inline ExecutionConfig FastConfig() {
+  ExecutionConfig config;
+  config.scan_defaults.period = Micros(10);
+  config.index_defaults.latency = std::make_shared<FixedLatency>(Micros(50));
+  return config;
+}
+
+}  // namespace stems::testing

@@ -10,9 +10,6 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "eddy/policies/benefit_cost_policy.h"
-#include "eddy/policies/nary_shj_policy.h"
-#include "query/planner.h"
 #include "storage/generators.h"
 
 namespace stems {
@@ -24,37 +21,35 @@ void AblationCoalescing() {
   std::printf("\n## A. index probe coalescing (Q1-style, 400 R tuples, "
               "100 distinct keys)\n\n");
   for (bool coalesce : {true, false}) {
-    Catalog catalog;
-    TableStore store;
-    catalog.AddTable(
-        TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}});
-    catalog.AddTable(TableDef{
-        "S", SchemaS(), {{"S.idx", AccessMethodKind::kIndex, {0}}}});
-    store.AddTable("R", SchemaR(), GenerateTableR(400, 100, 3));
-    store.AddTable("S", SchemaS(), GenerateTableS(100));
-    QueryBuilder qb(catalog);
+    Engine engine;
+    engine.AddTable(
+        TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
+        GenerateTableR(400, 100, 3));
+    engine.AddTable(
+        TableDef{"S", SchemaS(), {{"S.idx", AccessMethodKind::kIndex, {0}}}},
+        GenerateTableS(100));
+    QueryBuilder qb(engine.catalog());
     qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
     QuerySpec query = qb.Build().ValueOrDie();
-    Simulation sim;
-    ExecutionConfig config;
-    config.scan_defaults.period = Millis(2);
-    config.index_defaults.latency = std::make_shared<FixedLatency>(Millis(40));
-    config.index_defaults.concurrency = 4;
-    config.index_defaults.coalesce_duplicate_probes = coalesce;
-    auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-    eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
-    eddy->RunToCompletion();
+    RunOptions options;
+    options.exec.scan_defaults.period = Millis(2);
+    options.exec.index_defaults.latency =
+        std::make_shared<FixedLatency>(Millis(40));
+    options.exec.index_defaults.concurrency = 4;
+    options.exec.index_defaults.coalesce_duplicate_probes = coalesce;
+    QueryHandle handle = bench::RunQuery(engine, query, options);
+    const QueryStats stats = handle.Stats();
     std::printf(
         "  coalescing %-3s  remote lookups %4lld   results %4llu   "
         "completion %6.2f s   stem dups %llu\n",
         coalesce ? "on" : "off",
         static_cast<long long>(
-            eddy->ctx()->metrics.Series("S.idx.probes").total()),
-        static_cast<unsigned long long>(eddy->num_results()),
-        bench::CompletionSeconds(eddy->ctx()->metrics.Series("results"),
-                                 static_cast<int64_t>(eddy->num_results())),
+            handle.metrics().Series("S.idx.probes").total()),
+        static_cast<unsigned long long>(stats.num_results),
+        bench::CompletionSeconds(handle.metrics().Series("results"),
+                                 static_cast<int64_t>(stats.num_results)),
         static_cast<unsigned long long>(
-            eddy->StemForTable("S")->duplicates_absorbed()));
+            handle.eddy()->StemForTable("S")->duplicates_absorbed()));
   }
 }
 
@@ -63,36 +58,33 @@ void AblationCoalescing() {
 void AblationBounceMode() {
   std::printf("\n## B. SteM probe bounce mode (scan+index table)\n\n");
   for (auto mode : {ProbeBounceMode::kConstraintOnly, ProbeBounceMode::kAlways}) {
-    Catalog catalog;
-    TableStore store;
-    catalog.AddTable(
-        TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}});
-    catalog.AddTable(TableDef{"T",
-                              SchemaT(),
-                              {{"T.scan", AccessMethodKind::kScan, {}},
-                               {"T.idx", AccessMethodKind::kIndex, {0}}}});
-    store.AddTable("R", SchemaR(), GenerateTableR(400, 400, 5));
-    store.AddTable("T", SchemaT(), GenerateTableT(400, 6));
-    QueryBuilder qb(catalog);
+    Engine engine;
+    engine.AddTable(
+        TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
+        GenerateTableR(400, 400, 5));
+    engine.AddTable(TableDef{"T",
+                             SchemaT(),
+                             {{"T.scan", AccessMethodKind::kScan, {}},
+                              {"T.idx", AccessMethodKind::kIndex, {0}}}},
+                    GenerateTableT(400, 6));
+    QueryBuilder qb(engine.catalog());
     qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
     QuerySpec query = qb.Build().ValueOrDie();
-    Simulation sim;
-    ExecutionConfig config;
-    config.scan_overrides["R.scan"].period = Millis(5);
-    config.scan_overrides["T.scan"].period = Millis(40);  // slow scan
-    config.index_defaults.latency = std::make_shared<FixedLatency>(Millis(60));
+    RunOptions options = RunOptions::Paper();  // benefit_cost routing
+    options.exec.scan_overrides["R.scan"].period = Millis(5);
+    options.exec.scan_overrides["T.scan"].period = Millis(40);  // slow scan
+    options.exec.index_defaults.latency =
+        std::make_shared<FixedLatency>(Millis(60));
     StemOptions t_stem;
     t_stem.bounce_mode = mode;
-    config.stem_overrides["T"] = t_stem;
-    auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-    eddy->SetPolicy(std::make_unique<BenefitCostPolicy>());
-    eddy->RunToCompletion();
-    const auto& results = eddy->ctx()->metrics.Series("results");
+    options.exec.stem_overrides["T"] = t_stem;
+    QueryHandle handle = bench::RunQuery(engine, query, options);
+    const auto& results = handle.metrics().Series("results");
     std::printf(
         "  %-16s index lookups %4lld   results@4s %4lld   completion %6.2f s\n",
         mode == ProbeBounceMode::kAlways ? "kAlways" : "kConstraintOnly",
         static_cast<long long>(
-            eddy->ctx()->metrics.Series("T.idx.probes").total()),
+            handle.metrics().Series("T.idx.probes").total()),
         static_cast<long long>(results.ValueAt(Seconds(4))),
         bench::CompletionSeconds(results, results.total()));
   }
@@ -104,34 +96,30 @@ void AblationMemoryBudget() {
   std::printf("\n## C. global memory budget (§6 governor; window-join "
               "results vs budget)\n\n");
   for (size_t budget : {0ul, 800ul, 400ul, 100ul, 25ul}) {
-    Catalog catalog;
-    TableStore store;
+    Engine engine;
     auto schema = Schema({{"k", ValueType::kInt64}});
-    catalog.AddTable(
-        TableDef{"A", schema, {{"A.scan", AccessMethodKind::kScan, {}}}});
-    catalog.AddTable(
-        TableDef{"B", schema, {{"B.scan", AccessMethodKind::kScan, {}}}});
     std::vector<ColumnGenSpec> cols{
         {"k", ColumnGenSpec::Kind::kUniform, 0, 499, 0, 0}};
-    store.AddTable("A", schema, GenerateRows(cols, 500, 71));
-    store.AddTable("B", schema, GenerateRows(cols, 500, 72));
-    QueryBuilder qb(catalog);
+    engine.AddTable(
+        TableDef{"A", schema, {{"A.scan", AccessMethodKind::kScan, {}}}},
+        GenerateRows(cols, 500, 71));
+    engine.AddTable(
+        TableDef{"B", schema, {{"B.scan", AccessMethodKind::kScan, {}}}},
+        GenerateRows(cols, 500, 72));
+    QueryBuilder qb(engine.catalog());
     qb.AddTable("A").AddTable("B").AddJoin("A.k", "B.k");
     QuerySpec query = qb.Build().ValueOrDie();
-    Simulation sim;
-    ExecutionConfig config;
-    config.scan_defaults.period = Millis(1);
-    config.eddy.memory.global_entry_budget = budget;
-    auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-    eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
-    eddy->RunToCompletion();
+    RunOptions options;
+    options.exec.scan_defaults.period = Millis(1);
+    options.exec.eddy.memory.global_entry_budget = budget;
+    QueryHandle handle = bench::RunQuery(engine, query, options);
+    const MemoryGovernor& governor = handle.eddy()->memory_governor();
     std::printf("  budget %5zu   results %4llu   evicted %5llu   "
                 "final entries %4zu\n",
                 budget,
-                static_cast<unsigned long long>(eddy->num_results()),
-                static_cast<unsigned long long>(
-                    eddy->memory_governor().total_evicted()),
-                eddy->memory_governor().TotalEntries());
+                static_cast<unsigned long long>(handle.Stats().num_results),
+                static_cast<unsigned long long>(governor.total_evicted()),
+                governor.TotalEntries());
   }
 }
 
@@ -141,36 +129,34 @@ void AblationAdaptiveThreshold() {
   std::printf("\n## D. adaptive SteM index upgrade threshold "
               "(probe-heavy 2-table join)\n\n");
   for (size_t threshold : {4ul, 64ul, 100000ul}) {
-    Catalog catalog;
-    TableStore store;
+    Engine engine;
     auto schema = Schema({{"k", ValueType::kInt64}});
-    catalog.AddTable(
-        TableDef{"A", schema, {{"A.scan", AccessMethodKind::kScan, {}}}});
-    catalog.AddTable(
-        TableDef{"B", schema, {{"B.scan", AccessMethodKind::kScan, {}}}});
     std::vector<ColumnGenSpec> cols{
         {"k", ColumnGenSpec::Kind::kSequential, 0, 0, 0, 0}};
-    store.AddTable("A", schema, GenerateRows(cols, 2000, 81));
-    store.AddTable("B", schema, GenerateRows(cols, 2000, 82));
-    QueryBuilder qb(catalog);
+    engine.AddTable(
+        TableDef{"A", schema, {{"A.scan", AccessMethodKind::kScan, {}}}},
+        GenerateRows(cols, 2000, 81));
+    engine.AddTable(
+        TableDef{"B", schema, {{"B.scan", AccessMethodKind::kScan, {}}}},
+        GenerateRows(cols, 2000, 82));
+    QueryBuilder qb(engine.catalog());
     qb.AddTable("A").AddTable("B").AddJoin("A.k", "B.k");
     QuerySpec query = qb.Build().ValueOrDie();
-    Simulation sim;
-    ExecutionConfig config;
-    config.scan_defaults.period = Micros(100);
-    config.stem_defaults.index_impl = StemIndexImpl::kAdaptive;
-    config.stem_defaults.adaptive_threshold = threshold;
-    auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-    eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+    RunOptions options;
+    options.exec.scan_defaults.period = Micros(100);
+    options.exec.stem_defaults.index_impl = StemIndexImpl::kAdaptive;
+    options.exec.stem_defaults.adaptive_threshold = threshold;
+    QueryHandle handle = engine.Submit(query, options).ValueOrDie();
     auto start = std::chrono::steady_clock::now();
-    eddy->RunToCompletion();
+    handle.Wait();
     auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                        std::chrono::steady_clock::now() - start)
                        .count();
     std::printf("  threshold %6zu   impl now '%s'   results %5llu   "
                 "host wall time %4lld ms\n",
-                threshold, eddy->StemForTable("A")->IndexImplFor(0).c_str(),
-                static_cast<unsigned long long>(eddy->num_results()),
+                threshold,
+                handle.eddy()->StemForTable("A")->IndexImplFor(0).c_str(),
+                static_cast<unsigned long long>(handle.Stats().num_results),
                 static_cast<long long>(wall_ms));
   }
   std::printf("  (with threshold=100000 the index never upgrades: every "

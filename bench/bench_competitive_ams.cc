@@ -15,9 +15,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "eddy/policies/benefit_cost_policy.h"
-#include "eddy/policies/lottery_policy.h"
-#include "eddy/policies/nary_shj_policy.h"
+#include "engine/policy_registry.h"
 #include "query/planner.h"
 #include "storage/generators.h"
 
@@ -77,13 +75,13 @@ Outcome Run(Variant variant) {
   switch (variant) {
     case Variant::kStaticSlowFirst:
     case Variant::kStaticFastFirst:
-      eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+      eddy->SetPolicy(PolicyRegistry::Global().Create("nary_shj").ValueOrDie());
       break;
     case Variant::kLottery:
-      eddy->SetPolicy(std::make_unique<LotteryPolicy>());
+      eddy->SetPolicy(PolicyRegistry::Global().Create("lottery").ValueOrDie());
       break;
     case Variant::kBenefit:
-      eddy->SetPolicy(std::make_unique<BenefitCostPolicy>());
+      eddy->SetPolicy(PolicyRegistry::Global().Create("benefit_cost").ValueOrDie());
       break;
   }
   eddy->RunToCompletion();

@@ -20,7 +20,7 @@
 #include "baseline/index_join_op.h"
 #include "baseline/operator.h"
 #include "bench/bench_util.h"
-#include "eddy/policies/nary_shj_policy.h"
+#include "engine/policy_registry.h"
 #include "query/planner.h"
 #include "storage/generators.h"
 
@@ -82,7 +82,7 @@ void RunStems(const Setup& s, CounterSeries* results, CounterSeries* probes) {
   config.index_defaults.latency = std::make_shared<FixedLatency>(kIndexLatency);
   config.index_defaults.concurrency = 1;
   auto eddy = PlanQuery(s.query, s.store, &sim, config).ValueOrDie();
-  eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+  eddy->SetPolicy(PolicyRegistry::Global().Create("nary_shj").ValueOrDie());
   eddy->RunToCompletion();
   if (!eddy->violations().empty()) {
     std::printf("WARNING: %zu constraint violations\n",

@@ -22,7 +22,7 @@
 #include "baseline/operator.h"
 #include "baseline/shj_op.h"
 #include "bench/bench_util.h"
-#include "eddy/policies/benefit_cost_policy.h"
+#include "engine/policy_registry.h"
 #include "query/planner.h"
 #include "storage/generators.h"
 
@@ -116,7 +116,7 @@ void RunHybrid(const Setup& s, CounterSeries* results, uint64_t* index_probes,
   t_stem.bounce_mode = ProbeBounceMode::kAlways;
   config.stem_overrides["T"] = t_stem;
   auto eddy = PlanQuery(s.query, s.store, &sim, config).ValueOrDie();
-  eddy->SetPolicy(std::make_unique<BenefitCostPolicy>());
+  eddy->SetPolicy(PolicyRegistry::Global().Create("benefit_cost").ValueOrDie());
   eddy->RunToCompletion();
   *results = eddy->ctx()->metrics.Series("results");
   *index_probes =

@@ -13,7 +13,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "eddy/policies/nary_shj_policy.h"
+#include "engine/policy_registry.h"
 #include "query/planner.h"
 #include "storage/generators.h"
 
@@ -55,7 +55,7 @@ Outcome Run(size_t bounce_batch) {
   config.stem_defaults.bounce_batch = bounce_batch;
   config.stem_defaults.partition_switch_penalty = kSwitchPenalty;
   auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-  eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+  eddy->SetPolicy(PolicyRegistry::Global().Create("nary_shj").ValueOrDie());
   eddy->RunToCompletion();
 
   Outcome out;

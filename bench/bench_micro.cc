@@ -1,12 +1,13 @@
 // Micro-benchmarks (google-benchmark): SteM data-structure throughput, EOT
-// coverage checks, eddy routing overhead, and the cost of the constraint
-// checker (an ablation over ConstraintMode).
+// coverage checks, eddy routing overhead, the cost of the constraint
+// checker (an ablation over ConstraintMode), and an end-to-end sweep over
+// every policy in the registry.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
-#include "eddy/policies/nary_shj_policy.h"
-#include "query/planner.h"
+#include "bench/bench_util.h"
+#include "engine/engine.h"
 #include "stem/eot_store.h"
 #include "stem/stem_index.h"
 #include "storage/generators.h"
@@ -78,43 +79,47 @@ BENCHMARK(BM_EotCoverage)->Arg(16)->Arg(256)->Arg(2048);
 
 // --- End-to-end eddy: routing overhead & constraint checker ablation --------
 
-void RunSmallQuery(ConstraintMode mode, benchmark::State& state) {
+}  // namespace
+
+// External linkage: the policy-sweep registration in main() below names it.
+void RunSmallQuery(ConstraintMode mode, const std::string& policy,
+                   benchmark::State& state) {
   int64_t tuples_routed = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    Catalog catalog;
-    TableStore store;
+    Engine engine;
     auto schema = Schema({{"k", ValueType::kInt64}});
-    catalog.AddTable(
-        TableDef{"R", schema, {{"R.scan", AccessMethodKind::kScan, {}}}});
-    catalog.AddTable(
-        TableDef{"S", schema, {{"S.scan", AccessMethodKind::kScan, {}}}});
     std::vector<ColumnGenSpec> cols{
         {"k", ColumnGenSpec::Kind::kUniform, 0, 255, 0, 0}};
-    store.AddTable("R", schema, GenerateRows(cols, 512, 51));
-    store.AddTable("S", schema, GenerateRows(cols, 512, 52));
-    QueryBuilder qb(catalog);
+    engine.AddTable(
+        TableDef{"R", schema, {{"R.scan", AccessMethodKind::kScan, {}}}},
+        GenerateRows(cols, 512, 51));
+    engine.AddTable(
+        TableDef{"S", schema, {{"S.scan", AccessMethodKind::kScan, {}}}},
+        GenerateRows(cols, 512, 52));
+    QueryBuilder qb(engine.catalog());
     qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.k");
     QuerySpec query = qb.Build().ValueOrDie();
-    Simulation sim;
-    ExecutionConfig config;
-    config.scan_defaults.period = Micros(1);
-    config.eddy.constraint_mode = mode;
-    auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-    eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+    RunOptions options;
+    options.policy = policy;
+    options.exec.scan_defaults.period = Micros(1);
+    options.exec.eddy.constraint_mode = mode;
+    QueryHandle handle = engine.Submit(query, options).ValueOrDie();
     state.ResumeTiming();
-    eddy->RunToCompletion();
-    tuples_routed += static_cast<int64_t>(eddy->tuples_routed());
+    handle.Wait();
+    tuples_routed += static_cast<int64_t>(handle.Stats().tuples_routed);
   }
   state.SetItemsProcessed(tuples_routed);
   state.SetLabel("items = routing steps");
 }
 
+namespace {
+
 void BM_EddyEndToEnd_CheckerOff(benchmark::State& state) {
-  RunSmallQuery(ConstraintMode::kOff, state);
+  RunSmallQuery(ConstraintMode::kOff, "nary_shj", state);
 }
 void BM_EddyEndToEnd_CheckerRecord(benchmark::State& state) {
-  RunSmallQuery(ConstraintMode::kRecord, state);
+  RunSmallQuery(ConstraintMode::kRecord, "nary_shj", state);
 }
 BENCHMARK(BM_EddyEndToEnd_CheckerOff);
 BENCHMARK(BM_EddyEndToEnd_CheckerRecord);
@@ -139,4 +144,21 @@ BENCHMARK(BM_RowHash);
 }  // namespace
 }  // namespace stems
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the end-to-end benchmark sweeps
+// every policy in the registry by enumeration, so new policies appear here
+// with zero bench edits. Registration happens in main, after every
+// STEMS_REGISTER_POLICY static initializer has run.
+int main(int argc, char** argv) {
+  stems::bench::ForEachRegisteredPolicy([](const std::string& policy) {
+    benchmark::RegisterBenchmark(
+        ("BM_EddyEndToEnd_Policy/" + policy).c_str(),
+        [policy](benchmark::State& state) {
+          stems::RunSmallQuery(stems::ConstraintMode::kOff, policy, state);
+        });
+  });
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,7 +13,7 @@
 #include "baseline/nary_shj_op.h"
 #include "baseline/shj_op.h"
 #include "bench/bench_util.h"
-#include "eddy/policies/nary_shj_policy.h"
+#include "engine/policy_registry.h"
 #include "query/planner.h"
 #include "storage/generators.h"
 
@@ -109,7 +109,7 @@ void RunStems(const Setup& s, CounterSeries* results, size_t* state,
   ExecutionConfig config;
   config.scan_defaults.period = kPeriod;
   auto eddy = PlanQuery(s.query, s.store, &sim, config).ValueOrDie();
-  eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+  eddy->SetPolicy(PolicyRegistry::Global().Create("nary_shj").ValueOrDie());
   eddy->RunToCompletion();
   *results = eddy->ctx()->metrics.Series("results");
   *state = eddy->StemForTable("R")->num_entries() +

@@ -10,8 +10,6 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "eddy/policies/nary_shj_policy.h"
-#include "query/planner.h"
 #include "storage/generators.h"
 
 namespace stems {
@@ -30,49 +28,46 @@ struct Outcome {
 };
 
 Outcome Run(ProbeBounceMode mode) {
-  Catalog catalog;
-  TableStore store;
-  catalog.AddTable(
-      TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}});
-  catalog.AddTable(TableDef{"T",
-                            SchemaT(),
-                            {{"T.scan", AccessMethodKind::kScan, {}},
-                             {"T.idx", AccessMethodKind::kIndex, {0}}}});
+  Engine engine;
   // R.a spans [0, 250); T.key matches it.
-  store.AddTable("R", SchemaR(), GenerateTableR(kRows, 250, 5));
-  store.AddTable("T", SchemaT(), GenerateTableT(250, 6));
-  QueryBuilder qb(catalog);
+  engine.AddTable(
+      TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
+      GenerateTableR(kRows, 250, 5));
+  engine.AddTable(TableDef{"T",
+                           SchemaT(),
+                           {{"T.scan", AccessMethodKind::kScan, {}},
+                            {"T.idx", AccessMethodKind::kIndex, {0}}}},
+                  GenerateTableT(250, 6));
+  QueryBuilder qb(engine.catalog());
   qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
   QuerySpec query = qb.Build().ValueOrDie();
 
-  Simulation sim;
-  ExecutionConfig config;
-  config.scan_overrides["R.scan"].period = kRScanPeriod;
-  config.scan_overrides["R.scan"].prioritizer = [](const Row& row) {
+  // The deliberately non-index-hungry policy (nary_shj): without a priority
+  // bounce, probes simply wait for the scan.
+  RunOptions options;
+  options.exec.scan_overrides["R.scan"].period = kRScanPeriod;
+  options.exec.scan_overrides["R.scan"].prioritizer = [](const Row& row) {
     return row.value(1).AsInt64() < kPriorityCutoff;
   };
-  config.scan_overrides["T.scan"].period = kTScanPeriod;
-  config.index_defaults.latency = std::make_shared<FixedLatency>(kIndexLatency);
+  options.exec.scan_overrides["T.scan"].period = kTScanPeriod;
+  options.exec.index_defaults.latency =
+      std::make_shared<FixedLatency>(kIndexLatency);
   StemOptions t_stem;
   t_stem.bounce_mode = mode;
-  config.stem_overrides["T"] = t_stem;
+  options.exec.stem_overrides["T"] = t_stem;
   // Ground-truth classifier: results whose R component the user prioritized
   // (the tuple flag only survives R-side derivations).
-  config.eddy.result_priority_classifier = [](const Tuple& t) {
+  options.exec.eddy.result_priority_classifier = [](const Tuple& t) {
     const Value* a = t.ValueAt(0, 1);
     return a != nullptr && a->AsInt64() < kPriorityCutoff;
   };
 
-  auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-  // The deliberately non-index-hungry policy: without a priority bounce,
-  // probes simply wait for the scan.
-  eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
-  eddy->RunToCompletion();
+  QueryHandle handle = bench::RunQuery(engine, query, options);
 
   Outcome out;
-  out.all = eddy->ctx()->metrics.Series("results");
-  out.prioritized = eddy->ctx()->metrics.Series("results.prioritized");
-  out.violations = eddy->violations().size();
+  out.all = handle.metrics().Series("results");
+  out.prioritized = handle.metrics().Series("results.prioritized");
+  out.violations = handle.Stats().constraint_violations;
   return out;
 }
 

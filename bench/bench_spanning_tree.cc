@@ -15,7 +15,7 @@
 
 #include "baseline/shj_op.h"
 #include "bench/bench_util.h"
-#include "eddy/policies/lottery_policy.h"
+#include "engine/policy_registry.h"
 #include "query/planner.h"
 #include "storage/generators.h"
 
@@ -110,7 +110,7 @@ void RunStems(const Setup& s, CounterSeries* results,
   config.scan_overrides["T.scan"].period = kPeriod;
   config.scan_overrides["T.scan"].stall_windows = {kStall};
   auto eddy = PlanQuery(s.query, s.store, &sim, config).ValueOrDie();
-  eddy->SetPolicy(std::make_unique<LotteryPolicy>());
+  eddy->SetPolicy(PolicyRegistry::Global().Create("lottery").ValueOrDie());
   eddy->RunToCompletion();
   *results = eddy->ctx()->metrics.Series("results");
   *rs_pairs = eddy->ctx()->metrics.Series("span.3");  // {R,S} = 0b011

@@ -9,10 +9,30 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.h"
 #include "runtime/metrics.h"
 #include "sim/clock.h"
 
 namespace stems::bench {
+
+/// Submits `query` on `engine` under `options` and runs it to completion.
+/// Aborts on a planning/validation error — benches measure, they don't
+/// handle. Results stay buffered on the returned handle.
+inline QueryHandle RunQuery(Engine& engine, const QuerySpec& query,
+                            RunOptions options = {}) {
+  QueryHandle handle = engine.Submit(query, std::move(options)).ValueOrDie();
+  handle.Wait();
+  return handle;
+}
+
+/// Runs `fn(policy_name)` for every policy in the global registry — the
+/// enumeration sweep the named-policy registry exists for.
+template <typename Fn>
+inline void ForEachRegisteredPolicy(Fn&& fn) {
+  for (const std::string& name : PolicyRegistry::Global().Names()) {
+    fn(name);
+  }
+}
 
 struct SeriesColumn {
   std::string name;

@@ -7,74 +7,73 @@
 //   * the shared SteM absorbing duplicate rows from the mirrors;
 //   * index probe coalescing (the rendezvous-buffer/cache roles, §3.3);
 //   * adaptation when a source stalls mid-query.
+//
+// Uses the Engine façade with the RunOptions::Paper() preset (benefit/cost
+// routing, §4.1) — no concrete policy type appears anywhere.
 #include <cstdio>
 
-#include "eddy/policies/benefit_cost_policy.h"
-#include "query/planner.h"
+#include "engine/engine.h"
 #include "storage/generators.h"
 
 using namespace stems;
 
 int main() {
-  Catalog catalog;
-  TableStore store;
+  Engine engine;
 
   // Local CRM accounts table: scanned locally, fast.
   Schema accounts({{"id", ValueType::kInt64}, {"region", ValueType::kInt64}});
-  catalog.AddTable(TableDef{
-      "accounts", accounts,
-      {{"accounts.scan", AccessMethodKind::kScan, {}}}});
   std::vector<ColumnGenSpec> acc_cols{
       {"id", ColumnGenSpec::Kind::kSequential, 0, 0, 0, 0},
       {"region", ColumnGenSpec::Kind::kUniform, 0, 4, 0, 0}};
-  store.AddTable("accounts", accounts, GenerateRows(acc_cols, 400, 1));
+  engine.AddTable(TableDef{"accounts", accounts,
+                           {{"accounts.scan", AccessMethodKind::kScan, {}}}},
+                  GenerateRows(acc_cols, 400, 1));
 
   // "creditscores": served by two mirror websites (scans at different
   // speeds; one stalls) AND a keyed lookup form (async index on id).
   Schema scores({{"id", ValueType::kInt64}, {"score", ValueType::kInt64}});
-  catalog.AddTable(TableDef{"creditscores",
-                            scores,
-                            {{"mirror1.scan", AccessMethodKind::kScan, {}},
-                             {"mirror2.scan", AccessMethodKind::kScan, {}},
-                             {"lookup.form", AccessMethodKind::kIndex, {0}}}});
   std::vector<ColumnGenSpec> score_cols{
       {"id", ColumnGenSpec::Kind::kSequential, 0, 0, 0, 0},
       {"score", ColumnGenSpec::Kind::kUniform, 300, 850, 0, 0}};
-  store.AddTable("creditscores", scores, GenerateRows(score_cols, 400, 2));
+  engine.AddTable(TableDef{"creditscores",
+                           scores,
+                           {{"mirror1.scan", AccessMethodKind::kScan, {}},
+                            {"mirror2.scan", AccessMethodKind::kScan, {}},
+                            {"lookup.form", AccessMethodKind::kIndex, {0}}}},
+                  GenerateRows(score_cols, 400, 2));
 
-  QueryBuilder qb(catalog);
+  QueryBuilder qb(engine.catalog());
   qb.AddTable("accounts", "a").AddTable("creditscores", "c");
   qb.AddJoin("a.id", "c.id");
   qb.AddSelection("c.score", CompareOp::kGe, Value::Int64(700));
   QuerySpec query = qb.Build().ValueOrDie();
   std::printf("query: %s\n", query.ToString().c_str());
 
-  Simulation sim;
-  ExecutionConfig config;
-  config.scan_overrides["accounts.scan"].period = Millis(5);
+  RunOptions options = RunOptions::Paper();
+  options.exec.scan_overrides["accounts.scan"].period = Millis(5);
   // Mirror 1: brisk but goes dark between 2 s and 12 s.
-  config.scan_overrides["mirror1.scan"].period = Millis(12);
-  config.scan_overrides["mirror1.scan"].stall_windows = {
+  options.exec.scan_overrides["mirror1.scan"].period = Millis(12);
+  options.exec.scan_overrides["mirror1.scan"].stall_windows = {
       {Seconds(2), Seconds(12)}};
   // Mirror 2: slow and steady.
-  config.scan_overrides["mirror2.scan"].period = Millis(40);
+  options.exec.scan_overrides["mirror2.scan"].period = Millis(40);
   // Lookup form: 300 ms per request, up to 4 outstanding.
-  config.index_overrides["lookup.form"].latency =
+  options.exec.index_overrides["lookup.form"].latency =
       std::make_shared<FixedLatency>(Millis(300));
-  config.index_overrides["lookup.form"].concurrency = 4;
+  options.exec.index_overrides["lookup.form"].concurrency = 4;
   // Let the policy choose per-probe between waiting for the mirrors and
   // paying for a form lookup.
   StemOptions c_stem;
   c_stem.bounce_mode = ProbeBounceMode::kAlways;
-  config.stem_overrides["creditscores"] = c_stem;
+  options.exec.stem_overrides["creditscores"] = c_stem;
 
-  auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-  eddy->SetPolicy(std::make_unique<BenefitCostPolicy>());
-  eddy->RunToCompletion();
+  QueryHandle handle = engine.Submit(query, options).ValueOrDie();
+  const size_t num_results = handle.cursor().Drain().size();
 
-  const auto& metrics = eddy->ctx()->metrics;
-  std::printf("\nresults: %zu high-score accounts\n", eddy->results().size());
-  std::printf("virtual completion time: %.2f s\n", ToSeconds(sim.now()));
+  const auto& metrics = handle.metrics();
+  std::printf("\nresults: %zu high-score accounts\n", num_results);
+  std::printf("virtual completion time: %.2f s\n",
+              ToSeconds(handle.Stats().completed_at));
   std::printf("results after 1s/5s/15s: %lld / %lld / %lld\n",
               static_cast<long long>(metrics.Series("results").ValueAt(Seconds(1))),
               static_cast<long long>(metrics.Series("results").ValueAt(Seconds(5))),
@@ -83,10 +82,11 @@ int main() {
               static_cast<long long>(metrics.Series("lookup.form.probes").total()),
               static_cast<long long>(
                   metrics.Series("lookup.form.coalesced").total()));
-  const Stem* stem = eddy->StemForTable("creditscores");
+  const Stem* stem = handle.eddy()->StemForTable("creditscores");
   std::printf("duplicate rows absorbed by SteM(creditscores): %llu "
               "(mirror overlap — no duplicate results)\n",
               static_cast<unsigned long long>(stem->duplicates_absorbed()));
-  std::printf("constraint violations: %zu\n", eddy->violations().size());
-  return eddy->violations().empty() ? 0 : 1;
+  const size_t violations = handle.Stats().constraint_violations;
+  std::printf("constraint violations: %zu\n", violations);
+  return violations == 0 ? 0 : 1;
 }

@@ -7,8 +7,7 @@
 // interests in different parts of the result may change".
 #include <cstdio>
 
-#include "eddy/policies/nary_shj_policy.h"
-#include "query/planner.h"
+#include "engine/engine.h"
 #include "storage/generators.h"
 
 using namespace stems;
@@ -16,45 +15,44 @@ using namespace stems;
 namespace {
 
 void RunOnce(bool prioritize, int64_t hot_region) {
-  Catalog catalog;
-  TableStore store;
-  catalog.AddTable(TableDef{
-      "R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}});
-  catalog.AddTable(TableDef{"T",
-                            SchemaT(),
-                            {{"T.scan", AccessMethodKind::kScan, {}},
-                             {"T.idx", AccessMethodKind::kIndex, {0}}}});
-  store.AddTable("R", SchemaR(), GenerateTableR(600, 250, 12));
-  store.AddTable("T", SchemaT(), GenerateTableT(250, 13));
+  Engine engine;
+  engine.AddTable(
+      TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
+      GenerateTableR(600, 250, 12));
+  engine.AddTable(TableDef{"T",
+                           SchemaT(),
+                           {{"T.scan", AccessMethodKind::kScan, {}},
+                            {"T.idx", AccessMethodKind::kIndex, {0}}}},
+                  GenerateTableT(250, 13));
 
-  QueryBuilder qb(catalog);
+  QueryBuilder qb(engine.catalog());
   qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
   QuerySpec query = qb.Build().ValueOrDie();
 
-  Simulation sim;
-  ExecutionConfig config;
-  config.scan_overrides["R.scan"].period = Millis(8);
-  config.scan_overrides["T.scan"].period = Millis(150);  // slow: ~37 s
-  config.index_defaults.latency = std::make_shared<FixedLatency>(Millis(250));
+  RunOptions options;  // nary_shj: deliberately not index-hungry
+  options.exec.scan_overrides["R.scan"].period = Millis(8);
+  options.exec.scan_overrides["T.scan"].period = Millis(150);  // slow: ~37 s
+  options.exec.index_defaults.latency =
+      std::make_shared<FixedLatency>(Millis(250));
   if (prioritize) {
-    config.scan_overrides["R.scan"].prioritizer = [hot_region](const Row& r) {
-      return r.value(1).AsInt64() < hot_region;
-    };
+    options.exec.scan_overrides["R.scan"].prioritizer =
+        [hot_region](const Row& r) {
+          return r.value(1).AsInt64() < hot_region;
+        };
     StemOptions t_stem;
     t_stem.bounce_mode = ProbeBounceMode::kPrioritized;
-    config.stem_overrides["T"] = t_stem;
+    options.exec.stem_overrides["T"] = t_stem;
   }
-  config.eddy.result_priority_classifier = [hot_region](const Tuple& t) {
+  options.exec.eddy.result_priority_classifier = [hot_region](const Tuple& t) {
     const Value* a = t.ValueAt(0, 1);
     return a != nullptr && a->AsInt64() < hot_region;
   };
 
-  auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-  eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
-  eddy->RunToCompletion();
+  QueryHandle handle = engine.Submit(query, options).ValueOrDie();
+  handle.Wait();
 
-  const auto& prio = eddy->ctx()->metrics.Series("results.prioritized");
-  const auto& all = eddy->ctx()->metrics.Series("results");
+  const auto& prio = handle.metrics().Series("results.prioritized");
+  const auto& all = handle.metrics().Series("results");
   std::printf("  %-22s hot results by 2s/5s/10s: %3lld/%3lld/%3lld  "
               "(of %lld)   all done at %.1fs\n",
               prioritize ? "with priority bounce" : "no priorities",

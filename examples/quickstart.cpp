@@ -4,52 +4,52 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 //
-// The flow every stems program follows:
-//   1. describe tables + access methods in a Catalog, data in a TableStore;
-//   2. build a QuerySpec with QueryBuilder;
-//   3. PlanQuery() — instantiates AMs, SMs and SteMs around an Eddy
-//      (paper §2.2: no optimizer, no a-priori plan);
-//   4. pick a RoutingPolicy and RunToCompletion().
+// The paper's thesis (§2.2) is that eddies + SteMs obviate query
+// optimization: there is no plan to pick, so a query is *submitted*, not
+// assembled. Every stems program is three steps:
+//   1. describe the data — table schemas, access methods, rows — to an
+//      Engine (it owns the catalog, the store, and the clock);
+//   2. submit a QuerySpec with RunOptions naming a routing policy
+//      ("nary_shj" here; see PolicyRegistry::Names() for all of them);
+//   3. stream results from the handle's pull-based cursor.
+//
+// This example doubles as a smoke test: the join cardinality is asserted,
+// so a wrong result set fails the binary, not just the reader's eyes.
 #include <cstdio>
+#include <cstdlib>
 
-#include "eddy/policies/nary_shj_policy.h"
-#include "query/planner.h"
+#include "engine/engine.h"
 
 using namespace stems;
 
 int main() {
-  // 1. Catalog: three tables, each with a scan access method.
-  Catalog catalog;
-  TableStore store;
+  // 1. Describe the data: three tables, each with a scan access method.
+  Engine engine;
 
   Schema users({{"id", ValueType::kInt64}, {"age", ValueType::kInt64}});
   Schema orders({{"user_id", ValueType::kInt64}, {"item_id", ValueType::kInt64}});
   Schema items({{"id", ValueType::kInt64}, {"price", ValueType::kInt64}});
 
-  catalog.AddTable(
-      TableDef{"users", users, {{"users.scan", AccessMethodKind::kScan, {}}}});
-  catalog.AddTable(TableDef{
-      "orders", orders, {{"orders.scan", AccessMethodKind::kScan, {}}}});
-  catalog.AddTable(
-      TableDef{"items", items, {{"items.scan", AccessMethodKind::kScan, {}}}});
+  engine.AddTable(
+      TableDef{"users", users, {{"users.scan", AccessMethodKind::kScan, {}}}},
+      {MakeRow({Value::Int64(1), Value::Int64(34)}),
+       MakeRow({Value::Int64(2), Value::Int64(57)}),
+       MakeRow({Value::Int64(3), Value::Int64(25)})});
+  engine.AddTable(
+      TableDef{"orders", orders, {{"orders.scan", AccessMethodKind::kScan, {}}}},
+      {MakeRow({Value::Int64(1), Value::Int64(10)}),
+       MakeRow({Value::Int64(1), Value::Int64(11)}),
+       MakeRow({Value::Int64(2), Value::Int64(10)}),
+       MakeRow({Value::Int64(3), Value::Int64(12)})});
+  engine.AddTable(
+      TableDef{"items", items, {{"items.scan", AccessMethodKind::kScan, {}}}},
+      {MakeRow({Value::Int64(10), Value::Int64(999)}),
+       MakeRow({Value::Int64(11), Value::Int64(25)}),
+       MakeRow({Value::Int64(12), Value::Int64(150)})});
 
-  store.AddTable("users", users,
-                 {MakeRow({Value::Int64(1), Value::Int64(34)}),
-                  MakeRow({Value::Int64(2), Value::Int64(57)}),
-                  MakeRow({Value::Int64(3), Value::Int64(25)})});
-  store.AddTable("orders", orders,
-                 {MakeRow({Value::Int64(1), Value::Int64(10)}),
-                  MakeRow({Value::Int64(1), Value::Int64(11)}),
-                  MakeRow({Value::Int64(2), Value::Int64(10)}),
-                  MakeRow({Value::Int64(3), Value::Int64(12)})});
-  store.AddTable("items", items,
-                 {MakeRow({Value::Int64(10), Value::Int64(999)}),
-                  MakeRow({Value::Int64(11), Value::Int64(25)}),
-                  MakeRow({Value::Int64(12), Value::Int64(150)})});
-
-  // 2. SELECT * FROM users u, orders o, items i
-  //    WHERE u.id = o.user_id AND o.item_id = i.id AND u.age >= 30
-  QueryBuilder qb(catalog);
+  // 2. Submit: SELECT * FROM users u, orders o, items i
+  //            WHERE u.id = o.user_id AND o.item_id = i.id AND u.age >= 30
+  QueryBuilder qb(engine.catalog());
   qb.AddTable("users", "u").AddTable("orders", "o").AddTable("items", "i");
   qb.AddJoin("u.id", "o.user_id");
   qb.AddJoin("o.item_id", "i.id");
@@ -57,21 +57,34 @@ int main() {
   QuerySpec query = qb.Build().ValueOrDie();
   std::printf("query: %s\n", query.ToString().c_str());
 
-  // 3. Plan: one SteM per table, one AM per access method, one SM per
-  //    selection, an eddy in the middle.
-  Simulation sim;
-  auto eddy = PlanQuery(query, store, &sim).ValueOrDie();
+  QueryHandle handle = engine.Submit(query).ValueOrDie();
 
-  // 4. Route with the n-ary symmetric hash join policy (paper §2.3).
-  eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
-  eddy->RunToCompletion();
-
-  std::printf("results (%zu):\n", eddy->results().size());
-  for (const auto& t : eddy->results()) {
-    std::printf("  %s\n", t->ToString().c_str());
+  // 3. Stream: the cursor pulls results out of the running eddy, advancing
+  //    the simulation only as far as each Next() needs.
+  size_t count = 0;
+  std::printf("results:\n");
+  ResultCursor cursor = handle.cursor();
+  while (auto tuple = cursor.Next()) {
+    std::printf("  %s\n", (*tuple)->ToString().c_str());
+    ++count;
   }
+
+  const QueryStats stats = handle.Stats();
   std::printf("routing steps: %llu, constraint violations: %zu\n",
-              static_cast<unsigned long long>(eddy->tuples_routed()),
-              eddy->violations().size());
-  return eddy->violations().empty() ? 0 : 1;
+              static_cast<unsigned long long>(stats.tuples_routed),
+              stats.constraint_violations);
+
+  // Smoke check: users 1 (orders 10, 11) and 2 (order 10) pass age >= 30,
+  // and every ordered item exists — exactly 3 join results.
+  if (count != 3) {
+    std::fprintf(stderr, "FAIL: expected 3 results, got %zu\n", count);
+    return EXIT_FAILURE;
+  }
+  if (stats.constraint_violations != 0) {
+    std::fprintf(stderr, "FAIL: %zu constraint violations\n",
+                 stats.constraint_violations);
+    return EXIT_FAILURE;
+  }
+  std::printf("OK: cardinality 3, no violations\n");
+  return EXIT_SUCCESS;
 }

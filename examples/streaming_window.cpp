@@ -4,12 +4,11 @@
 // Because each base-table component lives in exactly one SteM (no
 // intermediate results are materialized, §2.3), eviction is a local
 // operation: the SteM drops its oldest singletons and the join becomes a
-// window join. The query never "completes"; we drive the simulation to a
-// time horizon and report the steady state.
+// window join. The query never "completes"; we drive the engine's shared
+// clock to a time horizon and report the steady state.
 #include <cstdio>
 
-#include "eddy/policies/nary_shj_policy.h"
-#include "query/planner.h"
+#include "engine/engine.h"
 #include "storage/generators.h"
 
 using namespace stems;
@@ -18,14 +17,9 @@ int main() {
   constexpr size_t kStreamLen = 20000;
   constexpr size_t kWindow = 500;  // tuples kept per SteM
 
-  Catalog catalog;
-  TableStore store;
+  Engine engine;
   Schema clicks({{"user", ValueType::kInt64}, {"page", ValueType::kInt64}});
   Schema buys({{"user", ValueType::kInt64}, {"amount", ValueType::kInt64}});
-  catalog.AddTable(TableDef{
-      "clicks", clicks, {{"clicks.stream", AccessMethodKind::kScan, {}}}});
-  catalog.AddTable(
-      TableDef{"buys", buys, {{"buys.stream", AccessMethodKind::kScan, {}}}});
   // Zipf-skewed users: hot users join often, as in real clickstreams.
   std::vector<ColumnGenSpec> click_cols{
       {"user", ColumnGenSpec::Kind::kZipf, 0, 0, 2000, 1.1},
@@ -33,29 +27,32 @@ int main() {
   std::vector<ColumnGenSpec> buy_cols{
       {"user", ColumnGenSpec::Kind::kZipf, 0, 0, 2000, 1.1},
       {"amount", ColumnGenSpec::Kind::kSequential, 0, 0, 0, 0}};
-  store.AddTable("clicks", clicks, GenerateRows(click_cols, kStreamLen, 8));
-  store.AddTable("buys", buys, GenerateRows(buy_cols, kStreamLen, 9));
+  engine.AddTable(TableDef{"clicks", clicks,
+                           {{"clicks.stream", AccessMethodKind::kScan, {}}}},
+                  GenerateRows(click_cols, kStreamLen, 8));
+  engine.AddTable(
+      TableDef{"buys", buys, {{"buys.stream", AccessMethodKind::kScan, {}}}},
+      GenerateRows(buy_cols, kStreamLen, 9));
 
-  QueryBuilder qb(catalog);
+  QueryBuilder qb(engine.catalog());
   qb.AddTable("clicks").AddTable("buys");
   qb.AddJoin("clicks.user", "buys.user");
   QuerySpec query = qb.Build().ValueOrDie();
   std::printf("continuous query: %s\n", query.ToString().c_str());
   std::printf("window: last %zu tuples per stream\n\n", kWindow);
 
-  Simulation sim;
-  ExecutionConfig config;
-  config.scan_defaults.period = Millis(1);  // 1000 tuples/s per stream
-  config.stem_defaults.max_entries = kWindow;
-  auto eddy = PlanQuery(query, store, &sim, config).ValueOrDie();
-  eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+  RunOptions options;
+  options.exec.scan_defaults.period = Millis(1);  // 1000 tuples/s per stream
+  options.exec.stem_defaults.max_entries = kWindow;
+  QueryHandle handle = engine.Submit(query, options).ValueOrDie();
 
-  eddy->Start();
-  // Drive the stream and sample the running state each virtual second.
+  // Drive the stream and sample the running state each virtual second. The
+  // handle's eddy is the observability escape hatch into the dataflow.
+  const Eddy* eddy = handle.eddy();
   std::printf("%8s %12s %12s %12s %12s\n", "t(s)", "results", "clicks_win",
               "buys_win", "evictions");
   for (int second = 1; second <= 10; ++second) {
-    sim.RunUntil(Seconds(second));
+    engine.sim().RunUntil(Seconds(second));
     const Stem* cs = eddy->StemForTable("clicks");
     const Stem* bs = eddy->StemForTable("buys");
     std::printf("%8d %12llu %12zu %12zu %12llu\n", second,
@@ -68,6 +65,7 @@ int main() {
   std::printf("\nwindowed join emitted %llu results over 10 virtual "
               "seconds; SteM windows held at %zu entries each.\n",
               static_cast<unsigned long long>(eddy->num_results()), kWindow);
-  std::printf("constraint violations: %zu\n", eddy->violations().size());
-  return eddy->violations().empty() ? 0 : 1;
+  std::printf("constraint violations: %zu\n",
+              handle.Stats().constraint_violations);
+  return handle.Stats().constraint_violations == 0 ? 0 : 1;
 }

@@ -39,7 +39,8 @@ void ScanAm::Process(TuplePtr tuple) {
     Emit(std::move(tuple));
     return;
   }
-  if (seeded_) return;  // duplicate seed: ignore
+  if (finished_) return;  // halted: a late seed must not restart the stream
+  if (seeded_) return;    // duplicate seed: ignore
   seeded_ = true;
   streaming_ = true;
   SimTime due = sim()->now() + options_.initial_delay + options_.period;
@@ -53,7 +54,20 @@ SimTime ScanAm::ApplyStalls(SimTime due) const {
   return due;
 }
 
+void ScanAm::Halt() {
+  // next_row_ is left alone: rows_emitted() keeps reporting what was
+  // actually delivered before the halt. streaming_ is also left alone — if
+  // an emission event is already on the clock it still holds a pointer to
+  // this module, so the scan must not report Quiescent until that event
+  // has fired (and cleared streaming_ below).
+  finished_ = true;
+}
+
 void ScanAm::EmitNextRow() {
+  if (finished_) {  // halted after this emission was scheduled
+    streaming_ = false;
+    return;
+  }
   const int num_slots = static_cast<int>(ctx_->query->num_slots());
   if (next_row_ < rows_.size()) {
     auto singleton =

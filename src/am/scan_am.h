@@ -46,6 +46,12 @@ class ScanAm : public AccessModule {
   bool finished() const { return finished_; }
   SimTime period() const { return options_.period; }
 
+  /// Stops the stream permanently (query cancellation): no further rows or
+  /// EOT are emitted. An already-scheduled emission event fires once as a
+  /// no-op; the scan reports Quiescent only after that, so owners can use
+  /// Quiescent() as "no pending event references this module".
+  void Halt();
+
  protected:
   SimTime ServiceTime(const Tuple&) const override {
     return options_.service_time;

@@ -6,6 +6,7 @@
 // them into Access Modules.
 #pragma once
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -38,18 +39,23 @@ struct TableDef {
 };
 
 /// Name-keyed collection of table definitions.
+///
+/// TableDefs are stored in a deque so the `const TableDef*` pointers handed
+/// out by GetTable() (and resolved into QuerySpec slots) stay valid as more
+/// tables are registered — queries built early must survive later DDL.
 class Catalog {
  public:
   /// Registers a table. Fails if a table with the same name exists.
   Status AddTable(TableDef def);
 
-  /// Looks up a table by name.
+  /// Looks up a table by name. The pointer is stable for the catalog's
+  /// lifetime.
   Result<const TableDef*> GetTable(const std::string& name) const;
 
-  const std::vector<TableDef>& tables() const { return tables_; }
+  const std::deque<TableDef>& tables() const { return tables_; }
 
  private:
-  std::vector<TableDef> tables_;
+  std::deque<TableDef> tables_;
 };
 
 }  // namespace stems

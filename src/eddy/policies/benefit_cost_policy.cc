@@ -1,6 +1,16 @@
 #include "eddy/policies/benefit_cost_policy.h"
 
+#include "engine/policy_registry.h"
+
 namespace stems {
+
+STEMS_REGISTER_POLICY("benefit_cost", [](const PolicyParams& p) {
+  BenefitCostPolicyOptions o;
+  o.seed = p.seed;
+  o.explore_epsilon = p.KnobOr("explore_epsilon", o.explore_epsilon);
+  o.prior_matches = p.KnobOr("prior_matches", o.prior_matches);
+  return std::make_unique<BenefitCostPolicy>(o);
+});
 
 int BenefitCostPolicy::ChooseProbeSlot(const Tuple& /*tuple*/,
                                        const std::vector<int>& candidates) {

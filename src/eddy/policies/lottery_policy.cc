@@ -2,7 +2,17 @@
 
 #include <cmath>
 
+#include "engine/policy_registry.h"
+
 namespace stems {
+
+STEMS_REGISTER_POLICY("lottery", [](const PolicyParams& p) {
+  LotteryPolicyOptions o;
+  o.seed = p.seed;
+  o.min_weight = p.KnobOr("min_weight", o.min_weight);
+  o.queue_penalty = p.KnobOr("queue_penalty", o.queue_penalty);
+  return std::make_unique<LotteryPolicy>(o);
+});
 
 double LotteryPolicy::StemWeight(const Stem& stem) const {
   // Observed matches per probe: selective SteMs (fewer matches) win more

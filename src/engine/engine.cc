@@ -1,0 +1,124 @@
+#include "engine/engine.h"
+
+#include "common/logging.h"
+#include "query/planner.h"
+
+namespace stems {
+
+namespace {
+
+/// Events run per pump slice. Small enough that cursors stay responsive
+/// with several queries interleaved, large enough to amortize the loop.
+constexpr uint64_t kPumpChunk = 256;
+
+}  // namespace
+
+Status Engine::AddTable(TableDef def, std::vector<RowRef> rows) {
+  const std::string name = def.name;
+  Schema schema = def.schema;
+  // Pre-check the store so a failure cannot leave catalog and store
+  // diverged (the store's only failure mode is a duplicate name, e.g. rows
+  // pre-loaded through the store() escape hatch).
+  if (store_.GetTable(name).ok()) {
+    return Status::AlreadyExists("table '" + name +
+                                 "' already has rows in the store");
+  }
+  STEMS_RETURN_NOT_OK(catalog_.AddTable(std::move(def)));
+  return store_.AddTable(name, std::move(schema), std::move(rows));
+}
+
+Result<QueryHandle> Engine::Submit(const QuerySpec& query,
+                                   RunOptions options) {
+  STEMS_RETURN_NOT_OK(options.Validate());
+
+  auto exec = std::make_shared<internal::QueryExecution>();
+  exec->engine = this;
+  // The eddy keeps a pointer to its QuerySpec for its whole lifetime; the
+  // execution owns a copy so the handle outlives the caller's spec.
+  exec->query = query;
+  exec->policy_name = options.policy;
+
+  STEMS_ASSIGN_OR_RETURN(
+      exec->eddy, PlanQuery(exec->query, store_, &sim_, options.exec));
+  STEMS_ASSIGN_OR_RETURN(std::unique_ptr<RoutingPolicy> policy,
+                         PolicyRegistry::Global().Create(
+                             options.policy, options.policy_params));
+  exec->eddy->SetPolicy(std::move(policy));
+  // Seed the scans now: the query is live and interleaves with every other
+  // live query as soon as anyone advances the shared clock.
+  exec->eddy->Start();
+
+  queries_.push_back(exec);
+  return QueryHandle(exec);
+}
+
+void Engine::CheckCompletions() {
+  for (auto& exec : queries_) {
+    if (exec->finished || exec->cancelled) continue;
+    if (exec->eddy->Quiescent()) {
+      // Parked prior probers can never be woken now; retiring them is the
+      // RunToCompletion drain, audited by the constraint checker.
+      exec->eddy->DrainParked();
+      exec->finished = true;
+      exec->completed_at = sim_.now();
+    }
+  }
+  // Prune retired executions nobody holds a handle to anymore (the engine's
+  // ref is the last one): a long-lived engine must not grow by a module
+  // graph plus a buffered result set per past query. Quiescent() is part of
+  // the predicate because a *cancelled* eddy may still have no-op events on
+  // the shared clock holding raw module pointers (a halted scan's pending
+  // emission); destroying it before they fire is a use-after-free.
+  std::erase_if(queries_,
+                [](const std::shared_ptr<internal::QueryExecution>& e) {
+                  return (e->finished || e->cancelled) &&
+                         e->eddy->Quiescent() && e.use_count() == 1;
+                });
+}
+
+void Engine::PumpUntilResult(internal::QueryExecution* exec, size_t target) {
+  while (!exec->finished && !exec->cancelled &&
+         exec->eddy->num_results() <= target) {
+    if (sim_.RunSteps(kPumpChunk) == 0) {
+      CheckCompletions();
+      if (!exec->finished && !exec->cancelled) {
+        // Should be unreachable: an idle clock with a non-quiescent eddy
+        // means a module lost track of in-flight work. Fail closed rather
+        // than spinning forever.
+        STEMS_LOG(Error)
+            << "engine: simulation idle but query not quiescent; "
+               "forcing completion";
+        exec->eddy->DrainParked();
+        exec->finished = true;
+        exec->completed_at = sim_.now();
+      }
+    } else {
+      CheckCompletions();
+    }
+  }
+}
+
+void Engine::PumpToCompletion(internal::QueryExecution* exec) {
+  PumpUntilResult(exec, SIZE_MAX);
+}
+
+void Engine::RunAll() {
+  // Snapshot: pumping prunes handle-less retired executions from queries_,
+  // which would invalidate an iterator over the member vector.
+  std::vector<std::shared_ptr<internal::QueryExecution>> live = queries_;
+  for (auto& exec : live) {
+    if (!exec->finished && !exec->cancelled) {
+      PumpToCompletion(exec.get());
+    }
+  }
+}
+
+size_t Engine::active_queries() const {
+  size_t n = 0;
+  for (const auto& exec : queries_) {
+    if (!exec->finished && !exec->cancelled) ++n;
+  }
+  return n;
+}
+
+}  // namespace stems

@@ -1,0 +1,186 @@
+// Engine: the top-level façade of the stems system.
+//
+// The paper's central claim (§2.2) is that eddies + SteMs "obviate the need
+// for query optimization": a query should be *submitted*, not
+// hand-assembled. The Engine realizes that as an API. It owns the Catalog
+// (what tables look like), the TableStore (their data) and the shared
+// Simulation clock, and turns a QuerySpec plus RunOptions into a running
+// eddy in one call:
+//
+//   Engine engine;
+//   engine.AddTable(def, rows);                 // describe data
+//   auto handle = engine.Submit(query).ValueOrDie();   // submit
+//   while (auto t = handle.cursor().Next()) Use(**t);  // stream results
+//
+// Several queries may be live at once: each Submit() wires an independent
+// eddy (its own modules, its own routing policy) onto the shared
+// discrete-event clock, so their events interleave in virtual-time order —
+// pumping any one cursor advances every live query. This is the first step
+// toward concurrent-workload scenarios (ROADMAP north star).
+//
+// The planner's PlanQuery() remains the documented low-level escape hatch
+// for callers that need to wire modules or policies by hand.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "eddy/eddy.h"
+#include "engine/run_options.h"
+#include "query/query_spec.h"
+#include "storage/table_store.h"
+
+namespace stems {
+
+class Engine;
+class QueryHandle;
+class ResultCursor;
+
+/// Execution statistics of one submitted query (snapshot; final once
+/// QueryHandle::done()).
+struct QueryStats {
+  uint64_t num_results = 0;
+  uint64_t tuples_routed = 0;
+  uint64_t tuples_retired = 0;
+  size_t constraint_violations = 0;
+  size_t parked = 0;
+  /// Virtual time at which the engine *observed* completion; kSimTimeNever
+  /// while running. With several interleaved queries this can lag the
+  /// query's actual last event by up to one pump slice (other queries'
+  /// events may advance the shared clock within the same slice).
+  SimTime completed_at = kSimTimeNever;
+  std::string policy;
+  bool cancelled = false;
+};
+
+namespace internal {
+
+/// Shared state of one submitted query, owned jointly by the Engine and any
+/// outstanding QueryHandle/ResultCursor. Internal: use QueryHandle.
+struct QueryExecution {
+  Engine* engine = nullptr;
+  QuerySpec query;  ///< owned copy; the eddy points into it
+  std::unique_ptr<Eddy> eddy;
+  std::string policy_name;
+  size_t next_result = 0;  ///< cursor consumption position (shared)
+  bool finished = false;
+  bool cancelled = false;
+  SimTime completed_at = kSimTimeNever;
+};
+
+}  // namespace internal
+
+/// Pull-based streaming access to a query's results, layered over the
+/// eddy's push output. Next() lazily advances the shared simulation just
+/// far enough to produce the next result. All cursors of one query share
+/// the consumption position (they are views of the same stream).
+class ResultCursor {
+ public:
+  /// The next result in production order; std::nullopt once the query has
+  /// finished and every result was returned, or after Cancel().
+  std::optional<TuplePtr> Next();
+
+  /// Runs the query to completion and returns all not-yet-consumed results.
+  std::vector<TuplePtr> Drain();
+
+  /// Results handed out so far.
+  size_t consumed() const { return exec_->next_result; }
+
+ private:
+  friend class QueryHandle;
+  explicit ResultCursor(std::shared_ptr<internal::QueryExecution> exec)
+      : exec_(std::move(exec)) {}
+
+  std::shared_ptr<internal::QueryExecution> exec_;
+};
+
+/// Caller's grip on a submitted query: cursor, stats, cancellation. Copyable
+/// (all copies refer to the same execution); must not outlive its Engine.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  bool valid() const { return exec_ != nullptr; }
+
+  /// Streaming access to results. Cursors share one consumption position.
+  ResultCursor cursor() const { return ResultCursor(exec_); }
+
+  /// Runs this query to completion (results stay buffered for the cursor).
+  void Wait();
+
+  /// True once the query has produced every result (or was cancelled).
+  bool done() const { return exec_->finished || exec_->cancelled; }
+
+  /// Cooperatively cancels the query: pending and future tuples are
+  /// dropped, cursors return std::nullopt, no further results appear. On an
+  /// already-finished query this discards the unconsumed buffered results.
+  void Cancel();
+
+  QueryStats Stats() const;
+  const MetricsRecorder& metrics() const;
+  const QuerySpec& query() const { return exec_->query; }
+
+  /// Low-level escape hatch (module stats, constraint violations, ...).
+  Eddy* eddy() const { return exec_->eddy.get(); }
+
+ private:
+  friend class Engine;
+  explicit QueryHandle(std::shared_ptr<internal::QueryExecution> exec)
+      : exec_(std::move(exec)) {}
+
+  std::shared_ptr<internal::QueryExecution> exec_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- data definition -------------------------------------------------------
+
+  /// Registers a table's definition and its rows in one step.
+  Status AddTable(TableDef def, std::vector<RowRef> rows);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  TableStore& store() { return store_; }
+  const TableStore& store() const { return store_; }
+  Simulation& sim() { return sim_; }
+
+  // --- query execution -------------------------------------------------------
+
+  /// Validates `options`, plans `query` (one SteM per table, one AM per
+  /// access method, one SM per selection around an eddy), instantiates the
+  /// named routing policy from the registry, and starts the scans. The
+  /// returned handle streams results; execution advances when a cursor is
+  /// pumped or RunAll() is called.
+  Result<QueryHandle> Submit(const QuerySpec& query, RunOptions options = {});
+
+  /// Drives the shared clock until every live query completes.
+  void RunAll();
+
+  /// Queries submitted and not yet finished or cancelled.
+  size_t active_queries() const;
+
+ private:
+  friend class ResultCursor;
+  friend class QueryHandle;
+
+  /// Advances the shared simulation until `exec` finishes, is cancelled, or
+  /// has produced more than `target` results. Interleaves every live query.
+  void PumpUntilResult(internal::QueryExecution* exec, size_t target);
+  void PumpToCompletion(internal::QueryExecution* exec);
+  /// Marks quiescent queries finished (draining their parked tuples).
+  void CheckCompletions();
+
+  Catalog catalog_;
+  TableStore store_;
+  Simulation sim_;
+  std::vector<std::shared_ptr<internal::QueryExecution>> queries_;
+};
+
+}  // namespace stems

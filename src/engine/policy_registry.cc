@@ -1,0 +1,84 @@
+#include "engine/policy_registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace stems {
+
+namespace {
+
+std::string Canonical(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '-', '_');
+  return out;
+}
+
+}  // namespace
+
+PolicyRegistry& PolicyRegistry::Global() {
+  // Function-local static: safely initialized before any registrar runs.
+  static PolicyRegistry* registry = new PolicyRegistry();
+  return *registry;
+}
+
+Status PolicyRegistry::Register(const std::string& name,
+                                PolicyFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("policy name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("policy factory must be non-null");
+  }
+  const std::string key = Canonical(name);
+  if (!factories_.emplace(key, std::move(factory)).second) {
+    return Status::AlreadyExists("routing policy '" + key +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RoutingPolicy>> PolicyRegistry::Create(
+    const std::string& name, const PolicyParams& params) const {
+  auto it = factories_.find(Canonical(name));
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& n : Names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::NotFound("unknown routing policy '" + name +
+                            "' (registered: " + known + ")");
+  }
+  std::unique_ptr<RoutingPolicy> policy = it->second(params);
+  if (policy == nullptr) {
+    return Status::Internal("factory for policy '" + name +
+                            "' returned null");
+  }
+  return policy;
+}
+
+bool PolicyRegistry::Contains(const std::string& name) const {
+  return factories_.count(Canonical(name)) > 0;
+}
+
+std::vector<std::string> PolicyRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+namespace internal {
+
+PolicyRegistrar::PolicyRegistrar(const char* name, PolicyFactory factory) {
+  Status st = PolicyRegistry::Global().Register(name, std::move(factory));
+  if (!st.ok()) {
+    STEMS_LOG(Error) << "STEMS_REGISTER_POLICY(" << name
+                     << "): " << st.ToString();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace stems

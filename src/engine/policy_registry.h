@@ -1,0 +1,93 @@
+// PolicyRegistry: routing policies addressable by name.
+//
+// The paper's premise is that the routing policy is the *only* pluggable
+// decision left in the system (§2.2: eddies + SteMs "obviate the need for
+// query optimization"). The registry completes that story at the API level:
+// policies self-register under a stable name via STEMS_REGISTER_POLICY, so
+// callers select them with a string in RunOptions ("lottery",
+// "benefit_cost", "nary_shj", ...) and adding a policy requires zero
+// planner/engine edits. Benches enumerate Names() to sweep every policy.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eddy/routing_policy.h"
+
+namespace stems {
+
+/// Construction knobs handed to a policy factory. Factories read the fields
+/// they understand and ignore the rest, so one parameter bundle serves all
+/// registered policies.
+struct PolicyParams {
+  /// Seed for stochastic policies (lottery, benefit-cost exploration).
+  uint64_t seed = 42;
+  /// Fixed slot preference order for static-order policies (nary_shj).
+  std::vector<int> probe_order;
+  /// Named numeric knobs for policy-specific options; unknown keys are
+  /// ignored. Built-ins read: "min_weight", "queue_penalty" (lottery);
+  /// "explore_epsilon", "prior_matches" (benefit_cost).
+  std::map<std::string, double> knobs;
+
+  /// The knob's value, or `fallback` when unset.
+  double KnobOr(const std::string& name, double fallback) const {
+    auto it = knobs.find(name);
+    return it == knobs.end() ? fallback : it->second;
+  }
+};
+
+using PolicyFactory =
+    std::function<std::unique_ptr<RoutingPolicy>(const PolicyParams&)>;
+
+/// Name-keyed factory table. Lookup normalizes '-' to '_' so the
+/// RoutingPolicy::name() spellings ("nary-shj") resolve to the canonical
+/// registry names ("nary_shj").
+class PolicyRegistry {
+ public:
+  /// The process-wide registry all STEMS_REGISTER_POLICY sites target.
+  static PolicyRegistry& Global();
+
+  /// Registers a factory. Rejects duplicate names (after normalization).
+  Status Register(const std::string& name, PolicyFactory factory);
+
+  /// Instantiates the named policy, or kNotFound listing known names.
+  Result<std::unique_ptr<RoutingPolicy>> Create(
+      const std::string& name, const PolicyParams& params = {}) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Canonical names of every registered policy, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, PolicyFactory> factories_;
+};
+
+namespace internal {
+
+/// Static-initialization hook used by STEMS_REGISTER_POLICY.
+struct PolicyRegistrar {
+  PolicyRegistrar(const char* name, PolicyFactory factory);
+};
+
+}  // namespace internal
+
+/// Registers a policy factory with the global registry at static-init time.
+/// Place one per policy in its .cc file:
+///
+///   STEMS_REGISTER_POLICY("lottery", [](const PolicyParams& p) {
+///     LotteryPolicyOptions o;
+///     o.seed = p.seed;
+///     return std::make_unique<LotteryPolicy>(o);
+///   });
+#define STEMS_REGISTER_POLICY(name, ...)                    \
+  static const ::stems::internal::PolicyRegistrar           \
+      STEMS_CONCAT_(stems_policy_registrar_, __COUNTER__) { \
+    name, __VA_ARGS__                                       \
+  }
+
+}  // namespace stems

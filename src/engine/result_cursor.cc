@@ -1,0 +1,65 @@
+// ResultCursor and QueryHandle: the pull side of the Engine façade.
+#include "engine/engine.h"
+
+namespace stems {
+
+std::optional<TuplePtr> ResultCursor::Next() {
+  internal::QueryExecution* exec = exec_.get();
+  if (exec->cancelled) return std::nullopt;
+  const Eddy& eddy = *exec->eddy;
+  if (exec->next_result >= eddy.num_results() && !exec->finished) {
+    // Advance the shared clock just far enough for the push output to grow
+    // past the cursor (or for the query to finish).
+    exec->engine->PumpUntilResult(exec, exec->next_result);
+  }
+  if (exec->cancelled) return std::nullopt;
+  if (exec->next_result < eddy.num_results()) {
+    return eddy.results()[exec->next_result++];
+  }
+  return std::nullopt;
+}
+
+std::vector<TuplePtr> ResultCursor::Drain() {
+  std::vector<TuplePtr> out;
+  while (auto t = Next()) {
+    out.push_back(std::move(*t));
+  }
+  return out;
+}
+
+void QueryHandle::Wait() {
+  if (!exec_->finished && !exec_->cancelled) {
+    exec_->engine->PumpToCompletion(exec_.get());
+  }
+}
+
+void QueryHandle::Cancel() {
+  if (exec_->cancelled) return;
+  exec_->cancelled = true;
+  if (!exec_->finished) {
+    // Still running: stop the dataflow too. (On a finished query, Cancel
+    // only discards the buffered results the cursors have not consumed.)
+    exec_->completed_at = exec_->engine->sim_.now();
+    exec_->eddy->Cancel();
+  }
+}
+
+QueryStats QueryHandle::Stats() const {
+  const Eddy& eddy = *exec_->eddy;
+  QueryStats stats;
+  stats.num_results = eddy.num_results();
+  stats.tuples_routed = eddy.tuples_routed();
+  stats.tuples_retired = eddy.tuples_retired();
+  stats.constraint_violations = eddy.violations().size();
+  stats.parked = eddy.parked_count();
+  stats.completed_at = exec_->completed_at;
+  stats.policy = exec_->policy_name;
+  stats.cancelled = exec_->cancelled;
+  return stats;
+}
+
+const MetricsRecorder& QueryHandle::metrics() const {
+  return exec_->eddy->ctx()->metrics;
+}
+
+}  // namespace stems

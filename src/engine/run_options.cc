@@ -1,0 +1,56 @@
+#include "engine/run_options.h"
+
+namespace stems {
+
+Status RunOptions::Validate() const {
+  if (!PolicyRegistry::Global().Contains(policy)) {
+    // Reuse the registry's error message, which lists the known names.
+    auto created = PolicyRegistry::Global().Create(policy, policy_params);
+    return created.status();
+  }
+  const EddyOptions& eddy = exec.eddy;
+  if (eddy.max_routes_per_tuple == 0) {
+    return Status::InvalidArgument("max_routes_per_tuple must be > 0");
+  }
+  if (eddy.routing_overhead < 0) {
+    return Status::InvalidArgument("routing_overhead must be >= 0");
+  }
+  if (!eddy.no_build_tables.empty() && !eddy.relax_build_first) {
+    return Status::InvalidArgument(
+        "no_build_tables is set but relax_build_first is false; the tables "
+        "would silently build anyway");
+  }
+  if (exec.scan_defaults.period <= 0) {
+    return Status::InvalidArgument("scan period must be > 0");
+  }
+  for (const auto& [name, scan] : exec.scan_overrides) {
+    if (scan.period <= 0) {
+      return Status::InvalidArgument("scan period for '" + name +
+                                     "' must be > 0");
+    }
+  }
+  return Status::OK();
+}
+
+RunOptions RunOptions::Paper() {
+  RunOptions o;
+  o.policy = "benefit_cost";
+  return o;
+}
+
+RunOptions RunOptions::LowMemory(size_t global_entry_budget) {
+  RunOptions o;
+  o.exec.eddy.memory.global_entry_budget = global_entry_budget;
+  o.exec.stem_defaults.index_impl = StemIndexImpl::kAdaptive;
+  return o;
+}
+
+RunOptions RunOptions::RelaxedBuildFirst(
+    std::vector<std::string> no_build_tables) {
+  RunOptions o;
+  o.exec.eddy.relax_build_first = true;
+  o.exec.eddy.no_build_tables = std::move(no_build_tables);
+  return o;
+}
+
+}  // namespace stems

@@ -1,0 +1,52 @@
+// RunOptions: everything Engine::Submit needs to know about *how* to run a
+// query, in one validated struct.
+//
+// Folds the planner's ExecutionConfig (module timing, SteM behaviour) and
+// the EddyOptions it embeds together with the routing-policy selection that
+// used to require a concrete-policy #include. Named presets cover the
+// recurring configurations of the paper's experiments; everything else is
+// reachable through the `exec` escape hatch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/policy_registry.h"
+#include "query/planner.h"
+
+namespace stems {
+
+struct RunOptions {
+  /// Registry name of the routing policy ("nary_shj", "lottery",
+  /// "benefit_cost", ...). See PolicyRegistry::Names().
+  std::string policy = "nary_shj";
+
+  /// Knobs forwarded to the policy factory (seed, probe order, ...).
+  PolicyParams policy_params;
+
+  /// Full low-level knob set: module timing defaults and per-module
+  /// overrides, SteM options, and the embedded EddyOptions.
+  ExecutionConfig exec;
+
+  /// Checks internal consistency and that `policy` is registered.
+  Status Validate() const;
+
+  // --- named presets --------------------------------------------------------
+
+  /// The paper's default experimental setup: benefit/cost routing (§4.1)
+  /// with probe bouncing left to Table 2's constraints.
+  static RunOptions Paper();
+
+  /// Memory-constrained execution (§6): a global SteM entry budget with the
+  /// MemoryGovernor evicting across SteMs, plus adaptive SteM indexes so
+  /// small states stay cheap.
+  static RunOptions LowMemory(size_t global_entry_budget = 1024);
+
+  /// §3.5 relaxed BuildFirst: singletons of `no_build_tables` probe without
+  /// building (re-probing under LastMatchTimeStamp), for tables too large
+  /// to hold in a SteM.
+  static RunOptions RelaxedBuildFirst(std::vector<std::string> no_build_tables);
+};
+
+}  // namespace stems

@@ -1,5 +1,13 @@
 // Planner: instantiates a query as an eddy plus modules (paper §2.2).
 //
+// NOTE: most callers should not be here. The supported top-level API is
+// stems::Engine (engine/engine.h): Engine::Submit() plans the query, picks
+// the routing policy by registry name, and streams results through a
+// cursor. PlanQuery() remains the documented low-level escape hatch for
+// callers that need to wire modules, policies, or the simulation by hand
+// (custom module graphs, policy unit tests). See docs/api.md for the
+// old-wiring → Engine mapping.
+//
 // "The use of an eddy and SteMs obviates the need for query optimization
 // because there are no a priori decisions to be made." The planner only:
 //   1. validates the query against bind-field constraints (Nail-style),

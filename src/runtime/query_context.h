@@ -16,15 +16,31 @@ struct QueryContext {
   TimestampAuthority ts;
   MetricsRecorder metrics;
 
-  /// Slots of `query` whose table instance is `table_name`.
-  std::vector<int> SlotsOfTable(const std::string& table_name) const {
+  /// Slots of `query` bound to exactly this table definition. Identity
+  /// comparison on the resolved TableDef, not a name compare: two catalog
+  /// entries (or an alias shadowing another base table's name) must never
+  /// alias each other's slots.
+  std::vector<int> SlotsOfTable(const TableDef* def) const {
     std::vector<int> out;
     for (size_t i = 0; i < query->num_slots(); ++i) {
-      if (query->slots()[i].table_name == table_name) {
+      if (query->slots()[i].def == def) {
         out.push_back(static_cast<int>(i));
       }
     }
     return out;
+  }
+
+  /// Name-keyed convenience: resolves `table_name` to the TableDef of the
+  /// first slot whose *definition* carries that name, then matches slots by
+  /// definition identity.
+  std::vector<int> SlotsOfTable(const std::string& table_name) const {
+    for (size_t i = 0; i < query->num_slots(); ++i) {
+      const TableDef* def = query->slots()[i].def;
+      if (def != nullptr && def->name == table_name) {
+        return SlotsOfTable(def);
+      }
+    }
+    return {};
   }
 };
 

@@ -9,8 +9,7 @@
 #include "baseline/index_join_op.h"
 #include "baseline/operator.h"
 #include "baseline/shj_op.h"
-#include "eddy/policies/benefit_cost_policy.h"
-#include "eddy/policies/nary_shj_policy.h"
+#include "engine/policy_registry.h"
 #include "query/planner.h"
 #include "storage/generators.h"
 
@@ -67,7 +66,7 @@ class Fig7ShapeTest : public ::testing::Test {
     config.index_defaults.latency =
         std::make_shared<FixedLatency>(kIndexLatency);
     auto eddy = PlanQuery(query_, store_, &sim, config).ValueOrDie();
-    eddy->SetPolicy(std::make_unique<NaryShjPolicy>());
+    eddy->SetPolicy(PolicyRegistry::Global().Create("nary_shj").ValueOrDie());
     eddy->RunToCompletion();
     ASSERT_TRUE(eddy->violations().empty());
     *results = eddy->ctx()->metrics.Series("results");
@@ -171,7 +170,7 @@ class Fig8ShapeTest : public ::testing::Test {
     t_stem.bounce_mode = ProbeBounceMode::kAlways;
     config.stem_overrides["T"] = t_stem;
     auto eddy = PlanQuery(query_, store_, &sim, config).ValueOrDie();
-    eddy->SetPolicy(std::make_unique<BenefitCostPolicy>());
+    eddy->SetPolicy(PolicyRegistry::Global().Create("benefit_cost").ValueOrDie());
     eddy->RunToCompletion();
     EXPECT_TRUE(eddy->violations().empty());
     EXPECT_EQ(eddy->num_results(), kRows);

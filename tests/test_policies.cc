@@ -34,7 +34,10 @@ TEST(NaryShjPolicyTest, RespectsConfiguredProbeOrder) {
   auto run_with_order = [&](std::vector<int> order) {
     Simulation sim;
     auto eddy = PlanQuery(q, db.store, &sim, FastConfig()).ValueOrDie();
-    eddy->SetPolicy(std::make_unique<NaryShjPolicy>(order));
+    PolicyParams params;
+    params.probe_order = std::move(order);
+    eddy->SetPolicy(
+        PolicyRegistry::Global().Create("nary_shj", params).ValueOrDie());
     eddy->RunToCompletion();
     return std::make_pair(eddy->StemForTable("R")->probes_processed(),
                           eddy->StemForTable("T")->probes_processed());
@@ -71,9 +74,7 @@ TEST(LotteryPolicyTest, AvoidsBackloggedStem) {
 
   Simulation sim;
   auto eddy = PlanQuery(q, db.store, &sim, config).ValueOrDie();
-  LotteryPolicyOptions opts;
-  opts.seed = 7;
-  eddy->SetPolicy(std::make_unique<LotteryPolicy>(opts));
+  eddy->SetPolicy(MakePolicy(PolicyKind::kLottery, /*seed=*/7));
   eddy->RunToCompletion();
   // Correct results regardless.
   EXPECT_EQ(KeysOf(eddy->results(), nullptr),
@@ -133,9 +134,10 @@ TEST(BenefitCostPolicyTest, DeclinesIndexWhenScanIsFaster) {
 
   Simulation sim;
   auto eddy = PlanQuery(q, db.store, &sim, config).ValueOrDie();
-  BenefitCostPolicyOptions opts;
-  opts.explore_epsilon = 0.0;  // isolate the cost model from exploration
-  eddy->SetPolicy(std::make_unique<BenefitCostPolicy>(opts));
+  PolicyParams params;
+  params.knobs["explore_epsilon"] = 0.0;  // isolate cost model from exploration
+  eddy->SetPolicy(
+      PolicyRegistry::Global().Create("benefit_cost", params).ValueOrDie());
   eddy->RunToCompletion();
   EXPECT_EQ(eddy->num_results(), 4u);
   EXPECT_EQ(eddy->ctx()->metrics.Series("T.idx.probes").total(), 0);

@@ -1,0 +1,111 @@
+// Policy registry: named lookup, enumeration, and the error paths the
+// Engine façade depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/policy_registry.h"
+#include "engine/run_options.h"
+
+namespace stems {
+namespace {
+
+TEST(PolicyRegistryTest, AllBuiltinPoliciesEnumerable) {
+  const std::vector<std::string> names = PolicyRegistry::Global().Names();
+  for (const char* expected : {"nary_shj", "lottery", "benefit_cost"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "builtin policy '" << expected << "' not registered";
+  }
+  // Names() is sorted (map order), so bench sweeps are deterministic.
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(PolicyRegistryTest, CreatesEveryRegisteredPolicy) {
+  for (const std::string& name : PolicyRegistry::Global().Names()) {
+    auto policy = PolicyRegistry::Global().Create(name);
+    ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+    EXPECT_NE(policy.Value(), nullptr);
+    EXPECT_NE(policy.Value()->name(), nullptr);
+  }
+}
+
+TEST(PolicyRegistryTest, LookupNormalizesDashes) {
+  // RoutingPolicy::name() spellings use dashes ("nary-shj"); the registry
+  // resolves both spellings to the canonical underscore name.
+  EXPECT_TRUE(PolicyRegistry::Global().Contains("nary-shj"));
+  EXPECT_TRUE(PolicyRegistry::Global().Contains("benefit-cost"));
+  auto policy = PolicyRegistry::Global().Create("benefit-cost");
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+}
+
+TEST(PolicyRegistryTest, UnknownNameIsNotFoundAndListsKnownNames) {
+  auto policy = PolicyRegistry::Global().Create("no_such_policy");
+  ASSERT_FALSE(policy.ok());
+  EXPECT_EQ(policy.status().code(), StatusCode::kNotFound);
+  // The error is actionable: it tells the caller what *is* registered.
+  EXPECT_NE(policy.status().message().find("nary_shj"), std::string::npos)
+      << policy.status().ToString();
+}
+
+TEST(PolicyRegistryTest, DuplicateRegistrationRejected) {
+  PolicyRegistry registry;
+  auto factory = [](const PolicyParams& p) {
+    return PolicyRegistry::Global().Create("nary_shj", p).ValueOrDie();
+  };
+  ASSERT_TRUE(registry.Register("mine", factory).ok());
+  Status dup = registry.Register("mine", factory);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  // Normalization applies to registration too: "mine" vs "mi-ne" differ,
+  // but a dashed respelling of an existing name collides.
+  EXPECT_EQ(registry.Register("mi-ne", factory).code(), StatusCode::kOk);
+  EXPECT_EQ(registry.Register("mi_ne", factory).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(PolicyRegistryTest, RejectsEmptyNameAndNullFactory) {
+  PolicyRegistry registry;
+  EXPECT_EQ(registry.Register("", [](const PolicyParams&) {
+              return std::unique_ptr<RoutingPolicy>();
+            }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("x", nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RunOptionsTest, ValidateRejectsUnknownPolicy) {
+  RunOptions options;
+  options.policy = "optimizer";  // there is, by design, no such thing
+  Status st = options.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(RunOptionsTest, ValidateRejectsInconsistentKnobs) {
+  RunOptions options;
+  options.exec.eddy.max_routes_per_tuple = 0;
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = RunOptions();
+  options.exec.eddy.no_build_tables = {"R"};  // without relax_build_first
+  EXPECT_FALSE(options.Validate().ok());
+
+  options = RunOptions();
+  options.exec.scan_defaults.period = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(RunOptionsTest, PresetsValidate) {
+  EXPECT_TRUE(RunOptions().Validate().ok());
+  EXPECT_TRUE(RunOptions::Paper().Validate().ok());
+  EXPECT_TRUE(RunOptions::LowMemory().Validate().ok());
+  EXPECT_TRUE(RunOptions::RelaxedBuildFirst({"R"}).Validate().ok());
+
+  EXPECT_EQ(RunOptions::Paper().policy, "benefit_cost");
+  EXPECT_GT(RunOptions::LowMemory(512).exec.eddy.memory.global_entry_budget,
+            0u);
+  EXPECT_TRUE(RunOptions::RelaxedBuildFirst({"R"}).exec.eddy.relax_build_first);
+}
+
+}  // namespace
+}  // namespace stems

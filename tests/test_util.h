@@ -10,9 +10,7 @@
 
 #include "catalog/catalog.h"
 #include "eddy/eddy.h"
-#include "eddy/policies/benefit_cost_policy.h"
-#include "eddy/policies/lottery_policy.h"
-#include "eddy/policies/nary_shj_policy.h"
+#include "engine/policy_registry.h"
 #include "query/planner.h"
 #include "query/query_spec.h"
 #include "reference/brute_force.h"
@@ -70,23 +68,25 @@ inline Schema IntSchema(const std::vector<std::string>& names) {
 
 enum class PolicyKind { kNaryShj, kLottery, kBenefitCost };
 
+/// Policies come from the global registry: tests select by name exactly as
+/// Engine callers do, with no concrete-policy includes.
 inline std::unique_ptr<RoutingPolicy> MakePolicy(PolicyKind kind,
                                                  uint64_t seed = 42) {
+  PolicyParams params;
+  params.seed = seed;
+  const char* name = nullptr;
   switch (kind) {
     case PolicyKind::kNaryShj:
-      return std::make_unique<NaryShjPolicy>();
-    case PolicyKind::kLottery: {
-      LotteryPolicyOptions o;
-      o.seed = seed;
-      return std::make_unique<LotteryPolicy>(o);
-    }
-    case PolicyKind::kBenefitCost: {
-      BenefitCostPolicyOptions o;
-      o.seed = seed;
-      return std::make_unique<BenefitCostPolicy>(o);
-    }
+      name = "nary_shj";
+      break;
+    case PolicyKind::kLottery:
+      name = "lottery";
+      break;
+    case PolicyKind::kBenefitCost:
+      name = "benefit_cost";
+      break;
   }
-  return nullptr;
+  return PolicyRegistry::Global().Create(name, params).ValueOrDie();
 }
 
 struct EddyRun {

@@ -7,6 +7,7 @@
 // through the index AM; everyone else waits for the scan. We compare the
 // delivery time of prioritized results with and without priority bounce.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -21,6 +22,15 @@ constexpr SimTime kTScanPeriod = Millis(120);  // T complete only at 60 s
 constexpr SimTime kIndexLatency = Millis(200);
 constexpr int64_t kPriorityCutoff = 25;  // prioritize R.a < 25 (~10% of rows)
 
+/// --quick (CI bench-smoke): same workload shape at 1/5 the size, so the
+/// smoke run finishes in a blink while still exercising the full path.
+/// The priority cutoff scales with the key domain so the prioritized
+/// fraction (~10%) stays the same.
+bool g_quick = false;
+size_t Rows() { return g_quick ? kRows / 5 : kRows; }
+size_t TRows() { return g_quick ? 50 : 250; }
+int64_t Cutoff() { return g_quick ? kPriorityCutoff / 5 : kPriorityCutoff; }
+
 struct Outcome {
   CounterSeries all;
   CounterSeries prioritized;
@@ -29,15 +39,15 @@ struct Outcome {
 
 Outcome Run(ProbeBounceMode mode) {
   Engine engine;
-  // R.a spans [0, 250); T.key matches it.
+  // R.a spans [0, T rows); T.key matches it.
   engine.AddTable(
       TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
-      GenerateTableR(kRows, 250, 5));
+      GenerateTableR(Rows(), TRows(), 5));
   engine.AddTable(TableDef{"T",
                            SchemaT(),
                            {{"T.scan", AccessMethodKind::kScan, {}},
                             {"T.idx", AccessMethodKind::kIndex, {0}}}},
-                  GenerateTableT(250, 6));
+                  GenerateTableT(TRows(), 6));
   QueryBuilder qb(engine.catalog());
   qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
   QuerySpec query = qb.Build().ValueOrDie();
@@ -47,7 +57,7 @@ Outcome Run(ProbeBounceMode mode) {
   RunOptions options;
   options.exec.scan_overrides["R.scan"].period = kRScanPeriod;
   options.exec.scan_overrides["R.scan"].prioritizer = [](const Row& row) {
-    return row.value(1).AsInt64() < kPriorityCutoff;
+    return row.value(1).AsInt64() < Cutoff();
   };
   options.exec.scan_overrides["T.scan"].period = kTScanPeriod;
   options.exec.index_defaults.latency =
@@ -59,7 +69,7 @@ Outcome Run(ProbeBounceMode mode) {
   // (the tuple flag only survives R-side derivations).
   options.exec.eddy.result_priority_classifier = [](const Tuple& t) {
     const Value* a = t.ValueAt(0, 1);
-    return a != nullptr && a->AsInt64() < kPriorityCutoff;
+    return a != nullptr && a->AsInt64() < Cutoff();
   };
 
   QueryHandle handle = bench::RunQuery(engine, query, options);
@@ -74,9 +84,13 @@ Outcome Run(ProbeBounceMode mode) {
 }  // namespace
 }  // namespace stems
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stems;
   using namespace stems::bench;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) stems::g_quick = true;
+  }
 
   PrintHeader(
       "bench_reorder — user prioritizes R.a < 25; T scan is slow, T index "

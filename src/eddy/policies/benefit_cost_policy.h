@@ -38,6 +38,11 @@ class BenefitCostPolicy : public PolicyBase {
   const char* name() const override { return "benefit-cost"; }
 
  protected:
+  /// §4.1 statistics move slowly relative to a batch: sharing one
+  /// benefit/cost evaluation across a homogeneous-lineage group trades a
+  /// per-tuple re-evaluation (and its exploration draw) for one per group.
+  bool AmortizeHomogeneousLineage() const override { return true; }
+
   int ChooseProbeSlot(const Tuple& tuple,
                       const std::vector<int>& candidates) override;
   IndexAm* ChooseIndexAm(const Tuple& tuple,

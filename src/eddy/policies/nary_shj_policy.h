@@ -24,6 +24,10 @@ class NaryShjPolicy : public PolicyBase {
   const char* name() const override { return "nary-shj"; }
 
  protected:
+  /// The probe order is a pure function of the tuple's lineage, so one
+  /// decision serves every tuple of a homogeneous batch group.
+  bool AmortizeHomogeneousLineage() const override { return true; }
+
   int ChooseProbeSlot(const Tuple& tuple,
                       const std::vector<int>& candidates) override;
 

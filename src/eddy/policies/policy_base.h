@@ -23,7 +23,21 @@ class PolicyBase : public RoutingPolicy {
  public:
   RouteDecision Route(const TuplePtr& tuple) override;
 
+  /// Batch routing with homogeneous-lineage amortization: when the subclass
+  /// opts in (AmortizeHomogeneousLineage), the decision computed for the
+  /// first tuple of each RouteLineage group is reused for the rest of the
+  /// group, so one policy consultation covers the whole group. Seeds and
+  /// prior probers always go through the scalar Route() (their decisions
+  /// depend on per-tuple state beyond the lineage key).
+  void ChooseBatch(const TupleBatch& batch,
+                   std::vector<RouteDecision>* out) override;
+
  protected:
+  /// Opt-in for ChooseBatch's decision sharing. Policies whose per-tuple
+  /// randomness is the point (e.g. lottery scheduling) keep this off and
+  /// still benefit from the eddy's batched event-queue hops.
+  virtual bool AmortizeHomogeneousLineage() const { return false; }
+
   /// Picks the next SteM to probe from non-empty `candidates` (slots).
   virtual int ChooseProbeSlot(const Tuple& tuple,
                               const std::vector<int>& candidates) = 0;
@@ -65,6 +79,14 @@ class PolicyBase : public RoutingPolicy {
   RouteDecision RoutePriorProber(const TuplePtr& tuple);
   /// Spawns the strict-timestamp retarget clone for self-joins, once.
   void MaybeSpawnRetargetClone(const TuplePtr& tuple);
+
+  /// ChooseBatch's per-batch decision cache (member so the steady state
+  /// allocates nothing; cleared at every batch).
+  struct CachedDecision {
+    RouteLineage key;
+    RouteDecision decision;
+  };
+  std::vector<CachedDecision> batch_cache_;
 };
 
 }  // namespace stems

@@ -7,6 +7,9 @@
 // the SteMs/AMs internally and audited by the eddy's ConstraintChecker.
 #pragma once
 
+#include <vector>
+
+#include "eddy/tuple_batch.h"
 #include "runtime/module.h"
 #include "runtime/tuple.h"
 
@@ -61,6 +64,19 @@ class RoutingPolicy {
   /// Chooses the next step for `tuple`. The eddy has already handled
   /// output-eligible tuples, seeds and EOTs.
   virtual RouteDecision Route(const TuplePtr& tuple) = 0;
+
+  /// Chooses the next step for every tuple of `batch` (one decision per
+  /// tuple, in order). Called by the eddy when it routes in batches
+  /// (EddyOptions::batch_size > 1). The default simply loops the scalar
+  /// Route(), so every policy keeps working unchanged; batch-aware policies
+  /// override this to amortize one decision across tuples with a
+  /// homogeneous lineage (see PolicyBase).
+  virtual void ChooseBatch(const TupleBatch& batch,
+                           std::vector<RouteDecision>* out) {
+    out->clear();
+    out->reserve(batch.size());
+    for (const TuplePtr& t : batch.tuples) out->push_back(Route(t));
+  }
 
  protected:
   Eddy* eddy_ = nullptr;

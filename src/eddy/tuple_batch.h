@@ -1,0 +1,58 @@
+// TupleBatch: the unit of batched routing through the eddy.
+//
+// With EddyOptions::batch_size > 1 the eddy pops up to batch_size tuples
+// from its routing queue per scheduling step and asks the policy for all
+// decisions at once (RoutingPolicy::ChooseBatch). RouteLineage is the
+// grouping key for that amortization: tuples with equal lineage are
+// indistinguishable to the constraint-respecting routing skeleton
+// (PolicyBase), so one decision can be shared across all of them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/tuple.h"
+
+namespace stems {
+
+/// An ordered group of tuples awaiting one routing decision each.
+struct TupleBatch {
+  std::vector<TuplePtr> tuples;
+
+  size_t size() const { return tuples.size(); }
+  bool empty() const { return tuples.empty(); }
+  void clear() { tuples.clear(); }
+};
+
+/// Everything PolicyBase's routing skeleton reads from a (non-seed,
+/// non-prior-prober) tuple: span, predicate "done bits", SteMs already
+/// probed, and the flags that steer the build/probe/clone branches. Two
+/// tuples with equal lineage take the same path through Route(), so a
+/// batch-aware policy may compute the decision once per lineage group.
+struct RouteLineage {
+  enum Flags : uint8_t {
+    kUnbuiltSingleton = 1,  ///< singleton not yet built into its SteM
+    kRetargetClone = 2,     ///< self-join reverse-probe clone
+    kPrioritized = 4,       ///< §4.1 interactive priority
+  };
+
+  uint64_t spanned_mask = 0;
+  uint64_t preds_passed = 0;
+  uint64_t probed_stems = 0;
+  uint8_t flags = 0;
+
+  static RouteLineage Of(const Tuple& t) {
+    RouteLineage key{t.spanned_mask(), t.preds_passed(), t.probed_stems(), 0};
+    const int slot = t.SingletonSlot();
+    if (slot >= 0 && t.component(slot).timestamp == kTsInfinity) {
+      key.flags |= kUnbuiltSingleton;
+    }
+    if (t.is_retarget_clone()) key.flags |= kRetargetClone;
+    if (t.prioritized()) key.flags |= kPrioritized;
+    return key;
+  }
+
+  friend bool operator==(const RouteLineage&, const RouteLineage&) = default;
+};
+
+}  // namespace stems

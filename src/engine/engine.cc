@@ -38,6 +38,11 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
   exec->query = query;
   exec->policy_name = options.policy;
 
+  // The top-level batch_size knob wins over the exec escape hatch (unless
+  // left at its scalar default).
+  if (options.batch_size > 1) {
+    options.exec.eddy.batch_size = options.batch_size;
+  }
   STEMS_ASSIGN_OR_RETURN(
       exec->eddy, PlanQuery(exec->query, store_, &sim_, options.exec));
   STEMS_ASSIGN_OR_RETURN(std::unique_ptr<RoutingPolicy> policy,

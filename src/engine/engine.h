@@ -45,6 +45,10 @@ struct QueryStats {
   uint64_t num_results = 0;
   uint64_t tuples_routed = 0;
   uint64_t tuples_retired = 0;
+  /// Wall-clock nanoseconds spent in the eddy's routing steps (policy +
+  /// audit + dispatch); tuples_routed / this is the router's real
+  /// throughput, the hot path RunOptions::batch_size amortizes.
+  uint64_t routing_wall_ns = 0;
   size_t constraint_violations = 0;
   size_t parked = 0;
   /// Virtual time at which the engine *observed* completion; kSimTimeNever

@@ -50,6 +50,7 @@ QueryStats QueryHandle::Stats() const {
   stats.num_results = eddy.num_results();
   stats.tuples_routed = eddy.tuples_routed();
   stats.tuples_retired = eddy.tuples_retired();
+  stats.routing_wall_ns = eddy.routing_wall_ns();
   stats.constraint_violations = eddy.violations().size();
   stats.parked = eddy.parked_count();
   stats.completed_at = exec_->completed_at;

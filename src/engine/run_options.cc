@@ -9,6 +9,9 @@ Status RunOptions::Validate() const {
     return created.status();
   }
   const EddyOptions& eddy = exec.eddy;
+  if (batch_size == 0 || eddy.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
   if (eddy.max_routes_per_tuple == 0) {
     return Status::InvalidArgument("max_routes_per_tuple must be > 0");
   }

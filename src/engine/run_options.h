@@ -25,6 +25,14 @@ struct RunOptions {
   /// Knobs forwarded to the policy factory (seed, probe order, ...).
   PolicyParams policy_params;
 
+  /// Tuples routed (and serviced) per scheduling step. 1 = the paper's
+  /// per-tuple dataflow (the Paper() preset stays scalar); > 1 amortizes
+  /// the policy consultation, constraint audit and event-queue hop across
+  /// the batch (see EddyOptions::batch_size). Values > 1 take precedence
+  /// over exec.eddy.batch_size. Batching never changes the result set —
+  /// only virtual-time interleaving.
+  size_t batch_size = 1;
+
   /// Full low-level knob set: module timing defaults and per-module
   /// overrides, SteM options, and the embedded EddyOptions.
   ExecutionConfig exec;

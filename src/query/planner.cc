@@ -19,6 +19,11 @@ Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
   auto eddy = std::make_unique<Eddy>(query, sim, config.eddy);
   QueryContext* ctx = eddy->ctx();
 
+  // Batched dataflow (EddyOptions::batch_size): modules service tuple
+  // groups of the same size per event, so the per-event amortization holds
+  // end to end, not just at the router.
+  const size_t service_batch = config.eddy.batch_size;
+
   // Step 4 (done early so AMs can assume SteMs exist): one SteM per base
   // table, shared across all FROM-clause instances of that table.
   std::set<std::string> tables_done;
@@ -27,7 +32,14 @@ Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
     StemOptions opts = config.stem_defaults;
     auto it = config.stem_overrides.find(inst.table_name);
     if (it != config.stem_overrides.end()) opts = it->second;
-    eddy->AddModule(std::make_unique<Stem>(ctx, inst.table_name, opts));
+    Stem* stem = eddy->AddModule(
+        std::make_unique<Stem>(ctx, inst.table_name, opts));
+    // Grace-mode SteMs stay scalar: their per-probe partition-switch
+    // penalty depends on the partition of the *previous* probe, which
+    // batched service (service times summed up front) would misprice.
+    if (opts.partition_switch_penalty <= 0) {
+      stem->set_service_batch(service_batch);
+    }
   }
 
   // Step 2: an AM for every access method that can possibly be used.
@@ -41,6 +53,7 @@ Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
         ScanAmOptions opts = config.scan_defaults;
         auto it = config.scan_overrides.find(am.name);
         if (it != config.scan_overrides.end()) opts = it->second;
+        // Scan AMs accept only the seed; batched service is a no-op there.
         eddy->AddModule(std::make_unique<ScanAm>(
             ctx, am.name, inst.table_name, data->rows(), opts));
       } else {
@@ -48,7 +61,8 @@ Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
         auto it = config.index_overrides.find(am.name);
         if (it != config.index_overrides.end()) opts = it->second;
         eddy->AddModule(std::make_unique<IndexAm>(
-            ctx, am.name, inst.table_name, am.bind_columns, data, opts));
+                ctx, am.name, inst.table_name, am.bind_columns, data, opts))
+            ->set_service_batch(service_batch);
       }
     }
   }
@@ -57,7 +71,8 @@ Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
   if (config.create_selection_modules) {
     for (const auto& p : query.predicates()) {
       if (!p.is_join()) {
-        eddy->AddModule(std::make_unique<SelectionModule>(ctx, &p));
+        eddy->AddModule(std::make_unique<SelectionModule>(ctx, &p))
+            ->set_service_batch(service_batch);
       }
     }
   }

@@ -47,6 +47,13 @@ class MetricsRecorder {
     series_[name].Increment(now, delta);
   }
 
+  /// Stable handle for hot paths: resolves the series once; callers then
+  /// Increment() without re-building the key or re-searching the map.
+  /// (std::map nodes are pointer-stable across later insertions.)
+  CounterSeries* SeriesHandle(const std::string& name) {
+    return &series_[name];
+  }
+
   const CounterSeries& Series(const std::string& name) const;
   bool Has(const std::string& name) const { return series_.count(name) > 0; }
 

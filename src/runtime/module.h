@@ -62,6 +62,22 @@ class Module {
   /// server frees up.
   void Accept(TuplePtr tuple);
 
+  /// Batch entry point: drains `*batch` into the input queue (in order)
+  /// with one bookkeeping pass, then starts service. Used by the eddy's
+  /// batched router to deliver a cluster of same-destination tuples in one
+  /// call; the drained vector keeps its capacity for the caller to reuse.
+  void AcceptBatch(std::vector<TuplePtr>* batch);
+
+  /// Tuples serviced per scheduled event (default 1 = one event per tuple).
+  /// With n > 1 the module drains up to n queued tuples per event, charging
+  /// the sum of their virtual service times as one busy period — the
+  /// event-queue hop is amortized. Service times are evaluated up front
+  /// (before any tuple of the group is processed), so a ServiceTime() that
+  /// depends on processing order (e.g. the Grace-mode partition-switch
+  /// penalty) must keep the module scalar.
+  void set_service_batch(size_t n) { service_batch_ = n == 0 ? 1 : n; }
+  size_t service_batch() const { return service_batch_; }
+
   size_t queue_length() const { return queue_.size(); }
   bool busy() const { return busy_; }
   /// True when no queued or in-service work remains. AMs with outstanding
@@ -77,6 +93,16 @@ class Module {
   /// Processes one tuple after its service time has elapsed. Implementations
   /// emit results (and bounce-backs) via Emit().
   virtual void Process(TuplePtr tuple) = 0;
+
+  /// Processes and drains a serviced group (batched service path; `*tuples`
+  /// is the module's reusable service buffer — implementations must leave
+  /// it empty). The default loops Process(); modules with per-change side
+  /// effects may override to amortize them across the group (e.g. the SteM
+  /// defers its change notification to the end of the group).
+  virtual void ProcessBatch(std::vector<TuplePtr>* tuples) {
+    for (auto& t : *tuples) Process(std::move(t));
+    tuples->clear();
+  }
 
   /// Sends a tuple back to the eddy.
   void Emit(TuplePtr tuple);
@@ -97,6 +123,10 @@ class Module {
   };
   std::deque<QueueEntry> queue_;
   bool busy_ = false;
+  size_t service_batch_ = 1;
+  /// Reusable buffer for the in-flight service group (busy_ serializes
+  /// service, so one buffer suffices); keeps the batched path allocation-free.
+  std::vector<TuplePtr> in_service_;
   ModuleStats stats_;
 };
 

@@ -42,6 +42,19 @@ Stem::Stem(QueryContext* ctx, std::string table_name, StemOptions options)
   if (options_.num_partitions > 1) {
     deferred_bounces_.resize(options_.num_partitions);
   }
+  dups_series_ = ctx_->metrics.SeriesHandle(name() + ".dups");
+  bounces_series_ = ctx_->metrics.SeriesHandle(name() + ".bounces");
+  evictions_series_ = ctx_->metrics.SeriesHandle(name() + ".evictions");
+}
+
+CounterSeries* Stem::SpanSeries(uint64_t mask) {
+  for (const auto& [m, series] : span_series_) {
+    if (m == mask) return series;
+  }
+  CounterSeries* series =
+      ctx_->metrics.SeriesHandle("span." + std::to_string(mask));
+  span_series_.emplace_back(mask, series);
+  return series;
 }
 
 bool Stem::ServesSlot(int slot) const {
@@ -67,8 +80,8 @@ size_t Stem::PartitionOf(const Tuple& tuple) const {
   // Probe side: the value bound to the partitioning column, if any.
   int target = tuple.route_target_slot();
   if (target < 0 || !ServesSlot(target)) target = table_slots_.front();
-  const auto binds = ProbeBindings(tuple, target);
-  for (const auto& [col, val] : binds) {
+  ProbeBindingsInto(tuple, target, &partition_binds_scratch_);
+  for (const auto& [col, val] : partition_binds_scratch_) {
     if (col == part_col) return val.Hash() % options_.num_partitions;
   }
   return 0;
@@ -131,7 +144,7 @@ void Stem::ProcessBuild(TuplePtr tuple) {
   // *not* bounced back (SteM BounceBack constraint) so it never probes.
   if (dedup_.count(row) > 0) {
     ++duplicates_absorbed_;
-    ctx_->metrics.Count(name() + ".dups", sim()->now());
+    dups_series_->Increment(sim()->now());
     return;
   }
 
@@ -186,13 +199,27 @@ size_t Stem::EvictOldest(size_t n) {
     --live_entries_;
     ++evictions_;
     ++evicted;
-    ctx_->metrics.Count(name() + ".evictions", sim()->now());
+    evictions_series_->Increment(sim()->now());
   }
   return evicted;
 }
 
 void Stem::NotifyChange() {
+  if (defer_change_notify_) {
+    pending_change_notify_ = true;
+    return;
+  }
   if (change_listener_) change_listener_();
+}
+
+void Stem::ProcessBatch(std::vector<TuplePtr>* tuples) {
+  defer_change_notify_ = true;
+  Module::ProcessBatch(tuples);
+  defer_change_notify_ = false;
+  if (pending_change_notify_) {
+    pending_change_notify_ = false;
+    NotifyChange();
+  }
 }
 
 void Stem::FlushDeferredBounces() {
@@ -206,28 +233,35 @@ void Stem::FlushDeferredBounces() {
 std::vector<std::pair<int, Value>> Stem::ProbeBindings(
     const Tuple& tuple, int target_slot) const {
   std::vector<std::pair<int, Value>> binds;
+  ProbeBindingsInto(tuple, target_slot, &binds);
+  return binds;
+}
+
+void Stem::ProbeBindingsInto(const Tuple& tuple, int target_slot,
+                             std::vector<std::pair<int, Value>>* out) const {
+  out->clear();
   for (const auto& p : ctx_->query->predicates()) {
     auto col = p.EquiJoinColumnFor(target_slot);
     if (!col.has_value()) continue;
     auto peer = p.EquiJoinPeerOf(target_slot);
     if (!peer.has_value() || peer->table_slot == target_slot) continue;
     const Value* v = tuple.ValueAt(peer->table_slot, peer->column);
-    if (v != nullptr) binds.emplace_back(*col, *v);
+    if (v != nullptr) out->emplace_back(*col, *v);
   }
-  return binds;
 }
 
-std::vector<uint32_t> Stem::Candidates(const Tuple& tuple, int target_slot,
-                                       const std::vector<std::pair<int, Value>>& binds,
-                                       bool* full_scan) const {
-  std::vector<uint32_t> out;
+void Stem::Candidates(const Tuple& tuple, int target_slot,
+                      const std::vector<std::pair<int, Value>>& binds,
+                      std::vector<uint32_t>* out_ids, bool* full_scan) const {
+  std::vector<uint32_t>& out = *out_ids;
+  out.clear();
   *full_scan = true;
   for (const auto& [col, val] : binds) {
     for (const auto& [idx_col, index] : indexes_) {
       if (idx_col == col) {
         index->LookupEq(val, &out);
         *full_scan = false;
-        return out;
+        return;
       }
     }
   }
@@ -271,7 +305,7 @@ std::vector<uint32_t> Stem::Candidates(const Tuple& tuple, int target_slot,
                                              &out);
       if (served) {
         *full_scan = false;
-        return out;
+        return;
       }
       out.clear();  // index cannot serve ranges; fall through to full scan
     }
@@ -283,7 +317,6 @@ std::vector<uint32_t> Stem::Candidates(const Tuple& tuple, int target_slot,
   for (uint32_t id = 0; id < entries_.size(); ++id) {
     if (entries_[id].row != nullptr) out.push_back(id);
   }
-  return out;
 }
 
 void Stem::ProcessProbe(TuplePtr tuple) {
@@ -305,9 +338,11 @@ void Stem::ProcessProbe(TuplePtr tuple) {
     last_probed_partition_ = PartitionOf(*tuple);
   }
 
-  const auto binds = ProbeBindings(*tuple, target_slot);
+  ProbeBindingsInto(*tuple, target_slot, &binds_scratch_);
+  const auto& binds = binds_scratch_;
   bool full_scan = false;
-  const auto candidates = Candidates(*tuple, target_slot, binds, &full_scan);
+  Candidates(*tuple, target_slot, binds, &candidates_scratch_, &full_scan);
+  const auto& candidates = candidates_scratch_;
 
   // All not-yet-passed predicates evaluable on the concatenation (paper
   // Table 1: matches satisfy "all query predicates that can be evaluated on
@@ -315,10 +350,11 @@ void Stem::ProcessProbe(TuplePtr tuple) {
   // evaluable on the probe alone (e.g. an unvisited selection), so results
   // always carry complete predicate state.
   const uint64_t new_span = tuple->spanned_mask() | (1ULL << target_slot);
-  std::vector<const Predicate*> preds;
+  preds_scratch_.clear();
+  const auto& preds = preds_scratch_;
   for (const auto& p : ctx_->query->predicates()) {
     if (!tuple->PassedPredicate(p.id()) && p.CanEvaluate(new_span)) {
-      preds.push_back(&p);
+      preds_scratch_.push_back(&p);
     }
   }
 
@@ -352,8 +388,7 @@ void Stem::ProcessProbe(TuplePtr tuple) {
     ++matches_this_probe;
     // Partial-result accounting (online metric, §1.2/§3.4): intermediate
     // spans are the partial results FFF surfaces to users.
-    ctx_->metrics.Count("span." + std::to_string(concat->spanned_mask()),
-                        sim()->now());
+    SpanSeries(concat->spanned_mask())->Increment(sim()->now());
     Emit(std::move(concat));
   }
 
@@ -386,7 +421,7 @@ void Stem::ProcessProbe(TuplePtr tuple) {
     tuple->set_last_match_ts(max_entry_ts_);
     tuple->MarkPriorProber(target_slot);
     ++probes_bounced_;
-    ctx_->metrics.Count(name() + ".bounces", sim()->now());
+    bounces_series_->Increment(sim()->now());
     Emit(std::move(tuple));
   }
   // Otherwise the probe tuple leaves the dataflow here: every result it

@@ -112,10 +112,18 @@ class Stem : public Module {
   /// probing for matches at `target_slot`.
   std::vector<std::pair<int, Value>> ProbeBindings(const Tuple& tuple,
                                                    int target_slot) const;
+  /// Hot-path variant: appends into `*out` (cleared first) instead of
+  /// allocating a fresh vector per probe.
+  void ProbeBindingsInto(const Tuple& tuple, int target_slot,
+                         std::vector<std::pair<int, Value>>* out) const;
 
  protected:
   SimTime ServiceTime(const Tuple& tuple) const override;
   void Process(TuplePtr tuple) override;
+  /// Batched service: builds/probes of the group run back to back, and the
+  /// change notification (parked-prober wakeups + memory-governor
+  /// rebalance) fires once at the end of the group instead of per build.
+  void ProcessBatch(std::vector<TuplePtr>* tuples) override;
 
  private:
   struct Entry {
@@ -133,10 +141,20 @@ class Stem : public Module {
   /// Candidate entry ids for a probe: equality bindings through the hash
   /// index when possible, range join predicates through an ordered index
   /// otherwise ("searches on arbitrary predicates", §2.1.4); `full_scan`
-  /// set when the result is all entries (no usable index).
-  std::vector<uint32_t> Candidates(
-      const Tuple& tuple, int target_slot,
-      const std::vector<std::pair<int, Value>>& binds, bool* full_scan) const;
+  /// set when the result is all entries (no usable index). Fills `*out`
+  /// (cleared first).
+  void Candidates(const Tuple& tuple, int target_slot,
+                  const std::vector<std::pair<int, Value>>& binds,
+                  std::vector<uint32_t>* out, bool* full_scan) const;
+
+  /// Probe-path scratch buffers (service is serialized per module, so one
+  /// set suffices; keeps the hot path allocation-free). The partition
+  /// buffer is separate (and mutable) because PartitionOf() runs inside
+  /// const ServiceTime() while binds_scratch_ may hold live probe state.
+  std::vector<std::pair<int, Value>> binds_scratch_;
+  mutable std::vector<std::pair<int, Value>> partition_binds_scratch_;
+  std::vector<uint32_t> candidates_scratch_;
+  std::vector<const Predicate*> preds_scratch_;
 
   QueryContext* ctx_;
   std::string table_name_;
@@ -159,7 +177,21 @@ class Stem : public Module {
   std::vector<std::vector<TuplePtr>> deferred_bounces_;
   mutable size_t last_probed_partition_ = SIZE_MAX;
 
+  /// Batched-service state: while a group is in flight, NotifyChange()
+  /// latches instead of firing, and the pending notification is delivered
+  /// once after the group.
+  bool defer_change_notify_ = false;
+  bool pending_change_notify_ = false;
+
   std::function<void()> change_listener_;
+
+  /// Hot-path metrics: series handles resolved once (the per-match
+  /// "span.<mask>" key used to be rebuilt per emitted concatenation).
+  CounterSeries* dups_series_ = nullptr;
+  CounterSeries* bounces_series_ = nullptr;
+  CounterSeries* evictions_series_ = nullptr;
+  std::vector<std::pair<uint64_t, CounterSeries*>> span_series_;
+  CounterSeries* SpanSeries(uint64_t mask);
 
   uint64_t duplicates_absorbed_ = 0;
   uint64_t probes_bounced_ = 0;

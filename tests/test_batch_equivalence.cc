@@ -1,0 +1,223 @@
+// Batch-vs-scalar equivalence property: for every registered routing
+// policy and a spread of queries/seeds, running with batch_size 1, 8 and
+// 64 must produce identical sorted result sets and identical
+// constraint-audit verdicts. Batching amortizes the policy consultation,
+// the audit and the event-queue hop — it must never change what a query
+// returns (the tentpole invariant of the batched-dataflow refactor).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "reference/brute_force.h"
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::IndexSpec;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::ScanSpec;
+
+/// A case builds its tables into a fresh engine and returns the query.
+struct EquivalenceCase {
+  std::string name;
+  std::function<QuerySpec(Engine&)> make;
+};
+
+void AddIntTable(Engine& engine, const std::string& name,
+                 const std::vector<std::string>& cols,
+                 const std::vector<std::vector<int64_t>>& rows,
+                 std::vector<AccessMethodSpec> ams) {
+  TableDef def;
+  def.name = name;
+  def.schema = IntSchema(cols);
+  def.access_methods = std::move(ams);
+  ASSERT_TRUE(engine.AddTable(std::move(def), IntRows(rows)).ok());
+}
+
+std::vector<std::vector<int64_t>> RandomRows(Rng& rng, int n, int cols,
+                                             int64_t domain) {
+  std::vector<std::vector<int64_t>> rows;
+  for (int r = 0; r < n; ++r) {
+    std::vector<int64_t> row;
+    for (int c = 0; c < cols; ++c) row.push_back(rng.NextInt(0, domain));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<EquivalenceCase> Cases() {
+  std::vector<EquivalenceCase> cases;
+
+  cases.push_back({"equijoin2", [](Engine& e) {
+                     Rng rng(101);
+                     AddIntTable(e, "R", {"k", "a"}, RandomRows(rng, 60, 2, 8),
+                                 {ScanSpec("R.scan")});
+                     AddIntTable(e, "S", {"x", "p"}, RandomRows(rng, 60, 2, 8),
+                                 {ScanSpec("S.scan")});
+                     QueryBuilder qb(e.catalog());
+                     qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.x");
+                     return qb.Build().ValueOrDie();
+                   }});
+
+  cases.push_back({"chain3_selection", [](Engine& e) {
+                     Rng rng(102);
+                     AddIntTable(e, "R", {"a", "b"}, RandomRows(rng, 25, 2, 6),
+                                 {ScanSpec("R.scan")});
+                     AddIntTable(e, "S", {"x", "y"}, RandomRows(rng, 25, 2, 6),
+                                 {ScanSpec("S.scan")});
+                     AddIntTable(e, "T", {"u", "v"}, RandomRows(rng, 25, 2, 6),
+                                 {ScanSpec("T.scan")});
+                     QueryBuilder qb(e.catalog());
+                     qb.AddTable("R").AddTable("S").AddTable("T");
+                     qb.AddJoin("R.b", "S.x").AddJoin("S.y", "T.u");
+                     qb.AddSelection("R.a", CompareOp::kLe, Value::Int64(4));
+                     return qb.Build().ValueOrDie();
+                   }});
+
+  cases.push_back({"self_join", [](Engine& e) {
+                     Rng rng(103);
+                     AddIntTable(e, "R", {"g", "v"}, RandomRows(rng, 30, 2, 5),
+                                 {ScanSpec("R.scan")});
+                     QueryBuilder qb(e.catalog());
+                     qb.AddTable("R", "l").AddTable("R", "r");
+                     qb.AddJoin("l.g", "r.g");
+                     return qb.Build().ValueOrDie();
+                   }});
+
+  // Index AM on T: exercises prior probers, probe completion, parking.
+  cases.push_back({"index_am", [](Engine& e) {
+                     Rng rng(104);
+                     AddIntTable(e, "R", {"a"}, RandomRows(rng, 40, 1, 30),
+                                 {ScanSpec("R.scan")});
+                     AddIntTable(e, "T", {"key", "w"},
+                                 RandomRows(rng, 30, 2, 30),
+                                 {ScanSpec("T.scan"), IndexSpec("T.idx", {0})});
+                     QueryBuilder qb(e.catalog());
+                     qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
+                     return qb.Build().ValueOrDie();
+                   }});
+
+  cases.push_back({"range_join", [](Engine& e) {
+                     Rng rng(105);
+                     AddIntTable(e, "R", {"a"}, RandomRows(rng, 20, 1, 10),
+                                 {ScanSpec("R.scan")});
+                     AddIntTable(e, "S", {"x"}, RandomRows(rng, 20, 1, 10),
+                                 {ScanSpec("S.scan")});
+                     QueryBuilder qb(e.catalog());
+                     qb.AddTable("R").AddTable("S");
+                     qb.AddJoin("R.a", "S.x", CompareOp::kLe);
+                     return qb.Build().ValueOrDie();
+                   }});
+
+  // Randomized 2-table cases: varied domains and row counts.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    cases.push_back(
+        {"random_" + std::to_string(seed), [seed](Engine& e) {
+           Rng rng(1000 + seed);
+           const int rows_r = static_cast<int>(rng.NextInt(5, 50));
+           const int rows_s = static_cast<int>(rng.NextInt(5, 50));
+           const int64_t domain = rng.NextInt(2, 12);
+           AddIntTable(e, "R", {"k", "a"}, RandomRows(rng, rows_r, 2, domain),
+                       {ScanSpec("R.scan")});
+           AddIntTable(e, "S", {"x", "p"}, RandomRows(rng, rows_s, 2, domain),
+                       {ScanSpec("S.scan")});
+           QueryBuilder qb(e.catalog());
+           qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.x");
+           if (rng.NextBool(0.5)) {
+             qb.AddSelection("S.p", CompareOp::kGe,
+                             Value::Int64(rng.NextInt(0, domain)));
+           }
+           return qb.Build().ValueOrDie();
+         }});
+  }
+
+  return cases;
+}
+
+struct RunOutcome {
+  std::set<std::string> keys;
+  std::vector<std::string> duplicates;
+  std::vector<std::string> verdicts;  ///< sorted audit-violation constraints
+  std::set<std::string> expected;     ///< brute-force ground truth
+  size_t parked = 0;
+};
+
+RunOutcome RunCase(const EquivalenceCase& c, const std::string& policy,
+                   size_t batch_size, uint64_t seed) {
+  Engine engine;
+  QuerySpec query = c.make(engine);
+  RunOptions options;
+  options.policy = policy;
+  options.policy_params.seed = seed;
+  options.batch_size = batch_size;
+  options.exec.scan_defaults.period = Micros(10);
+  options.exec.index_defaults.latency =
+      std::make_shared<FixedLatency>(Micros(50));
+  auto submitted = engine.Submit(query, options);
+  EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+  QueryHandle handle = std::move(submitted).ValueOrDie();
+  handle.Wait();
+
+  RunOutcome out;
+  out.keys = KeysOf(handle.eddy()->results(), &out.duplicates);
+  for (const ConstraintViolation& v : handle.eddy()->violations()) {
+    out.verdicts.push_back(v.constraint);
+  }
+  std::sort(out.verdicts.begin(), out.verdicts.end());
+  out.expected = BruteForceResultSet(query, engine.store());
+  out.parked = handle.Stats().parked;
+  return out;
+}
+
+TEST(BatchEquivalenceTest, AllPoliciesAllBatchSizes) {
+  const std::vector<size_t> batch_sizes = {1, 8, 64};
+  for (const std::string& policy : PolicyRegistry::Global().Names()) {
+    for (const EquivalenceCase& c : Cases()) {
+      for (uint64_t seed : {7u, 42u}) {
+        SCOPED_TRACE("policy=" + policy + " case=" + c.name +
+                     " seed=" + std::to_string(seed));
+        RunOutcome scalar = RunCase(c, policy, 1, seed);
+        if (::testing::Test::HasFatalFailure()) return;
+        // The scalar run anchors correctness against ground truth.
+        EXPECT_EQ(scalar.keys, scalar.expected);
+        EXPECT_TRUE(scalar.duplicates.empty());
+        EXPECT_TRUE(scalar.verdicts.empty())
+            << scalar.verdicts.size() << " violations, first: "
+            << scalar.verdicts.front();
+        EXPECT_EQ(scalar.parked, 0u);
+        // Every batched run must be indistinguishable in results and
+        // audit verdicts.
+        for (size_t batch_size : batch_sizes) {
+          if (batch_size == 1) continue;
+          SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+          RunOutcome batched = RunCase(c, policy, batch_size, seed);
+          EXPECT_EQ(batched.keys, scalar.keys);
+          EXPECT_TRUE(batched.duplicates.empty());
+          EXPECT_EQ(batched.verdicts, scalar.verdicts);
+          EXPECT_EQ(batched.parked, 0u);
+        }
+      }
+    }
+  }
+}
+
+// The knob validates: batch_size 0 is rejected, not silently scalar.
+TEST(BatchEquivalenceTest, ZeroBatchSizeRejected) {
+  RunOptions options;
+  options.batch_size = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.batch_size = 1;
+  options.exec.eddy.batch_size = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+}  // namespace
+}  // namespace stems

@@ -16,6 +16,7 @@
 // completion slightly above the hash join because it keeps exploring the
 // index (paper: "a small fraction of the R tuples ... throughout").
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "baseline/index_join_op.h"
@@ -34,6 +35,11 @@ constexpr SimTime kRScanPeriod = Millis(59);    // R done at ~59 s
 constexpr SimTime kTScanPeriod = Millis(120);   // T done at ~120 s
 constexpr SimTime kIndexLatency = Millis(250);  // identical sleeps
 
+/// --quick (CI bench-smoke, matching bench_reorder): same workload shape at
+/// 1/5 the size; the scan/index timing ratios of Table 3 are preserved.
+bool g_quick = false;
+size_t Rows() { return g_quick ? kRows / 5 : kRows; }
+
 struct Setup {
   Catalog catalog;
   TableStore store;
@@ -48,15 +54,15 @@ void Build(Setup* s) {
               {"T.idx", AccessMethodKind::kIndex, {0}}}};
   s->catalog.AddTable(r);
   s->catalog.AddTable(t);
-  // R.key = 0..999 in scan order; T.key = random permutation of 0..999, so
-  // early hash matches are probabilistic as in the paper.
+  // R.key = 0..N-1 in scan order; T.key = a random permutation of the same
+  // domain, so early hash matches are probabilistic as in the paper.
   std::vector<RowRef> r_rows;
-  for (size_t i = 0; i < kRows; ++i) {
+  for (size_t i = 0; i < Rows(); ++i) {
     r_rows.push_back(MakeRow({Value::Int64(static_cast<int64_t>(i)),
                               Value::Int64(static_cast<int64_t>(i % 250))}));
   }
   s->store.AddTable("R", SchemaR(), std::move(r_rows));
-  s->store.AddTable("T", SchemaT(), GenerateTableT(kRows, 11));
+  s->store.AddTable("T", SchemaT(), GenerateTableT(Rows(), 11));
   QueryBuilder qb(s->catalog);
   qb.AddTable("R").AddTable("T").AddJoin("R.key", "T.key");
   s->query = qb.Build().ValueOrDie();
@@ -127,9 +133,13 @@ void RunHybrid(const Setup& s, CounterSeries* results, uint64_t* index_probes,
 }  // namespace
 }  // namespace stems
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stems;
   using namespace stems::bench;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) stems::g_quick = true;
+  }
 
   PrintHeader(
       "bench_fig8_q4 — Q4: R join T, T has scan + async index",
@@ -148,18 +158,21 @@ int main() {
   RunHybrid(s, &hy, &hybrid_probes, &violations);
   if (violations != 0) {
     std::printf("WARNING: %zu constraint violations\n", violations);
+    return 1;
   }
 
-  PrintSeriesTable("Fig 8(i): results, first 30 s", Seconds(30), Seconds(3),
+  const SimTime short_h = stems::g_quick ? Seconds(6) : Seconds(30);
+  const SimTime long_h = stems::g_quick ? Seconds(40) : Seconds(200);
+  PrintSeriesTable("Fig 8(i): results, early window", short_h, short_h / 10,
                    {{"hybrid", &hy}, {"index_join", &ij}, {"hash_join", &hj}});
-  PrintSeriesTable("Fig 8(ii): results, first 200 s", Seconds(200),
-                   Seconds(10),
+  PrintSeriesTable("Fig 8(ii): results, full run", long_h, long_h / 20,
                    {{"hybrid", &hy}, {"index_join", &ij}, {"hash_join", &hj}});
 
+  const int64_t n = static_cast<int64_t>(stems::Rows());
   std::printf("\n## Summary\n\n");
-  PrintKeyValue("index join: completion", CompletionSeconds(ij, 1000), "s");
-  PrintKeyValue("hash join:  completion", CompletionSeconds(hj, 1000), "s");
-  PrintKeyValue("hybrid:     completion", CompletionSeconds(hy, 1000), "s");
+  PrintKeyValue("index join: completion", CompletionSeconds(ij, n), "s");
+  PrintKeyValue("hash join:  completion", CompletionSeconds(hj, n), "s");
+  PrintKeyValue("hybrid:     completion", CompletionSeconds(hy, n), "s");
   PrintKeyValue("hybrid: remote index probes",
                 static_cast<int64_t>(hybrid_probes), "lookups");
   PrintKeyValue("hybrid: results by 15s", hy.ValueAt(Seconds(15)), "tuples");

@@ -10,6 +10,7 @@
 // batch sizes hybridize, trading early results against total work —
 // exactly the frequent-probe/occasional-probe dial of §3.1.
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -26,6 +27,14 @@ constexpr SimTime kScanPeriod = Millis(4);
 constexpr size_t kPartitions = 16;
 constexpr SimTime kSwitchPenalty = Millis(12);
 
+/// --quick (CI bench-smoke, matching bench_reorder): same workload shape at
+/// 1/5 the size; the hybrid batch scales with it so the three regimes stay
+/// distinguishable.
+bool g_quick = false;
+size_t Rows() { return g_quick ? kRows / 5 : kRows; }
+int64_t Domain() { return g_quick ? kDomain / 5 : kDomain; }
+size_t HybridBatch() { return g_quick ? 8 : 24; }
+
 struct Outcome {
   CounterSeries results;
   double stem_busy_seconds = 0;
@@ -41,9 +50,9 @@ Outcome Run(size_t bounce_batch) {
   catalog.AddTable(
       TableDef{"S", schema, {{"S.scan", AccessMethodKind::kScan, {}}}});
   std::vector<ColumnGenSpec> one_uniform{
-      {"k", ColumnGenSpec::Kind::kUniform, 0, kDomain - 1, 0, 0}};
-  store.AddTable("R", schema, GenerateRows(one_uniform, kRows, 31));
-  store.AddTable("S", schema, GenerateRows(one_uniform, kRows, 32));
+      {"k", ColumnGenSpec::Kind::kUniform, 0, Domain() - 1, 0, 0}};
+  store.AddTable("R", schema, GenerateRows(one_uniform, Rows(), 31));
+  store.AddTable("S", schema, GenerateRows(one_uniform, Rows(), 32));
   QueryBuilder qb(catalog);
   qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.k");
   QuerySpec query = qb.Build().ValueOrDie();
@@ -70,9 +79,13 @@ Outcome Run(size_t bounce_batch) {
 }  // namespace
 }  // namespace stems
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stems;
   using namespace stems::bench;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) stems::g_quick = true;
+  }
 
   PrintHeader(
       "bench_grace_hybrid — SHJ / Grace / hybrid via SteM bounce batching",
@@ -82,13 +95,16 @@ int main() {
       "cost; intermediate batches interpolate");
 
   Outcome shj = Run(1);
-  Outcome hybrid = Run(24);
+  Outcome hybrid = Run(HybridBatch());
   Outcome grace = Run(100000);  // flushes only on scan EOT: pure Grace
   if (shj.violations + hybrid.violations + grace.violations != 0) {
     std::printf("WARNING: constraint violations\n");
+    return 1;
   }
 
-  PrintSeriesTable("results over time", Seconds(36), Seconds(2),
+  PrintSeriesTable("results over time",
+                   stems::g_quick ? Seconds(8) : Seconds(36),
+                   stems::g_quick ? Seconds(0.5) : Seconds(2),
                    {{"shj_batch1", &shj.results},
                     {"hybrid_batch24", &hybrid.results},
                     {"grace_batchEOT", &grace.results}});

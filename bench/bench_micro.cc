@@ -192,7 +192,72 @@ void RunReorderWorkload(size_t batch_size, benchmark::State& state) {
   state.SetLabel("items = routing steps");
 }
 
+// The larger-than-memory workload (src/spill/): an equijoin whose build
+// state is 4x the global entry budget, run with spilling enabled. The
+// reported counters are the CI trajectory for the spill subsystem:
+// spill_ios / bytes_spilled must stay nonzero (the budget actually binds)
+// and vt_ratio (spilled virtual completion / unlimited virtual completion)
+// must stay within the 5x acceptance bound on this quick workload.
+void RunSpillWorkload(benchmark::State& state) {
+  const size_t rows = 600;  // per table; budget = 25% of total build size
+  int64_t spill_ios = 0;
+  int64_t bytes_spilled = 0;
+  double vt_ratio = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimTime completed[2] = {0, 0};
+    uint64_t ios = 0;
+    uint64_t bytes = 0;
+    for (int spill = 0; spill < 2; ++spill) {
+      Engine engine;
+      auto schema = Schema({{"k", ValueType::kInt64}});
+      std::vector<ColumnGenSpec> cols{
+          {"k", ColumnGenSpec::Kind::kUniform, 0, 299, 0, 0}};
+      engine.AddTable(
+          TableDef{"R", schema, {{"R.scan", AccessMethodKind::kScan, {}}}},
+          GenerateRows(cols, rows, 71));
+      engine.AddTable(
+          TableDef{"S", schema, {{"S.scan", AccessMethodKind::kScan, {}}}},
+          GenerateRows(cols, rows, 72));
+      QueryBuilder qb(engine.catalog());
+      qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.k");
+      QuerySpec query = qb.Build().ValueOrDie();
+      RunOptions options =
+          spill ? RunOptions::LargerThanMemory(rows / 2) : RunOptions();
+      options.exec.scan_defaults.period = Micros(10);
+      QueryHandle handle = engine.Submit(query, options).ValueOrDie();
+      state.ResumeTiming();
+      handle.Wait();
+      state.PauseTiming();
+      const QueryStats stats = handle.Stats();
+      completed[spill] = stats.completed_at;
+      if (spill) {
+        ios = stats.spill_ios;
+        bytes = stats.bytes_spilled;
+      }
+    }
+    state.ResumeTiming();
+    spill_ios += static_cast<int64_t>(ios);
+    bytes_spilled += static_cast<int64_t>(bytes);
+    vt_ratio += static_cast<double>(completed[1]) /
+                static_cast<double>(completed[0]);
+    ++iterations;
+  }
+  state.counters["spill_ios"] =
+      benchmark::Counter(static_cast<double>(spill_ios) / iterations);
+  state.counters["bytes_spilled"] =
+      benchmark::Counter(static_cast<double>(bytes_spilled) / iterations);
+  state.counters["vt_ratio"] = benchmark::Counter(vt_ratio / iterations);
+  state.SetLabel("unlimited vs LargerThanMemory(25%)");
+}
+
 namespace {
+
+void BM_SpillLargerThanMemory(benchmark::State& state) {
+  RunSpillWorkload(state);
+}
+BENCHMARK(BM_SpillLargerThanMemory);
 
 void BM_EddyEndToEnd_CheckerOff(benchmark::State& state) {
   RunSmallQuery(ConstraintMode::kOff, "nary_shj", 1, state);

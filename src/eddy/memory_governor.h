@@ -8,31 +8,42 @@
 // into each SteM."
 //
 // The governor holds a global entry budget over all SteMs of a query. When
-// the total exceeds the budget it evicts from one SteM at a time, chosen by
-// a victim policy:
-//   kLargestFirst — shrink the biggest SteM (balances sizes);
-//   kColdestFirst — shrink the SteM with the fewest probes per entry (keep
-//                   hot lookup state, evict bulk state).
+// the total exceeds the budget it shrinks one SteM at a time, chosen by a
+// victim policy:
+//   kLargestFirst — evict from the biggest SteM (balances sizes);
+//   kColdestFirst — evict from the SteM with the fewest probes per entry
+//                   (keep hot lookup state, evict bulk state);
+//   kSpillColdest — *spill* the coldest SteM's coldest hash partition to
+//                   its run file (src/spill/) instead of evicting. Results
+//                   stay exact: spilled state is faulted back in on demand,
+//                   priced through the simulation's disk latency model.
 //
 // Eviction turns the affected join into a window join over that table, so
-// the governor is meant for continuous queries / memory-pressure scenarios,
-// mirroring the sliding-window use of SteMs in CACQ/PSoup.
+// the evicting policies are meant for continuous queries / sliding-window
+// scenarios (CACQ/PSoup); kSpillColdest is the larger-than-memory mode.
+//
+// When no watched SteM can shrink any further (everything spillable is
+// already spilled, or spill is disabled and nothing is evictable) the
+// governor logs once and bails out instead of spinning; it re-arms after
+// the next successful shrink.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.h"
 #include "stem/stem.h"
 
 namespace stems {
 
-enum class MemoryVictimPolicy { kLargestFirst, kColdestFirst };
+enum class MemoryVictimPolicy { kLargestFirst, kColdestFirst, kSpillColdest };
 
 struct MemoryGovernorOptions {
-  /// Total live entries allowed across all SteMs (0 = unlimited).
+  /// Total live in-memory entries allowed across all SteMs (0 = unlimited).
   size_t global_entry_budget = 0;
   MemoryVictimPolicy victim_policy = MemoryVictimPolicy::kLargestFirst;
-  /// Evict in chunks to amortize governor invocations.
+  /// Evict in chunks to amortize governor invocations (eviction policies
+  /// only; spilling works at whole-partition granularity).
   size_t eviction_batch = 16;
 };
 
@@ -42,7 +53,10 @@ class MemoryGovernor {
       : options_(options) {}
 
   /// Registers a SteM to govern (the eddy does this as SteMs register).
-  void Watch(Stem* stem) { stems_.push_back(stem); }
+  void Watch(Stem* stem) {
+    stems_.push_back(stem);
+    spilled_by_stem_.push_back(0);
+  }
 
   size_t TotalEntries() const {
     size_t n = 0;
@@ -51,34 +65,83 @@ class MemoryGovernor {
   }
 
   uint64_t total_evicted() const { return total_evicted_; }
+  uint64_t total_spilled() const { return total_spilled_; }
 
-  /// Enforces the budget; called by the eddy after SteM growth.
+  /// Per-SteM spill accounting: entries this governor moved out of memory
+  /// from each watched SteM, in Watch() order.
+  const std::vector<Stem*>& watched() const { return stems_; }
+  const std::vector<uint64_t>& spilled_by_stem() const {
+    return spilled_by_stem_;
+  }
+
+  /// Enforces the budget; called by the eddy after SteM growth. Tries
+  /// victims in score order until the budget holds; if no victim can
+  /// shrink, logs (once, until progress resumes) and bails out.
   void Rebalance() {
     if (options_.global_entry_budget == 0 || stems_.empty()) return;
     while (TotalEntries() > options_.global_entry_budget) {
-      Stem* victim = PickVictim();
-      if (victim == nullptr) return;
-      const size_t over = TotalEntries() - options_.global_entry_budget;
-      const size_t chunk =
-          over < options_.eviction_batch ? over : options_.eviction_batch;
-      const size_t evicted = victim->EvictOldest(chunk);
-      total_evicted_ += evicted;
-      if (evicted == 0) return;  // nothing evictable
+      tried_.clear();
+      size_t shrunk = 0;
+      while (shrunk == 0) {
+        const int victim = PickVictim();
+        if (victim < 0) break;
+        shrunk = Shrink(victim);
+        tried_.push_back(stems_[victim]);
+      }
+      if (shrunk == 0) {
+        if (!stall_logged_) {
+          STEMS_LOG(Warning)
+              << "MemoryGovernor: entry budget "
+              << options_.global_entry_budget << " unreachable ("
+              << TotalEntries()
+              << " resident entries; no SteM can shrink further)";
+          stall_logged_ = true;
+        }
+        return;
+      }
+      stall_logged_ = false;
     }
   }
 
  private:
-  Stem* PickVictim() const {
-    Stem* best = nullptr;
+  size_t Shrink(int victim_index) {
+    Stem* victim = stems_[victim_index];
+    if (options_.victim_policy == MemoryVictimPolicy::kSpillColdest) {
+      const size_t spilled = victim->SpillColdestPartition();
+      total_spilled_ += spilled;
+      spilled_by_stem_[victim_index] += spilled;
+      return spilled;
+    }
+    const size_t over = TotalEntries() - options_.global_entry_budget;
+    const size_t chunk =
+        over < options_.eviction_batch ? over : options_.eviction_batch;
+    const size_t evicted = victim->EvictOldest(chunk);
+    total_evicted_ += evicted;
+    return evicted;
+  }
+
+  /// Index of the best not-yet-tried victim this round; -1 when none left.
+  int PickVictim() const {
+    int best = -1;
     double best_score = -1;
-    for (Stem* s : stems_) {
+    for (size_t i = 0; i < stems_.size(); ++i) {
+      Stem* s = stems_[i];
       if (s->num_entries() == 0) continue;
+      bool tried = false;
+      for (const Stem* t : tried_) {
+        if (t == s) {
+          tried = true;
+          break;
+        }
+      }
+      if (tried) continue;
       double score = 0;
       switch (options_.victim_policy) {
         case MemoryVictimPolicy::kLargestFirst:
           score = static_cast<double>(s->num_entries());
           break;
-        case MemoryVictimPolicy::kColdestFirst: {
+        case MemoryVictimPolicy::kColdestFirst:
+        case MemoryVictimPolicy::kSpillColdest: {
           // Fewest probes per stored entry = coldest.
           const double probes_per_entry =
               static_cast<double>(s->probes_processed()) /
@@ -89,7 +152,7 @@ class MemoryGovernor {
       }
       if (score > best_score) {
         best_score = score;
-        best = s;
+        best = static_cast<int>(i);
       }
     }
     return best;
@@ -97,7 +160,11 @@ class MemoryGovernor {
 
   MemoryGovernorOptions options_;
   std::vector<Stem*> stems_;
+  std::vector<uint64_t> spilled_by_stem_;
+  std::vector<Stem*> tried_;  ///< victims that failed to shrink this round
   uint64_t total_evicted_ = 0;
+  uint64_t total_spilled_ = 0;
+  bool stall_logged_ = false;
 };
 
 }  // namespace stems

@@ -27,9 +27,13 @@ int BenefitCostPolicy::ChooseProbeSlot(const Tuple& /*tuple*/,
       matches_per_probe = static_cast<double>(stem->matches_emitted()) /
                           static_cast<double>(stem->probes_processed());
     }
+    // Spill-aware cost (§6): a SteM with spilled partitions makes probes
+    // pay fault-in I/O, so its expected latency rises and the policy
+    // prefers resident state while the spilled side stays cold.
     const double latency =
         stem->stats().MeanLatency() + 1.0 +
-        static_cast<double>(stem->queue_length());
+        static_cast<double>(stem->queue_length()) +
+        static_cast<double>(stem->ExpectedProbeSpillCost());
     const double score = (matches_per_probe + 0.01) / latency;
     if (score > best_score) {
       best_score = score;

@@ -43,6 +43,23 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
   if (options.batch_size > 1) {
     options.exec.eddy.batch_size = options.batch_size;
   }
+  // Memory-pressure shorthands: the budget knob overrides the escape hatch
+  // when set, and the spill toggle turns on run files + the spilling victim
+  // policy (exact results under the budget).
+  if (options.memory_budget_entries > 0) {
+    options.exec.eddy.memory.global_entry_budget =
+        options.memory_budget_entries;
+  }
+  if (options.spill) {
+    options.exec.eddy.spill.enabled = true;
+    // Like the batch_size shorthand, defer to the escape hatch when the
+    // caller explicitly picked a (window-semantics) victim policy.
+    if (options.exec.eddy.memory.victim_policy ==
+        MemoryVictimPolicy::kLargestFirst) {
+      options.exec.eddy.memory.victim_policy =
+          MemoryVictimPolicy::kSpillColdest;
+    }
+  }
   STEMS_ASSIGN_OR_RETURN(
       exec->eddy, PlanQuery(exec->query, store_, &sim_, options.exec));
   STEMS_ASSIGN_OR_RETURN(std::unique_ptr<RoutingPolicy> policy,

@@ -58,6 +58,17 @@ struct QueryStats {
   SimTime completed_at = kSimTimeNever;
   std::string policy;
   bool cancelled = false;
+
+  // --- spill subsystem (all zero when RunOptions::spill is off) -------------
+  /// Simulated disk page reads + writes by the spill run files.
+  uint64_t spill_ios = 0;
+  /// Bytes ever appended to spill run files.
+  uint64_t bytes_spilled = 0;
+  /// Live entries currently on disk.
+  uint64_t entries_spilled = 0;
+  /// SteM hash partitions currently resident / spilled (summed over SteMs).
+  size_t partitions_resident = 0;
+  size_t partitions_spilled = 0;
 };
 
 namespace internal {
@@ -92,6 +103,15 @@ class ResultCursor {
 
   /// Results handed out so far.
   size_t consumed() const { return exec_->next_result; }
+
+  // --- spill observability (src/spill/; zero when spill is disabled) --------
+  /// Simulated disk page I/Os performed so far to keep this query's state
+  /// exact under its memory budget.
+  uint64_t spill_ios() const;
+  /// Bytes appended to spill run files so far.
+  uint64_t bytes_spilled() const;
+  /// SteM hash partitions currently in memory (summed over SteMs).
+  size_t partitions_resident() const;
 
  private:
   friend class QueryHandle;

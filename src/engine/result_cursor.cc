@@ -27,6 +27,18 @@ std::vector<TuplePtr> ResultCursor::Drain() {
   return out;
 }
 
+uint64_t ResultCursor::spill_ios() const {
+  return exec_->eddy->SpillStats().spill_ios;
+}
+
+uint64_t ResultCursor::bytes_spilled() const {
+  return exec_->eddy->SpillStats().bytes_spilled;
+}
+
+size_t ResultCursor::partitions_resident() const {
+  return exec_->eddy->SpillStats().partitions_resident;
+}
+
 void QueryHandle::Wait() {
   if (!exec_->finished && !exec_->cancelled) {
     exec_->engine->PumpToCompletion(exec_.get());
@@ -56,6 +68,12 @@ QueryStats QueryHandle::Stats() const {
   stats.completed_at = exec_->completed_at;
   stats.policy = exec_->policy_name;
   stats.cancelled = exec_->cancelled;
+  const Eddy::SpillSummary spill = eddy.SpillStats();
+  stats.spill_ios = spill.spill_ios;
+  stats.bytes_spilled = spill.bytes_spilled;
+  stats.entries_spilled = spill.entries_spilled;
+  stats.partitions_resident = spill.partitions_resident;
+  stats.partitions_spilled = spill.partitions_spilled;
   return stats;
 }
 

@@ -23,6 +23,30 @@ Status RunOptions::Validate() const {
         "no_build_tables is set but relax_build_first is false; the tables "
         "would silently build anyway");
   }
+  const bool spill_enabled = spill || eddy.spill.enabled;
+  if (eddy.memory.victim_policy == MemoryVictimPolicy::kSpillColdest &&
+      !spill_enabled) {
+    return Status::InvalidArgument(
+        "victim_policy kSpillColdest requires spill to be enabled (set "
+        "RunOptions::spill or exec.eddy.spill.enabled); without run files "
+        "the governor could not shrink any SteM");
+  }
+  if (spill_enabled) {
+    if (eddy.spill.partitions == 0) {
+      return Status::InvalidArgument("spill.partitions must be >= 1");
+    }
+    if (eddy.spill.partitions > 65535) {
+      // SpillFile packs the partition into 16 bits of the page key; more
+      // would silently alias pages across partitions.
+      return Status::InvalidArgument("spill.partitions must be <= 65535");
+    }
+    if (eddy.spill.page_entries == 0) {
+      return Status::InvalidArgument("spill.page_entries must be >= 1");
+    }
+    if (eddy.spill.pool_frames == 0) {
+      return Status::InvalidArgument("spill.pool_frames must be >= 1");
+    }
+  }
   if (exec.scan_defaults.period <= 0) {
     return Status::InvalidArgument("scan period must be > 0");
   }
@@ -53,6 +77,14 @@ RunOptions RunOptions::RelaxedBuildFirst(
   RunOptions o;
   o.exec.eddy.relax_build_first = true;
   o.exec.eddy.no_build_tables = std::move(no_build_tables);
+  return o;
+}
+
+RunOptions RunOptions::LargerThanMemory(size_t memory_budget_entries) {
+  RunOptions o;
+  o.memory_budget_entries = memory_budget_entries;
+  o.spill = true;
+  o.exec.stem_defaults.index_impl = StemIndexImpl::kAdaptive;
   return o;
 }
 

@@ -33,6 +33,24 @@ struct RunOptions {
   /// only virtual-time interleaving.
   size_t batch_size = 1;
 
+  /// Global in-memory entry budget across all SteMs of the query
+  /// (0 = unlimited). Nonzero values override
+  /// exec.eddy.memory.global_entry_budget. With `spill` off, the governor
+  /// evicts at the budget (window-join semantics); with it on, state
+  /// spills and results stay exact.
+  size_t memory_budget_entries = 0;
+
+  /// Spill-aware state storage (§6 + §3.1, src/spill/): under memory
+  /// pressure the governor moves cold SteM hash partitions to simulated
+  /// partitioned run files behind a shared buffer pool instead of evicting
+  /// them, and probes fault them back in (or are deferred behind the
+  /// asynchronous read — see SpillOptions::probe_policy). Switches the
+  /// governor's victim policy to kSpillColdest (unless
+  /// exec.eddy.memory.victim_policy was explicitly set to an eviction
+  /// policy); exact results, priced through the disk latency models in
+  /// exec.eddy.spill.
+  bool spill = false;
+
   /// Full low-level knob set: module timing defaults and per-module
   /// overrides, SteM options, and the embedded EddyOptions.
   ExecutionConfig exec;
@@ -55,6 +73,13 @@ struct RunOptions {
   /// building (re-probing under LastMatchTimeStamp), for tables too large
   /// to hold in a SteM.
   static RunOptions RelaxedBuildFirst(std::vector<std::string> no_build_tables);
+
+  /// Exact execution of workloads whose build state exceeds memory: a
+  /// global entry budget with spilling enabled (kSpillColdest governor,
+  /// partitioned run files, shared buffer pool) plus adaptive SteM indexes.
+  /// Results are identical to an unlimited-memory run; only virtual time
+  /// differs (the simulated disk I/O).
+  static RunOptions LargerThanMemory(size_t memory_budget_entries = 1024);
 };
 
 }  // namespace stems

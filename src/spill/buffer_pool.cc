@@ -1,0 +1,147 @@
+#include "spill/buffer_pool.h"
+
+namespace stems {
+
+namespace {
+constexpr SimTime kDefaultReadLatency = Micros(150);
+constexpr SimTime kDefaultWriteLatency = Micros(100);
+}  // namespace
+
+BufferPool::BufferPool(const SpillOptions& options)
+    : capacity_(options.pool_frames == 0 ? 1 : options.pool_frames),
+      read_latency_(options.read_latency),
+      write_latency_(options.write_latency),
+      rng_(options.seed) {
+  if (read_latency_ == nullptr) {
+    read_latency_ = std::make_shared<FixedLatency>(kDefaultReadLatency);
+  }
+  if (write_latency_ == nullptr) {
+    write_latency_ = std::make_shared<FixedLatency>(kDefaultWriteLatency);
+  }
+}
+
+SimTime BufferPool::SampleRead() {
+  const SimTime t = read_latency_->Sample(0, rng_);
+  total_read_cost_ += t;
+  ++reads_sampled_;
+  return t;
+}
+
+SimTime BufferPool::SampleWrite() { return write_latency_->Sample(0, rng_); }
+
+SimTime BufferPool::ExpectedReadCost() const {
+  if (reads_sampled_ > 0) {
+    return total_read_cost_ / static_cast<SimTime>(reads_sampled_);
+  }
+  return kDefaultReadLatency;
+}
+
+size_t BufferPool::AcquireFrame(SimTime* cost) {
+  if (frames_.size() < capacity_) {
+    frames_.emplace_back();
+    return frames_.size() - 1;
+  }
+  // CLOCK: two full sweeps give every referenced frame its second chance;
+  // after that every unpinned frame has referenced == false.
+  for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+    const size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    Frame& f = frames_[idx];
+    if (!f.valid) return idx;
+    if (f.pins > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (f.dirty) {
+      *cost += SampleWrite();
+      ++stats_.writebacks;
+    }
+    ++stats_.evictions;
+    frame_of_.erase(f.page);
+    f = Frame{};
+    return idx;
+  }
+  // Every frame pinned: over-allocate rather than deadlock.
+  ++stats_.overflows;
+  frames_.emplace_back();
+  return frames_.size() - 1;
+}
+
+SimTime BufferPool::Fetch(PageKey page) {
+  auto it = frame_of_.find(page);
+  if (it != frame_of_.end()) {
+    frames_[it->second].referenced = true;
+    ++stats_.hits;
+    return 0;
+  }
+  SimTime cost = 0;
+  const size_t idx = AcquireFrame(&cost);
+  Frame& f = frames_[idx];
+  f.page = page;
+  f.valid = true;
+  f.referenced = true;
+  f.dirty = false;
+  f.pins = 0;
+  frame_of_[page] = idx;
+  cost += SampleRead();
+  ++stats_.misses;
+  stats_.io_time += cost;
+  return cost;
+}
+
+SimTime BufferPool::Create(PageKey page) {
+  auto it = frame_of_.find(page);
+  if (it != frame_of_.end()) {
+    Frame& f = frames_[it->second];
+    f.referenced = true;
+    f.dirty = true;
+    return 0;
+  }
+  SimTime cost = 0;
+  const size_t idx = AcquireFrame(&cost);
+  Frame& f = frames_[idx];
+  f.page = page;
+  f.valid = true;
+  f.referenced = true;
+  f.dirty = true;
+  f.pins = 0;
+  frame_of_[page] = idx;
+  stats_.io_time += cost;
+  return cost;
+}
+
+SimTime BufferPool::WriteThrough(PageKey page) {
+  const SimTime cost = SampleWrite();
+  ++stats_.writethroughs;
+  stats_.io_time += cost;
+  auto it = frame_of_.find(page);
+  if (it != frame_of_.end()) frames_[it->second].dirty = false;
+  return cost;
+}
+
+void BufferPool::MarkDirty(PageKey page) {
+  auto it = frame_of_.find(page);
+  if (it != frame_of_.end()) frames_[it->second].dirty = true;
+}
+
+void BufferPool::Pin(PageKey page) {
+  auto it = frame_of_.find(page);
+  if (it != frame_of_.end()) ++frames_[it->second].pins;
+}
+
+void BufferPool::Unpin(PageKey page) {
+  auto it = frame_of_.find(page);
+  if (it != frame_of_.end() && frames_[it->second].pins > 0) {
+    --frames_[it->second].pins;
+  }
+}
+
+void BufferPool::Invalidate(PageKey page) {
+  auto it = frame_of_.find(page);
+  if (it == frame_of_.end()) return;
+  frames_[it->second] = Frame{};
+  frame_of_.erase(it);
+}
+
+}  // namespace stems

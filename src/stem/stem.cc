@@ -3,7 +3,63 @@
 #include <algorithm>
 #include <cassert>
 
+#include "spill/spill_file.h"
+#include "spill/spill_options.h"
+
 namespace stems {
+
+/// Spill-aware storage state (src/spill/): the SteM's partitioned run file,
+/// per-partition residency/heat, probes deferred behind asynchronous
+/// fault-ins, and the virtual I/O charge drained into the next service.
+struct Stem::SpillState {
+  BufferPool* pool = nullptr;
+  SpillOptions options;
+  std::unique_ptr<SpillFile> file;
+  /// Partitioning column (first indexed join column); -1 degenerates to a
+  /// single partition.
+  int part_col = -1;
+  std::vector<uint8_t> resident;          ///< per partition
+  std::vector<size_t> live_in_partition;  ///< resident live entries
+  std::vector<uint64_t> probe_counts;     ///< per-partition heat
+  /// entries_ ids per partition, so a spill-out touches only its own
+  /// partition instead of scanning every entry (stale tombstoned ids are
+  /// skipped and dropped at the next spill).
+  std::vector<std::vector<uint32_t>> ids_in_partition;
+  /// Run file still equals the partition's content (clean): re-spilling is
+  /// free — drop the memory copy. Cleared by any in-memory mutation.
+  std::vector<uint8_t> run_valid;
+  std::vector<uint8_t> fault_scheduled;  ///< async fault-in pending
+  /// kBounce: probes parked in the SteM behind their partition's
+  /// asynchronous fault-in, tagged with the partition they need.
+  std::vector<std::pair<size_t, TuplePtr>> deferred_probes;
+  std::vector<SpilledEntry> restore_scratch;
+  size_t spilled_partitions = 0;
+  size_t pending_fault_events = 0;
+  /// Most recently faulted partition: skipped by victim selection (unless
+  /// it is the only candidate) so a fault-in is not immediately undone.
+  size_t last_faulted = SIZE_MAX;
+  uint64_t faults = 0;
+  uint64_t probes_deferred = 0;
+  uint64_t entries_spilled_total = 0;
+  /// Spill I/O cost accrued during processing; drained into the next
+  /// ServiceTime (write-behind spills / synchronous fault-ins consume this
+  /// module's service capacity one event later).
+  SimTime pending_io_charge = 0;
+  /// Undrained accruals backing pending_io_charge, by accrual id: lets a
+  /// marker retire exactly its own still-pending amount (and nothing a
+  /// service already billed, and no newer accrual).
+  std::vector<std::pair<uint64_t, SimTime>> io_accruals;
+  uint64_t next_io_accrual_id = 0;
+  /// Outstanding I/O marker events (AccrueIoCharge): the SteM is not
+  /// quiescent while one is pending, so completion cannot be stamped
+  /// ahead of trailing spill I/O.
+  size_t pending_io_markers = 0;
+  bool faulted_during_probe = false;
+  CounterSeries* out_series = nullptr;
+  CounterSeries* in_series = nullptr;
+};
+
+Stem::~Stem() = default;
 
 Stem::Stem(QueryContext* ctx, std::string table_name, StemOptions options)
     : Module(ctx->sim, "SteM(" + table_name + ")"),
@@ -69,6 +125,253 @@ std::string Stem::IndexImplFor(int column) const {
   return "";
 }
 
+void Stem::EnableSpill(BufferPool* pool, const SpillOptions& options) {
+  if (spill_ != nullptr) return;
+  spill_ = std::make_unique<SpillState>();
+  SpillState& s = *spill_;
+  s.pool = pool;
+  s.options = options;
+  s.part_col = indexes_.empty() ? -1 : indexes_.front().first;
+  const size_t n =
+      s.part_col < 0 ? 1 : (options.partitions == 0 ? 1 : options.partitions);
+  s.file = std::make_unique<SpillFile>(pool, n, options.page_entries);
+  s.resident.assign(n, 1);
+  s.live_in_partition.assign(n, 0);
+  s.probe_counts.assign(n, 0);
+  s.run_valid.assign(n, 0);
+  s.fault_scheduled.assign(n, 0);
+  s.ids_in_partition.assign(n, {});
+  for (uint32_t id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].row == nullptr) continue;
+    const size_t p = SpillPartitionOfRow(*entries_[id].row);
+    ++s.live_in_partition[p];
+    s.ids_in_partition[p].push_back(id);
+  }
+  s.out_series = ctx_->metrics.SeriesHandle(name() + ".spill.out");
+  s.in_series = ctx_->metrics.SeriesHandle(name() + ".spill.in");
+}
+
+size_t Stem::SpillPartitionOfRow(const Row& row) const {
+  if (spill_ == nullptr || spill_->part_col < 0) return 0;
+  return row.value(static_cast<size_t>(spill_->part_col)).Hash() %
+         spill_->resident.size();
+}
+
+void Stem::AccrueIoCharge(SimTime cost) {
+  if (cost <= 0) return;
+  SpillState& s = *spill_;
+  const uint64_t id = s.next_io_accrual_id++;
+  s.pending_io_charge += cost;
+  s.io_accruals.emplace_back(id, cost);
+  ++s.pending_io_markers;
+  // The disk traffic occupies virtual time even if this SteM never
+  // services another tuple: while the marker is pending the SteM is not
+  // Quiescent(), so the engine cannot stamp completion ahead of the I/O.
+  // On firing, the marker retires exactly its own accrual *if it is still
+  // pending* — an intervening service may have billed it already (the
+  // busy period subsumed the marker), and newer accruals must stay billed.
+  sim()->Schedule(cost, [this, id] {
+    SpillState& state = *spill_;
+    --state.pending_io_markers;
+    for (auto it = state.io_accruals.begin(); it != state.io_accruals.end();
+         ++it) {
+      if (it->first == id) {
+        state.pending_io_charge -= it->second;
+        state.io_accruals.erase(it);
+        break;
+      }
+    }
+  });
+}
+
+SimTime Stem::FaultInPartition(size_t partition) {
+  SpillState& s = *spill_;
+  if (s.resident[partition]) return 0;
+  s.restore_scratch.clear();
+  const SimTime cost = s.file->ReadAll(partition, &s.restore_scratch);
+  s.resident[partition] = 1;
+  --s.spilled_partitions;
+  const int64_t restored = static_cast<int64_t>(s.restore_scratch.size());
+  for (SpilledEntry& e : s.restore_scratch) {
+    InsertRow(std::move(e.row), e.ts);
+  }
+  s.restore_scratch.clear();
+  // The run is retained and, right after restoring, equals the in-memory
+  // partition (InsertRow cleared the flag; re-arm it last).
+  s.run_valid[partition] = 1;
+  s.last_faulted = partition;
+  ++s.faults;
+  s.in_series->Increment(sim()->now(), restored);
+  return cost;
+}
+
+void Stem::ScheduleFaultIn(const std::vector<size_t>& parts) {
+  SpillState& s = *spill_;
+  for (size_t p : parts) {
+    if (s.resident[p] || s.fault_scheduled[p]) continue;
+    s.fault_scheduled[p] = 1;
+    ++s.pending_fault_events;
+    // The event delay models the asynchronous read; pool bookkeeping (and
+    // page caching) happens at completion. Never zero, so a defer/fault
+    // cycle always advances virtual time.
+    const SimTime delay =
+        std::max<SimTime>(Micros(1), s.file->EstimateRestoreCost(p));
+    sim()->Schedule(delay, [this, p] { CompleteFaultIn(p); });
+  }
+}
+
+void Stem::CompleteFaultIn(size_t partition) {
+  SpillState& s = *spill_;
+  assert(s.pending_fault_events > 0);
+  --s.pending_fault_events;
+  s.fault_scheduled[partition] = 0;
+  FaultInPartition(partition);  // no-op if it was faulted in meanwhile
+  // Bounce this partition's deferred probes back to the eddy; probes
+  // waiting on other partitions stay behind their own pending faults.
+  size_t kept = 0;
+  for (auto& [p, tuple] : s.deferred_probes) {
+    if (p == partition) {
+      Emit(std::move(tuple));
+    } else {
+      s.deferred_probes[kept++] = {p, std::move(tuple)};
+    }
+  }
+  s.deferred_probes.resize(kept);
+  NotifyChange();
+}
+
+size_t Stem::SpillColdestPartition() {
+  if (spill_ == nullptr) return 0;
+  SpillState& s = *spill_;
+  const size_t nparts = s.resident.size();
+  // Partitions a probe is waiting on (deferred behind a fault-in, or the
+  // read is already scheduled) must not be spilled back out from under it.
+  auto demanded = [&s](size_t p) {
+    if (s.fault_scheduled[p]) return true;
+    for (const auto& [dp, tuple] : s.deferred_probes) {
+      if (dp == p) return true;
+    }
+    return false;
+  };
+  size_t victim = SIZE_MAX;
+  double victim_heat = 0;
+  for (size_t p = 0; p < nparts; ++p) {
+    if (!s.resident[p] || s.live_in_partition[p] == 0) continue;
+    if (p == s.last_faulted) continue;  // anti-thrash: not right back out
+    if (demanded(p)) continue;
+    const double heat = static_cast<double>(s.probe_counts[p]) /
+                        static_cast<double>(s.live_in_partition[p]);
+    if (victim == SIZE_MAX || heat < victim_heat ||
+        (heat == victim_heat &&
+         s.live_in_partition[p] > s.live_in_partition[victim])) {
+      victim = p;
+      victim_heat = heat;
+    }
+  }
+  if (victim == SIZE_MAX && s.last_faulted < nparts &&
+      s.resident[s.last_faulted] && s.live_in_partition[s.last_faulted] > 0 &&
+      !demanded(s.last_faulted)) {
+    // Sole candidate beats an unenforced budget — unless probes wait on it.
+    victim = s.last_faulted;
+  }
+  if (victim == SIZE_MAX) return 0;
+
+  // Clean partition (faulted in earlier, unmodified since): the run file
+  // already holds exactly this content, so spilling is dropping the memory
+  // copy — zero I/O. Otherwise rewrite the run and flush it.
+  const bool clean =
+      s.run_valid[victim] &&
+      s.file->EntriesIn(victim) == s.live_in_partition[victim];
+  size_t spilled = 0;
+  SimTime cost = 0;
+  if (!clean) s.file->ClearPartition(victim);
+  for (uint32_t id : s.ids_in_partition[victim]) {
+    Entry& entry = entries_[id];
+    if (entry.row == nullptr) continue;  // evicted or stale since listed
+    if (!clean) cost += s.file->Append(victim, entry.row, entry.ts);
+    entry.row = nullptr;  // tombstone; dedup_ keeps the row's identity
+    --live_entries_;
+    ++spilled;
+  }
+  s.ids_in_partition[victim].clear();
+  if (!clean) {
+    cost += s.file->FlushPartition(victim);  // run is now durably on disk
+  }
+  s.run_valid[victim] = 1;
+  s.live_in_partition[victim] = 0;
+  s.resident[victim] = 0;
+  ++s.spilled_partitions;
+  s.entries_spilled_total += spilled;
+  AccrueIoCharge(cost);
+  s.out_series->Increment(sim()->now(), static_cast<int64_t>(spilled));
+  return spilled;
+}
+
+size_t Stem::spill_partitions() const {
+  return spill_ == nullptr ? 0 : spill_->resident.size();
+}
+
+size_t Stem::partitions_spilled() const {
+  return spill_ == nullptr ? 0 : spill_->spilled_partitions;
+}
+
+size_t Stem::partitions_resident() const {
+  if (spill_ == nullptr) return 0;
+  return spill_->resident.size() - spill_->spilled_partitions;
+}
+
+uint64_t Stem::entries_spilled() const {
+  if (spill_ == nullptr) return 0;
+  // Only non-resident partitions' runs hold entries that are *not* in
+  // memory (resident partitions may retain a clean run as a copy).
+  uint64_t n = 0;
+  for (size_t p = 0; p < spill_->resident.size(); ++p) {
+    if (!spill_->resident[p]) n += spill_->file->EntriesIn(p);
+  }
+  return n;
+}
+
+uint64_t Stem::spill_ios() const {
+  return spill_ == nullptr ? 0 : spill_->file->disk_ios();
+}
+
+uint64_t Stem::bytes_spilled() const {
+  return spill_ == nullptr ? 0 : spill_->file->bytes_written();
+}
+
+uint64_t Stem::spill_faults() const {
+  return spill_ == nullptr ? 0 : spill_->faults;
+}
+
+uint64_t Stem::probes_deferred() const {
+  return spill_ == nullptr ? 0 : spill_->probes_deferred;
+}
+
+SimTime Stem::ExpectedProbeSpillCost() const {
+  if (spill_ == nullptr || spill_->spilled_partitions == 0) return 0;
+  const SpillState& s = *spill_;
+  // P(the probe's partition is spilled) × mean pages per spilled partition
+  // × expected page read cost.
+  const double frac = static_cast<double>(s.spilled_partitions) /
+                      static_cast<double>(s.resident.size());
+  const size_t page_entries =
+      s.options.page_entries == 0 ? 1 : s.options.page_entries;
+  const double pages_per_part =
+      static_cast<double>((entries_spilled() + page_entries - 1) /
+                          page_entries) /
+      static_cast<double>(s.spilled_partitions);
+  return static_cast<SimTime>(
+      frac * pages_per_part *
+      static_cast<double>(s.pool->ExpectedReadCost()));
+}
+
+bool Stem::Quiescent() const {
+  if (!Module::Quiescent()) return false;
+  return spill_ == nullptr ||
+         (spill_->pending_fault_events == 0 &&
+          spill_->pending_io_markers == 0 && spill_->deferred_probes.empty());
+}
+
 size_t Stem::PartitionOf(const Tuple& tuple) const {
   if (options_.num_partitions <= 1 || indexes_.empty()) return 0;
   const int part_col = indexes_.front().first;
@@ -88,13 +391,22 @@ size_t Stem::PartitionOf(const Tuple& tuple) const {
 }
 
 SimTime Stem::ServiceTime(const Tuple& tuple) const {
+  // Drain the spill subsystem's accrued I/O charge (write-behind spills,
+  // synchronous fault-ins): the disk traffic consumes this module's service
+  // capacity on its next scheduled event.
+  SimTime io_charge = 0;
+  if (spill_ != nullptr && spill_->pending_io_charge > 0) {
+    io_charge = spill_->pending_io_charge;
+    spill_->pending_io_charge = 0;
+    spill_->io_accruals.clear();  // billed: their markers retire nothing
+  }
   const int slot = tuple.SingletonSlot();
   const bool is_build =
       tuple.route_intent() == RouteIntent::kBuild ||
       (tuple.route_intent() == RouteIntent::kAuto && slot >= 0 &&
        ServesSlot(slot) && tuple.component(slot).timestamp == kTsInfinity);
-  if (is_build) return options_.build_service_time;
-  SimTime t = options_.probe_service_time;
+  if (is_build) return options_.build_service_time + io_charge;
+  SimTime t = options_.probe_service_time + io_charge;
   if (options_.partition_switch_penalty > 0) {
     const size_t part = PartitionOf(tuple);
     if (part != last_probed_partition_) t += options_.partition_switch_penalty;
@@ -150,7 +462,22 @@ void Stem::ProcessBuild(TuplePtr tuple) {
 
   const BuildTs ts = ctx_->ts.Issue();
   ++builds_;
-  InsertRow(row, ts);
+  const size_t build_partition =
+      spill_ != nullptr ? SpillPartitionOfRow(*row) : 0;
+  if (spill_ != nullptr && !spill_->resident[build_partition]) {
+    // Build into a spilled partition: append straight to its run file with
+    // the fresh timestamp — the entry never touches memory, and a later
+    // fault-in restores it indistinguishably (TimeStamp-wise) from a
+    // resident build. The dedup identity stays in memory so competing AMs'
+    // duplicates are still absorbed.
+    const size_t p = build_partition;
+    dedup_.insert(row);
+    AccrueIoCharge(spill_->file->Append(p, row, ts));
+    if (ts > max_entry_ts_) max_entry_ts_ = ts;
+    spill_->out_series->Increment(sim()->now());
+  } else {
+    InsertRow(row, ts);
+  }
   tuple->SetBuilt(slot, ts);
   EvictIfNeeded();
   NotifyChange();
@@ -176,6 +503,12 @@ void Stem::InsertRow(RowRef row, BuildTs ts) {
   for (auto& [col, index] : indexes_) {
     index->Insert(row->value(col), id);
   }
+  if (spill_ != nullptr) {
+    const size_t p = SpillPartitionOfRow(*row);
+    ++spill_->live_in_partition[p];
+    spill_->ids_in_partition[p].push_back(id);
+    spill_->run_valid[p] = 0;  // memory diverges from any retained run
+  }
   dedup_.insert(row);
   entries_.push_back(Entry{std::move(row), ts});
   ++live_entries_;
@@ -194,6 +527,11 @@ size_t Stem::EvictOldest(size_t n) {
   while (evicted < n && next_eviction_ < entries_.size()) {
     Entry& victim = entries_[next_eviction_++];
     if (victim.row == nullptr) continue;  // already a tombstone
+    if (spill_ != nullptr) {
+      const size_t p = SpillPartitionOfRow(*victim.row);
+      if (spill_->live_in_partition[p] > 0) --spill_->live_in_partition[p];
+      spill_->run_valid[p] = 0;  // a retained run would resurrect the row
+    }
     dedup_.erase(victim.row);
     victim.row = nullptr;  // tombstone; index ids skip it at lookup
     --live_entries_;
@@ -334,12 +672,64 @@ void Stem::ProcessProbe(TuplePtr tuple) {
     assert(target_slot >= 0 && "probe tuple already spans all SteM slots");
   }
 
+  ProbeBindingsInto(*tuple, target_slot, &binds_scratch_);
+  const auto& binds = binds_scratch_;
+
+  if (spill_ != nullptr) {
+    SpillState& s = *spill_;
+    // Partition the probe is equality-bound to, read off the bindings just
+    // extracted for the candidate lookup (no second extraction pass).
+    size_t bound_p = 0;
+    bool bound = false;
+    if (s.part_col >= 0 && s.resident.size() > 1) {
+      for (const auto& [col, val] : binds) {
+        if (col == s.part_col) {
+          bound_p = val.Hash() % s.resident.size();
+          bound = true;
+          break;
+        }
+      }
+    }
+    // Heat is counted for deferred probes too: a partition with waiters is
+    // hot, so the governor keeps it resident once faulted in.
+    if (bound) ++s.probe_counts[bound_p];
+    if (s.spilled_partitions > 0) {
+      if (bound && !s.resident[bound_p]) {
+        if (s.options.probe_policy == SpillProbePolicy::kBounce &&
+            tuple->spill_deferrals() < s.options.max_probe_deferrals) {
+          // Constraint-consistent deferral: the probe is processed against
+          // *nothing* (no matches emitted, no probe bookkeeping touched),
+          // so re-probing it once the partition is resident is exact. The
+          // asynchronous fault-in re-emits it to the eddy, where the
+          // routing policy is free to send it elsewhere first.
+          ++s.probes_deferred;
+          tuple->IncrementSpillDeferrals();
+          spill_parts_scratch_.assign(1, bound_p);
+          ScheduleFaultIn(spill_parts_scratch_);
+          s.deferred_probes.emplace_back(bound_p, std::move(tuple));
+          return;
+        }
+        // kFaultIn: pay the simulated read I/O and restore the partition
+        // before the probe is processed.
+        AccrueIoCharge(FaultInPartition(bound_p));
+        s.faulted_during_probe = true;
+      } else if (!bound) {
+        // No equality binding on the partitioning column: any spilled
+        // partition could hold matches. Fault them all in synchronously —
+        // also under kBounce, where deferring behind several independent
+        // reads would let re-spills starve the probe.
+        for (size_t p = 0; p < s.resident.size(); ++p) {
+          if (!s.resident[p]) AccrueIoCharge(FaultInPartition(p));
+        }
+        s.faulted_during_probe = true;
+      }
+    }
+  }
+
   if (options_.partition_switch_penalty > 0) {
     last_probed_partition_ = PartitionOf(*tuple);
   }
 
-  ProbeBindingsInto(*tuple, target_slot, &binds_scratch_);
-  const auto& binds = binds_scratch_;
   bool full_scan = false;
   Candidates(*tuple, target_slot, binds, &candidates_scratch_, &full_scan);
   const auto& candidates = candidates_scratch_;
@@ -427,6 +817,14 @@ void Stem::ProcessProbe(TuplePtr tuple) {
   // Otherwise the probe tuple leaves the dataflow here: every result it
   // could still contribute to will be generated by later-arriving builds
   // probing the SteMs holding this tuple's components (TimeStamp rule).
+
+  if (spill_ != nullptr && spill_->faulted_during_probe) {
+    // Synchronous fault-ins grew resident state: let the memory governor
+    // rebalance (it will not immediately re-spill the faulted partition)
+    // and parked probers reconsider.
+    spill_->faulted_during_probe = false;
+    NotifyChange();
+  }
 }
 
 }  // namespace stems

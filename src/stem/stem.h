@@ -21,7 +21,13 @@
 //   * eviction (sliding window over entry count) for continuous queries;
 //   * deferred, partition-clustered bounce-backs of build tuples plus a
 //     partition-switch probe penalty — the "asynchronous hash index" of
-//     §3.1 that makes the eddy's routing simulate Grace hash join.
+//     §3.1 that makes the eddy's routing simulate Grace hash join;
+//   * spillable state (src/spill/): under a global memory budget the
+//     governor moves whole hash partitions to simulated run files instead
+//     of evicting, keeping joins exact. Builds into a spilled partition
+//     append to its run; probes against one either fault it back in
+//     (paying buffer-pool read I/O) or are deferred and bounced back to
+//     the eddy when the asynchronous fault-in completes.
 #pragma once
 
 #include <functional>
@@ -35,6 +41,9 @@
 #include "stem/stem_index.h"
 
 namespace stems {
+
+class BufferPool;
+struct SpillOptions;
 
 /// When, beyond the mandatory cases, a SteM bounces probe tuples on a table
 /// that also has index AMs:
@@ -70,6 +79,7 @@ struct StemOptions {
 class Stem : public Module {
  public:
   Stem(QueryContext* ctx, std::string table_name, StemOptions options = {});
+  ~Stem() override;
 
   ModuleKind kind() const override { return ModuleKind::kStem; }
 
@@ -104,6 +114,45 @@ class Stem : public Module {
   /// decisions in a globally optimal manner"). Returns entries evicted.
   size_t EvictOldest(size_t n);
 
+  // --- spill-aware state storage (src/spill/, paper §6 + §3.1) --------------
+
+  /// Makes this SteM's state spillable at hash-partition granularity (on
+  /// the first indexed join column). Called by the eddy at registration
+  /// when EddyOptions::spill is enabled; `pool` is the query-wide buffer
+  /// pool all SteMs share.
+  void EnableSpill(BufferPool* pool, const SpillOptions& options);
+  bool spill_enabled() const { return spill_ != nullptr; }
+
+  /// Moves the coldest resident partition (fewest probes per stored entry)
+  /// to its run file; exact-join semantics are preserved because spilled
+  /// entries keep their rows, timestamps and dedup identity. Returns the
+  /// number of entries spilled (0 when nothing is spillable). The
+  /// MemoryGovernor's kSpillColdest victim policy calls this instead of
+  /// EvictOldest.
+  size_t SpillColdestPartition();
+
+  size_t spill_partitions() const;
+  size_t partitions_spilled() const;
+  size_t partitions_resident() const;
+  /// Live entries currently on disk (in run files).
+  uint64_t entries_spilled() const;
+  /// Lifetime spill traffic: simulated disk page reads + writes.
+  uint64_t spill_ios() const;
+  uint64_t bytes_spilled() const;
+  /// Partitions faulted back into memory.
+  uint64_t spill_faults() const;
+  /// Probes deferred because their partition was spilled (kBounce policy).
+  uint64_t probes_deferred() const;
+
+  /// Expected extra virtual time a probe pays here right now because of
+  /// spilled partitions (fault-in I/O, amortized). Routing policies fold
+  /// this into their cost model so probe routing reflects spill state.
+  SimTime ExpectedProbeSpillCost() const;
+
+  /// A SteM with deferred probes or an in-flight asynchronous fault-in is
+  /// not quiescent: the pending fault event will re-emit tuples.
+  bool Quiescent() const override;
+
   /// The name of the index implementation currently backing `column`
   /// ("hash", "ordered", "list"); empty if the column is not indexed.
   std::string IndexImplFor(int column) const;
@@ -137,6 +186,19 @@ class Stem : public Module {
   void EvictIfNeeded();
   void NotifyChange();
   size_t PartitionOf(const Tuple& tuple) const;
+
+  // --- spill internals (definitions in stem.cc; state in SpillState) --------
+  /// Spill partition of a build row (0 when partitioning is unavailable).
+  size_t SpillPartitionOfRow(const Row& row) const;
+  /// Books spill I/O: the cost is drained into the next ServiceTime, and a
+  /// marker event keeps the clock occupied in case no service follows.
+  void AccrueIoCharge(SimTime cost);
+  /// Restores a partition synchronously; returns the virtual read cost.
+  SimTime FaultInPartition(size_t partition);
+  /// Schedules the asynchronous fault-in of every partition in `parts`
+  /// (kBounce); deferred probes are re-emitted on completion.
+  void ScheduleFaultIn(const std::vector<size_t>& parts);
+  void CompleteFaultIn(size_t partition);
 
   /// Candidate entry ids for a probe: equality bindings through the hash
   /// index when possible, range join predicates through an ordered index
@@ -176,6 +238,12 @@ class Stem : public Module {
   /// Grace mode state.
   std::vector<std::vector<TuplePtr>> deferred_bounces_;
   mutable size_t last_probed_partition_ = SIZE_MAX;
+
+  /// Spill-aware storage state (null until EnableSpill); definition local
+  /// to stem.cc so this header stays free of spill includes.
+  struct SpillState;
+  std::unique_ptr<SpillState> spill_;
+  std::vector<size_t> spill_parts_scratch_;
 
   /// Batched-service state: while a group is in flight, NotifyChange()
   /// latches instead of firing, and the pending notification is delivered

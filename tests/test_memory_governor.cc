@@ -98,6 +98,70 @@ TEST_F(MemoryGovernorTest, WindowSemanticsStillSubsetOfFullJoin) {
   EXPECT_EQ(run.violations, 0u);
 }
 
+// Governor x batched routing: the victim policies must behave identically
+// whether rebalances fire per tuple or once per serviced batch (the SteM
+// defers its change notification to the end of a batch group).
+class MemoryGovernorBatchTest
+    : public MemoryGovernorTest,
+      public ::testing::WithParamInterface<size_t /*batch_size*/> {};
+
+TEST_P(MemoryGovernorBatchTest, ColdestFirstEnforcesBudget) {
+  ExecutionConfig config = FastConfig();
+  config.eddy.batch_size = GetParam();
+  config.eddy.memory.global_entry_budget = 30;
+  config.eddy.memory.victim_policy = MemoryVictimPolicy::kColdestFirst;
+  Simulation sim;
+  auto eddy = PlanQuery(query_, db_.store, &sim, config).ValueOrDie();
+  eddy->SetPolicy(MakePolicy(PolicyKind::kNaryShj));
+  eddy->RunToCompletion();
+  EXPECT_LE(eddy->memory_governor().TotalEntries(), 30u);
+  EXPECT_GT(eddy->memory_governor().total_evicted(), 0u);
+  EXPECT_EQ(eddy->memory_governor().total_spilled(), 0u);
+  // Eviction = window semantics: a subset of the full join, never
+  // spurious rows or duplicates.
+  std::vector<std::string> duplicates;
+  const auto keys = KeysOf(eddy->results(), &duplicates);
+  const auto full = BruteForceResultSet(query_, db_.store);
+  EXPECT_TRUE(duplicates.empty());
+  for (const auto& key : keys) {
+    EXPECT_TRUE(full.count(key) > 0) << "spurious result " << key;
+  }
+  EXPECT_EQ(eddy->violations().size(), 0u);
+}
+
+TEST_P(MemoryGovernorBatchTest, SpillColdestKeepsJoinExact) {
+  ExecutionConfig config = FastConfig();
+  config.eddy.batch_size = GetParam();
+  config.eddy.memory.global_entry_budget = 30;
+  config.eddy.memory.victim_policy = MemoryVictimPolicy::kSpillColdest;
+  config.eddy.spill.enabled = true;
+  Simulation sim;
+  auto eddy = PlanQuery(query_, db_.store, &sim, config).ValueOrDie();
+  eddy->SetPolicy(MakePolicy(PolicyKind::kNaryShj));
+  eddy->RunToCompletion();
+  const MemoryGovernor& governor = eddy->memory_governor();
+  EXPECT_GT(governor.total_spilled(), 0u);
+  EXPECT_EQ(governor.total_evicted(), 0u);
+  // Per-SteM spill accounting covers every watched SteM and sums to the
+  // governor total.
+  uint64_t per_stem_sum = 0;
+  ASSERT_EQ(governor.watched().size(), governor.spilled_by_stem().size());
+  for (uint64_t n : governor.spilled_by_stem()) per_stem_sum += n;
+  EXPECT_EQ(per_stem_sum, governor.total_spilled());
+  // Spilling preserves exactness where eviction would drop matches.
+  std::vector<std::string> duplicates;
+  const auto keys = KeysOf(eddy->results(), &duplicates);
+  EXPECT_TRUE(duplicates.empty());
+  EXPECT_EQ(keys, BruteForceResultSet(query_, db_.store));
+  EXPECT_EQ(eddy->violations().size(), 0u);
+  const Eddy::SpillSummary spill = eddy->SpillStats();
+  EXPECT_GT(spill.spill_ios, 0u);
+  EXPECT_GT(spill.bytes_spilled, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, MemoryGovernorBatchTest,
+                         ::testing::Values(1, 64));
+
 TEST(MemoryGovernorUnitTest, ColdestFirstPrefersUnprobedStem) {
   // Direct unit-level check of the victim policy.
   TestDb db;
@@ -141,6 +205,46 @@ TEST(MemoryGovernorUnitTest, ColdestFirstPrefersUnprobedStem) {
   EXPECT_EQ(governor.TotalEntries(), 6u);
   EXPECT_EQ(a.num_entries(), 4u);  // hot SteM untouched
   EXPECT_EQ(b.num_entries(), 2u);  // cold SteM shrunk
+}
+
+TEST(MemoryGovernorUnitTest, RebalanceBailsOutWhenNoVictimCanShrink) {
+  // kSpillColdest over SteMs that were never EnableSpill()ed: no victim can
+  // shrink, so Rebalance must log and bail instead of spinning (the
+  // "all SteMs at minimum size" failure mode).
+  TestDb db;
+  db.AddTable("A", IntSchema({"k"}), IntRows(SequentialRows(6)),
+              {ScanSpec("A.scan")});
+  db.AddTable("B", IntSchema({"k"}), IntRows(SequentialRows(6)),
+              {ScanSpec("B.scan")});
+  QueryBuilder qb(db.catalog);
+  qb.AddTable("A").AddTable("B").AddJoin("A.k", "B.k");
+  QuerySpec q = qb.Build().ValueOrDie();
+  Simulation sim;
+  QueryContext ctx;
+  ctx.query = &q;
+  ctx.sim = &sim;
+  Stem a(&ctx, "A"), b(&ctx, "B");
+  a.SetSink([](TuplePtr, Module*) {});
+  b.SetSink([](TuplePtr, Module*) {});
+  auto build = [&](Stem& stem, int slot, int64_t v) {
+    TuplePtr t = Tuple::MakeSingleton(2, slot, MakeRow({Value::Int64(v)}));
+    t->SetRouteInfo(RouteIntent::kBuild, slot);
+    stem.Accept(std::move(t));
+    sim.Run();
+  };
+  for (int64_t i = 0; i < 4; ++i) build(a, 0, i);
+  for (int64_t i = 0; i < 4; ++i) build(b, 1, i);
+
+  MemoryGovernorOptions opts;
+  opts.global_entry_budget = 3;  // unreachable without spill support
+  opts.victim_policy = MemoryVictimPolicy::kSpillColdest;
+  MemoryGovernor governor(opts);
+  governor.Watch(&a);
+  governor.Watch(&b);
+  governor.Rebalance();  // must return (bail), not loop forever
+  EXPECT_EQ(governor.TotalEntries(), 8u);  // nothing shrank
+  EXPECT_EQ(governor.total_spilled(), 0u);
+  EXPECT_EQ(governor.total_evicted(), 0u);
 }
 
 }  // namespace

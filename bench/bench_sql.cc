@@ -1,0 +1,121 @@
+// SQL front-end benchmarks (google-benchmark): parse+bind throughput of
+// Engine::Query's compile path, the PreparedQuery::Bind hot path, and the
+// prepare-vs-query speedup the serving story rests on.
+//
+// Counters published into BENCH_results.json by the bench-smoke CI job:
+//   * sql_parses_per_sec — full lex+parse+resolve+validate pipeline rate;
+//   * binds_per_sec      — PreparedQuery::Bind (clone + patch constants);
+//   * prepare_speedup    — parse+bind cost / prepared-bind cost, asserted
+//                          >= 5x in CI (the whole point of Prepare()).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "engine/engine.h"
+#include "sql/binder.h"
+
+namespace stems {
+namespace {
+
+/// A representative serving query: three-way join, two parameterized
+/// selections, explicit projection, LIMIT.
+constexpr char kServingSql[] =
+    "SELECT u.id, i.price FROM users u, orders o, items i "
+    "WHERE u.id = o.user_id AND o.item_id = i.id AND u.age >= $min_age "
+    "AND i.price < $max_price LIMIT 100";
+
+void FillCatalog(Engine* engine) {
+  Schema users({{"id", ValueType::kInt64}, {"age", ValueType::kInt64}});
+  Schema orders(
+      {{"user_id", ValueType::kInt64}, {"item_id", ValueType::kInt64}});
+  Schema items({{"id", ValueType::kInt64}, {"price", ValueType::kInt64}});
+  engine->AddTable(TableDef{"users", users,
+                            {{"users.scan", AccessMethodKind::kScan, {}}}},
+                   {});
+  engine->AddTable(TableDef{"orders", orders,
+                            {{"orders.scan", AccessMethodKind::kScan, {}}}},
+                   {});
+  engine->AddTable(TableDef{"items", items,
+                            {{"items.scan", AccessMethodKind::kScan, {}}}},
+                   {});
+}
+
+sql::SqlParams ServingParams() {
+  return sql::SqlParams()
+      .Set("min_age", Value::Int64(30))
+      .Set("max_price", Value::Int64(500));
+}
+
+/// The Engine::Query compile path: tokenize, parse, resolve every name
+/// against the catalog, validate, build the spec.
+void BM_SqlParseBind(benchmark::State& state) {
+  Engine engine;
+  FillCatalog(&engine);
+  for (auto _ : state) {
+    auto bound = sql::ParseAndBind(kServingSql, engine.catalog());
+    if (!bound.ok()) state.SkipWithError("parse+bind failed");
+    benchmark::DoNotOptimize(bound);
+  }
+  state.counters["sql_parses_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SqlParseBind);
+
+/// The serving hot path: PreparedQuery::Bind clones the bound spec and
+/// patches parameter constants — no lexing, no catalog lookups.
+void BM_PreparedBind(benchmark::State& state) {
+  Engine engine;
+  FillCatalog(&engine);
+  PreparedQuery prepared = engine.Prepare(kServingSql).ValueOrDie();
+  const sql::SqlParams params = ServingParams();
+  for (auto _ : state) {
+    BoundQuery bound = prepared.Bind(params);
+    if (!bound.status().ok()) state.SkipWithError("bind failed");
+    benchmark::DoNotOptimize(bound);
+  }
+  state.counters["binds_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PreparedBind);
+
+/// Prepare-vs-Query speedup, measured in one benchmark so the ratio lands
+/// in a single JSON entry: each iteration compiles the statement from text
+/// once and Bind()s the prepared form once, on the same clock.
+void BM_PrepareSpeedup(benchmark::State& state) {
+  Engine engine;
+  FillCatalog(&engine);
+  PreparedQuery prepared = engine.Prepare(kServingSql).ValueOrDie();
+  const sql::SqlParams params = ServingParams();
+
+  using Clock = std::chrono::steady_clock;
+  std::chrono::nanoseconds parse_ns{0};
+  std::chrono::nanoseconds bind_ns{0};
+  for (auto _ : state) {
+    auto t0 = Clock::now();
+    auto compiled = sql::ParseAndBind(kServingSql, engine.catalog());
+    auto t1 = Clock::now();
+    BoundQuery bound = prepared.Bind(params);
+    auto t2 = Clock::now();
+    if (!compiled.ok() || !bound.status().ok()) {
+      state.SkipWithError("front end failed");
+    }
+    benchmark::DoNotOptimize(compiled);
+    benchmark::DoNotOptimize(bound);
+    parse_ns += t1 - t0;
+    bind_ns += t2 - t1;
+  }
+  const double speedup =
+      bind_ns.count() > 0
+          ? static_cast<double>(parse_ns.count()) /
+                static_cast<double>(bind_ns.count())
+          : 0.0;
+  state.counters["prepare_speedup"] = benchmark::Counter(speedup);
+}
+BENCHMARK(BM_PrepareSpeedup);
+
+}  // namespace
+}  // namespace stems
+
+BENCHMARK_MAIN();

@@ -9,7 +9,9 @@
 //   * adaptation when a source stalls mid-query.
 //
 // Uses the Engine façade with the RunOptions::Paper() preset (benefit/cost
-// routing, §4.1) — no concrete policy type appears anywhere.
+// routing, §4.1) — no concrete policy type appears anywhere. The query is
+// a *prepared statement* with a named parameter: a serving system reuses
+// the parsed-and-bound form and only rebinds $min_score per request.
 #include <cstdio>
 
 #include "engine/engine.h"
@@ -42,12 +44,13 @@ int main() {
                             {"lookup.form", AccessMethodKind::kIndex, {0}}}},
                   GenerateRows(score_cols, 400, 2));
 
-  QueryBuilder qb(engine.catalog());
-  qb.AddTable("accounts", "a").AddTable("creditscores", "c");
-  qb.AddJoin("a.id", "c.id");
-  qb.AddSelection("c.score", CompareOp::kGe, Value::Int64(700));
-  QuerySpec query = qb.Build().ValueOrDie();
-  std::printf("query: %s\n", query.ToString().c_str());
+  // Parse + resolve once; the score threshold stays a parameter.
+  PreparedQuery prepared =
+      engine
+          .Prepare("SELECT * FROM accounts a, creditscores c "
+                   "WHERE a.id = c.id AND c.score >= $min_score")
+          .ValueOrDie();
+  std::printf("prepared: %s\n", prepared.spec().ToString().c_str());
 
   RunOptions options = RunOptions::Paper();
   options.exec.scan_overrides["accounts.scan"].period = Millis(5);
@@ -67,7 +70,11 @@ int main() {
   c_stem.bounce_mode = ProbeBounceMode::kAlways;
   options.exec.stem_overrides["creditscores"] = c_stem;
 
-  QueryHandle handle = engine.Submit(query, options).ValueOrDie();
+  QueryHandle handle =
+      prepared
+          .Bind(sql::SqlParams().Set("min_score", Value::Int64(700)))
+          .Submit(options)
+          .ValueOrDie();
   const size_t num_results = handle.cursor().Drain().size();
 
   const auto& metrics = handle.metrics();

@@ -25,10 +25,6 @@ void RunOnce(bool prioritize, int64_t hot_region) {
                             {"T.idx", AccessMethodKind::kIndex, {0}}}},
                   GenerateTableT(250, 13));
 
-  QueryBuilder qb(engine.catalog());
-  qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
-  QuerySpec query = qb.Build().ValueOrDie();
-
   RunOptions options;  // nary_shj: deliberately not index-hungry
   options.exec.scan_overrides["R.scan"].period = Millis(8);
   options.exec.scan_overrides["T.scan"].period = Millis(150);  // slow: ~37 s
@@ -48,7 +44,9 @@ void RunOnce(bool prioritize, int64_t hot_region) {
     return a != nullptr && a->AsInt64() < hot_region;
   };
 
-  QueryHandle handle = engine.Submit(query, options).ValueOrDie();
+  QueryHandle handle =
+      engine.Query("SELECT * FROM R, T WHERE R.a = T.key", options)
+          .ValueOrDie();
   handle.Wait();
 
   const auto& prio = handle.metrics().Series("results.prioritized");

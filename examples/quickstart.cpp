@@ -5,13 +5,16 @@
 //   ./build/examples/quickstart
 //
 // The paper's thesis (§2.2) is that eddies + SteMs obviate query
-// optimization: there is no plan to pick, so a query is *submitted*, not
-// assembled. Every stems program is three steps:
+// optimization: there is no plan to pick, so a query is *submitted as
+// intent*, not assembled. Every stems program is three steps:
 //   1. describe the data — table schemas, access methods, rows — to an
 //      Engine (it owns the catalog, the store, and the clock);
-//   2. submit a QuerySpec with RunOptions naming a routing policy
+//   2. submit a SQL string with RunOptions naming a routing policy
 //      ("nary_shj" here; see PolicyRegistry::Names() for all of them);
-//   3. stream results from the handle's pull-based cursor.
+//   3. stream schema-aware rows from the handle's pull-based cursor.
+//
+// (QueryBuilder remains the programmatic escape hatch for generated
+// queries; see docs/api.md. The SQL dialect is specified in docs/sql.md.)
 //
 // This example doubles as a smoke test: the join cardinality is asserted,
 // so a wrong result set fails the binary, not just the reader's eyes.
@@ -47,25 +50,25 @@ int main() {
        MakeRow({Value::Int64(11), Value::Int64(25)}),
        MakeRow({Value::Int64(12), Value::Int64(150)})});
 
-  // 2. Submit: SELECT * FROM users u, orders o, items i
-  //            WHERE u.id = o.user_id AND o.item_id = i.id AND u.age >= 30
-  QueryBuilder qb(engine.catalog());
-  qb.AddTable("users", "u").AddTable("orders", "o").AddTable("items", "i");
-  qb.AddJoin("u.id", "o.user_id");
-  qb.AddJoin("o.item_id", "i.id");
-  qb.AddSelection("u.age", CompareOp::kGe, Value::Int64(30));
-  QuerySpec query = qb.Build().ValueOrDie();
-  std::printf("query: %s\n", query.ToString().c_str());
+  // 2. Submit the query as SQL: explicit projection, conjunctive WHERE.
+  const char* sql =
+      "SELECT u.id, i.price FROM users u, orders o, items i "
+      "WHERE u.id = o.user_id AND o.item_id = i.id AND u.age >= 30";
+  std::printf("query: %s\n", sql);
 
-  QueryHandle handle = engine.Submit(query).ValueOrDie();
+  QueryHandle handle = engine.Query(sql).ValueOrDie();
 
-  // 3. Stream: the cursor pulls results out of the running eddy, advancing
-  //    the simulation only as far as each Next() needs.
+  // 3. Stream: the cursor pulls schema-aware rows out of the running eddy,
+  //    advancing the simulation only as far as each NextRow() needs.
+  //    Columns are addressed by label — no raw tuple-slot indexing.
   size_t count = 0;
+  int64_t total_price = 0;
   std::printf("results:\n");
   ResultCursor cursor = handle.cursor();
-  while (auto tuple = cursor.Next()) {
-    std::printf("  %s\n", (*tuple)->ToString().c_str());
+  std::printf("output schema: %s\n", cursor.schema().ToString().c_str());
+  while (auto row = cursor.NextRow()) {
+    std::printf("  %s\n", row->ToString().c_str());
+    total_price += row->Get("i.price").AsInt64();
     ++count;
   }
 
@@ -75,9 +78,15 @@ int main() {
               stats.constraint_violations);
 
   // Smoke check: users 1 (orders 10, 11) and 2 (order 10) pass age >= 30,
-  // and every ordered item exists — exactly 3 join results.
+  // and every ordered item exists — exactly 3 join results, and the
+  // projected prices sum to 999 + 25 + 999.
   if (count != 3) {
     std::fprintf(stderr, "FAIL: expected 3 results, got %zu\n", count);
+    return EXIT_FAILURE;
+  }
+  if (total_price != 999 + 25 + 999) {
+    std::fprintf(stderr, "FAIL: projected price sum %lld\n",
+                 static_cast<long long>(total_price));
     return EXIT_FAILURE;
   }
   if (stats.constraint_violations != 0) {
@@ -85,6 +94,7 @@ int main() {
                  stats.constraint_violations);
     return EXIT_FAILURE;
   }
-  std::printf("OK: cardinality 3, no violations\n");
+  std::printf("OK: cardinality 3, price sum %lld, no violations\n",
+              static_cast<long long>(total_price));
   return EXIT_SUCCESS;
 }

@@ -34,17 +34,14 @@ int main() {
       TableDef{"buys", buys, {{"buys.stream", AccessMethodKind::kScan, {}}}},
       GenerateRows(buy_cols, kStreamLen, 9));
 
-  QueryBuilder qb(engine.catalog());
-  qb.AddTable("clicks").AddTable("buys");
-  qb.AddJoin("clicks.user", "buys.user");
-  QuerySpec query = qb.Build().ValueOrDie();
-  std::printf("continuous query: %s\n", query.ToString().c_str());
+  const char* sql = "SELECT * FROM clicks, buys WHERE clicks.user = buys.user";
+  std::printf("continuous query: %s\n", sql);
   std::printf("window: last %zu tuples per stream\n\n", kWindow);
 
   RunOptions options;
   options.exec.scan_defaults.period = Millis(1);  // 1000 tuples/s per stream
   options.exec.stem_defaults.max_entries = kWindow;
-  QueryHandle handle = engine.Submit(query, options).ValueOrDie();
+  QueryHandle handle = engine.Query(sql, options).ValueOrDie();
 
   // Drive the stream and sample the running state each virtual second. The
   // handle's eddy is the observability escape hatch into the dataflow.

@@ -37,6 +37,17 @@ std::string Status::ToString() const {
   return out;
 }
 
+Status CombineStatuses(const std::vector<Status>& errors) {
+  if (errors.empty()) return Status::OK();
+  if (errors.size() == 1) return errors.front();
+  std::string msg = std::to_string(errors.size()) + " errors: ";
+  for (size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) msg += "; ";
+    msg += "[" + std::to_string(i + 1) + "] " + errors[i].message();
+  }
+  return Status(errors.front().code(), std::move(msg));
+}
+
 namespace internal {
 void DieOnError(const Status& status) {
   std::fprintf(stderr, "Fatal: %s\n", status.ToString().c_str());

@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 #include <variant>
+#include <vector>
 
 namespace stems {
 
@@ -111,6 +112,13 @@ class Result {
  private:
   std::variant<T, Status> repr_;
 };
+
+/// Folds a list of error statuses into one. Empty list -> OK; one error ->
+/// that status unchanged; several -> a status with the first error's code
+/// whose message enumerates every error ("3 errors: [1] ...; [2] ...").
+/// Used wherever a whole batch of problems should surface at once (name
+/// resolution in QueryBuilder::Build and the SQL binder).
+Status CombineStatuses(const std::vector<Status>& errors);
 
 namespace internal {
 [[noreturn]] void DieOnError(const Status& status);

@@ -71,6 +71,9 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
   exec->eddy->Start();
 
   queries_.push_back(exec);
+  // A query can be born quiescent (LIMIT 0 never seeds the scans); mark it
+  // finished now so done() holds without a cursor pump.
+  CheckCompletions();
   return QueryHandle(exec);
 }
 

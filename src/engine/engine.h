@@ -1,25 +1,34 @@
 // Engine: the top-level façade of the stems system.
 //
 // The paper's central claim (§2.2) is that eddies + SteMs "obviate the need
-// for query optimization": a query should be *submitted*, not
-// hand-assembled. The Engine realizes that as an API. It owns the Catalog
-// (what tables look like), the TableStore (their data) and the shared
-// Simulation clock, and turns a QuerySpec plus RunOptions into a running
-// eddy in one call:
+// for query optimization": a query should be *submitted* as intent, not
+// hand-assembled. The Engine realizes that as a declarative API. It owns
+// the Catalog (what tables look like), the TableStore (their data) and the
+// shared Simulation clock, and turns a SQL string plus RunOptions into a
+// running eddy in one call:
 //
 //   Engine engine;
-//   engine.AddTable(def, rows);                 // describe data
-//   auto handle = engine.Submit(query).ValueOrDie();   // submit
-//   while (auto t = handle.cursor().Next()) Use(**t);  // stream results
+//   engine.AddTable(def, rows);                          // describe data
+//   auto handle = engine.Query(                          // submit SQL
+//       "SELECT u.id, o.item FROM users u, orders o "
+//       "WHERE u.id = o.user_id AND u.age >= 30 LIMIT 100").ValueOrDie();
+//   ResultCursor cursor = handle.cursor();               // stream rows
+//   while (auto row = cursor.NextRow()) Use(row->Get("o.item"));
 //
-// Several queries may be live at once: each Submit() wires an independent
-// eddy (its own modules, its own routing policy) onto the shared
-// discrete-event clock, so their events interleave in virtual-time order —
-// pumping any one cursor advances every live query. This is the first step
-// toward concurrent-workload scenarios (ROADMAP north star).
+// Serving-style hot path — parse and bind once, execute many times:
 //
-// The planner's PlanQuery() remains the documented low-level escape hatch
-// for callers that need to wire modules or policies by hand.
+//   auto prepared = engine.Prepare(
+//       "SELECT * FROM users u WHERE u.age >= $min").ValueOrDie();
+//   auto handle = prepared.Bind(sql::SqlParams().Set("min",
+//       Value::Int64(30))).Submit(options).ValueOrDie();
+//
+// Several queries may be live at once: each submission wires an
+// independent eddy (its own modules, its own routing policy) onto the
+// shared discrete-event clock, so their events interleave in virtual-time
+// order — pumping any one cursor advances every live query.
+//
+// Engine::Submit(QuerySpec) with QueryBuilder remains the programmatic
+// escape hatch; the planner's PlanQuery() is the layer below that.
 #pragma once
 
 #include <memory>
@@ -31,6 +40,7 @@
 #include "eddy/eddy.h"
 #include "engine/run_options.h"
 #include "query/query_spec.h"
+#include "sql/binder.h"
 #include "storage/table_store.h"
 
 namespace stems {
@@ -88,6 +98,49 @@ struct QueryExecution {
 
 }  // namespace internal
 
+/// Schema-aware view of one result row: the declared projection applied to
+/// a composite result tuple. Columns are addressed by position (SELECT-list
+/// order) or by their qualified label ("u.age"). Cheap to copy — it shares
+/// the underlying tuple and points into the query's spec, so it must not
+/// outlive the QueryHandle it came from.
+class RowView {
+ public:
+  RowView() = default;
+
+  bool valid() const { return tuple_ != nullptr; }
+  size_t num_columns() const;
+
+  /// Label / declared type / value of output column `i` (SELECT order).
+  const std::string& name(size_t i) const;
+  ValueType type(size_t i) const;
+  const Value& value(size_t i) const;
+
+  /// Value by qualified label; nullptr when the projection has no such
+  /// column.
+  const Value* Find(const std::string& label) const;
+  /// Value by qualified label; aborts on an unknown label (use Find for
+  /// the checked variant). `row.Get("R.a")` replaces raw slot indexing.
+  const Value& Get(const std::string& label) const;
+
+  /// The output schema (shared by every row of the query).
+  const Schema& schema() const;
+
+  /// "(u.id=1, o.item=10)".
+  std::string ToString() const;
+
+  /// Escape hatch: the underlying composite tuple (all slots, pre-
+  /// projection).
+  const TuplePtr& tuple() const { return tuple_; }
+
+ private:
+  friend class ResultCursor;
+  RowView(TuplePtr tuple, const QuerySpec* query)
+      : tuple_(std::move(tuple)), query_(query) {}
+
+  TuplePtr tuple_;
+  const QuerySpec* query_ = nullptr;
+};
+
 /// Pull-based streaming access to a query's results, layered over the
 /// eddy's push output. Next() lazily advances the shared simulation just
 /// far enough to produce the next result. All cursors of one query share
@@ -98,8 +151,17 @@ class ResultCursor {
   /// finished and every result was returned, or after Cancel().
   std::optional<TuplePtr> Next();
 
+  /// Next() with the query's projection applied: a schema-aware row.
+  std::optional<RowView> NextRow();
+
   /// Runs the query to completion and returns all not-yet-consumed results.
   std::vector<TuplePtr> Drain();
+
+  /// Drain() with the query's projection applied.
+  std::vector<RowView> DrainRows();
+
+  /// The query's output schema (labels + types, SELECT-list order).
+  const Schema& schema() const;
 
   /// Results handed out so far.
   size_t consumed() const { return exec_->next_result; }
@@ -158,6 +220,68 @@ class QueryHandle {
   std::shared_ptr<internal::QueryExecution> exec_;
 };
 
+/// A prepared query with its parameter values filled in, ready to submit.
+/// Produced by PreparedQuery::Bind; carries any bind error forward so the
+/// serving idiom stays one chained expression:
+///
+///   prepared.Bind({Value::Int64(30)}).Submit(options)
+///
+/// A bind failure (arity, unknown name, type mismatch) surfaces from
+/// Submit() as that error.
+class BoundQuery {
+ public:
+  /// Submits the bound spec to the engine (same semantics as
+  /// Engine::Submit). Returns the deferred bind error, if any.
+  Result<QueryHandle> Submit(RunOptions options = {}) const;
+
+  /// The bind outcome (OK when the parameters applied cleanly).
+  const Status& status() const { return status_; }
+  /// The executable spec; valid only when status().ok().
+  const QuerySpec& spec() const { return spec_; }
+
+ private:
+  friend class PreparedQuery;
+  BoundQuery(Engine* engine, QuerySpec spec) : engine_(engine),
+                                               spec_(std::move(spec)) {}
+  explicit BoundQuery(Status error) : status_(std::move(error)) {}
+
+  Engine* engine_ = nullptr;
+  Status status_;
+  QuerySpec spec_;
+};
+
+/// A parsed-and-bound SQL statement, reusable across executions. The
+/// expensive front-end work (lexing, parsing, name resolution, shape
+/// validation) happened once in Engine::Prepare; Bind() only patches
+/// parameter constants into a copy of the bound spec — the serving hot
+/// path (bench_sql asserts it is >= 5x cheaper than re-parsing).
+/// Copyable; must not outlive its Engine.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  /// Fills the parameter placeholders ('?' in order, '$name' by name) and
+  /// returns a submittable query. Errors are carried inside the BoundQuery
+  /// (see above) so Bind(...).Submit(...) chains.
+  BoundQuery Bind(const sql::SqlParams& params = {}) const;
+
+  /// Shorthand for Bind({}).Submit(options) on parameterless statements.
+  Result<QueryHandle> Submit(RunOptions options = {}) const;
+
+  /// The bound spec template (parameter constants still unbound).
+  const QuerySpec& spec() const { return bound_.spec; }
+  /// Placeholder sites, in order of appearance.
+  const std::vector<sql::ParamSite>& params() const { return bound_.params; }
+
+ private:
+  friend class Engine;
+  PreparedQuery(Engine* engine, sql::BoundStatement bound)
+      : engine_(engine), bound_(std::move(bound)) {}
+
+  Engine* engine_ = nullptr;
+  sql::BoundStatement bound_;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -177,6 +301,18 @@ class Engine {
 
   // --- query execution -------------------------------------------------------
 
+  /// One-shot SQL submission: parses, binds against the catalog, and
+  /// submits in one call. The statement must be parameter-free (use
+  /// Prepare for '?' / '$name' placeholders). See docs/sql.md for the
+  /// dialect.
+  Result<QueryHandle> Query(const std::string& sql, RunOptions options = {});
+
+  /// Compiles a SQL statement (lex, parse, resolve, validate) into a
+  /// reusable PreparedQuery. Parameter values bind later, per execution —
+  /// the serving hot path skips every front-end stage.
+  Result<PreparedQuery> Prepare(const std::string& sql);
+
+  /// Programmatic escape hatch: submits a QueryBuilder-built spec.
   /// Validates `options`, plans `query` (one SteM per table, one AM per
   /// access method, one SM per selection around an eddy), instantiates the
   /// named routing policy from the registry, and starts the scans. The

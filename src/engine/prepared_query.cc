@@ -1,0 +1,51 @@
+// The SQL front door of the Engine façade: one-shot Query(), and the
+// Prepare/Bind/Submit serving path.
+#include "engine/engine.h"
+
+namespace stems {
+
+Result<QueryHandle> Engine::Query(const std::string& sql,
+                                  RunOptions options) {
+  STEMS_ASSIGN_OR_RETURN(sql::BoundStatement bound,
+                         sql::ParseAndBind(sql, catalog_));
+  if (!bound.params.empty()) {
+    return Status::InvalidQuery(
+        "statement has " + std::to_string(bound.params.size()) +
+        " parameter placeholder(s) (first: " +
+        bound.params.front().ToString() +
+        "); use Engine::Prepare and Bind to supply values");
+  }
+  return Submit(bound.spec, std::move(options));
+}
+
+Result<PreparedQuery> Engine::Prepare(const std::string& sql) {
+  STEMS_ASSIGN_OR_RETURN(sql::BoundStatement bound,
+                         sql::ParseAndBind(sql, catalog_));
+  return PreparedQuery(this, std::move(bound));
+}
+
+BoundQuery PreparedQuery::Bind(const sql::SqlParams& params) const {
+  if (engine_ == nullptr) {
+    return BoundQuery(
+        Status::InvalidArgument("Bind() on a default-constructed "
+                                "PreparedQuery"));
+  }
+  // The hot path: clone the bound template and patch constants in place —
+  // no lexing, no parsing, no catalog lookups.
+  QuerySpec spec = bound_.spec;
+  Status bound_status =
+      sql::Binder::BindParameters(&spec, bound_.params, params);
+  if (!bound_status.ok()) return BoundQuery(std::move(bound_status));
+  return BoundQuery(engine_, std::move(spec));
+}
+
+Result<QueryHandle> PreparedQuery::Submit(RunOptions options) const {
+  return Bind().Submit(std::move(options));
+}
+
+Result<QueryHandle> BoundQuery::Submit(RunOptions options) const {
+  STEMS_RETURN_NOT_OK(status_);
+  return engine_->Submit(spec_, std::move(options));
+}
+
+}  // namespace stems

@@ -19,11 +19,77 @@ std::optional<TuplePtr> ResultCursor::Next() {
   return std::nullopt;
 }
 
+std::optional<RowView> ResultCursor::NextRow() {
+  auto tuple = Next();
+  if (!tuple.has_value()) return std::nullopt;
+  return RowView(std::move(*tuple), &exec_->query);
+}
+
 std::vector<TuplePtr> ResultCursor::Drain() {
   std::vector<TuplePtr> out;
   while (auto t = Next()) {
     out.push_back(std::move(*t));
   }
+  return out;
+}
+
+std::vector<RowView> ResultCursor::DrainRows() {
+  std::vector<RowView> out;
+  while (auto row = NextRow()) {
+    out.push_back(std::move(*row));
+  }
+  return out;
+}
+
+const Schema& ResultCursor::schema() const {
+  return exec_->query.output_schema();
+}
+
+size_t RowView::num_columns() const {
+  return query_->output_columns().size();
+}
+
+const std::string& RowView::name(size_t i) const {
+  return query_->output_columns()[i].label;
+}
+
+ValueType RowView::type(size_t i) const {
+  return query_->output_columns()[i].type;
+}
+
+const Value& RowView::value(size_t i) const {
+  static const Value kNull;
+  const ColumnRef& ref = query_->output_columns()[i].ref;
+  const Value* v = tuple_->ValueAt(ref.table_slot, ref.column);
+  // Result tuples span every slot, so v is only null for malformed
+  // hand-built tuples; degrade to SQL NULL rather than crash.
+  return v != nullptr ? *v : kNull;
+}
+
+const Value* RowView::Find(const std::string& label) const {
+  auto i = query_->FindOutputColumn(label);
+  return i.has_value() ? &value(*i) : nullptr;
+}
+
+const Value& RowView::Get(const std::string& label) const {
+  const Value* v = Find(label);
+  if (v == nullptr) {
+    internal::DieOnError(Status::NotFound(
+        "no output column '" + label + "' in projection of: " +
+        query_->ToString()));
+  }
+  return *v;
+}
+
+const Schema& RowView::schema() const { return query_->output_schema(); }
+
+std::string RowView::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += name(i) + "=" + value(i).ToString();
+  }
+  out += ")";
   return out;
 }
 

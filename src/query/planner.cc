@@ -10,7 +10,10 @@ Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
                                         const TableStore& store,
                                         Simulation* sim,
                                         const ExecutionConfig& config) {
-  // Step 1: bind-order validation (paper §2.2, via [18]).
+  // Step 1: structural sanity (friendly errors for empty FROM lists,
+  // duplicate aliases, cross products), then bind-order validation (paper
+  // §2.2, via [18]).
+  STEMS_RETURN_NOT_OK(ValidateQueryShape(query));
   STEMS_RETURN_NOT_OK(ValidateBindOrder(query));
   if (query.num_predicates() > 64) {
     return Status::InvalidQuery("at most 64 predicates supported");

@@ -1,6 +1,49 @@
 #include "query/query_spec.h"
 
+#include <cstdio>
+
+#include "query/validation.h"
+
 namespace stems {
+
+namespace {
+
+/// Renders a Value as a SQL literal that re-lexes to an equal Value:
+/// doubles always carry a '.' or exponent (so they don't re-parse as
+/// ints), strings use '' escaping.
+std::string SqlLiteral(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(v.AsInt64());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      std::string s(buf);
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find('n') == std::string::npos) {  // "nan"/"inf" stay as-is
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : v.AsString()) {
+        out.push_back(c);
+        if (c == '\'') out.push_back('\'');
+      }
+      out += "'";
+      return out;
+    }
+    case ValueType::kEot:
+      return "<eot>";  // never appears in a spec built by public APIs
+  }
+  return "?";
+}
+
+}  // namespace
 
 std::vector<const Predicate*> QuerySpec::JoinPredicatesOn(int slot) const {
   std::vector<const Predicate*> out;
@@ -31,8 +74,55 @@ Result<int> QuerySpec::SlotOf(const std::string& alias) const {
   return Status::NotFound("no table instance with alias '" + alias + "'");
 }
 
+std::optional<size_t> QuerySpec::FindOutputColumn(
+    const std::string& label) const {
+  for (size_t i = 0; i < output_columns_.size(); ++i) {
+    if (output_columns_[i].label == label) return i;
+  }
+  return std::nullopt;
+}
+
+void QuerySpec::FinalizeOutputs(std::vector<OutputColumn> explicit_columns) {
+  explicit_projection_ = !explicit_columns.empty();
+  if (explicit_projection_) {
+    output_columns_ = std::move(explicit_columns);
+  } else {
+    output_columns_.clear();
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      const Schema& schema = slots_[s].def->schema;
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        OutputColumn col;
+        col.label = slots_[s].alias + "." + schema.column(c).name;
+        col.ref = ColumnRef{static_cast<int>(s), static_cast<int>(c)};
+        col.type = schema.column(c).type;
+        output_columns_.push_back(std::move(col));
+      }
+    }
+  }
+  std::vector<ColumnDef> defs;
+  defs.reserve(output_columns_.size());
+  for (const auto& col : output_columns_) {
+    defs.push_back({col.label, col.type});
+  }
+  output_schema_ = Schema(std::move(defs));
+}
+
 std::string QuerySpec::ToString() const {
-  std::string out = "SELECT * FROM ";
+  auto col_name = [this](const ColumnRef& ref) {
+    const TableInstance& inst = slots_[ref.table_slot];
+    return inst.alias + "." + inst.def->schema.column(ref.column).name;
+  };
+
+  std::string out = "SELECT ";
+  if (!explicit_projection_) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < output_columns_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += output_columns_[i].label;
+    }
+  }
+  out += " FROM ";
   for (size_t i = 0; i < slots_.size(); ++i) {
     if (i > 0) out += ", ";
     out += slots_[i].table_name;
@@ -42,8 +132,27 @@ std::string QuerySpec::ToString() const {
     out += " WHERE ";
     for (size_t i = 0; i < predicates_.size(); ++i) {
       if (i > 0) out += " AND ";
-      out += predicates_[i].ToString();
+      const Predicate& p = predicates_[i];
+      out += col_name(p.lhs());
+      out += " ";
+      out += CompareOpName(p.op());
+      out += " ";
+      const std::string* marker = nullptr;
+      for (const auto& [pred_index, placeholder] : param_markers_) {
+        if (pred_index == i) {
+          marker = &placeholder;
+          break;
+        }
+      }
+      if (marker != nullptr) {
+        out += *marker;
+      } else {
+        out += p.is_join() ? col_name(p.rhs()) : SqlLiteral(p.constant());
+      }
     }
+  }
+  if (limit_.has_value()) {
+    out += " LIMIT " + std::to_string(*limit_);
   }
   return out;
 }
@@ -69,6 +178,17 @@ QueryBuilder& QueryBuilder::AddSelection(const std::string& column,
   return *this;
 }
 
+QueryBuilder& QueryBuilder::Select(const std::vector<std::string>& columns) {
+  select_columns_.insert(select_columns_.end(), columns.begin(),
+                         columns.end());
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Limit(uint64_t limit) {
+  limit_ = limit;
+  return *this;
+}
+
 Result<ColumnRef> QueryBuilder::Resolve(const QuerySpec& spec,
                                         const std::string& qualified) const {
   auto dot = qualified.find('.');
@@ -79,6 +199,11 @@ Result<ColumnRef> QueryBuilder::Resolve(const QuerySpec& spec,
   const std::string alias = qualified.substr(0, dot);
   const std::string column = qualified.substr(dot + 1);
   STEMS_ASSIGN_OR_RETURN(int slot, spec.SlotOf(alias));
+  if (spec.slots()[slot].def == nullptr) {
+    // The table itself failed to resolve; that error is already recorded,
+    // so stay quiet here (kInternal statuses are filtered by Build()).
+    return Status::Internal("");
+  }
   auto col = spec.slots()[slot].def->schema.FindColumn(column);
   if (!col.has_value()) {
     return Status::NotFound("column '" + column + "' not found in table '" +
@@ -88,40 +213,89 @@ Result<ColumnRef> QueryBuilder::Resolve(const QuerySpec& spec,
 }
 
 Result<QuerySpec> QueryBuilder::Build() {
-  if (tables_.empty()) {
-    return Status::InvalidQuery("query has no tables");
-  }
-  if (tables_.size() > 64) {
-    return Status::InvalidQuery("at most 64 table instances supported");
-  }
+  // Name resolution collects *every* error before reporting (a serving
+  // front end should not make the user fix one name per round-trip). A
+  // table that fails to resolve keeps its slot with def == nullptr so
+  // later references to its alias don't cascade into bogus errors.
+  std::vector<Status> errors;
+  auto note = [&errors](const Status& s) {
+    if (!s.ok() && s.code() != StatusCode::kInternal) errors.push_back(s);
+  };
+
   QuerySpec spec;
   for (auto inst : tables_) {
-    STEMS_ASSIGN_OR_RETURN(const TableDef* def,
-                           catalog_.GetTable(inst.table_name));
-    inst.def = def;
-    for (const auto& existing : spec.slots_) {
-      if (existing.alias == inst.alias) {
-        return Status::InvalidQuery("duplicate alias '" + inst.alias + "'");
-      }
+    auto def = catalog_.GetTable(inst.table_name);
+    if (def.ok()) {
+      inst.def = def.Value();
+    } else {
+      note(def.status());
     }
     spec.slots_.push_back(std::move(inst));
   }
+
+  // Structural checks live in validation.cc, shared with the planner. An
+  // empty or oversized FROM list ends resolution immediately (there is
+  // nothing meaningful to resolve against); a duplicate alias is
+  // collected alongside the name errors below.
+  Status shape = ValidateQueryShape(spec);
+  if (!shape.ok()) {
+    if (spec.slots_.empty() || spec.slots_.size() > 64) return shape;
+    note(shape);
+  }
+
   int next_id = 0;
   for (const auto& j : joins_) {
-    STEMS_ASSIGN_OR_RETURN(ColumnRef lhs, Resolve(spec, j.lhs));
-    STEMS_ASSIGN_OR_RETURN(ColumnRef rhs, Resolve(spec, j.rhs));
-    if (lhs.table_slot == rhs.table_slot) {
-      return Status::InvalidQuery(
-          "join predicate references a single table instance; "
-          "express it as a selection");
+    Result<ColumnRef> lhs = Resolve(spec, j.lhs);
+    Result<ColumnRef> rhs = Resolve(spec, j.rhs);
+    if (!lhs.ok() || !rhs.ok()) {
+      note(lhs.status());
+      note(rhs.status());
+      continue;
     }
-    spec.predicates_.push_back(Predicate::Join(next_id++, lhs, j.op, rhs));
+    if (lhs.Value().table_slot == rhs.Value().table_slot) {
+      note(Status::InvalidQuery(
+          "join predicate '" + j.lhs + " " + CompareOpName(j.op) + " " +
+          j.rhs +
+          "' references a single table instance; "
+          "express it as a selection"));
+      continue;
+    }
+    spec.predicates_.push_back(
+        Predicate::Join(next_id++, lhs.Value(), j.op, rhs.Value()));
   }
   for (const auto& s : selections_) {
-    STEMS_ASSIGN_OR_RETURN(ColumnRef col, Resolve(spec, s.column));
+    Result<ColumnRef> col = Resolve(spec, s.column);
+    if (!col.ok()) {
+      note(col.status());
+      continue;
+    }
     spec.predicates_.push_back(
-        Predicate::Selection(next_id++, col, s.op, s.constant));
+        Predicate::Selection(next_id++, col.Value(), s.op, s.constant));
   }
+
+  std::vector<OutputColumn> projection;
+  for (const auto& label : select_columns_) {
+    Result<ColumnRef> col = Resolve(spec, label);
+    if (!col.ok()) {
+      note(col.status());
+      continue;
+    }
+    const ColumnRef ref = col.Value();
+    OutputColumn out;
+    // Canonical qualified label, so emitted SQL re-parses identically.
+    out.label = spec.slots_[ref.table_slot].alias + "." +
+                spec.slots_[ref.table_slot].def->schema.column(ref.column)
+                    .name;
+    out.ref = ref;
+    out.type =
+        spec.slots_[ref.table_slot].def->schema.column(ref.column).type;
+    projection.push_back(std::move(out));
+  }
+
+  if (!errors.empty()) return CombineStatuses(errors);
+
+  spec.limit_ = limit_;
+  spec.FinalizeOutputs(std::move(projection));
   return spec;
 }
 

@@ -2,12 +2,22 @@
 //
 // A query is a FROM list of table instances ("slots"; self-joins occupy
 // multiple slots of the same base table, sharing one SteM per §2.2), plus a
-// conjunction of selection and join predicates. Projections are implicit
-// (every module projects as early as possible, paper footnote 1); GroupBy /
-// aggregation live above the eddy and are out of scope, as in the paper.
+// conjunction of selection and join predicates, an explicit projection list
+// with its output schema, and an optional LIMIT. Inside the dataflow,
+// modules still project as early as possible (paper footnote 1); the
+// declared projection shapes what the *caller* sees through RowView.
+// GroupBy / aggregation live above the eddy and are out of scope, as in
+// the paper.
+//
+// Specs are built either programmatically (QueryBuilder, the escape hatch)
+// or from SQL text (sql/parser.h + sql/binder.h, the supported front end);
+// QuerySpec::ToString() emits the SQL dialect, and the two round-trip.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -16,11 +26,24 @@
 
 namespace stems {
 
+namespace sql {
+class Binder;
+}  // namespace sql
+
 /// One entry of the FROM list.
 struct TableInstance {
   std::string table_name;
   std::string alias;          ///< defaults to table_name
   const TableDef* def = nullptr;
+};
+
+/// One output column of a query: a display label ("u.age") plus the
+/// (slot, column) it reads from. The label is always the canonical
+/// qualified form, so emitted SQL re-parses to the same projection.
+struct OutputColumn {
+  std::string label;
+  ColumnRef ref;
+  ValueType type = ValueType::kInt64;
 };
 
 class QuerySpec {
@@ -42,12 +65,48 @@ class QuerySpec {
   /// Slot index for an alias.
   Result<int> SlotOf(const std::string& alias) const;
 
+  // --- projection & limit ----------------------------------------------------
+
+  /// The output columns, in SELECT-list order. Never empty on a built
+  /// spec: `SELECT *` expands to every column of every slot.
+  const std::vector<OutputColumn>& output_columns() const {
+    return output_columns_;
+  }
+  /// Schema of the output columns (label + type per column).
+  const Schema& output_schema() const { return output_schema_; }
+  /// True when the query listed columns explicitly (vs `SELECT *`).
+  bool has_explicit_projection() const { return explicit_projection_; }
+  /// Index into output_columns() for `label`, if any.
+  std::optional<size_t> FindOutputColumn(const std::string& label) const;
+
+  /// Maximum number of results to produce; nullopt = unlimited.
+  const std::optional<uint64_t>& limit() const { return limit_; }
+
+  /// Emits the query in the SQL dialect of sql/parser.h. Parsing and
+  /// binding the result against the same catalog reproduces an equivalent
+  /// spec (round-trip property, tested in tests/test_sql.cc). On a
+  /// prepared-statement template, unbound parameter sites print as their
+  /// placeholder ("$name" / "?"), so the text re-prepares rather than
+  /// silently binding an always-false NULL comparison.
   std::string ToString() const;
 
  private:
   friend class QueryBuilder;
+  friend class sql::Binder;
+
+  /// Rebuilds output_columns_ and output_schema_ from the slots (star
+  /// expansion) or from the explicit projection labels set by the builder.
+  void FinalizeOutputs(std::vector<OutputColumn> explicit_columns);
+
   std::vector<TableInstance> slots_;
   std::vector<Predicate> predicates_;
+  std::vector<OutputColumn> output_columns_;
+  Schema output_schema_;
+  bool explicit_projection_ = false;
+  std::optional<uint64_t> limit_;
+  /// (predicate index, placeholder spelling) for still-unbound parameter
+  /// sites; set by the SQL binder, cleared when parameters bind.
+  std::vector<std::pair<size_t, std::string>> param_markers_;
 };
 
 /// Fluent construction of QuerySpecs with "Alias.column" name resolution.
@@ -56,7 +115,12 @@ class QuerySpec {
 ///   qb.AddTable("R").AddTable("S");
 ///   qb.AddJoin("R.a", "S.x");
 ///   qb.AddSelection("R.key", CompareOp::kLt, Value::Int64(10));
+///   qb.Select({"R.key", "S.x"});   // optional; default is SELECT *
+///   qb.Limit(100);                 // optional
 ///   STEMS_ASSIGN_OR_RETURN(QuerySpec q, qb.Build());
+///
+/// Build() resolves every name and reports *all* resolution errors in one
+/// combined Status (the SQL binder surfaces the same message).
 class QueryBuilder {
  public:
   explicit QueryBuilder(const Catalog& catalog) : catalog_(catalog) {}
@@ -73,7 +137,15 @@ class QueryBuilder {
   QueryBuilder& AddSelection(const std::string& column, CompareOp op,
                              Value constant);
 
-  /// Resolves names and returns the spec; reports the first error found.
+  /// Appends explicit output columns ("Alias.column"). Without any Select
+  /// call the query is SELECT * (all columns of all slots, in slot order).
+  QueryBuilder& Select(const std::vector<std::string>& columns);
+
+  /// Caps the number of results.
+  QueryBuilder& Limit(uint64_t limit);
+
+  /// Resolves names and returns the spec. All name-resolution errors are
+  /// collected and reported together (see CombineStatuses).
   Result<QuerySpec> Build();
 
  private:
@@ -94,7 +166,8 @@ class QueryBuilder {
   std::vector<TableInstance> tables_;
   std::vector<PendingJoin> joins_;
   std::vector<PendingSelection> selections_;
-  Status deferred_error_;
+  std::vector<std::string> select_columns_;
+  std::optional<uint64_t> limit_;
 };
 
 }  // namespace stems

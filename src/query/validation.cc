@@ -1,6 +1,62 @@
 #include "query/validation.h"
 
+#include <numeric>
+#include <vector>
+
 namespace stems {
+
+Status ValidateQueryShape(const QuerySpec& query) {
+  const size_t n = query.num_slots();
+  if (n == 0) {
+    return Status::InvalidQuery("query has no tables (empty FROM list)");
+  }
+  if (n > 64) {
+    return Status::InvalidQuery("query has " + std::to_string(n) +
+                                " table instances; at most 64 are supported");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (query.slots()[i].alias == query.slots()[j].alias) {
+        return Status::InvalidQuery("duplicate alias '" +
+                                    query.slots()[i].alias +
+                                    "' in FROM list");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateJoinConnected(const QuerySpec& query) {
+  const size_t n = query.num_slots();
+  if (n < 2) return Status::OK();
+  // Union-find over join predicates: every slot must land in one
+  // component, or part of the query is a cross product.
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& p : query.predicates()) {
+    if (!p.is_join()) continue;
+    parent[find(p.lhs().table_slot)] = find(p.rhs().table_slot);
+  }
+  const int root = find(0);
+  for (size_t i = 1; i < n; ++i) {
+    if (find(static_cast<int>(i)) != root) {
+      return Status::InvalidQuery(
+          "table instance '" + query.slots()[i].alias +
+          "' is not join-connected to '" + query.slots()[0].alias +
+          "'; cross products are rejected in SQL — add a join predicate "
+          "linking every table (the programmatic QueryBuilder remains the "
+          "escape hatch for deliberate cross joins)");
+    }
+  }
+  return Status::OK();
+}
 
 bool IndexAmReachable(const QuerySpec& query, int slot,
                       const AccessMethodSpec& am, uint64_t reachable_mask) {

@@ -12,6 +12,22 @@
 
 namespace stems {
 
+/// Structural sanity of a spec, independent of access methods: a non-empty
+/// FROM list, at most 64 slots (the span/predicate bitmask width), and
+/// unique aliases — friendly Status errors, never an assert. The planner
+/// runs this on every spec; the SQL binder runs it at bind time so
+/// Prepare() fails fast.
+Status ValidateQueryShape(const QuerySpec& query);
+
+/// Rejects queries whose FROM instances are not all connected by join
+/// predicates. Only the SQL front end enforces this: a declarative
+/// `FROM R, S` with no join is almost always a missing predicate, and the
+/// result size is the full cross product. The programmatic QueryBuilder /
+/// PlanQuery path still executes cross products deliberately (scan-only
+/// cross joins are exercised by tests) — this is an intent check, not an
+/// executability limit.
+Status ValidateJoinConnected(const QuerySpec& query);
+
 /// Returns OK iff every table instance in the query is reachable under the
 /// bind-field constraints; otherwise an InvalidQuery status naming the first
 /// unreachable table.

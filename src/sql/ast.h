@@ -1,0 +1,84 @@
+// SQL abstract syntax tree: the parser's output, the binder's input.
+//
+// The dialect covers exactly what the engine executes (paper §2.2):
+//
+//   SELECT <cols | *> FROM t [alias], ...
+//     [WHERE conjunct AND conjunct ...] [LIMIT n] [;]
+//
+// where each conjunct is a comparison between column references, literals
+// and parameters ('?' positional, '$name' named). Names stay unresolved
+// here — the binder turns them into ColumnRefs against a Catalog.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "types/value.h"
+
+namespace stems::sql {
+
+/// `alias.column` or a bare `column` (resolved by the binder when it is
+/// unambiguous across the FROM list).
+struct AstColumn {
+  std::string qualifier;  ///< empty for unqualified references
+  std::string column;
+  int line = 1;
+  int col = 1;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+};
+
+/// A literal constant (int, float, string, NULL).
+struct AstLiteral {
+  Value value;
+  int line = 1;
+  int col = 1;
+};
+
+/// A parameter placeholder: position >= 0 for '?', name set for '$name'.
+struct AstParam {
+  int position = -1;
+  std::string name;
+  int line = 1;
+  int col = 1;
+
+  std::string ToString() const {
+    return name.empty() ? "?" : "$" + name;
+  }
+};
+
+using AstOperand = std::variant<AstColumn, AstLiteral, AstParam>;
+
+/// One WHERE conjunct: `lhs op rhs`.
+struct AstComparison {
+  AstOperand lhs;
+  CompareOp op = CompareOp::kEq;
+  AstOperand rhs;
+  int line = 1;  ///< position of the comparison operator
+  int col = 1;
+};
+
+/// One FROM entry: `table [AS] alias`.
+struct AstTableRef {
+  std::string table;
+  std::string alias;  ///< empty = defaults to the table name
+  int line = 1;
+  int col = 1;
+};
+
+/// A full SELECT statement.
+struct SelectStatement {
+  bool select_star = false;
+  std::vector<AstColumn> select_list;  ///< empty iff select_star
+  std::vector<AstTableRef> from;
+  std::vector<AstComparison> where;
+  std::optional<uint64_t> limit;
+};
+
+}  // namespace stems::sql

@@ -1,0 +1,338 @@
+#include "sql/binder.h"
+
+#include "query/validation.h"
+#include "sql/parser.h"
+
+namespace stems::sql {
+
+namespace {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kEot:
+      return "EOT";
+  }
+  return "?";
+}
+
+/// Mirror a comparison so the column lands on the left ("5 < R.a" becomes
+/// "R.a > 5").
+CompareOp Flip(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+Status ErrorAt(const std::string& msg, int line, int col) {
+  return Status::InvalidQuery(msg + " at " + std::to_string(line) + ":" +
+                              std::to_string(col));
+}
+
+bool TypeCompatible(ValueType column, ValueType value) {
+  if (value == ValueType::kNull) return true;  // `col = NULL` is legal SQL
+  const bool col_numeric =
+      column == ValueType::kInt64 || column == ValueType::kDouble;
+  const bool val_numeric =
+      value == ValueType::kInt64 || value == ValueType::kDouble;
+  if (col_numeric) return val_numeric;
+  if (column == ValueType::kString) return value == ValueType::kString;
+  return false;
+}
+
+}  // namespace
+
+Result<BoundStatement> Binder::Bind(const SelectStatement& stmt,
+                                    const Catalog& catalog) {
+  std::vector<Status> errors;
+
+  // FROM list: feed the builder, and keep a local view (alias + def) for
+  // resolving *unqualified* column names, which QueryBuilder does not do.
+  QueryBuilder qb(catalog);
+  struct LocalSlot {
+    std::string alias;
+    const TableDef* def = nullptr;
+  };
+  std::vector<LocalSlot> slots;
+  for (const auto& t : stmt.from) {
+    qb.AddTable(t.table, t.alias);
+    LocalSlot slot;
+    slot.alias = t.alias.empty() ? t.table : t.alias;
+    auto def = catalog.GetTable(t.table);
+    // An unknown table is the builder's error to report; the local slot
+    // just stays unusable for unqualified resolution.
+    if (def.ok()) slot.def = def.Value();
+    slots.push_back(std::move(slot));
+  }
+  if (stmt.from.empty()) {
+    // Unreachable through the parser (FROM is mandatory) but hand-built
+    // ASTs land here; keep the friendly path, never an assert.
+    return Status::InvalidQuery("query has no tables (empty FROM list)");
+  }
+
+  // Qualifies an AST column to the builder's "Alias.column" spelling.
+  // Unqualified names resolve when exactly one FROM entry has the column;
+  // nullopt records the error and lets the caller skip the operand (so a
+  // single bad name doesn't cascade into derived diagnostics).
+  auto qualify = [&](const AstColumn& col) -> std::optional<std::string> {
+    if (!col.qualifier.empty()) return col.qualifier + "." + col.column;
+    std::vector<const LocalSlot*> matches;
+    for (const auto& slot : slots) {
+      if (slot.def != nullptr &&
+          slot.def->schema.FindColumn(col.column).has_value()) {
+        matches.push_back(&slot);
+      }
+    }
+    if (matches.size() == 1) return matches.front()->alias + "." + col.column;
+    if (matches.empty()) {
+      errors.push_back(ErrorAt(
+          "column '" + col.column + "' not found in any FROM table",
+          col.line, col.col));
+    } else {
+      std::string candidates;
+      for (size_t i = 0; i < matches.size(); ++i) {
+        if (i > 0) candidates += ", ";
+        candidates += matches[i]->alias + "." + col.column;
+      }
+      errors.push_back(ErrorAt("column '" + col.column +
+                                   "' is ambiguous (candidates: " +
+                                   candidates + ")",
+                               col.line, col.col));
+    }
+    return std::nullopt;
+  };
+
+  // SELECT list.
+  if (!stmt.select_star) {
+    std::vector<std::string> columns;
+    columns.reserve(stmt.select_list.size());
+    for (const auto& col : stmt.select_list) {
+      if (auto q = qualify(col)) columns.push_back(std::move(*q));
+    }
+    qb.Select(columns);
+  }
+
+  // WHERE conjuncts: classify into joins and selections. The builder
+  // orders joins before selections in the final spec, so parameter sites
+  // record their *selection ordinal* now and the predicate index later.
+  struct PendingParam {
+    AstParam param;
+    size_t selection_ordinal;
+  };
+  std::vector<PendingParam> pending_params;
+  size_t num_selections = 0;
+  bool has_positional = false;
+  bool has_named = false;
+
+  for (const auto& cmp : stmt.where) {
+    const auto* lhs_col = std::get_if<AstColumn>(&cmp.lhs);
+    const auto* rhs_col = std::get_if<AstColumn>(&cmp.rhs);
+    if (lhs_col != nullptr && rhs_col != nullptr) {
+      auto lhs_q = qualify(*lhs_col);
+      auto rhs_q = qualify(*rhs_col);
+      if (lhs_q.has_value() && rhs_q.has_value()) {
+        // Same-instance column comparisons have no runtime predicate form
+        // (selections take a constant); diagnose here with a position
+        // instead of surfacing the builder's programmatic-path advice.
+        const std::string lhs_alias = lhs_q->substr(0, lhs_q->find('.'));
+        const std::string rhs_alias = rhs_q->substr(0, rhs_q->find('.'));
+        if (lhs_alias == rhs_alias) {
+          errors.push_back(ErrorAt("comparison between two columns of one "
+                                   "table instance ('" +
+                                       *lhs_q + "' and '" + *rhs_q +
+                                       "') is not supported",
+                                   cmp.line, cmp.col));
+          continue;
+        }
+        qb.AddJoin(*lhs_q, *rhs_q, cmp.op);
+      }
+      continue;
+    }
+    if (lhs_col == nullptr && rhs_col == nullptr) {
+      errors.push_back(ErrorAt(
+          "comparison must reference at least one column", cmp.line,
+          cmp.col));
+      continue;
+    }
+    // One side is a column: normalize it to the left.
+    const AstColumn& col = lhs_col != nullptr ? *lhs_col : *rhs_col;
+    const AstOperand& other = lhs_col != nullptr ? cmp.rhs : cmp.lhs;
+    const CompareOp op = lhs_col != nullptr ? cmp.op : Flip(cmp.op);
+    auto col_q = qualify(col);
+    if (const auto* lit = std::get_if<AstLiteral>(&other)) {
+      if (col_q.has_value()) {
+        qb.AddSelection(*col_q, op, lit->value);
+        ++num_selections;
+      }
+      continue;
+    }
+    const AstParam& param = std::get<AstParam>(other);
+    if (param.position >= 0) {
+      has_positional = true;
+    } else {
+      has_named = true;
+    }
+    if (!col_q.has_value()) continue;
+    // The placeholder constant is NULL; BindParameters replaces it.
+    qb.AddSelection(*col_q, op, Value::Null());
+    pending_params.push_back({param, num_selections});
+    ++num_selections;
+  }
+  if (has_positional && has_named) {
+    errors.push_back(Status::InvalidQuery(
+        "query mixes positional '?' and named '$' parameters; use one "
+        "style"));
+  }
+
+  if (stmt.limit.has_value()) qb.Limit(*stmt.limit);
+
+  Result<QuerySpec> built = qb.Build();
+  if (!built.ok()) errors.push_back(built.status());
+  if (!errors.empty()) return CombineStatuses(errors);
+
+  BoundStatement bound;
+  bound.spec = std::move(built).Value();
+  // Build() already ran ValidateQueryShape; the SQL-only intent check is
+  // join-connectedness (cross products, see validation.h).
+  STEMS_RETURN_NOT_OK(ValidateJoinConnected(bound.spec));
+
+  // Literal/column type check: `u.age = 'x'` would otherwise bind to an
+  // always-false predicate and silently return nothing. Parameter
+  // placeholders are NULL here and get the same check at Bind time.
+  auto column_of = [&bound](const ColumnRef& ref) {
+    return bound.spec.slots()[ref.table_slot].def->schema.column(ref.column);
+  };
+  auto label_of = [&bound, &column_of](const ColumnRef& ref) {
+    return bound.spec.slots()[ref.table_slot].alias + "." +
+           column_of(ref).name;
+  };
+  for (const auto& p : bound.spec.predicates()) {
+    if (p.is_join()) {
+      if (!TypeCompatible(column_of(p.lhs()).type, column_of(p.rhs()).type)) {
+        errors.push_back(Status::InvalidQuery(
+            "join '" + label_of(p.lhs()) + " " + CompareOpName(p.op()) + " " +
+            label_of(p.rhs()) + "' compares " +
+            ValueTypeName(column_of(p.lhs()).type) + " with " +
+            ValueTypeName(column_of(p.rhs()).type)));
+      }
+    } else if (!TypeCompatible(column_of(p.lhs()).type,
+                               p.constant().type())) {
+      errors.push_back(Status::InvalidQuery(
+          "selection on '" + label_of(p.lhs()) + "' (" +
+          ValueTypeName(column_of(p.lhs()).type) + ") compares against a " +
+          ValueTypeName(p.constant().type()) + " literal " +
+          p.constant().ToString()));
+    }
+  }
+  if (!errors.empty()) return CombineStatuses(errors);
+
+  // Resolve parameter sites to final predicate indexes: the builder put
+  // all joins first, so selection ordinal i is predicate (num_joins + i).
+  const size_t num_joins = bound.spec.num_predicates() - num_selections;
+  for (const auto& p : pending_params) {
+    ParamSite site;
+    site.predicate_index = num_joins + p.selection_ordinal;
+    site.position = p.param.position;
+    site.name = p.param.name;
+    const Predicate& pred = bound.spec.predicates()[site.predicate_index];
+    const TableInstance& inst = bound.spec.slots()[pred.lhs().table_slot];
+    site.column_label =
+        inst.alias + "." + inst.def->schema.column(pred.lhs().column).name;
+    site.column_type = inst.def->schema.column(pred.lhs().column).type;
+    // The template's ToString() must print the placeholder, not the NULL
+    // stand-in ('?' placeholders re-parse positionally, so the plain
+    // spelling suffices).
+    bound.spec.param_markers_.emplace_back(
+        site.predicate_index,
+        site.name.empty() ? "?" : "$" + site.name);
+    bound.params.push_back(std::move(site));
+  }
+  return bound;
+}
+
+Status Binder::BindParameters(QuerySpec* spec,
+                              const std::vector<ParamSite>& sites,
+                              const SqlParams& values) {
+  size_t num_positional = 0;
+  for (const auto& site : sites) {
+    if (site.position >= 0) ++num_positional;
+  }
+  if (num_positional > 0 && !values.named().empty()) {
+    return Status::InvalidArgument(
+        "query uses positional '?' parameters but named values were "
+        "bound");
+  }
+  if (values.positional().size() != num_positional) {
+    return Status::InvalidArgument(
+        "query expects " + std::to_string(num_positional) +
+        " positional parameter(s); " +
+        std::to_string(values.positional().size()) + " bound");
+  }
+  // Every named value must match a site (catches typos like $regin).
+  for (const auto& [name, value] : values.named()) {
+    bool known = false;
+    for (const auto& site : sites) {
+      if (site.name == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("parameter '$" + name +
+                                     "' does not appear in the query");
+    }
+  }
+
+  for (const auto& site : sites) {
+    const Value* value = nullptr;
+    if (site.position >= 0) {
+      value = &values.positional()[static_cast<size_t>(site.position)];
+    } else {
+      value = values.FindNamed(site.name);
+      if (value == nullptr) {
+        return Status::InvalidArgument("no value bound for parameter '$" +
+                                       site.name + "'");
+      }
+    }
+    if (!TypeCompatible(site.column_type, value->type())) {
+      return Status::InvalidArgument(
+          "parameter " + site.ToString() + " compares against column '" +
+          site.column_label + "' (" + ValueTypeName(site.column_type) +
+          ") but the bound value " + value->ToString() + " is " +
+          ValueTypeName(value->type()));
+    }
+    const Predicate& old = spec->predicates_[site.predicate_index];
+    spec->predicates_[site.predicate_index] =
+        Predicate::Selection(old.id(), old.lhs(), old.op(), *value);
+  }
+  // Every site now holds its real constant: the executable spec's
+  // ToString() prints values, not placeholders.
+  spec->param_markers_.clear();
+  return Status::OK();
+}
+
+Result<BoundStatement> ParseAndBind(const std::string& sql,
+                                    const Catalog& catalog) {
+  STEMS_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
+  return Binder::Bind(stmt, catalog);
+}
+
+}  // namespace stems::sql

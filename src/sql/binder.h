@@ -1,0 +1,65 @@
+// SQL binder: AST -> QuerySpec against a Catalog.
+//
+// The binder resolves names (delegating "Alias.column" resolution to
+// QueryBuilder so both front ends share one error vocabulary, and adding
+// unqualified-column resolution on top), classifies WHERE conjuncts into
+// join and selection predicates, records parameter placeholder sites, and
+// validates the query shape. Parameter *values* arrive later:
+// BindParameters() patches a copy of the bound spec in place — the
+// prepared-query hot path, no re-parse, no re-resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "query/query_spec.h"
+#include "sql/ast.h"
+#include "sql/params.h"
+
+namespace stems::sql {
+
+/// One parameter placeholder in a bound statement: which predicate's
+/// constant it fills, and how callers address it.
+struct ParamSite {
+  size_t predicate_index = 0;  ///< index into QuerySpec::predicates()
+  int position = -1;           ///< '?' order, or -1 for named
+  std::string name;            ///< "$name", or empty for positional
+  /// Column the parameter compares against (for type checks/messages).
+  std::string column_label;
+  ValueType column_type = ValueType::kInt64;
+
+  std::string ToString() const {
+    return name.empty() ? "?" + std::to_string(position + 1) : "$" + name;
+  }
+};
+
+/// A statement bound against a catalog: an executable QuerySpec template
+/// plus its parameter sites. With no parameters the spec is ready to
+/// submit; otherwise BindParameters() produces the executable copy.
+struct BoundStatement {
+  QuerySpec spec;
+  std::vector<ParamSite> params;
+};
+
+class Binder {
+ public:
+  /// Resolves and validates `stmt` against `catalog`. All name-resolution
+  /// errors are collected into one combined Status.
+  static Result<BoundStatement> Bind(const SelectStatement& stmt,
+                                     const Catalog& catalog);
+
+  /// Replaces each parameter site's placeholder constant in `spec` with
+  /// its value from `values`. Checks arity, names, and value/column type
+  /// compatibility. `spec` must be a copy of the BoundStatement's spec.
+  static Status BindParameters(QuerySpec* spec,
+                               const std::vector<ParamSite>& sites,
+                               const SqlParams& values);
+};
+
+/// Tokenize + parse + bind in one step (the Engine::Query front door).
+Result<BoundStatement> ParseAndBind(const std::string& sql,
+                                    const Catalog& catalog);
+
+}  // namespace stems::sql

@@ -1,0 +1,274 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace stems::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Case-insensitive keyword lookup; kIdent when `word` is no keyword.
+TokenKind KeywordOrIdent(const std::string& word) {
+  std::string upper;
+  upper.reserve(word.size());
+  for (char c : word) {
+    upper.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  if (upper == "SELECT") return TokenKind::kSelect;
+  if (upper == "FROM") return TokenKind::kFrom;
+  if (upper == "WHERE") return TokenKind::kWhere;
+  if (upper == "AND") return TokenKind::kAnd;
+  if (upper == "AS") return TokenKind::kAs;
+  if (upper == "LIMIT") return TokenKind::kLimit;
+  if (upper == "NULL") return TokenKind::kNull;
+  return TokenKind::kIdent;
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kAs:
+      return "AS";
+    case TokenKind::kLimit:
+      return "LIMIT";
+    case TokenKind::kNull:
+      return "NULL";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kInt:
+      return "integer literal";
+    case TokenKind::kFloat:
+      return "float literal";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kQuestion:
+      return "'?'";
+    case TokenKind::kDollar:
+      return "'$' parameter";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto error_at = [](const std::string& msg, int l, int c) {
+    return Status::InvalidQuery(msg + " at " + std::to_string(l) + ":" +
+                                std::to_string(c));
+  };
+  auto push = [&](TokenKind kind, std::string text, int l, int c) {
+    out.push_back(Token{kind, std::move(text), l, c});
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++col;
+      ++i;
+      continue;
+    }
+    const int tl = line;
+    const int tc = col;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = sql.substr(i, j - i);
+      const TokenKind kind = KeywordOrIdent(word);
+      push(kind, kind == TokenKind::kIdent ? std::move(word) : "", tl, tc);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (IsDigit(c)) {
+      size_t j = i;
+      while (j < n && IsDigit(sql[j])) ++j;
+      bool is_float = false;
+      // A '.' is part of the number only when followed by a digit or an
+      // exponent/end-of-number; "1.x" lexes as 1 . x, never as a float.
+      if (j < n && sql[j] == '.' && j + 1 < n && IsDigit(sql[j + 1])) {
+        is_float = true;
+        ++j;
+        while (j < n && IsDigit(sql[j])) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E') && j + 1 < n &&
+          (IsDigit(sql[j + 1]) ||
+           ((sql[j + 1] == '+' || sql[j + 1] == '-') && j + 2 < n &&
+            IsDigit(sql[j + 2])))) {
+        is_float = true;
+        j += (sql[j + 1] == '+' || sql[j + 1] == '-') ? 2 : 1;
+        while (j < n && IsDigit(sql[j])) ++j;
+      }
+      push(is_float ? TokenKind::kFloat : TokenKind::kInt,
+           sql.substr(i, j - i), tl, tc);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string body;
+      size_t j = i + 1;
+      int ccol = col + 1;
+      int cline = line;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // '' escape
+            body.push_back('\'');
+            j += 2;
+            ccol += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          ++ccol;
+          break;
+        }
+        if (sql[j] == '\n') {
+          ++cline;
+          ccol = 1;
+        } else {
+          ++ccol;
+        }
+        body.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return error_at("unterminated string literal", tl, tc);
+      }
+      push(TokenKind::kString, std::move(body), tl, tc);
+      line = cline;
+      col = ccol;
+      i = j;
+      continue;
+    }
+    if (c == '$') {
+      size_t j = i + 1;
+      if (j >= n || !IsIdentStart(sql[j])) {
+        return error_at("'$' must be followed by a parameter name", tl, tc);
+      }
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      push(TokenKind::kDollar, sql.substr(i + 1, j - i - 1), tl, tc);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < n && sql[i + 1] == second;
+    };
+    TokenKind kind;
+    int len = 1;
+    switch (c) {
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case '.':
+        kind = TokenKind::kDot;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      case ';':
+        kind = TokenKind::kSemicolon;
+        break;
+      case '-':
+        kind = TokenKind::kMinus;
+        break;
+      case '?':
+        kind = TokenKind::kQuestion;
+        break;
+      case '=':
+        kind = TokenKind::kEq;
+        break;
+      case '!':
+        if (!two('=')) {
+          return error_at("unexpected character '!' (did you mean '!='?)",
+                          tl, tc);
+        }
+        kind = TokenKind::kNe;
+        len = 2;
+        break;
+      case '<':
+        if (two('=')) {
+          kind = TokenKind::kLe;
+          len = 2;
+        } else if (two('>')) {
+          kind = TokenKind::kNe;
+          len = 2;
+        } else {
+          kind = TokenKind::kLt;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          kind = TokenKind::kGe;
+          len = 2;
+        } else {
+          kind = TokenKind::kGt;
+        }
+        break;
+      default:
+        return error_at(std::string("unexpected character '") + c + "'", tl,
+                        tc);
+    }
+    push(kind, "", tl, tc);
+    col += len;
+    i += static_cast<size_t>(len);
+  }
+  push(TokenKind::kEof, "", line, col);
+  return out;
+}
+
+}  // namespace stems::sql

@@ -1,0 +1,18 @@
+// SQL lexer: text -> tokens with source positions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace stems::sql {
+
+/// Tokenizes `sql` into a token list ending in a kEof token. Keywords are
+/// case-insensitive; identifiers are case-sensitive (they must match the
+/// catalog spelling exactly). Errors (stray characters, unterminated
+/// strings) are InvalidQuery statuses with a "at line:col" suffix.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace stems::sql

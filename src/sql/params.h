@@ -1,0 +1,61 @@
+// SqlParams: the values bound to a prepared query's placeholders.
+//
+// A query uses either positional ('?') or named ('$name') parameters,
+// never both. Positional values bind in placeholder order; named values
+// bind by name and may be set in any order.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "types/value.h"
+
+namespace stems::sql {
+
+class SqlParams {
+ public:
+  SqlParams() = default;
+  /// Positional values, in '?' order: SqlParams{Value::Int64(7), ...}.
+  SqlParams(std::initializer_list<Value> positional)
+      : positional_(positional) {}
+  explicit SqlParams(std::vector<Value> positional)
+      : positional_(std::move(positional)) {}
+
+  /// Binds `$name`; overwrites an earlier Set of the same name.
+  SqlParams& Set(const std::string& name, Value value) {
+    for (auto& [n, v] : named_) {
+      if (n == name) {
+        v = std::move(value);
+        return *this;
+      }
+    }
+    named_.emplace_back(name, std::move(value));
+    return *this;
+  }
+
+  /// Appends the next positional value.
+  SqlParams& Add(Value value) {
+    positional_.push_back(std::move(value));
+    return *this;
+  }
+
+  const std::vector<Value>& positional() const { return positional_; }
+  const std::vector<std::pair<std::string, Value>>& named() const {
+    return named_;
+  }
+
+  /// The value bound to `$name`, or nullptr.
+  const Value* FindNamed(const std::string& name) const {
+    for (const auto& [n, v] : named_) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<Value> positional_;
+  std::vector<std::pair<std::string, Value>> named_;
+};
+
+}  // namespace stems::sql

@@ -1,0 +1,267 @@
+#include "sql/parser.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace stems::sql {
+
+namespace {
+
+Status ErrorAt(const std::string& msg, const Token& t) {
+  return Status::InvalidQuery(msg + " at " + t.Position());
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& tokens) : tokens_(tokens) {}
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    STEMS_RETURN_NOT_OK(Expect(TokenKind::kSelect, "expected SELECT"));
+    STEMS_RETURN_NOT_OK(ParseSelectList(&stmt));
+    STEMS_RETURN_NOT_OK(Expect(TokenKind::kFrom, "expected FROM"));
+    STEMS_RETURN_NOT_OK(ParseFromList(&stmt));
+    if (Accept(TokenKind::kWhere)) {
+      STEMS_RETURN_NOT_OK(ParseWhere(&stmt));
+    }
+    if (Accept(TokenKind::kLimit)) {
+      STEMS_RETURN_NOT_OK(ParseLimit(&stmt));
+    }
+    Accept(TokenKind::kSemicolon);
+    if (Cur().kind != TokenKind::kEof) {
+      return ErrorAt("expected end of input", Cur());
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool Accept(TokenKind kind) {
+    if (Cur().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Cur().kind != kind) return ErrorAt(what, Cur());
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (Accept(TokenKind::kStar)) {
+      stmt->select_star = true;
+      return Status::OK();
+    }
+    do {
+      if (Cur().kind != TokenKind::kIdent) {
+        return ErrorAt("expected column reference or '*'", Cur());
+      }
+      STEMS_ASSIGN_OR_RETURN(AstColumn col, ParseColumn());
+      stmt->select_list.push_back(std::move(col));
+    } while (Accept(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  /// `ident` or `ident '.' ident`; the caller checked Cur() is an ident.
+  Result<AstColumn> ParseColumn() {
+    AstColumn col;
+    col.line = Cur().line;
+    col.col = Cur().col;
+    std::string first = Cur().text;
+    Advance();
+    if (Accept(TokenKind::kDot)) {
+      if (Cur().kind != TokenKind::kIdent) {
+        return ErrorAt("expected column name after '.'", Cur());
+      }
+      col.qualifier = std::move(first);
+      col.column = Cur().text;
+      Advance();
+    } else {
+      col.column = std::move(first);
+    }
+    return col;
+  }
+
+  Status ParseFromList(SelectStatement* stmt) {
+    do {
+      if (Cur().kind != TokenKind::kIdent) {
+        return ErrorAt("expected table name", Cur());
+      }
+      AstTableRef ref;
+      ref.table = Cur().text;
+      ref.line = Cur().line;
+      ref.col = Cur().col;
+      Advance();
+      if (Accept(TokenKind::kAs)) {
+        if (Cur().kind != TokenKind::kIdent) {
+          return ErrorAt("expected alias after AS", Cur());
+        }
+        ref.alias = Cur().text;
+        Advance();
+      } else if (Cur().kind == TokenKind::kIdent) {
+        ref.alias = Cur().text;
+        Advance();
+      }
+      stmt->from.push_back(std::move(ref));
+    } while (Accept(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  Status ParseWhere(SelectStatement* stmt) {
+    do {
+      AstComparison cmp;
+      STEMS_ASSIGN_OR_RETURN(cmp.lhs, ParseOperand());
+      const Token& op_tok = Cur();
+      cmp.line = op_tok.line;
+      cmp.col = op_tok.col;
+      switch (op_tok.kind) {
+        case TokenKind::kEq:
+          cmp.op = CompareOp::kEq;
+          break;
+        case TokenKind::kNe:
+          cmp.op = CompareOp::kNe;
+          break;
+        case TokenKind::kLt:
+          cmp.op = CompareOp::kLt;
+          break;
+        case TokenKind::kLe:
+          cmp.op = CompareOp::kLe;
+          break;
+        case TokenKind::kGt:
+          cmp.op = CompareOp::kGt;
+          break;
+        case TokenKind::kGe:
+          cmp.op = CompareOp::kGe;
+          break;
+        default:
+          return ErrorAt("expected comparison operator", op_tok);
+      }
+      Advance();
+      STEMS_ASSIGN_OR_RETURN(cmp.rhs, ParseOperand());
+      stmt->where.push_back(std::move(cmp));
+    } while (Accept(TokenKind::kAnd));
+    return Status::OK();
+  }
+
+  Result<AstOperand> ParseOperand() {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokenKind::kIdent: {
+        STEMS_ASSIGN_OR_RETURN(AstColumn col, ParseColumn());
+        return AstOperand(std::move(col));
+      }
+      case TokenKind::kMinus:
+      case TokenKind::kInt:
+      case TokenKind::kFloat: {
+        bool negate = false;
+        int line = t.line;
+        int col = t.col;
+        if (Cur().kind == TokenKind::kMinus) {
+          negate = true;
+          Advance();
+          if (Cur().kind != TokenKind::kInt &&
+              Cur().kind != TokenKind::kFloat) {
+            return ErrorAt("expected numeric literal after '-'", Cur());
+          }
+        }
+        STEMS_ASSIGN_OR_RETURN(Value v, ParseNumber(Cur(), negate));
+        Advance();
+        return AstOperand(AstLiteral{std::move(v), line, col});
+      }
+      case TokenKind::kString: {
+        AstLiteral lit{Value::String(t.text), t.line, t.col};
+        Advance();
+        return AstOperand(std::move(lit));
+      }
+      case TokenKind::kNull: {
+        AstLiteral lit{Value::Null(), t.line, t.col};
+        Advance();
+        return AstOperand(std::move(lit));
+      }
+      case TokenKind::kQuestion: {
+        AstParam p;
+        p.position = next_positional_++;
+        p.line = t.line;
+        p.col = t.col;
+        Advance();
+        return AstOperand(std::move(p));
+      }
+      case TokenKind::kDollar: {
+        AstParam p;
+        p.name = t.text;
+        p.line = t.line;
+        p.col = t.col;
+        Advance();
+        return AstOperand(std::move(p));
+      }
+      default:
+        return ErrorAt("expected expression", t);
+    }
+  }
+
+  static Result<Value> ParseNumber(const Token& t, bool negate) {
+    errno = 0;
+    if (t.kind == TokenKind::kInt) {
+      // The sign is part of the strtoll input so INT64_MIN (whose
+      // magnitude alone overflows) round-trips through ToString().
+      const std::string text = negate ? "-" + t.text : t.text;
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno == ERANGE || end != text.c_str() + text.size()) {
+        return ErrorAt("integer literal out of range", t);
+      }
+      return Value::Int64(v);
+    }
+    char* end = nullptr;
+    const double d = std::strtod(t.text.c_str(), &end);
+    if (end != t.text.c_str() + t.text.size()) {
+      return ErrorAt("malformed float literal", t);
+    }
+    return Value::Double(negate ? -d : d);
+  }
+
+  Status ParseLimit(SelectStatement* stmt) {
+    const Token& t = Cur();
+    if (t.kind != TokenKind::kInt) {
+      return ErrorAt("expected a non-negative integer after LIMIT", t);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(t.text.c_str(), &end, 10);
+    if (errno == ERANGE || end != t.text.c_str() + t.text.size()) {
+      return ErrorAt("integer literal out of range", t);
+    }
+    stmt->limit = static_cast<uint64_t>(v);
+    Advance();
+    return Status::OK();
+  }
+
+  const std::vector<Token>& tokens_;
+  size_t pos_ = 0;
+  int next_positional_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseTokens(const std::vector<Token>& tokens) {
+  if (tokens.empty() || tokens.back().kind != TokenKind::kEof) {
+    return Status::InvalidArgument("token stream must end in EOF");
+  }
+  Parser parser(tokens);
+  return parser.ParseSelect();
+}
+
+Result<SelectStatement> Parse(const std::string& sql) {
+  STEMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return ParseTokens(tokens);
+}
+
+}  // namespace stems::sql

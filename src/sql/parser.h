@@ -1,0 +1,24 @@
+// SQL parser: recursive descent over the token stream, producing an AST.
+//
+// Every diagnostic is position-annotated ("expected expression at 1:27");
+// tests/test_sql.cc pins the exact messages as golden strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace stems::sql {
+
+/// Parses one SELECT statement. The whole input must be consumed (an
+/// optional trailing ';' is allowed).
+Result<SelectStatement> Parse(const std::string& sql);
+
+/// Parses from an existing token list (must end in kEof). Used by the
+/// token-mutation fuzz tests; `Parse` is Tokenize + ParseTokens.
+Result<SelectStatement> ParseTokens(const std::vector<Token>& tokens);
+
+}  // namespace stems::sql

@@ -1,0 +1,64 @@
+// SQL tokens: the lexer's output, the parser's input.
+//
+// Every token carries its 1-based source position so parser and binder
+// diagnostics can point at the offending character ("expected expression
+// at 1:27") — the serving-system requirement that a rejected query tells
+// the *user* what to fix, not the operator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stems::sql {
+
+enum class TokenKind : uint8_t {
+  // Keywords (case-insensitive in the input).
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kAs,
+  kLimit,
+  kNull,
+  // Literals and names.
+  kIdent,      ///< bare identifier (case-sensitive, like the catalog)
+  kInt,        ///< [0-9]+
+  kFloat,      ///< [0-9]+ '.' [0-9]* with optional exponent
+  kString,     ///< '...' with '' escaping; text holds the unescaped value
+  // Parameters.
+  kQuestion,   ///< positional parameter '?'
+  kDollar,     ///< named parameter '$name'; text holds the name
+  // Punctuation and operators.
+  kComma,
+  kDot,
+  kStar,
+  kSemicolon,
+  kMinus,
+  kEq,   ///< =
+  kNe,   ///< != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEof,
+};
+
+/// Human-readable token-kind name for diagnostics ("SELECT", "','", ...).
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  /// The lexeme: identifier spelling, literal digits, unescaped string
+  /// body, or parameter name. Empty for fixed-spelling tokens.
+  std::string text;
+  int line = 1;  ///< 1-based
+  int col = 1;   ///< 1-based column of the token's first character
+
+  /// "1:27" — the position suffix used by every front-end diagnostic.
+  std::string Position() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+}  // namespace stems::sql

@@ -252,12 +252,80 @@ void RunSpillWorkload(benchmark::State& state) {
   state.SetLabel("unlimited vs LargerThanMemory(25%)");
 }
 
+// Cross-query SteM sharing (RunOptions::share_stems): N identical queries
+// submitted concurrently, shared vs private build state. The CI trajectory
+// counter is shared_build_reduction — total physical SteM inserts (rows +
+// index postings actually written) of the private run over the shared run;
+// with fan-out N it should approach N (the first query builds, the rest
+// attach). builds_avoided is the shared run's skipped physical builds.
+void RunSharedFanoutWorkload(size_t fanout, benchmark::State& state) {
+  const size_t rows = 512;
+  int64_t private_inserts = 0;
+  int64_t shared_inserts = 0;
+  int64_t builds_avoided = 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    uint64_t inserts[2] = {0, 0};
+    uint64_t avoided = 0;
+    for (int shared = 0; shared < 2; ++shared) {
+      state.PauseTiming();
+      Engine engine;
+      const std::vector<ColumnGenSpec> cols{
+          {"k", ColumnGenSpec::Kind::kUniform, 0, 127, 0, 1.0},
+          {"v", ColumnGenSpec::Kind::kSequential, 0, 0, 1, 1.0}};
+      engine.AddTable(TableDef{"R", SchemaFor(cols),
+                               {{"R.scan", AccessMethodKind::kScan, {}}}},
+                      GenerateRows(cols, rows, 81));
+      engine.AddTable(TableDef{"S", SchemaFor(cols),
+                               {{"S.scan", AccessMethodKind::kScan, {}}}},
+                      GenerateRows(cols, rows, 82));
+      QueryBuilder qb(engine.catalog());
+      qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.k");
+      QuerySpec query = qb.Build().ValueOrDie();
+      RunOptions options;
+      options.share_stems = shared != 0;
+      options.exec.scan_defaults.period = Micros(1);
+      std::vector<QueryHandle> handles;
+      for (size_t i = 0; i < fanout; ++i) {
+        handles.push_back(engine.Submit(query, options).ValueOrDie());
+      }
+      state.ResumeTiming();
+      engine.RunAll();
+      state.PauseTiming();
+      for (QueryHandle& h : handles) {
+        for (const auto& module : h.eddy()->modules()) {
+          if (module->kind() != ModuleKind::kStem) continue;
+          const auto* stem = static_cast<const Stem*>(module.get());
+          inserts[shared] += stem->builds() - stem->builds_avoided();
+        }
+        avoided += h.Stats().builds_avoided;
+      }
+      state.ResumeTiming();
+    }
+    private_inserts += static_cast<int64_t>(inserts[0]);
+    shared_inserts += static_cast<int64_t>(inserts[1]);
+    builds_avoided += static_cast<int64_t>(avoided);
+    ++iterations;
+  }
+  state.counters["shared_build_reduction"] = benchmark::Counter(
+      static_cast<double>(private_inserts) /
+      static_cast<double>(shared_inserts > 0 ? shared_inserts : 1));
+  state.counters["builds_avoided"] =
+      benchmark::Counter(static_cast<double>(builds_avoided) / iterations);
+  state.SetLabel("private vs share_stems, identical concurrent queries");
+}
+
 namespace {
 
 void BM_SpillLargerThanMemory(benchmark::State& state) {
   RunSpillWorkload(state);
 }
 BENCHMARK(BM_SpillLargerThanMemory);
+
+void BM_SharedStemFanout(benchmark::State& state) {
+  RunSharedFanoutWorkload(static_cast<size_t>(state.range(0)), state);
+}
+BENCHMARK(BM_SharedStemFanout)->ArgName("fanout")->Arg(2)->Arg(4);
 
 void BM_EddyEndToEnd_CheckerOff(benchmark::State& state) {
   RunSmallQuery(ConstraintMode::kOff, "nary_shj", 1, state);

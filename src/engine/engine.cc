@@ -61,7 +61,9 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
     }
   }
   STEMS_ASSIGN_OR_RETURN(
-      exec->eddy, PlanQuery(exec->query, store_, &sim_, options.exec));
+      exec->eddy,
+      PlanQuery(exec->query, store_, &sim_, options.exec,
+                options.share_stems ? &stem_pool_ : nullptr));
   STEMS_ASSIGN_OR_RETURN(std::unique_ptr<RoutingPolicy> policy,
                          PolicyRegistry::Global().Create(
                              options.policy, options.policy_params));
@@ -109,11 +111,17 @@ void Engine::PumpUntilResult(internal::QueryExecution* exec, size_t target) {
       if (!exec->finished && !exec->cancelled) {
         // Should be unreachable: an idle clock with a non-quiescent eddy
         // means a module lost track of in-flight work. Fail closed rather
-        // than spinning forever.
+        // than spinning forever — but *say so*: the stream ends with a
+        // non-OK QueryHandle::status() instead of silently passing off a
+        // truncated buffer as the complete result set.
         STEMS_LOG(Error)
             << "engine: simulation idle but query not quiescent; "
                "forcing completion";
         exec->eddy->DrainParked();
+        exec->error = Status::Internal(
+            "query forced to completion: simulation went idle while the "
+            "dataflow was not quiescent (a module lost in-flight work); "
+            "the result set may be truncated");
         exec->finished = true;
         exec->completed_at = sim_.now();
       }

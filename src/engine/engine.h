@@ -41,6 +41,7 @@
 #include "engine/run_options.h"
 #include "query/query_spec.h"
 #include "sql/binder.h"
+#include "stem/stem_manager.h"
 #include "storage/table_store.h"
 
 namespace stems {
@@ -61,6 +62,14 @@ struct QueryStats {
   uint64_t routing_wall_ns = 0;
   size_t constraint_violations = 0;
   size_t parked = 0;
+
+  // --- cross-query sharing (RunOptions::share_stems, docs/sharing.md) -------
+  /// SteMs of this query that attached to storage another query had
+  /// already populated.
+  size_t stems_shared = 0;
+  /// Builds whose physical insert (row, index postings, spilled copy) was
+  /// skipped because a concurrent query had already stored the row.
+  uint64_t builds_avoided = 0;
   /// Virtual time at which the engine *observed* completion; kSimTimeNever
   /// while running. With several interleaved queries this can lag the
   /// query's actual last event by up to one pump slice (other queries'
@@ -94,6 +103,10 @@ struct QueryExecution {
   bool finished = false;
   bool cancelled = false;
   SimTime completed_at = kSimTimeNever;
+  /// Non-OK when the engine had to force completion (idle clock with a
+  /// non-quiescent eddy): the buffered results may be incomplete. Surfaced
+  /// through QueryHandle::status() / ResultCursor::status().
+  Status error;
 };
 
 }  // namespace internal
@@ -166,6 +179,11 @@ class ResultCursor {
   /// Results handed out so far.
   size_t consumed() const { return exec_->next_result; }
 
+  /// Execution health: non-OK when the engine forced completion on a stuck
+  /// dataflow — the stream ended but may be missing results. OK on normal
+  /// completion and on cancellation.
+  const Status& status() const { return exec_->error; }
+
   // --- spill observability (src/spill/; zero when spill is disabled) --------
   /// Simulated disk page I/Os performed so far to keep this query's state
   /// exact under its memory budget.
@@ -199,6 +217,12 @@ class QueryHandle {
 
   /// True once the query has produced every result (or was cancelled).
   bool done() const { return exec_->finished || exec_->cancelled; }
+
+  /// Execution health: OK while running and on clean completion; non-OK
+  /// when the engine forced completion because the shared clock went idle
+  /// with this query's dataflow not quiescent (a module lost in-flight
+  /// work) — the result set may be truncated. Check after done().
+  const Status& status() const { return exec_->error; }
 
   /// Cooperatively cancels the query: pending and future tuples are
   /// dropped, cursors return std::nullopt, no further results appear. On an
@@ -298,6 +322,8 @@ class Engine {
   TableStore& store() { return store_; }
   const TableStore& store() const { return store_; }
   Simulation& sim() { return sim_; }
+  /// The cross-query SteM pool (RunOptions::share_stems; docs/sharing.md).
+  StemManager& stem_pool() { return stem_pool_; }
 
   // --- query execution -------------------------------------------------------
 
@@ -339,6 +365,11 @@ class Engine {
 
   Catalog catalog_;
   TableStore store_;
+  /// Declared before sim_ (so destroyed after it): pooled SteM storages
+  /// can be kept alive past their queries by in-flight fault-in events on
+  /// the clock, and their spill files write through stem_pool_'s buffer
+  /// pools.
+  StemManager stem_pool_;
   Simulation sim_;
   std::vector<std::shared_ptr<internal::QueryExecution>> queries_;
 };

@@ -134,6 +134,12 @@ QueryStats QueryHandle::Stats() const {
   stats.completed_at = exec_->completed_at;
   stats.policy = exec_->policy_name;
   stats.cancelled = exec_->cancelled;
+  for (const auto& module : eddy.modules()) {
+    if (module->kind() != ModuleKind::kStem) continue;
+    const auto* stem = static_cast<const Stem*>(module.get());
+    stats.builds_avoided += stem->builds_avoided();
+    if (stem->attached_shared()) ++stats.stems_shared;
+  }
   const Eddy::SpillSummary spill = eddy.SpillStats();
   stats.spill_ios = spill.spill_ios;
   stats.bytes_spilled = spill.bytes_spilled;

@@ -47,6 +47,25 @@ Status RunOptions::Validate() const {
       return Status::InvalidArgument("spill.pool_frames must be >= 1");
     }
   }
+  if (share_stems) {
+    const size_t budget = memory_budget_entries > 0
+                              ? memory_budget_entries
+                              : eddy.memory.global_entry_budget;
+    // The governor may only shrink pooled SteMs by *spilling* (exact);
+    // eviction would silently turn every attached query's join into a
+    // window join. The effective victim policy is kSpillColdest either
+    // explicitly or via the `spill` shorthand's flip in Engine::Submit.
+    const bool spill_coldest =
+        eddy.memory.victim_policy == MemoryVictimPolicy::kSpillColdest ||
+        (spill &&
+         eddy.memory.victim_policy == MemoryVictimPolicy::kLargestFirst);
+    if (budget > 0 && !spill_coldest) {
+      return Status::InvalidArgument(
+          "share_stems with a memory budget requires the spilling governor "
+          "(set RunOptions::spill or victim_policy kSpillColdest): evicting "
+          "shared SteM state would window every attached query's join");
+    }
+  }
   if (exec.scan_defaults.period <= 0) {
     return Status::InvalidArgument("scan period must be > 0");
   }
@@ -85,6 +104,13 @@ RunOptions RunOptions::LargerThanMemory(size_t memory_budget_entries) {
   o.memory_budget_entries = memory_budget_entries;
   o.spill = true;
   o.exec.stem_defaults.index_impl = StemIndexImpl::kAdaptive;
+  return o;
+}
+
+RunOptions RunOptions::MultiQuery() {
+  RunOptions o;
+  o.policy = "benefit_cost";
+  o.share_stems = true;
   return o;
 }
 

@@ -51,6 +51,18 @@ struct RunOptions {
   /// exec.eddy.spill.
   bool spill = false;
 
+  /// Cross-query state sharing (paper §5, docs/sharing.md): SteMs attach
+  /// to the engine-wide pool keyed by (table, indexed columns, spill
+  /// config) instead of building private state. Concurrent queries over
+  /// the same tables then store each row, index posting and spilled
+  /// partition once; a late-attaching query skips the physical build work
+  /// for rows already stored (QueryStats::builds_avoided) while its
+  /// results stay exactly those of a private run (per-query visibility
+  /// epochs). Windowed (max_entries) and Grace-mode SteMs always stay
+  /// private. Incompatible with an evicting memory governor — under a
+  /// budget, sharing requires the spilling victim policy.
+  bool share_stems = false;
+
   /// Full low-level knob set: module timing defaults and per-module
   /// overrides, SteM options, and the embedded EddyOptions.
   ExecutionConfig exec;
@@ -80,6 +92,12 @@ struct RunOptions {
   /// Results are identical to an unlimited-memory run; only virtual time
   /// differs (the simulated disk I/O).
   static RunOptions LargerThanMemory(size_t memory_budget_entries = 1024);
+
+  /// Multi-user serving (§5): cross-query SteM sharing on, so concurrent
+  /// queries over the same tables pool their build state, with benefit/cost
+  /// routing. The direct scaling preset for many-queries-per-engine
+  /// workloads.
+  static RunOptions MultiQuery();
 };
 
 }  // namespace stems

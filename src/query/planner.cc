@@ -3,13 +3,15 @@
 #include <set>
 
 #include "query/validation.h"
+#include "stem/stem_manager.h"
 
 namespace stems {
 
 Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
                                         const TableStore& store,
                                         Simulation* sim,
-                                        const ExecutionConfig& config) {
+                                        const ExecutionConfig& config,
+                                        StemManager* stem_pool) {
   // Step 1: structural sanity (friendly errors for empty FROM lists,
   // duplicate aliases, cross products), then bind-order validation (paper
   // §2.2, via [18]).
@@ -28,15 +30,43 @@ Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
   const size_t service_batch = config.eddy.batch_size;
 
   // Step 4 (done early so AMs can assume SteMs exist): one SteM per base
-  // table, shared across all FROM-clause instances of that table.
+  // table, shared across all FROM-clause instances of that table. With a
+  // StemManager, the SteM's physical storage is additionally shared across
+  // *queries*: the facade attaches to the pooled storage for its (table,
+  // index columns, spill config) key — a late-attaching query skips the
+  // build work for rows already stored (docs/sharing.md).
   std::set<std::string> tables_done;
   for (const auto& inst : query.slots()) {
     if (!tables_done.insert(inst.table_name).second) continue;
     StemOptions opts = config.stem_defaults;
     auto it = config.stem_overrides.find(inst.table_name);
     if (it != config.stem_overrides.end()) opts = it->second;
-    Stem* stem = eddy->AddModule(
-        std::make_unique<Stem>(ctx, inst.table_name, opts));
+    // Windowed (max_entries) and Grace-mode (partitioned bounce) SteMs stay
+    // private: eviction windows and phased partition release are per-query
+    // execution strategies, not shareable state.
+    const bool poolable = stem_pool != nullptr && opts.max_entries == 0 &&
+                          opts.num_partitions <= 1;
+    std::shared_ptr<StemStorage> storage;
+    bool shared = false;
+    if (poolable) {
+      const std::vector<int> cols =
+          StemIndexColumns(query, ctx->SlotsOfTable(inst.table_name));
+      storage = stem_pool->Acquire(
+          StemManager::KeyFor(inst.table_name, cols, opts,
+                              config.eddy.spill.enabled, config.eddy.spill),
+          inst.table_name, sim, &shared);
+    }
+    auto module =
+        std::make_unique<Stem>(ctx, inst.table_name, opts, std::move(storage));
+    if (shared) module->MarkAttachedShared();
+    if (poolable && config.eddy.spill.enabled) {
+      // Pooled storage spills through the engine-wide buffer pool (shared
+      // partitions must outlive any one query); private SteMs get the
+      // query-wide pool at registration instead.
+      module->EnableSpill(stem_pool->SpillPool(config.eddy.spill),
+                          config.eddy.spill);
+    }
+    Stem* stem = eddy->AddModule(std::move(module));
     // Grace-mode SteMs stay scalar: their per-probe partition-switch
     // penalty depends on the partition of the *previous* probe, which
     // batched service (service times summed up front) would misprice.

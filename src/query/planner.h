@@ -51,11 +51,19 @@ struct ExecutionConfig {
   bool create_selection_modules = true;
 };
 
+class StemManager;
+
 /// Builds a ready-to-run eddy for `query` over `store`. The caller still
 /// picks a routing policy (Eddy::SetPolicy) before Start().
+///
+/// `stem_pool` (optional) enables cross-query SteM sharing: each poolable
+/// SteM (unbounded, non-Grace) attaches to the engine-wide storage for its
+/// (table, index columns, spill config) key instead of building a private
+/// one — see docs/sharing.md. nullptr plans fully private state.
 Result<std::unique_ptr<Eddy>> PlanQuery(const QuerySpec& query,
                                         const TableStore& store,
                                         Simulation* sim,
-                                        const ExecutionConfig& config = {});
+                                        const ExecutionConfig& config = {},
+                                        StemManager* stem_pool = nullptr);
 
 }  // namespace stems

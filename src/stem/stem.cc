@@ -8,99 +8,85 @@
 
 namespace stems {
 
-/// Spill-aware storage state (src/spill/): the SteM's partitioned run file,
-/// per-partition residency/heat, probes deferred behind asynchronous
-/// fault-ins, and the virtual I/O charge drained into the next service.
-struct Stem::SpillState {
-  BufferPool* pool = nullptr;
-  SpillOptions options;
-  std::unique_ptr<SpillFile> file;
-  /// Partitioning column (first indexed join column); -1 degenerates to a
-  /// single partition.
-  int part_col = -1;
-  std::vector<uint8_t> resident;          ///< per partition
-  std::vector<size_t> live_in_partition;  ///< resident live entries
-  std::vector<uint64_t> probe_counts;     ///< per-partition heat
-  /// entries_ ids per partition, so a spill-out touches only its own
-  /// partition instead of scanning every entry (stale tombstoned ids are
-  /// skipped and dropped at the next spill).
-  std::vector<std::vector<uint32_t>> ids_in_partition;
-  /// Run file still equals the partition's content (clean): re-spilling is
-  /// free — drop the memory copy. Cleared by any in-memory mutation.
-  std::vector<uint8_t> run_valid;
-  std::vector<uint8_t> fault_scheduled;  ///< async fault-in pending
-  /// kBounce: probes parked in the SteM behind their partition's
-  /// asynchronous fault-in, tagged with the partition they need.
-  std::vector<std::pair<size_t, TuplePtr>> deferred_probes;
-  std::vector<SpilledEntry> restore_scratch;
-  size_t spilled_partitions = 0;
-  size_t pending_fault_events = 0;
-  /// Most recently faulted partition: skipped by victim selection (unless
-  /// it is the only candidate) so a fault-in is not immediately undone.
-  size_t last_faulted = SIZE_MAX;
-  uint64_t faults = 0;
-  uint64_t probes_deferred = 0;
-  uint64_t entries_spilled_total = 0;
-  /// Spill I/O cost accrued during processing; drained into the next
-  /// ServiceTime (write-behind spills / synchronous fault-ins consume this
-  /// module's service capacity one event later).
-  SimTime pending_io_charge = 0;
-  /// Undrained accruals backing pending_io_charge, by accrual id: lets a
-  /// marker retire exactly its own still-pending amount (and nothing a
-  /// service already billed, and no newer accrual).
-  std::vector<std::pair<uint64_t, SimTime>> io_accruals;
-  uint64_t next_io_accrual_id = 0;
-  /// Outstanding I/O marker events (AccrueIoCharge): the SteM is not
-  /// quiescent while one is pending, so completion cannot be stamped
-  /// ahead of trailing spill I/O.
-  size_t pending_io_markers = 0;
-  bool faulted_during_probe = false;
-  CounterSeries* out_series = nullptr;
-  CounterSeries* in_series = nullptr;
-};
+std::vector<int> StemIndexColumns(const QuerySpec& query,
+                                  const std::vector<int>& slots) {
+  std::vector<int> cols;
+  auto add = [&cols](int col) {
+    if (std::find(cols.begin(), cols.end(), col) == cols.end()) {
+      cols.push_back(col);
+    }
+  };
+  // One secondary index per column of the table involved in a join
+  // predicate on any of its slots (paper §2.1.4). Range-joined columns are
+  // indexed too: with an ordered implementation they serve range probes,
+  // otherwise LookupRange declines and probes fall back to full scans.
+  for (const auto& p : query.predicates()) {
+    if (!p.is_join()) continue;
+    for (int slot : slots) {
+      auto col = p.EquiJoinColumnFor(slot);
+      if (col.has_value()) {
+        add(*col);
+        continue;
+      }
+      if (p.lhs().table_slot == slot) add(p.lhs().column);
+      if (p.rhs().table_slot == slot) add(p.rhs().column);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
 
-Stem::~Stem() = default;
+Stem::~Stem() {
+  // Deferred probes die with their query; release their partition pins so
+  // surviving queries' governors may victimize those partitions again.
+  for (const auto& [p, tuple] : deferred_probes_) {
+    storage_->RemoveSpillWaiter(p);
+  }
+  storage_->Detach(this);
+}
 
-Stem::Stem(QueryContext* ctx, std::string table_name, StemOptions options)
+Stem::Stem(QueryContext* ctx, std::string table_name, StemOptions options,
+           std::shared_ptr<StemStorage> storage)
     : Module(ctx->sim, "SteM(" + table_name + ")"),
       ctx_(ctx),
       table_name_(std::move(table_name)),
-      options_(options) {
+      options_(options),
+      storage_(std::move(storage)) {
   table_slots_ = ctx_->SlotsOfTable(table_name_);
   assert(!table_slots_.empty() && "SteM table does not appear in the query");
   const TableDef* def = ctx_->query->slots()[table_slots_.front()].def;
   table_has_scan_am_ = def->HasScanAm();
   table_has_index_am_ = def->HasIndexAm();
 
-  // One secondary index per column of this table involved in a join
-  // predicate on any of its slots (paper §2.1.4). Range-joined columns are
-  // indexed too: with an ordered implementation they serve range probes,
-  // otherwise LookupRange declines and probes fall back to full scans.
-  auto add_index = [this](int col) {
-    for (const auto& [c, idx] : indexes_) {
-      if (c == col) return;
-    }
-    indexes_.emplace_back(
-        col, MakeStemIndex(options_.index_impl, options_.adaptive_threshold));
-  };
-  for (const auto& p : ctx_->query->predicates()) {
-    if (!p.is_join()) continue;
-    for (int slot : table_slots_) {
-      auto col = p.EquiJoinColumnFor(slot);
-      if (col.has_value()) {
-        add_index(*col);
-        continue;
-      }
-      if (p.lhs().table_slot == slot) add_index(p.lhs().column);
-      if (p.rhs().table_slot == slot) add_index(p.rhs().column);
-    }
+  if (storage_ == nullptr) {
+    storage_ = std::make_shared<StemStorage>(table_name_, ctx_->sim,
+                                             /*pooled=*/false);
   }
+  // First attacher materializes the index set; later attachers of a pooled
+  // storage need the same columns by construction (the StemManager keys
+  // its pool on StemIndexColumns).
+  const std::vector<int> cols = StemIndexColumns(*ctx_->query, table_slots_);
+  auto& indexes = storage_->indexes();
+  if (indexes.empty()) {
+    for (int col : cols) {
+      indexes.emplace_back(
+          col, MakeStemIndex(options_.index_impl, options_.adaptive_threshold));
+    }
+  } else {
+    assert(indexes.size() == cols.size() &&
+           "pooled SteM storage acquired with a different index column set");
+  }
+  attach_watermark_ = storage_->build_seq();
+  storage_->Attach(this);
+
   if (options_.num_partitions > 1) {
     deferred_bounces_.resize(options_.num_partitions);
   }
   dups_series_ = ctx_->metrics.SeriesHandle(name() + ".dups");
   bounces_series_ = ctx_->metrics.SeriesHandle(name() + ".bounces");
   evictions_series_ = ctx_->metrics.SeriesHandle(name() + ".evictions");
+  spill_out_series_ = ctx_->metrics.SeriesHandle(name() + ".spill.out");
+  spill_in_series_ = ctx_->metrics.SeriesHandle(name() + ".spill.in");
 }
 
 CounterSeries* Stem::SpanSeries(uint64_t mask) {
@@ -119,51 +105,28 @@ bool Stem::ServesSlot(int slot) const {
 }
 
 std::string Stem::IndexImplFor(int column) const {
-  for (const auto& [c, idx] : indexes_) {
+  for (const auto& [c, idx] : storage_->indexes()) {
     if (c == column) return idx->impl_name();
   }
   return "";
 }
 
 void Stem::EnableSpill(BufferPool* pool, const SpillOptions& options) {
-  if (spill_ != nullptr) return;
-  spill_ = std::make_unique<SpillState>();
-  SpillState& s = *spill_;
-  s.pool = pool;
-  s.options = options;
-  s.part_col = indexes_.empty() ? -1 : indexes_.front().first;
-  const size_t n =
-      s.part_col < 0 ? 1 : (options.partitions == 0 ? 1 : options.partitions);
-  s.file = std::make_unique<SpillFile>(pool, n, options.page_entries);
-  s.resident.assign(n, 1);
-  s.live_in_partition.assign(n, 0);
-  s.probe_counts.assign(n, 0);
-  s.run_valid.assign(n, 0);
-  s.fault_scheduled.assign(n, 0);
-  s.ids_in_partition.assign(n, {});
-  for (uint32_t id = 0; id < entries_.size(); ++id) {
-    if (entries_[id].row == nullptr) continue;
-    const size_t p = SpillPartitionOfRow(*entries_[id].row);
-    ++s.live_in_partition[p];
-    s.ids_in_partition[p].push_back(id);
-  }
-  s.out_series = ctx_->metrics.SeriesHandle(name() + ".spill.out");
-  s.in_series = ctx_->metrics.SeriesHandle(name() + ".spill.in");
+  if (storage_->spill_enabled()) return;
+  const auto& indexes = storage_->indexes();
+  storage_->EnableSpill(pool, options,
+                        indexes.empty() ? -1 : indexes.front().first);
 }
 
-size_t Stem::SpillPartitionOfRow(const Row& row) const {
-  if (spill_ == nullptr || spill_->part_col < 0) return 0;
-  return row.value(static_cast<size_t>(spill_->part_col)).Hash() %
-         spill_->resident.size();
-}
-
-void Stem::AccrueIoCharge(SimTime cost) {
+void Stem::AccrueIoCharge(const StemStorage::SpillResult& io) {
+  attr_spill_ios_ += io.ios;
+  attr_bytes_spilled_ += io.bytes;
+  const SimTime cost = io.cost;
   if (cost <= 0) return;
-  SpillState& s = *spill_;
-  const uint64_t id = s.next_io_accrual_id++;
-  s.pending_io_charge += cost;
-  s.io_accruals.emplace_back(id, cost);
-  ++s.pending_io_markers;
+  const uint64_t id = next_io_accrual_id_++;
+  pending_io_charge_ += cost;
+  io_accruals_.emplace_back(id, cost);
+  ++pending_io_markers_;
   // The disk traffic occupies virtual time even if this SteM never
   // services another tuple: while the marker is pending the SteM is not
   // Quiescent(), so the engine cannot stamp completion ahead of the I/O.
@@ -171,210 +134,74 @@ void Stem::AccrueIoCharge(SimTime cost) {
   // pending* — an intervening service may have billed it already (the
   // busy period subsumed the marker), and newer accruals must stay billed.
   sim()->Schedule(cost, [this, id] {
-    SpillState& state = *spill_;
-    --state.pending_io_markers;
-    for (auto it = state.io_accruals.begin(); it != state.io_accruals.end();
-         ++it) {
+    --pending_io_markers_;
+    for (auto it = io_accruals_.begin(); it != io_accruals_.end(); ++it) {
       if (it->first == id) {
-        state.pending_io_charge -= it->second;
-        state.io_accruals.erase(it);
+        pending_io_charge_ -= it->second;
+        io_accruals_.erase(it);
         break;
       }
     }
   });
 }
 
-SimTime Stem::FaultInPartition(size_t partition) {
-  SpillState& s = *spill_;
-  if (s.resident[partition]) return 0;
-  s.restore_scratch.clear();
-  const SimTime cost = s.file->ReadAll(partition, &s.restore_scratch);
-  s.resident[partition] = 1;
-  --s.spilled_partitions;
-  const int64_t restored = static_cast<int64_t>(s.restore_scratch.size());
-  for (SpilledEntry& e : s.restore_scratch) {
-    InsertRow(std::move(e.row), e.ts);
+size_t Stem::SpillColdestPartition() {
+  const StemStorage::SpillResult out = storage_->SpillColdestPartition();
+  AccrueIoCharge(out);
+  if (out.entries > 0) {
+    spill_out_series_->Increment(sim()->now(),
+                                 static_cast<int64_t>(out.entries));
   }
-  s.restore_scratch.clear();
-  // The run is retained and, right after restoring, equals the in-memory
-  // partition (InsertRow cleared the flag; re-arm it last).
-  s.run_valid[partition] = 1;
-  s.last_faulted = partition;
-  ++s.faults;
-  s.in_series->Increment(sim()->now(), restored);
-  return cost;
+  return out.entries;
 }
 
-void Stem::ScheduleFaultIn(const std::vector<size_t>& parts) {
-  SpillState& s = *spill_;
-  for (size_t p : parts) {
-    if (s.resident[p] || s.fault_scheduled[p]) continue;
-    s.fault_scheduled[p] = 1;
-    ++s.pending_fault_events;
-    // The event delay models the asynchronous read; pool bookkeeping (and
-    // page caching) happens at completion. Never zero, so a defer/fault
-    // cycle always advances virtual time.
-    const SimTime delay =
-        std::max<SimTime>(Micros(1), s.file->EstimateRestoreCost(p));
-    sim()->Schedule(delay, [this, p] { CompleteFaultIn(p); });
-  }
-}
-
-void Stem::CompleteFaultIn(size_t partition) {
-  SpillState& s = *spill_;
-  assert(s.pending_fault_events > 0);
-  --s.pending_fault_events;
-  s.fault_scheduled[partition] = 0;
-  FaultInPartition(partition);  // no-op if it was faulted in meanwhile
+void Stem::OnPartitionFaulted(size_t partition) {
   // Bounce this partition's deferred probes back to the eddy; probes
   // waiting on other partitions stay behind their own pending faults.
   size_t kept = 0;
-  for (auto& [p, tuple] : s.deferred_probes) {
+  bool emitted = false;
+  for (auto& [p, tuple] : deferred_probes_) {
     if (p == partition) {
+      storage_->RemoveSpillWaiter(p);
       Emit(std::move(tuple));
+      emitted = true;
     } else {
-      s.deferred_probes[kept++] = {p, std::move(tuple)};
+      deferred_probes_[kept++] = {p, std::move(tuple)};
     }
   }
-  s.deferred_probes.resize(kept);
-  NotifyChange();
+  deferred_probes_.resize(kept);
+  if (emitted) NotifyChange();
 }
 
-size_t Stem::SpillColdestPartition() {
-  if (spill_ == nullptr) return 0;
-  SpillState& s = *spill_;
-  const size_t nparts = s.resident.size();
-  // Partitions a probe is waiting on (deferred behind a fault-in, or the
-  // read is already scheduled) must not be spilled back out from under it.
-  auto demanded = [&s](size_t p) {
-    if (s.fault_scheduled[p]) return true;
-    for (const auto& [dp, tuple] : s.deferred_probes) {
-      if (dp == p) return true;
-    }
-    return false;
-  };
-  size_t victim = SIZE_MAX;
-  double victim_heat = 0;
-  for (size_t p = 0; p < nparts; ++p) {
-    if (!s.resident[p] || s.live_in_partition[p] == 0) continue;
-    if (p == s.last_faulted) continue;  // anti-thrash: not right back out
-    if (demanded(p)) continue;
-    const double heat = static_cast<double>(s.probe_counts[p]) /
-                        static_cast<double>(s.live_in_partition[p]);
-    if (victim == SIZE_MAX || heat < victim_heat ||
-        (heat == victim_heat &&
-         s.live_in_partition[p] > s.live_in_partition[victim])) {
-      victim = p;
-      victim_heat = heat;
-    }
+void Stem::AttributeRestore(const StemStorage::SpillResult& in,
+                            bool synchronous) {
+  if (synchronous) {
+    AccrueIoCharge(in);
+  } else {
+    // The asynchronous read's virtual time was the fault event's delay;
+    // only the counters are still owed.
+    attr_spill_ios_ += in.ios;
+    attr_bytes_spilled_ += in.bytes;
   }
-  if (victim == SIZE_MAX && s.last_faulted < nparts &&
-      s.resident[s.last_faulted] && s.live_in_partition[s.last_faulted] > 0 &&
-      !demanded(s.last_faulted)) {
-    // Sole candidate beats an unenforced budget — unless probes wait on it.
-    victim = s.last_faulted;
+  if (in.entries > 0) {
+    spill_in_series_->Increment(sim()->now(),
+                                static_cast<int64_t>(in.entries));
   }
-  if (victim == SIZE_MAX) return 0;
-
-  // Clean partition (faulted in earlier, unmodified since): the run file
-  // already holds exactly this content, so spilling is dropping the memory
-  // copy — zero I/O. Otherwise rewrite the run and flush it.
-  const bool clean =
-      s.run_valid[victim] &&
-      s.file->EntriesIn(victim) == s.live_in_partition[victim];
-  size_t spilled = 0;
-  SimTime cost = 0;
-  if (!clean) s.file->ClearPartition(victim);
-  for (uint32_t id : s.ids_in_partition[victim]) {
-    Entry& entry = entries_[id];
-    if (entry.row == nullptr) continue;  // evicted or stale since listed
-    if (!clean) cost += s.file->Append(victim, entry.row, entry.ts);
-    entry.row = nullptr;  // tombstone; dedup_ keeps the row's identity
-    --live_entries_;
-    ++spilled;
-  }
-  s.ids_in_partition[victim].clear();
-  if (!clean) {
-    cost += s.file->FlushPartition(victim);  // run is now durably on disk
-  }
-  s.run_valid[victim] = 1;
-  s.live_in_partition[victim] = 0;
-  s.resident[victim] = 0;
-  ++s.spilled_partitions;
-  s.entries_spilled_total += spilled;
-  AccrueIoCharge(cost);
-  s.out_series->Increment(sim()->now(), static_cast<int64_t>(spilled));
-  return spilled;
 }
 
-size_t Stem::spill_partitions() const {
-  return spill_ == nullptr ? 0 : spill_->resident.size();
-}
-
-size_t Stem::partitions_spilled() const {
-  return spill_ == nullptr ? 0 : spill_->spilled_partitions;
-}
-
-size_t Stem::partitions_resident() const {
-  if (spill_ == nullptr) return 0;
-  return spill_->resident.size() - spill_->spilled_partitions;
-}
-
-uint64_t Stem::entries_spilled() const {
-  if (spill_ == nullptr) return 0;
-  // Only non-resident partitions' runs hold entries that are *not* in
-  // memory (resident partitions may retain a clean run as a copy).
-  uint64_t n = 0;
-  for (size_t p = 0; p < spill_->resident.size(); ++p) {
-    if (!spill_->resident[p]) n += spill_->file->EntriesIn(p);
-  }
-  return n;
-}
-
-uint64_t Stem::spill_ios() const {
-  return spill_ == nullptr ? 0 : spill_->file->disk_ios();
-}
-
-uint64_t Stem::bytes_spilled() const {
-  return spill_ == nullptr ? 0 : spill_->file->bytes_written();
-}
-
-uint64_t Stem::spill_faults() const {
-  return spill_ == nullptr ? 0 : spill_->faults;
-}
-
-uint64_t Stem::probes_deferred() const {
-  return spill_ == nullptr ? 0 : spill_->probes_deferred;
-}
-
-SimTime Stem::ExpectedProbeSpillCost() const {
-  if (spill_ == nullptr || spill_->spilled_partitions == 0) return 0;
-  const SpillState& s = *spill_;
-  // P(the probe's partition is spilled) × mean pages per spilled partition
-  // × expected page read cost.
-  const double frac = static_cast<double>(s.spilled_partitions) /
-                      static_cast<double>(s.resident.size());
-  const size_t page_entries =
-      s.options.page_entries == 0 ? 1 : s.options.page_entries;
-  const double pages_per_part =
-      static_cast<double>((entries_spilled() + page_entries - 1) /
-                          page_entries) /
-      static_cast<double>(s.spilled_partitions);
-  return static_cast<SimTime>(
-      frac * pages_per_part *
-      static_cast<double>(s.pool->ExpectedReadCost()));
+void Stem::AttributeAsyncRestore(const StemStorage::SpillResult& restored) {
+  AttributeRestore(restored, /*synchronous=*/false);
 }
 
 bool Stem::Quiescent() const {
   if (!Module::Quiescent()) return false;
-  return spill_ == nullptr ||
-         (spill_->pending_fault_events == 0 &&
-          spill_->pending_io_markers == 0 && spill_->deferred_probes.empty());
+  return pending_io_markers_ == 0 && deferred_probes_.empty();
 }
 
 size_t Stem::PartitionOf(const Tuple& tuple) const {
-  if (options_.num_partitions <= 1 || indexes_.empty()) return 0;
-  const int part_col = indexes_.front().first;
+  const auto& indexes = storage_->indexes();
+  if (options_.num_partitions <= 1 || indexes.empty()) return 0;
+  const int part_col = indexes.front().first;
   const int slot = tuple.SingletonSlot();
   if (slot >= 0 && ServesSlot(slot)) {
     const Value* v = tuple.ValueAt(slot, part_col);  // build side
@@ -395,10 +222,10 @@ SimTime Stem::ServiceTime(const Tuple& tuple) const {
   // synchronous fault-ins): the disk traffic consumes this module's service
   // capacity on its next scheduled event.
   SimTime io_charge = 0;
-  if (spill_ != nullptr && spill_->pending_io_charge > 0) {
-    io_charge = spill_->pending_io_charge;
-    spill_->pending_io_charge = 0;
-    spill_->io_accruals.clear();  // billed: their markers retire nothing
+  if (pending_io_charge_ > 0) {
+    io_charge = pending_io_charge_;
+    pending_io_charge_ = 0;
+    io_accruals_.clear();  // billed: their markers retire nothing
   }
   const int slot = tuple.SingletonSlot();
   const bool is_build =
@@ -442,7 +269,8 @@ void Stem::ProcessBuild(TuplePtr tuple) {
 
   if (row->IsEot()) {
     // EOTs are built into the SteM alongside data tuples (paper §2.1.3) and
-    // are not bounced back.
+    // are not bounced back. Coverage is per-query: another query's scan
+    // completing says nothing about what *this* query has been shown.
     eots_.Add(std::move(row));
     // Any coverage change can complete deferred work and wake parked
     // probers.
@@ -454,7 +282,11 @@ void Stem::ProcessBuild(TuplePtr tuple) {
   // Set-semantics duplicate elimination (paper §3.2): competing AMs build
   // into the same SteM; the copy that arrives second is absorbed, and is
   // *not* bounced back (SteM BounceBack constraint) so it never probes.
-  if (dedup_.count(row) > 0) {
+  // Dedup is per query: on pooled storage the overlay is the query's dedup
+  // set, so a row first built by a *different* query is not a duplicate
+  // here — it must still probe on this query's behalf.
+  const bool pooled = storage_->pooled();
+  if (pooled ? query_ts_.count(row) > 0 : storage_->Contains(row)) {
     ++duplicates_absorbed_;
     dups_series_->Increment(sim()->now());
     return;
@@ -462,21 +294,32 @@ void Stem::ProcessBuild(TuplePtr tuple) {
 
   const BuildTs ts = ctx_->ts.Issue();
   ++builds_;
-  const size_t build_partition =
-      spill_ != nullptr ? SpillPartitionOfRow(*row) : 0;
-  if (spill_ != nullptr && !spill_->resident[build_partition]) {
-    // Build into a spilled partition: append straight to its run file with
-    // the fresh timestamp — the entry never touches memory, and a later
-    // fault-in restores it indistinguishably (TimeStamp-wise) from a
-    // resident build. The dedup identity stays in memory so competing AMs'
-    // duplicates are still absorbed.
-    const size_t p = build_partition;
-    dedup_.insert(row);
-    AccrueIoCharge(spill_->file->Append(p, row, ts));
-    if (ts > max_entry_ts_) max_entry_ts_ = ts;
-    spill_->out_series->Increment(sim()->now());
+  if (ts > max_entry_ts_) max_entry_ts_ = ts;
+  if (pooled) query_ts_.emplace(row, ts);
+
+  if (pooled && storage_->Contains(row)) {
+    // Cross-query shared hit: the row (and its index postings, and any
+    // spilled copy) is already stored. Only the per-query visibility entry
+    // above was needed — the physical build work is avoided entirely.
+    ++builds_avoided_;
   } else {
-    InsertRow(row, ts);
+    // Pooled entries store the insertion sequence (timestamps live in each
+    // query's overlay); private entries store the query's own timestamp.
+    const BuildTs stored_ts = pooled ? storage_->IssueSeq() : ts;
+    const size_t build_partition =
+        storage_->spill_enabled() ? storage_->SpillPartitionOfRow(*row) : 0;
+    if (storage_->spill_enabled() &&
+        !storage_->PartitionResident(build_partition)) {
+      // Build into a spilled partition: append straight to its run file —
+      // the entry never touches memory, and a later fault-in restores it
+      // indistinguishably (TimeStamp-wise) from a resident build. The
+      // dedup identity stays in memory so duplicates are still absorbed.
+      AccrueIoCharge(
+          storage_->AppendToSpilledPartition(build_partition, row, stored_ts));
+      spill_out_series_->Increment(sim()->now());
+    } else {
+      storage_->Insert(row, stored_ts);
+    }
   }
   tuple->SetBuilt(slot, ts);
   EvictIfNeeded();
@@ -498,46 +341,19 @@ void Stem::ProcessBuild(TuplePtr tuple) {
   Emit(std::move(tuple));
 }
 
-void Stem::InsertRow(RowRef row, BuildTs ts) {
-  const uint32_t id = static_cast<uint32_t>(entries_.size());
-  for (auto& [col, index] : indexes_) {
-    index->Insert(row->value(col), id);
-  }
-  if (spill_ != nullptr) {
-    const size_t p = SpillPartitionOfRow(*row);
-    ++spill_->live_in_partition[p];
-    spill_->ids_in_partition[p].push_back(id);
-    spill_->run_valid[p] = 0;  // memory diverges from any retained run
-  }
-  dedup_.insert(row);
-  entries_.push_back(Entry{std::move(row), ts});
-  ++live_entries_;
-  if (ts > max_entry_ts_) max_entry_ts_ = ts;
-}
-
 void Stem::EvictIfNeeded() {
   if (options_.max_entries == 0) return;
-  if (live_entries_ > options_.max_entries) {
-    EvictOldest(live_entries_ - options_.max_entries);
+  if (storage_->live_entries() > options_.max_entries) {
+    EvictOldest(storage_->live_entries() - options_.max_entries);
   }
 }
 
 size_t Stem::EvictOldest(size_t n) {
-  size_t evicted = 0;
-  while (evicted < n && next_eviction_ < entries_.size()) {
-    Entry& victim = entries_[next_eviction_++];
-    if (victim.row == nullptr) continue;  // already a tombstone
-    if (spill_ != nullptr) {
-      const size_t p = SpillPartitionOfRow(*victim.row);
-      if (spill_->live_in_partition[p] > 0) --spill_->live_in_partition[p];
-      spill_->run_valid[p] = 0;  // a retained run would resurrect the row
-    }
-    dedup_.erase(victim.row);
-    victim.row = nullptr;  // tombstone; index ids skip it at lookup
-    --live_entries_;
-    ++evictions_;
-    ++evicted;
-    evictions_series_->Increment(sim()->now());
+  const size_t evicted = storage_->EvictOldest(n);
+  if (evicted > 0) {
+    evictions_ += evicted;
+    evictions_series_->Increment(sim()->now(),
+                                 static_cast<int64_t>(evicted));
   }
   return evicted;
 }
@@ -594,8 +410,9 @@ void Stem::Candidates(const Tuple& tuple, int target_slot,
   std::vector<uint32_t>& out = *out_ids;
   out.clear();
   *full_scan = true;
+  const auto& indexes = storage_->indexes();
   for (const auto& [col, val] : binds) {
-    for (const auto& [idx_col, index] : indexes_) {
+    for (const auto& [idx_col, index] : indexes) {
       if (idx_col == col) {
         index->LookupEq(val, &out);
         *full_scan = false;
@@ -634,7 +451,7 @@ void Stem::Candidates(const Tuple& tuple, int target_slot,
     }
     const Value* v = tuple.ValueAt(peer->table_slot, peer->column);
     if (v == nullptr) continue;
-    for (const auto& [idx_col, index] : indexes_) {
+    for (const auto& [idx_col, index] : indexes) {
       if (idx_col != stem_col) continue;
       const bool lower = op == CompareOp::kGt || op == CompareOp::kGe;
       const bool inclusive = op == CompareOp::kLe || op == CompareOp::kGe;
@@ -651,9 +468,10 @@ void Stem::Candidates(const Tuple& tuple, int target_slot,
 
   // No usable index: all live entries are candidates; remaining predicates
   // are verified per candidate.
-  out.reserve(entries_.size());
-  for (uint32_t id = 0; id < entries_.size(); ++id) {
-    if (entries_[id].row != nullptr) out.push_back(id);
+  const auto& entries = storage_->entries();
+  out.reserve(entries.size());
+  for (uint32_t id = 0; id < entries.size(); ++id) {
+    if (entries[id].row != nullptr) out.push_back(id);
   }
 }
 
@@ -675,16 +493,17 @@ void Stem::ProcessProbe(TuplePtr tuple) {
   ProbeBindingsInto(*tuple, target_slot, &binds_scratch_);
   const auto& binds = binds_scratch_;
 
-  if (spill_ != nullptr) {
-    SpillState& s = *spill_;
+  if (storage_->spill_enabled()) {
     // Partition the probe is equality-bound to, read off the bindings just
     // extracted for the candidate lookup (no second extraction pass).
+    const int part_col = storage_->spill_part_col();
+    const size_t nparts = storage_->num_spill_partitions();
     size_t bound_p = 0;
     bool bound = false;
-    if (s.part_col >= 0 && s.resident.size() > 1) {
+    if (part_col >= 0 && nparts > 1) {
       for (const auto& [col, val] : binds) {
-        if (col == s.part_col) {
-          bound_p = val.Hash() % s.resident.size();
+        if (col == part_col) {
+          bound_p = val.Hash() % nparts;
           bound = true;
           break;
         }
@@ -692,36 +511,42 @@ void Stem::ProcessProbe(TuplePtr tuple) {
     }
     // Heat is counted for deferred probes too: a partition with waiters is
     // hot, so the governor keeps it resident once faulted in.
-    if (bound) ++s.probe_counts[bound_p];
-    if (s.spilled_partitions > 0) {
-      if (bound && !s.resident[bound_p]) {
-        if (s.options.probe_policy == SpillProbePolicy::kBounce &&
-            tuple->spill_deferrals() < s.options.max_probe_deferrals) {
+    if (bound) storage_->CountProbe(bound_p);
+    if (storage_->partitions_spilled() > 0) {
+      const SpillProbePolicy policy = storage_->spill_probe_policy();
+      if (bound && !storage_->PartitionResident(bound_p)) {
+        if (policy == SpillProbePolicy::kBounce &&
+            tuple->spill_deferrals() < storage_->max_probe_deferrals()) {
           // Constraint-consistent deferral: the probe is processed against
           // *nothing* (no matches emitted, no probe bookkeeping touched),
           // so re-probing it once the partition is resident is exact. The
           // asynchronous fault-in re-emits it to the eddy, where the
           // routing policy is free to send it elsewhere first.
-          ++s.probes_deferred;
+          ++probes_deferred_;
           tuple->IncrementSpillDeferrals();
           spill_parts_scratch_.assign(1, bound_p);
-          ScheduleFaultIn(spill_parts_scratch_);
-          s.deferred_probes.emplace_back(bound_p, std::move(tuple));
+          storage_->AddSpillWaiter(bound_p);
+          storage_->ScheduleFaultIn(spill_parts_scratch_, this);
+          deferred_probes_.emplace_back(bound_p, std::move(tuple));
           return;
         }
         // kFaultIn: pay the simulated read I/O and restore the partition
         // before the probe is processed.
-        AccrueIoCharge(FaultInPartition(bound_p));
-        s.faulted_during_probe = true;
+        AttributeRestore(storage_->FaultInPartition(bound_p),
+                         /*synchronous=*/true);
+        faulted_during_probe_ = true;
       } else if (!bound) {
         // No equality binding on the partitioning column: any spilled
         // partition could hold matches. Fault them all in synchronously —
         // also under kBounce, where deferring behind several independent
         // reads would let re-spills starve the probe.
-        for (size_t p = 0; p < s.resident.size(); ++p) {
-          if (!s.resident[p]) AccrueIoCharge(FaultInPartition(p));
+        for (size_t p = 0; p < nparts; ++p) {
+          if (!storage_->PartitionResident(p)) {
+            AttributeRestore(storage_->FaultInPartition(p),
+                             /*synchronous=*/true);
+          }
         }
-        s.faulted_during_probe = true;
+        faulted_during_probe_ = true;
       }
     }
   }
@@ -750,19 +575,33 @@ void Stem::ProcessProbe(TuplePtr tuple) {
 
   const BuildTs probe_ts = tuple->Timestamp();
   const BuildTs last_match_ts = tuple->last_match_ts();
+  const bool pooled = storage_->pooled();
   ++probes_processed_;
   uint32_t matches_this_probe = 0;
 
+  const auto& entries = storage_->entries();
   for (uint32_t id : candidates) {
-    const Entry& entry = entries_[id];
-    if (entry.row == nullptr) continue;  // evicted
+    const StemStorage::Entry& entry = entries[id];
+    if (entry.row == nullptr) continue;  // evicted / spilled
+    // Visibility epoch (docs/sharing.md): on pooled storage an entry's
+    // timestamp *for this query* lives in the overlay; entries only other
+    // queries built are invisible — the probe must not treat concurrent
+    // state as its own, or results would depend on co-running queries.
+    BuildTs entry_ts;
+    if (pooled) {
+      auto it = query_ts_.find(entry.row);
+      if (it == query_ts_.end()) continue;
+      entry_ts = it->second;
+    } else {
+      entry_ts = entry.ts;
+    }
     // TimeStamp constraint (§3.1): the later-arriving side generates the
     // result. §3.5 re-probes skip matches already seen (LastMatchTimeStamp).
-    if (tuple->exclude_equal_ts() ? entry.ts >= probe_ts
-                                  : entry.ts > probe_ts) {
+    if (tuple->exclude_equal_ts() ? entry_ts >= probe_ts
+                                  : entry_ts > probe_ts) {
       continue;
     }
-    if (entry.ts <= last_match_ts) continue;
+    if (entry_ts <= last_match_ts) continue;
     OverlayValueSource overlay(*tuple, target_slot, &entry.row->values());
     bool pass = true;
     for (const Predicate* p : preds) {
@@ -772,7 +611,7 @@ void Stem::ProcessProbe(TuplePtr tuple) {
       }
     }
     if (!pass) continue;
-    TuplePtr concat = tuple->ConcatWith(target_slot, entry.row, entry.ts);
+    TuplePtr concat = tuple->ConcatWith(target_slot, entry.row, entry_ts);
     for (const Predicate* p : preds) concat->MarkPredicatePassed(p->id());
     ++matches_emitted_;
     ++matches_this_probe;
@@ -818,11 +657,11 @@ void Stem::ProcessProbe(TuplePtr tuple) {
   // could still contribute to will be generated by later-arriving builds
   // probing the SteMs holding this tuple's components (TimeStamp rule).
 
-  if (spill_ != nullptr && spill_->faulted_during_probe) {
+  if (faulted_during_probe_) {
     // Synchronous fault-ins grew resident state: let the memory governor
     // rebalance (it will not immediately re-spill the faulted partition)
     // and parked probers reconsider.
-    spill_->faulted_during_probe = false;
+    faulted_during_probe_ = false;
     NotifyChange();
   }
 }

@@ -28,10 +28,20 @@
 //     append to its run; probes against one either fault it back in
 //     (paying buffer-pool read I/O) or are deferred and bounced back to
 //     the eddy when the asynchronous fault-in completes.
+//
+// Cross-query sharing (§5, docs/sharing.md): this class is the *per-query
+// facade* of a SteM. The physical dictionary (rows, indexes, spill
+// partitions) lives in a StemStorage, which the engine's StemManager may
+// pool across concurrent queries. A pooled facade keeps a per-query
+// visibility overlay — row -> this query's build timestamp — so a build
+// whose row another query already stored skips the physical insert
+// (builds_avoided) while the query's own dataflow, timestamps, EOT
+// coverage and bounce decisions stay exactly those of a private run.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -39,6 +49,7 @@
 #include "runtime/query_context.h"
 #include "stem/eot_store.h"
 #include "stem/stem_index.h"
+#include "stem/stem_storage.h"
 
 namespace stems {
 
@@ -76,9 +87,20 @@ struct StemOptions {
   SimTime partition_switch_penalty = 0;
 };
 
+/// The table columns a SteM for `slots` of `query` indexes: every column of
+/// the table involved in a join predicate on any of those slots (paper
+/// §2.1.4). Sorted ascending. The StemManager keys its pool on this set —
+/// queries share a SteM only when they need the same indexes.
+std::vector<int> StemIndexColumns(const QuerySpec& query,
+                                  const std::vector<int>& slots);
+
 class Stem : public Module {
  public:
-  Stem(QueryContext* ctx, std::string table_name, StemOptions options = {});
+  /// `storage` is the physical dictionary to attach to; nullptr creates a
+  /// private one (single-query SteM, the default). A pooled storage (from
+  /// the engine's StemManager) may already hold other queries' state.
+  Stem(QueryContext* ctx, std::string table_name, StemOptions options = {},
+       std::shared_ptr<StemStorage> storage = nullptr);
   ~Stem() override;
 
   ModuleKind kind() const override { return ModuleKind::kStem; }
@@ -88,9 +110,14 @@ class Stem : public Module {
   /// True if `slot` is one of this SteM's table instances.
   bool ServesSlot(int slot) const;
 
-  size_t num_entries() const { return live_entries_; }
+  /// Live in-memory entries of the backing storage. For a pooled SteM this
+  /// is the *shared* dictionary size — the right signal for probe-cost
+  /// models and the memory governor; the query's visible subset may be
+  /// smaller (see builds_avoided / docs/sharing.md).
+  size_t num_entries() const { return storage_->live_entries(); }
   const EotStore& eot_store() const { return eots_; }
-  /// Largest build timestamp stored (0 when empty); §3.5 re-probe gating.
+  /// Largest build timestamp this query stored (0 when empty); §3.5
+  /// re-probe gating. Always per-query, also on pooled storage.
   BuildTs max_entry_ts() const { return max_entry_ts_; }
 
   uint64_t duplicates_absorbed() const { return duplicates_absorbed_; }
@@ -99,6 +126,25 @@ class Stem : public Module {
   uint64_t matches_emitted() const { return matches_emitted_; }
   uint64_t builds() const { return builds_; }
   uint64_t evictions() const { return evictions_; }
+
+  // --- cross-query sharing (engine StemManager, docs/sharing.md) ------------
+
+  const std::shared_ptr<StemStorage>& storage() const { return storage_; }
+  bool pooled() const { return storage_->pooled(); }
+  /// Did this facade attach to a storage another query had already
+  /// populated? (Set by the planner from the StemManager's answer.)
+  bool attached_shared() const { return attached_shared_; }
+  void MarkAttachedShared() { attached_shared_ = true; }
+  /// Builds whose row was already physically stored by another query: the
+  /// insert, index and (if spilled) run-file work this query skipped.
+  uint64_t builds_avoided() const { return builds_avoided_; }
+  /// Storage insertion sequence at attach time — the query's epoch
+  /// boundary, for observability and diagnostics: entries at or below it
+  /// predate the query. Visibility itself is *enforced* by the per-query
+  /// overlay (an old entry becomes visible exactly when this query's own
+  /// build of the row lands there), so the watermark is never consulted
+  /// on the probe path.
+  uint64_t attach_watermark() const { return attach_watermark_; }
 
   /// Registered by the eddy: fires after every build/EOT arrival so parked
   /// prior probers can be re-dispatched.
@@ -111,17 +157,19 @@ class Stem : public Module {
 
   /// Evicts up to `n` of the oldest live entries (used by the eddy's
   /// global MemoryGovernor, paper §6: "the eddy can make memory allocation
-  /// decisions in a globally optimal manner"). Returns entries evicted.
+  /// decisions in a globally optimal manner"). Returns entries evicted;
+  /// always 0 on a pooled SteM (shared state is never windowed).
   size_t EvictOldest(size_t n);
 
   // --- spill-aware state storage (src/spill/, paper §6 + §3.1) --------------
 
   /// Makes this SteM's state spillable at hash-partition granularity (on
   /// the first indexed join column). Called by the eddy at registration
-  /// when EddyOptions::spill is enabled; `pool` is the query-wide buffer
-  /// pool all SteMs share.
+  /// when EddyOptions::spill is enabled (`pool` is the query-wide buffer
+  /// pool), or by the planner with the engine-wide pool for pooled SteMs —
+  /// a no-op if the backing storage already spills.
   void EnableSpill(BufferPool* pool, const SpillOptions& options);
-  bool spill_enabled() const { return spill_ != nullptr; }
+  bool spill_enabled() const { return storage_->spill_enabled(); }
 
   /// Moves the coldest resident partition (fewest probes per stored entry)
   /// to its run file; exact-join semantics are preserved because spilled
@@ -131,27 +179,40 @@ class Stem : public Module {
   /// EvictOldest.
   size_t SpillColdestPartition();
 
-  size_t spill_partitions() const;
-  size_t partitions_spilled() const;
-  size_t partitions_resident() const;
-  /// Live entries currently on disk (in run files).
-  uint64_t entries_spilled() const;
-  /// Lifetime spill traffic: simulated disk page reads + writes.
-  uint64_t spill_ios() const;
-  uint64_t bytes_spilled() const;
-  /// Partitions faulted back into memory.
-  uint64_t spill_faults() const;
+  size_t spill_partitions() const { return storage_->num_spill_partitions(); }
+  size_t partitions_spilled() const { return storage_->partitions_spilled(); }
+  size_t partitions_resident() const {
+    return storage_->partitions_resident();
+  }
+  /// Live entries currently on disk (in run files; shared storage-wide).
+  uint64_t entries_spilled() const { return storage_->entries_spilled(); }
+  /// Spill traffic attributed to *this query's* operations (builds, probe
+  /// fault-ins, governor spills it triggered): simulated page reads +
+  /// writes, and bytes appended. On a private SteM this equals the run
+  /// file's lifetime totals.
+  uint64_t spill_ios() const { return attr_spill_ios_; }
+  uint64_t bytes_spilled() const { return attr_bytes_spilled_; }
+  /// Partitions faulted back into memory (storage-wide).
+  uint64_t spill_faults() const { return storage_->spill_faults(); }
   /// Probes deferred because their partition was spilled (kBounce policy).
-  uint64_t probes_deferred() const;
+  uint64_t probes_deferred() const { return probes_deferred_; }
 
   /// Expected extra virtual time a probe pays here right now because of
   /// spilled partitions (fault-in I/O, amortized). Routing policies fold
   /// this into their cost model so probe routing reflects spill state.
-  SimTime ExpectedProbeSpillCost() const;
+  SimTime ExpectedProbeSpillCost() const {
+    return storage_->ExpectedProbeSpillCost();
+  }
 
-  /// A SteM with deferred probes or an in-flight asynchronous fault-in is
-  /// not quiescent: the pending fault event will re-emit tuples.
+  /// A SteM with deferred probes or an outstanding I/O charge marker is
+  /// not quiescent: a pending event will still re-emit tuples or occupy
+  /// virtual time on this query's behalf.
   bool Quiescent() const override;
+
+  /// StemStorage callbacks (asynchronous fault-in completion): re-emit
+  /// this query's deferred probes / bill the restore it requested.
+  void OnPartitionFaulted(size_t partition);
+  void AttributeAsyncRestore(const StemStorage::SpillResult& restored);
 
   /// The name of the index implementation currently backing `column`
   /// ("hash", "ordered", "list"); empty if the column is not indexed.
@@ -175,30 +236,23 @@ class Stem : public Module {
   void ProcessBatch(std::vector<TuplePtr>* tuples) override;
 
  private:
-  struct Entry {
-    RowRef row;  ///< null after eviction (tombstone)
-    BuildTs ts = 0;
-  };
-
   void ProcessBuild(TuplePtr tuple);
   void ProcessProbe(TuplePtr tuple);
-  void InsertRow(RowRef row, BuildTs ts);
   void EvictIfNeeded();
   void NotifyChange();
   size_t PartitionOf(const Tuple& tuple) const;
 
-  // --- spill internals (definitions in stem.cc; state in SpillState) --------
-  /// Spill partition of a build row (0 when partitioning is unavailable).
-  size_t SpillPartitionOfRow(const Row& row) const;
   /// Books spill I/O: the cost is drained into the next ServiceTime, and a
-  /// marker event keeps the clock occupied in case no service follows.
-  void AccrueIoCharge(SimTime cost);
-  /// Restores a partition synchronously; returns the virtual read cost.
-  SimTime FaultInPartition(size_t partition);
-  /// Schedules the asynchronous fault-in of every partition in `parts`
-  /// (kBounce); deferred probes are re-emitted on completion.
-  void ScheduleFaultIn(const std::vector<size_t>& parts);
-  void CompleteFaultIn(size_t partition);
+  /// marker event keeps the clock occupied in case no service follows. The
+  /// ios/bytes of the triggering operation are billed to this query.
+  void AccrueIoCharge(const StemStorage::SpillResult& io);
+
+  /// Single home for restore (fault-in) attribution: bills the I/O to this
+  /// query — as a service charge when the restore ran synchronously under
+  /// a probe, as counters only when it completed asynchronously (its cost
+  /// was already modeled by the fault event's delay) — and feeds the
+  /// spill.in metric series.
+  void AttributeRestore(const StemStorage::SpillResult& in, bool synchronous);
 
   /// Candidate entry ids for a probe: equality bindings through the hash
   /// index when possible, range join predicates through an ordered index
@@ -217,6 +271,7 @@ class Stem : public Module {
   mutable std::vector<std::pair<int, Value>> partition_binds_scratch_;
   std::vector<uint32_t> candidates_scratch_;
   std::vector<const Predicate*> preds_scratch_;
+  std::vector<size_t> spill_parts_scratch_;
 
   QueryContext* ctx_;
   std::string table_name_;
@@ -225,25 +280,44 @@ class Stem : public Module {
   bool table_has_index_am_ = false;
   StemOptions options_;
 
-  std::vector<Entry> entries_;
-  size_t live_entries_ = 0;
-  size_t next_eviction_ = 0;
-  BuildTs max_entry_ts_ = 0;
-  std::unordered_set<RowRef, RowRefContentHash, RowRefContentEq> dedup_;
-  EotStore eots_;
+  /// The physical dictionary (rows, indexes, spill partitions). Private by
+  /// default; pooled across queries when handed in by the StemManager.
+  std::shared_ptr<StemStorage> storage_;
 
-  /// join column -> index (indexes are secondary: ids into entries_).
-  std::vector<std::pair<int, std::unique_ptr<StemIndex>>> indexes_;
+  /// Per-query visibility overlay (pooled storage only): row -> this
+  /// query's build timestamp. Serves as the query's dedup set (a second
+  /// build of the same row within the query is absorbed) and as the
+  /// timestamp source for the TimeStamp constraint — entries another query
+  /// stored stay invisible until this query's own build of the row lands
+  /// here. Content-keyed so it survives spill/fault round trips.
+  std::unordered_map<RowRef, BuildTs, RowRefContentHash, RowRefContentEq>
+      query_ts_;
+
+  BuildTs max_entry_ts_ = 0;
+  EotStore eots_;
 
   /// Grace mode state.
   std::vector<std::vector<TuplePtr>> deferred_bounces_;
   mutable size_t last_probed_partition_ = SIZE_MAX;
 
-  /// Spill-aware storage state (null until EnableSpill); definition local
-  /// to stem.cc so this header stays free of spill includes.
-  struct SpillState;
-  std::unique_ptr<SpillState> spill_;
-  std::vector<size_t> spill_parts_scratch_;
+  /// kBounce: probes parked in this facade behind their partition's
+  /// asynchronous fault-in, tagged with the partition they need.
+  std::vector<std::pair<size_t, TuplePtr>> deferred_probes_;
+
+  /// Spill I/O cost accrued during processing; drained into the next
+  /// ServiceTime (write-behind spills / synchronous fault-ins consume this
+  /// module's service capacity one event later).
+  mutable SimTime pending_io_charge_ = 0;
+  /// Undrained accruals backing pending_io_charge_, by accrual id: lets a
+  /// marker retire exactly its own still-pending amount (and nothing a
+  /// service already billed, and no newer accrual).
+  mutable std::vector<std::pair<uint64_t, SimTime>> io_accruals_;
+  uint64_t next_io_accrual_id_ = 0;
+  /// Outstanding I/O marker events (AccrueIoCharge): the SteM is not
+  /// quiescent while one is pending, so completion cannot be stamped
+  /// ahead of trailing spill I/O.
+  size_t pending_io_markers_ = 0;
+  bool faulted_during_probe_ = false;
 
   /// Batched-service state: while a group is in flight, NotifyChange()
   /// latches instead of firing, and the pending notification is delivered
@@ -258,6 +332,8 @@ class Stem : public Module {
   CounterSeries* dups_series_ = nullptr;
   CounterSeries* bounces_series_ = nullptr;
   CounterSeries* evictions_series_ = nullptr;
+  CounterSeries* spill_out_series_ = nullptr;
+  CounterSeries* spill_in_series_ = nullptr;
   std::vector<std::pair<uint64_t, CounterSeries*>> span_series_;
   CounterSeries* SpanSeries(uint64_t mask);
 
@@ -266,7 +342,13 @@ class Stem : public Module {
   uint64_t probes_processed_ = 0;
   uint64_t matches_emitted_ = 0;
   uint64_t builds_ = 0;
+  uint64_t builds_avoided_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t probes_deferred_ = 0;
+  uint64_t attr_spill_ios_ = 0;
+  uint64_t attr_bytes_spilled_ = 0;
+  uint64_t attach_watermark_ = 0;
+  bool attached_shared_ = false;
 };
 
 }  // namespace stems

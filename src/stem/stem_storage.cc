@@ -1,0 +1,363 @@
+#include "stem/stem_storage.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "spill/spill_file.h"
+#include "stem/stem.h"
+
+namespace stems {
+
+/// Spill-partition state: the run file, per-partition residency/heat, and
+/// the fault-in scheduling shared by every attached query.
+struct StemStorage::Spill {
+  BufferPool* pool = nullptr;
+  SpillOptions options;
+  std::unique_ptr<SpillFile> file;
+  /// Partitioning column (first indexed join column); -1 degenerates to a
+  /// single partition.
+  int part_col = -1;
+  std::vector<uint8_t> resident;          ///< per partition
+  std::vector<size_t> live_in_partition;  ///< resident live entries
+  std::vector<uint64_t> probe_counts;     ///< per-partition heat
+  /// entries_ ids per partition, so a spill-out touches only its own
+  /// partition instead of scanning every entry (stale tombstoned ids are
+  /// skipped and dropped at the next spill).
+  std::vector<std::vector<uint32_t>> ids_in_partition;
+  /// Run file still equals the partition's content (clean): re-spilling is
+  /// free — drop the memory copy. Cleared by any in-memory mutation.
+  std::vector<uint8_t> run_valid;
+  std::vector<uint8_t> fault_scheduled;  ///< async fault-in pending
+  /// Probes (from any attached query) deferred behind each partition's
+  /// asynchronous fault-in; such partitions must not be re-victimized.
+  std::vector<uint32_t> waiters;
+  /// Facade whose probe scheduled each pending fault; the restore I/O is
+  /// attributed to it at completion if it is still attached.
+  std::vector<Stem*> fault_requester;
+  std::vector<SpilledEntry> restore_scratch;
+  size_t spilled_partitions = 0;
+  size_t pending_fault_events = 0;
+  /// Most recently faulted partition: skipped by victim selection (unless
+  /// it is the only candidate) so a fault-in is not immediately undone.
+  size_t last_faulted = SIZE_MAX;
+  uint64_t faults = 0;
+  uint64_t entries_spilled_total = 0;
+};
+
+StemStorage::StemStorage(std::string table_name, Simulation* sim, bool pooled)
+    : table_name_(std::move(table_name)), sim_(sim), pooled_(pooled) {}
+
+StemStorage::~StemStorage() = default;
+
+void StemStorage::Attach(Stem* facade) { attached_.push_back(facade); }
+
+void StemStorage::Detach(Stem* facade) {
+  attached_.erase(std::remove(attached_.begin(), attached_.end(), facade),
+                  attached_.end());
+  if (spill_ != nullptr) {
+    // A fault the facade requested may still be in flight; clear the
+    // attribution slot so CompleteFaultIn never compares (or bills) a
+    // dangling pointer — a later query's facade could be allocated at the
+    // same address and silently inherit the restore I/O.
+    for (Stem*& requester : spill_->fault_requester) {
+      if (requester == facade) requester = nullptr;
+    }
+  }
+}
+
+void StemStorage::Insert(RowRef row, BuildTs stored_ts) {
+  const uint32_t id = static_cast<uint32_t>(entries_.size());
+  for (auto& [col, index] : indexes_) {
+    index->Insert(row->value(col), id);
+  }
+  if (spill_ != nullptr) {
+    const size_t p = SpillPartitionOfRow(*row);
+    ++spill_->live_in_partition[p];
+    spill_->ids_in_partition[p].push_back(id);
+    spill_->run_valid[p] = 0;  // memory diverges from any retained run
+  }
+  dedup_.insert(row);
+  entries_.push_back(Entry{std::move(row), stored_ts});
+  ++live_entries_;
+}
+
+size_t StemStorage::EvictOldest(size_t n) {
+  if (pooled_) return 0;  // shared state is never windowed (docs/sharing.md)
+  size_t evicted = 0;
+  while (evicted < n && next_eviction_ < entries_.size()) {
+    Entry& victim = entries_[next_eviction_++];
+    if (victim.row == nullptr) continue;  // already a tombstone
+    if (spill_ != nullptr) {
+      const size_t p = SpillPartitionOfRow(*victim.row);
+      if (spill_->live_in_partition[p] > 0) --spill_->live_in_partition[p];
+      spill_->run_valid[p] = 0;  // a retained run would resurrect the row
+    }
+    dedup_.erase(victim.row);
+    victim.row = nullptr;  // tombstone; index ids skip it at lookup
+    --live_entries_;
+    ++evicted;
+  }
+  return evicted;
+}
+
+// --- spill -------------------------------------------------------------------
+
+void StemStorage::EnableSpill(BufferPool* pool, const SpillOptions& options,
+                              int part_col) {
+  if (spill_ != nullptr) return;
+  spill_ = std::make_unique<Spill>();
+  Spill& s = *spill_;
+  s.pool = pool;
+  s.options = options;
+  s.part_col = part_col;
+  const size_t n =
+      part_col < 0 ? 1 : (options.partitions == 0 ? 1 : options.partitions);
+  s.file = std::make_unique<SpillFile>(pool, n, options.page_entries);
+  s.resident.assign(n, 1);
+  s.live_in_partition.assign(n, 0);
+  s.probe_counts.assign(n, 0);
+  s.run_valid.assign(n, 0);
+  s.fault_scheduled.assign(n, 0);
+  s.waiters.assign(n, 0);
+  s.fault_requester.assign(n, nullptr);
+  s.ids_in_partition.assign(n, {});
+  for (uint32_t id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].row == nullptr) continue;
+    const size_t p = SpillPartitionOfRow(*entries_[id].row);
+    ++s.live_in_partition[p];
+    s.ids_in_partition[p].push_back(id);
+  }
+}
+
+SpillProbePolicy StemStorage::spill_probe_policy() const {
+  return spill_ == nullptr ? SpillProbePolicy::kFaultIn
+                           : spill_->options.probe_policy;
+}
+
+uint32_t StemStorage::max_probe_deferrals() const {
+  return spill_ == nullptr ? 0 : spill_->options.max_probe_deferrals;
+}
+
+int StemStorage::spill_part_col() const {
+  return spill_ == nullptr ? -1 : spill_->part_col;
+}
+
+size_t StemStorage::num_spill_partitions() const {
+  return spill_ == nullptr ? 0 : spill_->resident.size();
+}
+
+bool StemStorage::PartitionResident(size_t p) const {
+  return spill_ == nullptr || spill_->resident[p] != 0;
+}
+
+size_t StemStorage::SpillPartitionOfRow(const Row& row) const {
+  if (spill_ == nullptr || spill_->part_col < 0) return 0;
+  return row.value(static_cast<size_t>(spill_->part_col)).Hash() %
+         spill_->resident.size();
+}
+
+void StemStorage::CountProbe(size_t p) {
+  if (spill_ != nullptr) ++spill_->probe_counts[p];
+}
+
+StemStorage::SpillResult StemStorage::SpillColdestPartition() {
+  SpillResult out;
+  if (spill_ == nullptr) return out;
+  Spill& s = *spill_;
+  const size_t nparts = s.resident.size();
+  // Partitions a probe is waiting on (deferred behind a fault-in, or the
+  // read is already scheduled) must not be spilled back out from under it.
+  auto demanded = [&s](size_t p) {
+    return s.fault_scheduled[p] != 0 || s.waiters[p] > 0;
+  };
+  size_t victim = SIZE_MAX;
+  double victim_heat = 0;
+  for (size_t p = 0; p < nparts; ++p) {
+    if (!s.resident[p] || s.live_in_partition[p] == 0) continue;
+    if (p == s.last_faulted) continue;  // anti-thrash: not right back out
+    if (demanded(p)) continue;
+    const double heat = static_cast<double>(s.probe_counts[p]) /
+                        static_cast<double>(s.live_in_partition[p]);
+    if (victim == SIZE_MAX || heat < victim_heat ||
+        (heat == victim_heat &&
+         s.live_in_partition[p] > s.live_in_partition[victim])) {
+      victim = p;
+      victim_heat = heat;
+    }
+  }
+  if (victim == SIZE_MAX && s.last_faulted < nparts &&
+      s.resident[s.last_faulted] && s.live_in_partition[s.last_faulted] > 0 &&
+      !demanded(s.last_faulted)) {
+    // Sole candidate beats an unenforced budget — unless probes wait on it.
+    victim = s.last_faulted;
+  }
+  if (victim == SIZE_MAX) return out;
+
+  const uint64_t ios_before = s.file->disk_ios();
+  const uint64_t bytes_before = s.file->bytes_written();
+  // Clean partition (faulted in earlier, unmodified since): the run file
+  // already holds exactly this content, so spilling is dropping the memory
+  // copy — zero I/O. Otherwise rewrite the run and flush it.
+  const bool clean = s.run_valid[victim] &&
+                     s.file->EntriesIn(victim) == s.live_in_partition[victim];
+  if (!clean) s.file->ClearPartition(victim);
+  for (uint32_t id : s.ids_in_partition[victim]) {
+    Entry& entry = entries_[id];
+    if (entry.row == nullptr) continue;  // evicted or stale since listed
+    if (!clean) out.cost += s.file->Append(victim, entry.row, entry.ts);
+    entry.row = nullptr;  // tombstone; dedup_ keeps the row's identity
+    --live_entries_;
+    ++out.entries;
+  }
+  s.ids_in_partition[victim].clear();
+  if (!clean) {
+    out.cost += s.file->FlushPartition(victim);  // run durably on disk
+  }
+  s.run_valid[victim] = 1;
+  s.live_in_partition[victim] = 0;
+  s.resident[victim] = 0;
+  ++s.spilled_partitions;
+  s.entries_spilled_total += out.entries;
+  out.ios = s.file->disk_ios() - ios_before;
+  out.bytes = s.file->bytes_written() - bytes_before;
+  return out;
+}
+
+StemStorage::SpillResult StemStorage::RestorePartitionLocked(size_t p) {
+  Spill& s = *spill_;
+  SpillResult out;
+  if (s.resident[p]) return out;
+  const uint64_t ios_before = s.file->disk_ios();
+  s.restore_scratch.clear();
+  out.cost = s.file->ReadAll(p, &s.restore_scratch);
+  s.resident[p] = 1;
+  --s.spilled_partitions;
+  out.entries = s.restore_scratch.size();
+  for (SpilledEntry& e : s.restore_scratch) {
+    Insert(std::move(e.row), e.ts);
+  }
+  s.restore_scratch.clear();
+  // The run is retained and, right after restoring, equals the in-memory
+  // partition (Insert cleared the flag; re-arm it last).
+  s.run_valid[p] = 1;
+  s.last_faulted = p;
+  ++s.faults;
+  out.ios = s.file->disk_ios() - ios_before;
+  return out;
+}
+
+StemStorage::SpillResult StemStorage::FaultInPartition(size_t p) {
+  if (spill_ == nullptr) return {};
+  return RestorePartitionLocked(p);
+}
+
+StemStorage::SpillResult StemStorage::AppendToSpilledPartition(
+    size_t p, RowRef row, BuildTs stored_ts) {
+  Spill& s = *spill_;
+  assert(!s.resident[p]);
+  SpillResult out;
+  const uint64_t ios_before = s.file->disk_ios();
+  const uint64_t bytes_before = s.file->bytes_written();
+  dedup_.insert(row);
+  out.entries = 1;
+  out.cost = s.file->Append(p, std::move(row), stored_ts);
+  out.ios = s.file->disk_ios() - ios_before;
+  out.bytes = s.file->bytes_written() - bytes_before;
+  return out;
+}
+
+void StemStorage::AddSpillWaiter(size_t p) {
+  if (spill_ != nullptr) ++spill_->waiters[p];
+}
+
+void StemStorage::RemoveSpillWaiter(size_t p) {
+  if (spill_ != nullptr && spill_->waiters[p] > 0) --spill_->waiters[p];
+}
+
+void StemStorage::ScheduleFaultIn(const std::vector<size_t>& parts,
+                                  Stem* requester) {
+  Spill& s = *spill_;
+  for (size_t p : parts) {
+    if (s.resident[p] || s.fault_scheduled[p]) continue;
+    s.fault_scheduled[p] = 1;
+    s.fault_requester[p] = requester;
+    ++s.pending_fault_events;
+    // The event delay models the asynchronous read; pool bookkeeping (and
+    // page caching) happens at completion. Never zero, so a defer/fault
+    // cycle always advances virtual time. The closure keeps the storage
+    // alive: a query may detach (even be destroyed) before the read lands.
+    const SimTime delay =
+        std::max<SimTime>(Micros(1), s.file->EstimateRestoreCost(p));
+    sim_->Schedule(delay, [self = shared_from_this(), p] {
+      self->CompleteFaultIn(p);
+    });
+  }
+}
+
+void StemStorage::CompleteFaultIn(size_t p) {
+  Spill& s = *spill_;
+  assert(s.pending_fault_events > 0);
+  --s.pending_fault_events;
+  s.fault_scheduled[p] = 0;
+  Stem* requester = s.fault_requester[p];
+  s.fault_requester[p] = nullptr;
+  const SpillResult restored =
+      RestorePartitionLocked(p);  // no-op if faulted in meanwhile
+  if (requester != nullptr &&
+      std::find(attached_.begin(), attached_.end(), requester) !=
+          attached_.end()) {
+    requester->AttributeAsyncRestore(restored);
+  }
+  // Every attached query gets to re-emit its probes deferred behind this
+  // partition; queries without waiters ignore the callback.
+  for (Stem* facade : attached_) {
+    facade->OnPartitionFaulted(p);
+  }
+}
+
+size_t StemStorage::partitions_spilled() const {
+  return spill_ == nullptr ? 0 : spill_->spilled_partitions;
+}
+
+size_t StemStorage::partitions_resident() const {
+  if (spill_ == nullptr) return 0;
+  return spill_->resident.size() - spill_->spilled_partitions;
+}
+
+uint64_t StemStorage::entries_spilled() const {
+  if (spill_ == nullptr) return 0;
+  // Only non-resident partitions' runs hold entries that are *not* in
+  // memory (resident partitions may retain a clean run as a copy).
+  uint64_t n = 0;
+  for (size_t p = 0; p < spill_->resident.size(); ++p) {
+    if (!spill_->resident[p]) n += spill_->file->EntriesIn(p);
+  }
+  return n;
+}
+
+uint64_t StemStorage::spill_faults() const {
+  return spill_ == nullptr ? 0 : spill_->faults;
+}
+
+size_t StemStorage::pending_fault_events() const {
+  return spill_ == nullptr ? 0 : spill_->pending_fault_events;
+}
+
+SimTime StemStorage::ExpectedProbeSpillCost() const {
+  if (spill_ == nullptr || spill_->spilled_partitions == 0) return 0;
+  const Spill& s = *spill_;
+  // P(the probe's partition is spilled) × mean pages per spilled partition
+  // × expected page read cost.
+  const double frac = static_cast<double>(s.spilled_partitions) /
+                      static_cast<double>(s.resident.size());
+  const size_t page_entries =
+      s.options.page_entries == 0 ? 1 : s.options.page_entries;
+  const double pages_per_part =
+      static_cast<double>((entries_spilled() + page_entries - 1) /
+                          page_entries) /
+      static_cast<double>(s.spilled_partitions);
+  return static_cast<SimTime>(frac * pages_per_part *
+                              static_cast<double>(s.pool->ExpectedReadCost()));
+}
+
+}  // namespace stems

@@ -1,0 +1,180 @@
+// StemStorage: the shareable physical half of a SteM.
+//
+// The paper's §5 claim — SteMs enable "sharing of state and computation
+// between queries" — requires the dictionary itself (rows, indexes, spilled
+// partitions) to outlive and span individual query plans. This class is
+// that dictionary: entries, content-keyed dedup identity, secondary
+// indexes, and the spill-partition state, factored out of the per-query
+// Stem module so several concurrent queries can attach to one copy.
+//
+// Ownership is ref-counted: every attached Stem facade (and any in-flight
+// asynchronous fault-in event) holds a shared_ptr; the engine's StemManager
+// keeps only a weak registry entry, so the storage is evicted lazily when
+// the last query releases it.
+//
+// Visibility across queries is NOT this class's concern. In pooled mode
+// every entry carries an insertion sequence number, and each attached
+// facade keeps a private overlay of per-query build timestamps (see
+// Stem::query_ts_ and docs/sharing.md): an entry is visible to a query iff
+// that query logically built it. StemStorage only stores rows once and
+// tells builders whether the row is already present (Contains).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "runtime/tuple.h"
+#include "sim/simulation.h"
+#include "spill/spill_options.h"
+#include "stem/stem_index.h"
+#include "types/row.h"
+
+namespace stems {
+
+class BufferPool;
+class Stem;
+
+class StemStorage : public std::enable_shared_from_this<StemStorage> {
+ public:
+  struct Entry {
+    RowRef row;  ///< null after spill-out or eviction (tombstone)
+    /// Private storage: the owning query's BuildTs. Pooled storage: the
+    /// insertion sequence number (per-query timestamps live in each
+    /// facade's overlay; the sequence survives spill round trips and is
+    /// the source of attach-time watermarks).
+    BuildTs ts = 0;
+  };
+
+  /// `pooled` marks storage managed by a StemManager (shared across
+  /// queries): builds go through per-facade visibility overlays and
+  /// windowed eviction is refused.
+  StemStorage(std::string table_name, Simulation* sim, bool pooled);
+  ~StemStorage();
+
+  StemStorage(const StemStorage&) = delete;
+  StemStorage& operator=(const StemStorage&) = delete;
+
+  const std::string& table_name() const { return table_name_; }
+  bool pooled() const { return pooled_; }
+
+  // --- attached facades ------------------------------------------------------
+
+  void Attach(Stem* facade);
+  void Detach(Stem* facade);
+  size_t attached_count() const { return attached_.size(); }
+
+  /// Monotonic insertion sequence; a facade snapshots it at attach time as
+  /// its visibility watermark (entries at or below it predate the query).
+  uint64_t build_seq() const { return build_seq_; }
+  BuildTs IssueSeq() { return ++build_seq_; }
+
+  // --- rows, dedup identity, indexes -----------------------------------------
+
+  /// Is `row` (by content) physically stored — resident, spilled, or
+  /// tombstoned-with-identity? Builders use this for set semantics within
+  /// one query and for cross-query build avoidance.
+  bool Contains(const RowRef& row) const { return dedup_.count(row) > 0; }
+
+  /// Physically inserts a resident row: indexes it, updates spill partition
+  /// accounting, registers its dedup identity.
+  void Insert(RowRef row, BuildTs stored_ts);
+
+  /// Evicts up to `n` of the oldest live entries (sliding-window
+  /// semantics). Pooled storage refuses (returns 0): evicting shared state
+  /// would silently window every attached query's join.
+  size_t EvictOldest(size_t n);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t live_entries() const { return live_entries_; }
+
+  std::vector<std::pair<int, std::unique_ptr<StemIndex>>>& indexes() {
+    return indexes_;
+  }
+  const std::vector<std::pair<int, std::unique_ptr<StemIndex>>>& indexes()
+      const {
+    return indexes_;
+  }
+
+  // --- spill-aware partition state (src/spill/) ------------------------------
+
+  /// Result of one spill-subsystem operation, with the I/O it performed so
+  /// the calling facade can bill itself (per-query attribution).
+  struct SpillResult {
+    size_t entries = 0;  ///< entries moved (spilled out / restored in)
+    SimTime cost = 0;    ///< virtual I/O time to charge
+    uint64_t ios = 0;    ///< simulated disk page reads + writes
+    uint64_t bytes = 0;  ///< bytes appended to the run file
+  };
+
+  void EnableSpill(BufferPool* pool, const SpillOptions& options,
+                   int part_col);
+  bool spill_enabled() const { return spill_ != nullptr; }
+  SpillProbePolicy spill_probe_policy() const;
+  uint32_t max_probe_deferrals() const;
+  int spill_part_col() const;
+  size_t num_spill_partitions() const;
+  bool PartitionResident(size_t p) const;
+  size_t SpillPartitionOfRow(const Row& row) const;
+  /// Records probe heat against a partition (victim-selection signal).
+  void CountProbe(size_t p);
+
+  /// Moves the coldest resident partition to its run file (exact: rows,
+  /// sequence numbers and dedup identity are preserved).
+  SpillResult SpillColdestPartition();
+  /// Restores a partition synchronously (no-op result if resident).
+  SpillResult FaultInPartition(size_t p);
+  /// Appends a build directly to a spilled partition's run (the row never
+  /// touches memory; its dedup identity is registered).
+  SpillResult AppendToSpilledPartition(size_t p, RowRef row,
+                                       BuildTs stored_ts);
+
+  /// A facade deferred a probe behind partition `p` (SpillProbePolicy::
+  /// kBounce): the partition must not be re-spilled out from under it.
+  void AddSpillWaiter(size_t p);
+  void RemoveSpillWaiter(size_t p);
+
+  /// Schedules the asynchronous fault-in of every partition in `parts`
+  /// (no-op for resident or already-scheduled ones). The event holds a
+  /// shared_ptr to this storage, so it outlives any detaching query; on
+  /// completion every *attached* facade is told (Stem::OnPartitionFaulted)
+  /// and the restore I/O is attributed to `requester` if still attached.
+  void ScheduleFaultIn(const std::vector<size_t>& parts, Stem* requester);
+
+  size_t partitions_spilled() const;
+  size_t partitions_resident() const;
+  /// Live entries currently only on disk (in non-resident partitions).
+  uint64_t entries_spilled() const;
+  uint64_t spill_faults() const;
+  size_t pending_fault_events() const;
+  /// Expected extra virtual time a probe pays right now because of spilled
+  /// partitions (fault-in I/O, amortized).
+  SimTime ExpectedProbeSpillCost() const;
+
+ private:
+  struct Spill;  // defined in stem_storage.cc; keeps spill includes out
+
+  void CompleteFaultIn(size_t p);
+  SpillResult RestorePartitionLocked(size_t p);
+
+  std::string table_name_;
+  Simulation* sim_;
+  bool pooled_;
+
+  std::vector<Entry> entries_;
+  size_t live_entries_ = 0;
+  size_t next_eviction_ = 0;
+  uint64_t build_seq_ = 0;
+  std::unordered_set<RowRef, RowRefContentHash, RowRefContentEq> dedup_;
+
+  /// join column -> index (indexes are secondary: ids into entries_).
+  std::vector<std::pair<int, std::unique_ptr<StemIndex>>> indexes_;
+
+  std::vector<Stem*> attached_;
+
+  std::unique_ptr<Spill> spill_;
+};
+
+}  // namespace stems

@@ -209,6 +209,57 @@ TEST(BatchEquivalenceTest, AllPoliciesAllBatchSizes) {
   }
 }
 
+// LIMIT k with k landing mid-batch: a same-destination AcceptBatch cluster
+// can emit many outputs in one service event, so a whole burst of
+// span-complete tuples reaches the router's admission point together. The
+// single clamp in Eddy::AdmitResult must hold the bound exactly — never
+// k+1 rows because several outputs shared a routing step — for every
+// policy at batch sizes that straddle k.
+TEST(BatchEquivalenceTest, LimitClampHoldsMidBatch) {
+  for (const std::string& policy : PolicyRegistry::Global().Names()) {
+    for (size_t batch : {size_t{8}, size_t{64}}) {
+      // Establish the unlimited cardinality once per (policy, batch).
+      const auto build = [&](std::optional<uint64_t> limit) {
+        Engine engine;
+        Rng rng(107);
+        // 8 distinct keys over 96 distinct rows (unique payload column, so
+        // SteM set semantics absorb nothing): ~12 matches per probe, so
+        // service events emit output bursts larger than most limits below.
+        const auto bursty = [&rng](int n) {
+          std::vector<std::vector<int64_t>> rows;
+          for (int i = 0; i < n; ++i) rows.push_back({rng.NextInt(0, 7), i});
+          return rows;
+        };
+        AddIntTable(engine, "R", {"k", "v"}, bursty(96),
+                    {ScanSpec("R.scan")});
+        AddIntTable(engine, "S", {"x", "w"}, bursty(96),
+                    {ScanSpec("S.scan")});
+        QueryBuilder qb(engine.catalog());
+        qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.x");
+        if (limit.has_value()) qb.Limit(*limit);
+        RunOptions options;
+        options.policy = policy;
+        options.batch_size = batch;
+        options.exec.scan_defaults.period = Micros(1);
+        QueryHandle handle =
+            engine.Submit(qb.Build().ValueOrDie(), options).ValueOrDie();
+        handle.Wait();
+        return handle.Stats().num_results;
+      };
+      const uint64_t full = build(std::nullopt);
+      ASSERT_GT(full, batch) << "workload too small to fill a batch";
+      for (uint64_t k :
+           {uint64_t{3}, uint64_t{7}, static_cast<uint64_t>(batch) / 2 + 1,
+            static_cast<uint64_t>(batch) - 1,
+            static_cast<uint64_t>(batch) + 1}) {
+        SCOPED_TRACE("policy=" + policy + " batch=" + std::to_string(batch) +
+                     " k=" + std::to_string(k));
+        EXPECT_EQ(build(k), std::min(k, full));
+      }
+    }
+  }
+}
+
 // The knob validates: batch_size 0 is rejected, not silently scalar.
 TEST(BatchEquivalenceTest, ZeroBatchSizeRejected) {
   RunOptions options;

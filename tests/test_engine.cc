@@ -233,6 +233,69 @@ TEST_F(EngineTest, PruneAfterCancelWaitsForPendingEvents) {
   EXPECT_EQ(engine_.active_queries(), 0u);
 }
 
+/// A module that claims in-flight work forever: Quiescent() is false with
+/// no event ever scheduled — the shape of a module bug that loses track of
+/// a tuple. The engine must fail closed *and say so*.
+class StuckModule : public Module {
+ public:
+  explicit StuckModule(Simulation* sim) : Module(sim, "stuck") {}
+  ModuleKind kind() const override { return ModuleKind::kOperator; }
+  bool Quiescent() const override { return false; }
+
+ protected:
+  SimTime ServiceTime(const Tuple&) const override { return 0; }
+  void Process(TuplePtr) override {}
+};
+
+TEST_F(EngineTest, StuckModuleSurfacesErrorInsteadOfSilentTruncation) {
+  // Regression: Engine::PumpUntilResult used to fabricate completion when
+  // the clock idled with a non-quiescent eddy — callers got a truncated
+  // result set that looked complete. The stream still ends (fail closed,
+  // no spin), but the handle and cursor now carry a non-OK status.
+  QueryHandle handle = engine_.Submit(ThreeWayQuery()).ValueOrDie();
+  handle.eddy()->AddModule(std::make_unique<StuckModule>(&engine_.sim()));
+
+  ResultCursor cursor = handle.cursor();
+  const std::vector<TuplePtr> results = cursor.Drain();
+  EXPECT_EQ(results.size(), 3u);  // everything produced before the wedge
+  EXPECT_TRUE(handle.done());
+  EXPECT_FALSE(handle.Stats().cancelled);
+  EXPECT_FALSE(handle.status().ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(cursor.status().code(), StatusCode::kInternal);
+
+  // A healthy query on the same engine completes with an OK status.
+  QueryHandle healthy = engine_.Submit(TwoWayQuery()).ValueOrDie();
+  EXPECT_EQ(healthy.cursor().Drain().size(), 4u);
+  EXPECT_TRUE(healthy.status().ok());
+}
+
+TEST_F(EngineTest, CancelInterleavedWithAnotherCursorsDrain) {
+  // Regression companion to PruneAfterCancelWaitsForPendingEvents, shaped
+  // as the use-after-free hazard documented in Engine::CheckCompletions:
+  // one query's cursor is mid-Drain on the shared clock while another
+  // query is cancelled and dropped with no-op events still scheduled
+  // against its modules. Draining must prune the dead execution without
+  // touching freed memory (the ASan+UBSan job is the real referee here).
+  QueryHandle other = engine_.Submit(BulkQuery()).ValueOrDie();
+  ResultCursor cursor = other.cursor();
+  ASSERT_TRUE(cursor.Next().has_value());  // mid-drain: stream is live
+
+  {
+    RunOptions slow;
+    slow.exec.scan_overrides["bulk.scan"].period = Seconds(1);
+    QueryHandle doomed = engine_.Submit(BulkQuery(), slow).ValueOrDie();
+    (void)doomed.cursor().Next();
+    doomed.Cancel();
+  }  // handle dropped — the engine alone holds the cancelled execution
+
+  const std::vector<TuplePtr> rest = cursor.Drain();
+  EXPECT_EQ(1 + rest.size(), 3u);  // 2000 rows, 3 distinct join values
+  EXPECT_TRUE(other.status().ok());
+  engine_.RunAll();
+  EXPECT_EQ(engine_.active_queries(), 0u);
+}
+
 TEST_F(EngineTest, InterleavedQueriesBothComplete) {
   // Submit both before pumping either: their eddies share the clock, so
   // alternating Next() calls interleave the two executions.

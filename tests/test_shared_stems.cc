@@ -1,0 +1,298 @@
+// Cross-query shared SteMs (engine StemManager + RunOptions::share_stems):
+// exactness under staggered concurrent attach, build-work avoidance,
+// pooled-storage lifecycle, spill sharing, and the validation guard rails.
+// Sharing model and exactness argument: docs/sharing.md.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "reference/brute_force.h"
+#include "storage/generators.h"
+#include "tests/test_util.h"
+
+namespace stems {
+namespace {
+
+using testing::ScanSpec;
+
+/// R(k, v) ⋈ S(k, w) ⋈ T(k, u) over skewed keys: every probe matches in
+/// bursts, and two queries over any table subset want the same SteM index
+/// (column 0), so pooled storages are actually shared.
+class SharedStemsTest : public ::testing::Test {
+ protected:
+  static void Fill(Engine* engine, size_t rows = 160) {
+    const std::vector<ColumnGenSpec> key_and_payload{
+        {"k", ColumnGenSpec::Kind::kUniform, 0, 23, 0, 1.0},
+        {"v", ColumnGenSpec::Kind::kSequential, 0, 0, 1, 1.0}};
+    uint64_t seed = 31;
+    for (const char* name : {"R", "S", "T"}) {
+      ASSERT_TRUE(engine
+                      ->AddTable(TableDef{name, SchemaFor(key_and_payload),
+                                          {ScanSpec(std::string(name) +
+                                                    ".scan")}},
+                                 GenerateRows(key_and_payload, rows, seed++))
+                      .ok());
+    }
+  }
+
+  /// Two-way join on column 0 of `left` and `right`.
+  static QuerySpec Join2(Engine* engine, const std::string& left,
+                         const std::string& right) {
+    QueryBuilder qb(engine->catalog());
+    qb.AddTable(left).AddTable(right);
+    qb.AddJoin(left + ".k", right + ".k");
+    return qb.Build().ValueOrDie();
+  }
+
+  static QuerySpec Chain3(Engine* engine) {
+    QueryBuilder qb(engine->catalog());
+    qb.AddTable("R").AddTable("S").AddTable("T");
+    qb.AddJoin("R.k", "S.k").AddJoin("S.k", "T.k");
+    return qb.Build().ValueOrDie();
+  }
+
+  /// Drains every handle and returns the per-query sorted result keys.
+  static std::vector<std::set<std::string>> DrainAll(
+      Engine* engine, std::vector<QueryHandle>* handles) {
+    engine->RunAll();
+    std::vector<std::set<std::string>> out;
+    for (QueryHandle& h : *handles) {
+      std::vector<std::string> dups;
+      out.push_back(KeysOf(h.eddy()->results(), &dups));
+      EXPECT_TRUE(dups.empty()) << dups.size() << " duplicate results";
+      EXPECT_EQ(h.Stats().constraint_violations, 0u);
+      EXPECT_TRUE(h.status().ok()) << h.status().ToString();
+    }
+    return out;
+  }
+};
+
+// --- acceptance matrix -------------------------------------------------------
+
+// For every policy × batch {1,64} × N∈{2,4}: N staggered concurrent queries
+// (same and overlapping table sets) with share_stems produce exactly the
+// private-run (and brute-force) result sets — also under the
+// LargerThanMemory spill preset — and the late-attaching queries actually
+// avoided build work.
+TEST_F(SharedStemsTest, StaggeredConcurrentQueriesAreExact) {
+  for (const std::string& policy : PolicyRegistry::Global().Names()) {
+    for (size_t batch : {size_t{1}, size_t{64}}) {
+      for (size_t n : {size_t{2}, size_t{4}}) {
+        for (int spill = 0; spill < 2; ++spill) {
+          SCOPED_TRACE(policy + " batch=" + std::to_string(batch) +
+                       " n=" + std::to_string(n) + " spill=" +
+                       std::to_string(spill));
+          RunOptions options =
+              spill ? RunOptions::LargerThanMemory(120) : RunOptions();
+          options.policy = policy;
+          options.batch_size = batch;
+          options.share_stems = true;
+          options.exec.scan_defaults.period = Micros(3);
+
+          Engine engine;
+          Fill(&engine);
+          // Same table set (R⋈S twice) interleaved with overlapping ones
+          // (S⋈T, R⋈S⋈T): SteM(S) is shared by all, SteM(R)/SteM(T) by
+          // some.
+          std::vector<QuerySpec> specs;
+          for (size_t i = 0; i < n; ++i) {
+            if (i % 3 == 1) {
+              specs.push_back(Join2(&engine, "S", "T"));
+            } else if (i % 3 == 2) {
+              specs.push_back(Chain3(&engine));
+            } else {
+              specs.push_back(Join2(&engine, "R", "S"));
+            }
+          }
+          std::vector<QueryHandle> handles;
+          for (size_t i = 0; i < n; ++i) {
+            handles.push_back(engine.Submit(specs[i], options).ValueOrDie());
+            // Stagger: let earlier queries build state before the next
+            // attaches (the late-attach visibility-epoch path).
+            auto cursor = handles.back().cursor();
+            for (int j = 0; j < 3 && cursor.Next(); ++j) {
+            }
+          }
+          const auto shared_results = DrainAll(&engine, &handles);
+
+          // Private baseline: same specs, sharing off, fresh engine.
+          RunOptions private_options = options;
+          private_options.share_stems = false;
+          Engine private_engine;
+          Fill(&private_engine);
+          std::vector<QueryHandle> private_handles;
+          std::vector<QuerySpec> private_specs;
+          for (size_t i = 0; i < n; ++i) {
+            if (i % 3 == 1) {
+              private_specs.push_back(Join2(&private_engine, "S", "T"));
+            } else if (i % 3 == 2) {
+              private_specs.push_back(Chain3(&private_engine));
+            } else {
+              private_specs.push_back(Join2(&private_engine, "R", "S"));
+            }
+          }
+          for (size_t i = 0; i < n; ++i) {
+            private_handles.push_back(
+                private_engine.Submit(private_specs[i], private_options)
+                    .ValueOrDie());
+          }
+          const auto private_results =
+              DrainAll(&private_engine, &private_handles);
+
+          for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(shared_results[i], private_results[i])
+                << "query " << i << " diverged from private run";
+            EXPECT_EQ(shared_results[i],
+                      BruteForceResultSet(specs[i], engine.store()))
+                << "query " << i << " diverged from brute force";
+            EXPECT_EQ(private_handles[i].Stats().stems_shared, 0u);
+            EXPECT_EQ(private_handles[i].Stats().builds_avoided, 0u);
+          }
+          // The late attacher rode on already-built state.
+          EXPECT_GT(handles.back().Stats().stems_shared, 0u);
+          EXPECT_GT(handles.back().Stats().builds_avoided, 0u);
+        }
+      }
+    }
+  }
+}
+
+// --- sharing mechanics -------------------------------------------------------
+
+TEST_F(SharedStemsTest, LateAttachAvoidsEveryBuildAfterCompletion) {
+  Engine engine;
+  Fill(&engine);
+  RunOptions options = RunOptions::MultiQuery();
+  options.exec.scan_defaults.period = Micros(3);
+  const QuerySpec spec = Join2(&engine, "R", "S");
+
+  QueryHandle first = engine.Submit(spec, options).ValueOrDie();
+  first.Wait();
+  const uint64_t stored = engine.stem_pool().pooled_storages();
+  EXPECT_EQ(stored, 2u);  // SteM(R) + SteM(S)
+
+  // Second, identical query while the first handle is still live: every
+  // distinct row is already stored, so *all* of its builds are avoided —
+  // the physical state is written once, engine-wide.
+  QueryHandle second = engine.Submit(spec, options).ValueOrDie();
+  second.Wait();
+  const QueryStats stats = second.Stats();
+  EXPECT_EQ(stats.stems_shared, 2u);
+  const Stem* r = second.eddy()->StemForTable("R");
+  const Stem* s = second.eddy()->StemForTable("S");
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(stats.builds_avoided, r->num_entries() + s->num_entries());
+  // The attach watermark marks the pre-existing state it adopted.
+  EXPECT_GT(r->attach_watermark(), 0u);
+  EXPECT_EQ(r->attach_watermark(), r->storage()->build_seq())
+      << "second query should not have grown the shared storage";
+  // Identical result sets, of course.
+  EXPECT_EQ(KeysOf(second.eddy()->results()),
+            KeysOf(first.eddy()->results()));
+}
+
+TEST_F(SharedStemsTest, PoolEvictsLazilyWhenLastQueryReleases) {
+  Engine engine;
+  Fill(&engine);
+  RunOptions shared = RunOptions::MultiQuery();
+  shared.exec.scan_defaults.period = Micros(3);
+  {
+    QueryHandle a = engine.Submit(Join2(&engine, "R", "S"), shared)
+                        .ValueOrDie();
+    QueryHandle b = engine.Submit(Join2(&engine, "S", "T"), shared)
+                        .ValueOrDie();
+    engine.RunAll();
+    EXPECT_EQ(engine.stem_pool().pooled_storages(), 3u);  // R, S (shared), T
+  }  // handles dropped; executions await pruning
+
+  // An unrelated private query pumps the engine: the retired executions
+  // prune, the last facades detach, and the pooled storages expire —
+  // detach, then (lazy) evict.
+  RunOptions private_options;
+  private_options.exec.scan_defaults.period = Micros(3);
+  QueryHandle nudge =
+      engine.Submit(Join2(&engine, "R", "T"), private_options).ValueOrDie();
+  nudge.Wait();
+  EXPECT_EQ(engine.stem_pool().pooled_storages(), 0u);
+  EXPECT_EQ(nudge.Stats().stems_shared, 0u);
+}
+
+TEST_F(SharedStemsTest, WindowedStemsStayPrivate) {
+  // Sliding-window SteMs (max_entries) are a per-query execution strategy:
+  // share_stems leaves them private rather than windowing a neighbour.
+  Engine engine;
+  Fill(&engine);
+  RunOptions options = RunOptions::MultiQuery();
+  options.exec.scan_defaults.period = Micros(3);
+  options.exec.stem_defaults.max_entries = 8;
+  QueryHandle a =
+      engine.Submit(Join2(&engine, "R", "S"), options).ValueOrDie();
+  QueryHandle b =
+      engine.Submit(Join2(&engine, "R", "S"), options).ValueOrDie();
+  engine.RunAll();
+  EXPECT_EQ(b.Stats().stems_shared, 0u);
+  EXPECT_EQ(b.Stats().builds_avoided, 0u);
+  EXPECT_EQ(engine.stem_pool().pooled_storages(), 0u);
+}
+
+TEST_F(SharedStemsTest, SharedSpillPartitionsStayExact) {
+  // Two staggered queries under a binding budget share spilled partitions:
+  // state lands in one run file, faults in for whichever query probes it,
+  // and both result sets stay exact.
+  Engine engine;
+  Fill(&engine, /*rows=*/240);
+  RunOptions options = RunOptions::LargerThanMemory(100);
+  options.share_stems = true;
+  options.exec.scan_defaults.period = Micros(3);
+  const QuerySpec spec = Join2(&engine, "R", "S");
+
+  QueryHandle a = engine.Submit(spec, options).ValueOrDie();
+  auto cursor = a.cursor();
+  for (int i = 0; i < 4 && cursor.Next(); ++i) {
+  }
+  QueryHandle b = engine.Submit(spec, options).ValueOrDie();
+  engine.RunAll();
+
+  const std::set<std::string> expected =
+      BruteForceResultSet(spec, engine.store());
+  EXPECT_EQ(KeysOf(a.eddy()->results()), expected);
+  EXPECT_EQ(KeysOf(b.eddy()->results()), expected);
+  EXPECT_GT(a.Stats().spill_ios + b.Stats().spill_ios, 0u)
+      << "budget never bound: the spill path was not exercised";
+  EXPECT_GT(b.Stats().builds_avoided, 0u);
+  EXPECT_EQ(a.Stats().constraint_violations, 0u);
+  EXPECT_EQ(b.Stats().constraint_violations, 0u);
+}
+
+// --- guard rails -------------------------------------------------------------
+
+TEST_F(SharedStemsTest, ValidationRejectsEvictingGovernorWithSharing) {
+  Engine engine;
+  Fill(&engine);
+  // A memory budget whose governor evicts (no spill) would window every
+  // attached query's join through the shared state: rejected up front.
+  RunOptions options;
+  options.share_stems = true;
+  options.memory_budget_entries = 64;
+  auto result = engine.Submit(Join2(&engine, "R", "S"), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // The spilling governor is the supported way to bound shared memory.
+  options.spill = true;
+  EXPECT_TRUE(engine.Submit(Join2(&engine, "R", "S"), options).ok());
+}
+
+TEST_F(SharedStemsTest, MultiQueryPresetSharesStems) {
+  const RunOptions preset = RunOptions::MultiQuery();
+  EXPECT_TRUE(preset.share_stems);
+  EXPECT_TRUE(preset.Validate().ok());
+}
+
+}  // namespace
+}  // namespace stems

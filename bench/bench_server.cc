@@ -1,0 +1,265 @@
+// bench_server: load generator for the network front-end (src/server/).
+//
+// Starts a Server on an ephemeral loopback port over a shared engine with
+// pooled SteMs, then drives it with N concurrent client threads split
+// across two tenants. Each client prepares a mixed statement set once and
+// then loops Bind -> Submit -> Fetch-to-end with random parameters,
+// timing every query wall-clock. Reports per-tenant p50/p99 latency and
+// queries/sec.
+//
+//   ./build/bench/bench_server [--quick] [--json BENCH_server.json]
+//
+// --quick shrinks the fleet and per-client query count for the CI
+// bench-smoke job, which merges the JSON (google-benchmark shaped:
+// {"benchmarks": [{"name": "BM_ServerLoad/tenant:...", ...}]}) into
+// BENCH_results.json and asserts p50/p99/qps are present and nonzero.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+
+using namespace stems;
+using server::Client;
+using server::Server;
+using server::ServerOptions;
+using server::TenantConfig;
+
+namespace {
+
+bool g_quick = false;
+size_t ClientsPerTenant() { return g_quick ? 2 : 4; }
+size_t QueriesPerClient() { return g_quick ? 12 : 60; }
+
+constexpr const char* kTenants[2] = {"tenant_a", "tenant_b"};
+
+/// The mixed prepared-statement set every client cycles through.
+const char* kStatements[] = {
+    "SELECT u.id, o.item_id FROM users u, orders o "
+    "WHERE u.id = o.user_id AND u.age >= $min",
+    "SELECT R.b, S.y FROM R, S WHERE R.a = S.x AND R.b >= $min",
+    "SELECT u.id FROM users u WHERE u.age >= $min",
+};
+constexpr size_t kNumStatements = sizeof(kStatements) / sizeof(kStatements[0]);
+
+void Fill(Engine* engine) {
+  std::vector<RowRef> users, orders, r, s;
+  Rng rng(7);
+  for (int64_t i = 1; i <= 50; ++i) {
+    users.push_back(MakeRow(
+        {Value::Int64(i), Value::Int64(20 + static_cast<int64_t>(
+                                               rng.NextBounded(40)))}));
+  }
+  for (int64_t i = 0; i < 120; ++i) {
+    orders.push_back(
+        MakeRow({Value::Int64(1 + static_cast<int64_t>(rng.NextBounded(50))),
+                 Value::Int64(static_cast<int64_t>(rng.NextBounded(20)))}));
+  }
+  for (int64_t i = 0; i < 80; ++i) {
+    r.push_back(MakeRow({Value::Int64(i % 16), Value::Int64(i)}));
+    s.push_back(MakeRow({Value::Int64(i % 16), Value::Int64(i % 8)}));
+  }
+  Schema users_schema({{"id", ValueType::kInt64}, {"age", ValueType::kInt64}});
+  Schema orders_schema(
+      {{"user_id", ValueType::kInt64}, {"item_id", ValueType::kInt64}});
+  Schema r_schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  Schema s_schema({{"x", ValueType::kInt64}, {"y", ValueType::kInt64}});
+  auto die = [](const Status& st) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  die(engine->AddTable(
+      TableDef{"users", users_schema,
+               {{"users.scan", AccessMethodKind::kScan, {}}}},
+      std::move(users)));
+  die(engine->AddTable(
+      TableDef{"orders", orders_schema,
+               {{"orders.scan", AccessMethodKind::kScan, {}}}},
+      std::move(orders)));
+  die(engine->AddTable(
+      TableDef{"R", r_schema, {{"R.scan", AccessMethodKind::kScan, {}}}},
+      std::move(r)));
+  die(engine->AddTable(
+      TableDef{"S", s_schema, {{"S.scan", AccessMethodKind::kScan, {}}}},
+      std::move(s)));
+}
+
+struct TenantSample {
+  std::vector<double> latencies_ms;  // one per completed query
+  double qps = 0;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+/// One client session's whole run; returns its per-query latencies.
+std::vector<double> RunClient(uint16_t port, const std::string& tenant,
+                              uint64_t seed) {
+  Client client;
+  Status st = client.Connect("127.0.0.1", port, tenant);
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  // Parse + bind once per statement; the loop below reuses the handles.
+  uint32_t stmt_ids[kNumStatements];
+  for (size_t i = 0; i < kNumStatements; ++i) {
+    auto prepared = client.Prepare(kStatements[i]);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare: %s\n",
+                   prepared.status().ToString().c_str());
+      std::exit(1);
+    }
+    stmt_ids[i] = prepared.Value().stmt_id;
+  }
+  Rng rng(seed);
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(QueriesPerClient());
+  for (size_t q = 0; q < QueriesPerClient(); ++q) {
+    const uint32_t stmt = stmt_ids[rng.NextBounded(kNumStatements)];
+    const int64_t min = static_cast<int64_t>(rng.NextBounded(50));
+    const auto t0 = std::chrono::steady_clock::now();
+    auto portal =
+        client.Bind(stmt, sql::SqlParams().Set("min", Value::Int64(min)));
+    if (!portal.ok()) std::exit(1);
+    auto submit = client.Submit(portal.Value());
+    if (!submit.ok()) std::exit(1);
+    while (true) {
+      auto fetch = client.Fetch(submit.Value().query_id);
+      if (!fetch.ok()) {
+        std::fprintf(stderr, "fetch: %s\n", fetch.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (fetch.Value().done) break;
+      if (fetch.Value().rows.empty()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  st = client.Close();
+  if (!st.ok()) {
+    std::fprintf(stderr, "close: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return latencies_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  Engine engine;
+  Fill(&engine);
+  ServerOptions options;
+  options.run_options.share_stems = true;
+  for (const char* name : kTenants) {
+    TenantConfig tenant;
+    tenant.name = name;
+    tenant.quota.max_concurrent_queries = 8;
+    tenant.quota.max_queued_submits = 64;
+    options.tenants.push_back(tenant);
+  }
+  Server server(&engine, options);
+  {
+    const Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const size_t fleet = 2 * ClientsPerTenant();
+  std::printf("bench_server: %zu clients x %zu queries over 2 tenants "
+              "(port %u)\n",
+              fleet, QueriesPerClient(), server.port());
+
+  std::vector<std::vector<double>> per_client(fleet);
+  std::vector<std::thread> threads;
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < fleet; ++i) {
+    const std::string tenant = kTenants[i % 2];
+    threads.emplace_back([&per_client, i, tenant, port = server.port()] {
+      per_client[i] = RunClient(port, tenant, /*seed=*/1000 + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall0)
+                            .count();
+
+  TenantSample samples[2];
+  for (size_t i = 0; i < fleet; ++i) {
+    auto& sample = samples[i % 2];
+    sample.latencies_ms.insert(sample.latencies_ms.end(),
+                               per_client[i].begin(), per_client[i].end());
+  }
+
+  std::string json = "{\n \"benchmarks\": [\n";
+  for (size_t t = 0; t < 2; ++t) {
+    const auto& sample = samples[t];
+    const double p50 = Percentile(sample.latencies_ms, 0.50);
+    const double p99 = Percentile(sample.latencies_ms, 0.99);
+    const double qps =
+        static_cast<double>(sample.latencies_ms.size()) / wall_s;
+    const server::TenantRollup rollup = server.TenantStats(kTenants[t]);
+    std::printf(
+        "%s: %zu queries  p50 %.3f ms  p99 %.3f ms  %.0f qps  "
+        "(%llu results, %llu queued, %llu rejected)\n",
+        kTenants[t], sample.latencies_ms.size(), p50, p99, qps,
+        static_cast<unsigned long long>(rollup.num_results),
+        static_cast<unsigned long long>(rollup.queries_queued),
+        static_cast<unsigned long long>(rollup.queries_rejected));
+    char entry[512];
+    std::snprintf(entry, sizeof(entry),
+                  "  {\"name\": \"BM_ServerLoad/tenant:%s\", "
+                  "\"p50_ms\": %.6f, \"p99_ms\": %.6f, \"qps\": %.3f, "
+                  "\"num_results\": %llu}%s\n",
+                  kTenants[t], p50, p99, qps,
+                  static_cast<unsigned long long>(rollup.num_results),
+                  t + 1 < 2 ? "," : "");
+    json += entry;
+  }
+  json += " ]\n}\n";
+
+  server.Shutdown();
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// stems_cli: the engine served over its wire protocol (src/server/).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/stems_cli
+//
+// Where quickstart runs queries in process, this example is the serving
+// topology: a Server multiplexes N client sessions onto one shared Engine
+// over a length-prefixed binary protocol on loopback TCP (docs/server.md).
+// It starts a server on an ephemeral port, connects a Client as a tenant,
+// runs a parameterized prepared statement twice with different bindings,
+// shows a positioned SQL error frame, and prints the tenant's rolled-up
+// stats. Doubles as a smoke test: cardinalities are asserted, so a wrong
+// result set fails the binary.
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+
+using namespace stems;
+using server::Client;
+using server::Server;
+using server::ServerOptions;
+using server::TenantConfig;
+
+namespace {
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. Populate the shared engine, exactly as an in-process caller would.
+  Engine engine;
+  Schema users({{"id", ValueType::kInt64}, {"age", ValueType::kInt64}});
+  Schema orders(
+      {{"user_id", ValueType::kInt64}, {"item_id", ValueType::kInt64}});
+  engine.AddTable(
+      TableDef{"users", users, {{"users.scan", AccessMethodKind::kScan, {}}}},
+      {MakeRow({Value::Int64(1), Value::Int64(34)}),
+       MakeRow({Value::Int64(2), Value::Int64(57)}),
+       MakeRow({Value::Int64(3), Value::Int64(25)})});
+  engine.AddTable(
+      TableDef{"orders", orders,
+               {{"orders.scan", AccessMethodKind::kScan, {}}}},
+      {MakeRow({Value::Int64(1), Value::Int64(10)}),
+       MakeRow({Value::Int64(1), Value::Int64(11)}),
+       MakeRow({Value::Int64(2), Value::Int64(10)}),
+       MakeRow({Value::Int64(3), Value::Int64(12)})});
+
+  // 2. Serve it: ephemeral loopback port, one configured tenant whose
+  //    SteM state is pooled across queries (the serving configuration).
+  ServerOptions options;
+  options.run_options.share_stems = true;
+  TenantConfig tenant;
+  tenant.name = "demo";
+  tenant.quota.max_concurrent_queries = 4;
+  options.tenants = {tenant};
+  Server server(&engine, options);
+  Check(server.Start().ok(), "server start");
+  std::printf("serving on 127.0.0.1:%u\n", server.port());
+
+  // 3. Connect as the tenant and run a prepared statement twice.
+  Client client;
+  Check(client.Connect("127.0.0.1", server.port(), "demo").ok(), "connect");
+  const char* sql =
+      "SELECT u.id, o.item_id FROM users u, orders o "
+      "WHERE u.id = o.user_id AND u.age >= $min";
+  std::printf("query: %s\n", sql);
+  auto prepared = client.Prepare(sql);
+  Check(prepared.ok(), "prepare");
+
+  size_t cardinalities[2] = {0, 0};
+  const int64_t mins[2] = {30, 50};
+  for (int round = 0; round < 2; ++round) {
+    auto portal = client.Bind(
+        prepared.Value().stmt_id,
+        sql::SqlParams().Set("min", Value::Int64(mins[round])));
+    Check(portal.ok(), "bind");
+    auto submit = client.Submit(portal.Value());
+    Check(submit.ok(), "submit");
+    std::printf("$min = %lld:\n", static_cast<long long>(mins[round]));
+    while (true) {
+      auto fetch = client.Fetch(submit.Value().query_id);
+      Check(fetch.ok(), "fetch");
+      for (const auto& row : fetch.Value().rows) {
+        std::printf("  u.id=%s  o.item_id=%s\n", row[0].ToString().c_str(),
+                    row[1].ToString().c_str());
+        ++cardinalities[round];
+      }
+      if (fetch.Value().done) break;
+    }
+  }
+  // users 1 and 2 pass age >= 30 (3 orders); only user 2 passes age >= 50.
+  Check(cardinalities[0] == 3, "expected 3 rows for $min = 30");
+  Check(cardinalities[1] == 1, "expected 1 row for $min = 50");
+
+  // 4. Errors come back as typed frames with a SQL source position.
+  auto bad = client.Prepare("SELECT u.id FROM users u WHERE u.age > ");
+  Check(!bad.ok(), "bad SQL must fail");
+  std::printf("error frame: [%s] %s (at %u:%u)\n",
+              StatusCodeName(client.last_error().code),
+              client.last_error().message.c_str(),
+              client.last_error().sql_line, client.last_error().sql_column);
+
+  // 5. The tenant's rolled-up stats, served over the Stats frame.
+  auto stats = client.TenantStats();
+  Check(stats.ok(), "stats");
+  std::printf("tenant 'demo' rollup:\n");
+  for (const auto& [name, value] : stats.Value()) {
+    if (value != 0) {
+      std::printf("  %-20s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+
+  Check(client.Close().ok(), "close");
+  server.Shutdown();
+  std::printf("OK\n");
+  return 0;
+}

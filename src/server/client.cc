@@ -1,0 +1,255 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace stems::server {
+
+Client::~Client() { Abort(); }
+
+Status Client::ConnectRawForTest(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::AlreadyExists("client already connected");
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Abort();
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::Internal(std::string("connect(): ") +
+                                       std::strerror(errno));
+    Abort();
+    return st;
+  }
+  return Status::OK();
+}
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       const std::string& tenant, const std::string& token) {
+  STEMS_RETURN_NOT_OK(ConnectRawForTest(host, port));
+  wire::HelloRequest hello;
+  hello.tenant = tenant;
+  hello.token = token;
+  std::string payload;
+  Status st = RoundTrip(wire::Encode(hello), wire::FrameType::kHelloOk,
+                        &payload);
+  if (!st.ok()) {
+    Abort();
+    return st;
+  }
+  wire::HelloOk ok;
+  st = wire::Decode(payload, &ok);
+  if (!st.ok()) {
+    Abort();
+    return st;
+  }
+  session_id_ = ok.session_id;
+  return Status::OK();
+}
+
+Result<PrepareResult> Client::Prepare(const std::string& sql) {
+  wire::PrepareRequest request;
+  request.stmt_id = next_stmt_id_++;
+  request.sql = sql;
+  std::string payload;
+  STEMS_RETURN_NOT_OK(
+      RoundTrip(wire::Encode(request), wire::FrameType::kPrepareOk, &payload));
+  wire::PrepareOk ok;
+  STEMS_RETURN_NOT_OK(wire::Decode(payload, &ok));
+  PrepareResult result;
+  result.stmt_id = ok.stmt_id;
+  result.num_params = ok.num_params;
+  result.columns = std::move(ok.columns);
+  return result;
+}
+
+Result<uint32_t> Client::Bind(uint32_t stmt_id, const sql::SqlParams& params) {
+  wire::BindRequest request;
+  request.stmt_id = stmt_id;
+  request.portal_id = next_portal_id_++;
+  request.positional = params.positional();
+  request.named = params.named();
+  std::string payload;
+  STEMS_RETURN_NOT_OK(
+      RoundTrip(wire::Encode(request), wire::FrameType::kBindOk, &payload));
+  wire::BindOk ok;
+  STEMS_RETURN_NOT_OK(wire::Decode(payload, &ok));
+  return ok.portal_id;
+}
+
+Result<SubmitResult> Client::Submit(uint32_t portal_id,
+                                    const std::string& preset) {
+  wire::SubmitRequest request;
+  request.portal_id = portal_id;
+  request.preset = preset;
+  std::string payload;
+  STEMS_RETURN_NOT_OK(
+      RoundTrip(wire::Encode(request), wire::FrameType::kSubmitOk, &payload));
+  wire::SubmitOk ok;
+  STEMS_RETURN_NOT_OK(wire::Decode(payload, &ok));
+  SubmitResult result;
+  result.query_id = ok.query_id;
+  result.admitted = ok.admitted;
+  result.queue_position = ok.queue_position;
+  return result;
+}
+
+Result<FetchResult> Client::Fetch(uint64_t query_id, uint32_t max_rows) {
+  wire::FetchRequest request;
+  request.query_id = query_id;
+  request.max_rows = max_rows;
+  std::string payload;
+  STEMS_RETURN_NOT_OK(
+      RoundTrip(wire::Encode(request), wire::FrameType::kRows, &payload));
+  wire::RowsResponse rows;
+  STEMS_RETURN_NOT_OK(wire::Decode(payload, &rows));
+  FetchResult result;
+  result.rows = std::move(rows.rows);
+  result.done = rows.done;
+  return result;
+}
+
+Status Client::Cancel(uint64_t query_id) {
+  wire::CancelRequest request;
+  request.query_id = query_id;
+  std::string payload;
+  STEMS_RETURN_NOT_OK(
+      RoundTrip(wire::Encode(request), wire::FrameType::kCancelOk, &payload));
+  wire::CancelOk ok;
+  return wire::Decode(payload, &ok);
+}
+
+Result<std::vector<std::pair<std::string, uint64_t>>> Client::TenantStats() {
+  std::string payload;
+  STEMS_RETURN_NOT_OK(RoundTrip(wire::EncodeStatsRequest(),
+                                wire::FrameType::kStatsOk, &payload));
+  wire::StatsOk ok;
+  STEMS_RETURN_NOT_OK(wire::Decode(payload, &ok));
+  return std::move(ok.counters);
+}
+
+Status Client::Close() {
+  if (fd_ < 0) return Status::OK();
+  std::string payload;
+  const Status st = RoundTrip(wire::EncodeCloseRequest(),
+                              wire::FrameType::kCloseOk, &payload);
+  Abort();
+  return st;
+}
+
+void Client::Abort() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::vector<std::vector<Value>>> Client::RunQuery(
+    const std::string& sql, const sql::SqlParams& params,
+    const std::string& preset) {
+  STEMS_ASSIGN_OR_RETURN(PrepareResult prepared, Prepare(sql));
+  STEMS_ASSIGN_OR_RETURN(uint32_t portal, Bind(prepared.stmt_id, params));
+  STEMS_ASSIGN_OR_RETURN(SubmitResult submit, Submit(portal, preset));
+  std::vector<std::vector<Value>> rows;
+  while (true) {
+    STEMS_ASSIGN_OR_RETURN(FetchResult fetch, Fetch(submit.query_id));
+    for (auto& row : fetch.rows) rows.push_back(std::move(row));
+    if (fetch.done) return rows;
+    if (fetch.rows.empty()) {
+      // Queued behind the tenant's admission quota (or mid-admission):
+      // back off briefly instead of hot-spinning the server.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+Status Client::SendRaw(const void* data, size_t size) {
+  return WriteAll(data, size);
+}
+
+Status Client::ReadFrameRaw(wire::FrameType* type, std::string* payload) {
+  uint8_t header[wire::kHeaderBytes];
+  STEMS_RETURN_NOT_OK(ReadExactly(header, sizeof(header)));
+  wire::FrameHeader decoded;
+  STEMS_RETURN_NOT_OK(
+      wire::DecodeFrameHeader(header, wire::kMaxFramePayload, &decoded));
+  payload->resize(decoded.payload_len);
+  if (decoded.payload_len > 0) {
+    STEMS_RETURN_NOT_OK(ReadExactly(payload->data(), decoded.payload_len));
+  }
+  *type = decoded.type;
+  return Status::OK();
+}
+
+Status Client::RoundTrip(const std::string& frame, wire::FrameType expected,
+                         std::string* response_payload) {
+  STEMS_RETURN_NOT_OK(WriteAll(frame.data(), frame.size()));
+  wire::FrameType type;
+  STEMS_RETURN_NOT_OK(ReadFrameRaw(&type, response_payload));
+  if (type == wire::FrameType::kError) {
+    wire::ErrorResponse error;
+    STEMS_RETURN_NOT_OK(wire::Decode(*response_payload, &error));
+    last_error_.code = error.code;
+    last_error_.message = error.message;
+    last_error_.sql_line = error.sql_line;
+    last_error_.sql_column = error.sql_column;
+    last_error_.retry_after_ms = error.retry_after_ms;
+    return wire::StatusFromError(error);
+  }
+  if (type != expected) {
+    return Status::Internal(std::string("protocol error: expected ") +
+                            wire::FrameTypeName(expected) + ", got " +
+                            wire::FrameTypeName(type));
+  }
+  return Status::OK();
+}
+
+Status Client::WriteAll(const void* data, size_t size) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal("connection lost while sending");
+  }
+  return Status::OK();
+}
+
+Status Client::ReadExactly(void* data, size_t size) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = recv(fd_, p + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal("connection closed by server");
+  }
+  return Status::OK();
+}
+
+}  // namespace stems::server

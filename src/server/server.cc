@@ -1,0 +1,1021 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace stems::server {
+
+namespace {
+
+constexpr char kServerVersion[] = "stems-server/1";
+constexpr int kPollTimeoutMs = 20;
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Maps a Submit frame's preset string onto RunOptions. "" keeps the
+/// server's configured base options.
+Result<RunOptions> OptionsForPreset(const RunOptions& base,
+                                    const std::string& preset) {
+  if (preset.empty()) return base;
+  if (preset == "paper") return RunOptions::Paper();
+  if (preset == "low_memory") return RunOptions::LowMemory();
+  if (preset == "larger_than_memory") return RunOptions::LargerThanMemory();
+  if (preset == "multi_query") return RunOptions::MultiQuery();
+  return Status::InvalidArgument(
+      "unknown RunOptions preset '" + preset +
+      "' (expected one of: paper, low_memory, larger_than_memory, "
+      "multi_query)");
+}
+
+}  // namespace
+
+/// One running query of a session. Before admission it holds the bound
+/// spec waiting in the tenant's queue; after admission, the live handle.
+struct Server::QueryRec {
+  std::string tenant;
+  bool admitted = false;
+  /// Governor slot + memory charge returned and stats rolled up.
+  bool slot_released = false;
+  QuerySpec spec;
+  RunOptions options;
+  /// Declared memory budget (entries); 0 charges the tenant default.
+  size_t memory_charge = 0;
+  QueryHandle handle;
+  /// Spill I/Os already reported to the governor's accounting window.
+  uint64_t last_spill_ios = 0;
+  /// A deferred (queued) submit that failed at admission time; surfaced
+  /// as the Error response of the next Fetch.
+  Status submit_error;
+};
+
+/// One client connection. Socket-side fields belong to the network
+/// thread, protocol state to the engine thread; the output buffer is the
+/// shared hand-off (engine appends, network flushes).
+struct Server::Session {
+  uint64_t id = 0;
+  int fd = -1;
+
+  // --- network-thread-owned -------------------------------------------------
+  std::string in_buffer;
+  /// Set on an unrecoverable framing error: the byte stream cannot be
+  /// resynchronized, so no further frames are parsed.
+  bool reading_paused = false;
+  /// A decoded frame the bounded request queue had no room for; retried
+  /// before any further parsing (frames must stay ordered).
+  Request stalled_request;
+  bool has_stalled = false;
+
+  // --- shared output path ---------------------------------------------------
+  std::mutex out_mu;
+  std::string out_buffer;
+  size_t out_offset = 0;
+  bool close_after_flush = false;
+
+  std::atomic<bool> fd_closed{false};
+  std::atomic<bool> engine_cleared{false};
+  std::atomic<bool> disconnect_queued{false};
+
+  // --- engine-thread-owned --------------------------------------------------
+  enum class State { kAwaitHello, kReady, kClosing };
+  State state = State::kAwaitHello;
+  std::string tenant;
+  bool cleaned = false;
+  std::unordered_map<uint32_t, PreparedQuery> prepared;
+  std::unordered_map<uint32_t, QuerySpec> portals;
+  std::map<uint64_t, QueryRec> queries;
+};
+
+// --- RequestQueue ------------------------------------------------------------
+
+bool Server::RequestQueue::TryPush(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void Server::RequestQueue::PushControl(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+}
+
+bool Server::RequestQueue::PopWithTimeout(Request* request,
+                                          std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty(); })) {
+    return false;
+  }
+  *request = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+size_t Server::RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Server::RequestQueue::WakeAll() { cv_.notify_all(); }
+
+// --- lifecycle ---------------------------------------------------------------
+
+Server::Server(Engine* engine, ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      queue_(std::max<size_t>(options_.request_queue_capacity, 1)) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (started_) return Status::AlreadyExists("server already started");
+  if (options_.max_frame_payload < 64 ||
+      options_.max_frame_payload > wire::kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "max_frame_payload must be in [64, " +
+        std::to_string(wire::kMaxFramePayload) + "]");
+  }
+  STEMS_RETURN_NOT_OK(options_.run_options.Validate());
+  for (const TenantConfig& cfg : options_.tenants) {
+    STEMS_RETURN_NOT_OK(governor_.RegisterTenant(cfg.name, cfg.quota));
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st =
+        Status::Internal(std::string("bind(): ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, 128) != 0) {
+    const Status st =
+        Status::Internal(std::string("listen(): ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  SetNonBlocking(listen_fd_);
+  if (pipe(wake_pipe_) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("pipe(): ") + std::strerror(errno));
+  }
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+
+  shutdown_requested_ = false;
+  stop_net_ = false;
+  engine_thread_done_ = false;
+  started_ = true;
+  net_thread_ = std::thread([this] { NetThreadMain(); });
+  engine_thread_ = std::thread([this] { EngineThreadMain(); });
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (!started_) return;
+  shutdown_deadline_ = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.shutdown_drain_ms);
+  shutdown_requested_ = true;
+  queue_.WakeAll();
+  WakeNet();
+  if (engine_thread_.joinable()) engine_thread_.join();
+  stop_net_ = true;
+  WakeNet();
+  if (net_thread_.joinable()) net_thread_.join();
+  if (wake_pipe_[0] >= 0) close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.clear();
+  }
+  started_ = false;
+}
+
+size_t Server::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  size_t n = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (!session->fd_closed) ++n;
+  }
+  return n;
+}
+
+std::shared_ptr<Server::Session> Server::FindSession(
+    uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+// --- network thread ----------------------------------------------------------
+
+void Server::WakeNet() {
+  if (wake_pipe_[1] < 0) return;
+  const char byte = 1;
+  // A full pipe already guarantees a pending wake-up.
+  [[maybe_unused]] ssize_t n = write(wake_pipe_[1], &byte, 1);
+}
+
+void Server::AcceptNewSession() {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: try next tick
+    SetNonBlocking(fd);
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      close(fd);
+      return;
+    }
+    session->id = next_session_id_++;
+    sessions_[session->id] = session;
+  }
+}
+
+bool Server::ReadFromSession(const std::shared_ptr<Session>& session) {
+  char buf[65536];
+  while (true) {
+    const ssize_t n = recv(session->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      session->in_buffer.append(buf, static_cast<size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Server::FlushSession(const std::shared_ptr<Session>& session) {
+  std::lock_guard<std::mutex> lock(session->out_mu);
+  while (session->out_offset < session->out_buffer.size()) {
+    const ssize_t n =
+        send(session->fd, session->out_buffer.data() + session->out_offset,
+             session->out_buffer.size() - session->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      session->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Write error: the disconnect shows up as a read failure next tick.
+    break;
+  }
+  if (session->out_offset == session->out_buffer.size()) {
+    session->out_buffer.clear();
+    session->out_offset = 0;
+  }
+}
+
+void Server::CloseSessionFd(const std::shared_ptr<Session>& session) {
+  if (session->fd_closed.exchange(true)) return;
+  close(session->fd);
+  if (!session->disconnect_queued.exchange(true)) {
+    Request request;
+    request.kind = Request::Kind::kDisconnect;
+    request.session_id = session->id;
+    queue_.PushControl(std::move(request));
+  }
+}
+
+void Server::NetThreadMain() {
+  while (!stop_net_) {
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Session>> polled;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    bool accepting = false;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      accepting = !shutdown_requested_ &&
+                  sessions_.size() < options_.max_sessions;
+    }
+    const size_t listen_idx = fds.size();
+    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (auto it = sessions_.begin(); it != sessions_.end();) {
+        const std::shared_ptr<Session>& session = it->second;
+        if (session->fd_closed) {
+          // The engine thread has released this session's queries and
+          // governor charges; the map entry is all that remains.
+          if (session->engine_cleared) {
+            it = sessions_.erase(it);
+            continue;
+          }
+          ++it;
+          continue;
+        }
+        short events = 0;
+        if (!session->reading_paused) events |= POLLIN;
+        {
+          std::lock_guard<std::mutex> out_lock(session->out_mu);
+          if (session->out_offset < session->out_buffer.size()) {
+            events |= POLLOUT;
+          }
+        }
+        fds.push_back({session->fd, events, 0});
+        polled.push_back(session);
+        ++it;
+      }
+    }
+
+    poll(fds.data(), static_cast<nfds_t>(fds.size()), kPollTimeoutMs);
+
+    if (fds[0].revents & POLLIN) {
+      char drain[256];
+      while (read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (accepting && (fds[listen_idx].revents & POLLIN)) AcceptNewSession();
+
+    const size_t first_session = accepting ? listen_idx + 1 : listen_idx;
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const std::shared_ptr<Session>& session = polled[i];
+      const short revents = fds[first_session + i].revents;
+      if (session->fd_closed) continue;
+      if (revents & POLLOUT) FlushSession(session);
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        if (!ReadFromSession(session)) {
+          CloseSessionFd(session);
+          continue;
+        }
+      }
+      ParseFrames(session);
+      // Server-initiated close: everything flushed, nothing more to say.
+      bool flushed = false;
+      bool closing = false;
+      {
+        std::lock_guard<std::mutex> out_lock(session->out_mu);
+        flushed = session->out_offset == session->out_buffer.size();
+        closing = session->close_after_flush;
+      }
+      if (closing && flushed) CloseSessionFd(session);
+    }
+  }
+
+  // Shutdown: one best-effort flush, then close everything.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto& [id, session] : sessions_) {
+    if (session->fd_closed) continue;
+    FlushSession(session);
+    session->fd_closed = true;
+    close(session->fd);
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::ParseFrames(const std::shared_ptr<Session>& session) {
+  while (!session->reading_paused) {
+    if (session->has_stalled) {
+      if (!queue_.TryPush(std::move(session->stalled_request))) return;
+      session->has_stalled = false;
+    }
+    wire::FrameHeader header;
+    std::string payload;
+    Status error;
+    if (!wire::TryExtractFrame(&session->in_buffer,
+                               options_.max_frame_payload, &header, &payload,
+                               &error)) {
+      if (!error.ok()) {
+        // The stream cannot be resynchronized: stop parsing and let the
+        // engine thread answer with an error frame and close.
+        session->reading_paused = true;
+        Request request;
+        request.kind = Request::Kind::kProtocolError;
+        request.session_id = session->id;
+        request.payload = error.message();
+        queue_.PushControl(std::move(request));
+      }
+      return;
+    }
+    Request request;
+    request.kind = Request::Kind::kFrame;
+    request.session_id = session->id;
+    request.type = header.type;
+    request.payload = std::move(payload);
+    if (!queue_.TryPush(std::move(request))) {
+      // Bounded-queue backpressure: park the frame, retry next tick; the
+      // unread socket bytes throttle the client.
+      session->stalled_request = std::move(request);
+      session->has_stalled = true;
+      return;
+    }
+  }
+}
+
+// --- engine thread -----------------------------------------------------------
+
+void Server::EngineThreadMain() {
+  while (true) {
+    Request request;
+    if (queue_.PopWithTimeout(&request, std::chrono::milliseconds(20))) {
+      ProcessRequest(request);
+    }
+    SweepCompletions();
+    if (shutdown_requested_ &&
+        (Drained() ||
+         std::chrono::steady_clock::now() >= shutdown_deadline_)) {
+      CancelAllQueries();
+      break;
+    }
+  }
+  engine_thread_done_ = true;
+}
+
+bool Server::Drained() const {
+  if (queue_.size() != 0) return false;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& [id, session] : sessions_) {
+    if (session->cleaned) continue;
+    for (const auto& [qid, rec] : session->queries) {
+      if (!rec.admitted && rec.submit_error.ok()) return false;  // queued
+      if (rec.admitted && rec.handle.valid() && !rec.handle.done()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Server::CancelAllQueries() {
+  std::vector<std::shared_ptr<Session>> all;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, session] : sessions_) all.push_back(session);
+  }
+  for (auto& session : all) {
+    CleanupSessionState(session);
+    session->engine_cleared = true;
+  }
+}
+
+void Server::ProcessRequest(const Request& request) {
+  std::shared_ptr<Session> session = FindSession(request.session_id);
+  if (session == nullptr) return;
+  switch (request.kind) {
+    case Request::Kind::kDisconnect:
+      CleanupSessionState(session);
+      session->engine_cleared = true;
+      return;
+    case Request::Kind::kProtocolError:
+      SendErrorAndClose(session, Status::InvalidArgument(request.payload));
+      return;
+    case Request::Kind::kFrame:
+      if (session->state == Session::State::kClosing) return;
+      ProcessFrame(session, request.type, request.payload);
+      return;
+  }
+}
+
+void Server::ProcessFrame(const std::shared_ptr<Session>& session,
+                          wire::FrameType type, const std::string& payload) {
+  using wire::FrameType;
+  if (session->state == Session::State::kAwaitHello &&
+      type != FrameType::kHello) {
+    SendErrorAndClose(
+        session,
+        Status::InvalidArgument(std::string("out-of-order frame: ") +
+                                wire::FrameTypeName(type) +
+                                " before Hello (the session must "
+                                "authenticate first)"));
+    return;
+  }
+  switch (type) {
+    case FrameType::kHello:
+      if (session->state != Session::State::kAwaitHello) {
+        SendErrorAndClose(session,
+                          Status::InvalidArgument(
+                              "out-of-order frame: duplicate Hello on an "
+                              "authenticated session"));
+        return;
+      }
+      HandleHello(session, payload);
+      return;
+    case FrameType::kPrepare:
+      HandlePrepare(session, payload);
+      return;
+    case FrameType::kBind:
+      HandleBind(session, payload);
+      return;
+    case FrameType::kSubmit:
+      HandleSubmit(session, payload);
+      return;
+    case FrameType::kFetch:
+      HandleFetch(session, payload);
+      return;
+    case FrameType::kCancel:
+      HandleCancel(session, payload);
+      return;
+    case FrameType::kStats:
+      HandleStats(session);
+      return;
+    case FrameType::kClose:
+      CleanupSessionState(session);
+      session->state = Session::State::kClosing;
+      SendFrame(session, wire::EncodeCloseOk());
+      {
+        std::lock_guard<std::mutex> lock(session->out_mu);
+        session->close_after_flush = true;
+      }
+      WakeNet();
+      return;
+    default:
+      SendErrorAndClose(
+          session,
+          Status::InvalidArgument(
+              "unknown frame type " +
+              std::to_string(static_cast<unsigned>(type)) +
+              " (a response type, or a type this server does not speak)"));
+      return;
+  }
+}
+
+void Server::HandleHello(const std::shared_ptr<Session>& session,
+                         const std::string& payload) {
+  wire::HelloRequest hello;
+  Status st = wire::Decode(payload, &hello);
+  if (!st.ok()) {
+    SendErrorAndClose(session, st);
+    return;
+  }
+  if (hello.protocol_version != wire::kProtocolVersion) {
+    SendErrorAndClose(
+        session, Status::Unsupported(
+                     "protocol version " +
+                     std::to_string(hello.protocol_version) +
+                     " not supported (server speaks version " +
+                     std::to_string(wire::kProtocolVersion) + ")"));
+    return;
+  }
+  if (hello.tenant.empty()) {
+    SendErrorAndClose(session,
+                      Status::InvalidArgument("Hello: tenant must be named"));
+    return;
+  }
+  if (options_.tenants.empty()) {
+    // Open mode: first connection of a tenant registers it.
+    if (!governor_.HasTenant(hello.tenant)) {
+      (void)governor_.RegisterTenant(hello.tenant, TenantQuota{});
+    }
+  } else {
+    const TenantConfig* config = nullptr;
+    for (const TenantConfig& cfg : options_.tenants) {
+      if (cfg.name == hello.tenant) {
+        config = &cfg;
+        break;
+      }
+    }
+    if (config == nullptr) {
+      SendErrorAndClose(session, Status::NotFound("unknown tenant '" +
+                                                  hello.tenant + "'"));
+      return;
+    }
+    if (!config->token.empty() && config->token != hello.token) {
+      SendErrorAndClose(
+          session, Status::InvalidArgument("authentication failed for "
+                                           "tenant '" +
+                                           hello.tenant + "'"));
+      return;
+    }
+  }
+  session->tenant = hello.tenant;
+  session->state = Session::State::kReady;
+  wire::HelloOk ok;
+  ok.session_id = session->id;
+  ok.server_version = kServerVersion;
+  SendFrame(session, wire::Encode(ok));
+}
+
+void Server::HandlePrepare(const std::shared_ptr<Session>& session,
+                           const std::string& payload) {
+  wire::PrepareRequest request;
+  Status st = wire::Decode(payload, &request);
+  if (!st.ok()) {
+    SendErrorAndClose(session, st);
+    return;
+  }
+  Result<PreparedQuery> prepared = engine_->Prepare(request.sql);
+  if (!prepared.ok()) {
+    // SQL errors are the session's business, not a protocol violation:
+    // the error frame carries the positioned diagnostic and the session
+    // lives on.
+    SendError(session, prepared.status());
+    return;
+  }
+  wire::PrepareOk ok;
+  ok.stmt_id = request.stmt_id;
+  ok.num_params = static_cast<uint16_t>(prepared.Value().params().size());
+  const Schema& schema = prepared.Value().spec().output_schema();
+  for (const ColumnDef& col : schema.columns()) {
+    ok.columns.emplace_back(col.name, col.type);
+  }
+  session->prepared[request.stmt_id] = std::move(prepared).Value();
+  SendFrame(session, wire::Encode(ok));
+}
+
+void Server::HandleBind(const std::shared_ptr<Session>& session,
+                        const std::string& payload) {
+  wire::BindRequest request;
+  Status st = wire::Decode(payload, &request);
+  if (!st.ok()) {
+    SendErrorAndClose(session, st);
+    return;
+  }
+  auto it = session->prepared.find(request.stmt_id);
+  if (it == session->prepared.end()) {
+    SendError(session,
+              Status::NotFound("Bind: unknown statement id " +
+                               std::to_string(request.stmt_id) +
+                               " (Prepare it first)"));
+    return;
+  }
+  sql::SqlParams params;
+  for (const Value& v : request.positional) params.Add(v);
+  for (const auto& [name, v] : request.named) params.Set(name, v);
+  BoundQuery bound = it->second.Bind(params);
+  if (!bound.status().ok()) {
+    SendError(session, bound.status());
+    return;
+  }
+  session->portals[request.portal_id] = bound.spec();
+  wire::BindOk ok;
+  ok.portal_id = request.portal_id;
+  SendFrame(session, wire::Encode(ok));
+}
+
+Status Server::StartQuery(const std::shared_ptr<Session>& session,
+                          QueryRec* rec) {
+  Result<QueryHandle> result = engine_->Submit(rec->spec, rec->options);
+  if (!result.ok()) return result.status();
+  rec->handle = std::move(result).Value();
+  rec->admitted = true;
+  if (options_.post_submit_hook) {
+    options_.post_submit_hook(session->tenant, rec->handle);
+  }
+  return Status::OK();
+}
+
+void Server::HandleSubmit(const std::shared_ptr<Session>& session,
+                          const std::string& payload) {
+  wire::SubmitRequest request;
+  Status st = wire::Decode(payload, &request);
+  if (!st.ok()) {
+    SendErrorAndClose(session, st);
+    return;
+  }
+  auto portal = session->portals.find(request.portal_id);
+  if (portal == session->portals.end()) {
+    SendError(session,
+              Status::NotFound("Submit: unknown portal id " +
+                               std::to_string(request.portal_id) +
+                               " (Bind it first)"));
+    return;
+  }
+  Result<RunOptions> options =
+      OptionsForPreset(options_.run_options, request.preset);
+  if (!options.ok()) {
+    SendError(session, options.status());
+    return;
+  }
+
+  QueryRec rec;
+  rec.tenant = session->tenant;
+  rec.spec = portal->second;
+  rec.options = std::move(options).Value();
+  rec.memory_charge = rec.options.memory_budget_entries;
+
+  const AdmissionDecision decision =
+      governor_.OnSubmit(session->tenant, rec.memory_charge);
+  if (decision.outcome == AdmissionOutcome::kReject) {
+    SendError(session, decision.status, decision.retry_after_ms);
+    return;
+  }
+  const uint64_t query_id = next_query_id_++;
+  if (decision.outcome == AdmissionOutcome::kAdmit) {
+    Status start = StartQuery(session, &rec);
+    if (!start.ok()) {
+      governor_.OnQueryFinished(session->tenant, rec.memory_charge,
+                                QueryStats{}, start);
+      SendError(session, start);
+      return;
+    }
+    session->queries.emplace(query_id, std::move(rec));
+    wire::SubmitOk ok;
+    ok.query_id = query_id;
+    ok.admitted = true;
+    SendFrame(session, wire::Encode(ok));
+    return;
+  }
+  // Queued: the spec waits in the tenant's admission queue; Fetch serves
+  // rows once capacity frees.
+  session->queries.emplace(query_id, std::move(rec));
+  auto& queue = pending_submits_[session->tenant];
+  queue.emplace_back(session->id, query_id);
+  wire::SubmitOk ok;
+  ok.query_id = query_id;
+  ok.admitted = false;
+  ok.queue_position = static_cast<uint32_t>(queue.size());
+  SendFrame(session, wire::Encode(ok));
+}
+
+void Server::HandleFetch(const std::shared_ptr<Session>& session,
+                         const std::string& payload) {
+  wire::FetchRequest request;
+  Status st = wire::Decode(payload, &request);
+  if (!st.ok()) {
+    SendErrorAndClose(session, st);
+    return;
+  }
+  auto it = session->queries.find(request.query_id);
+  if (it == session->queries.end()) {
+    SendError(session,
+              Status::NotFound("Fetch: unknown query id " +
+                               std::to_string(request.query_id) +
+                               " (never submitted, already drained, or "
+                               "cancelled)"));
+    return;
+  }
+  QueryRec& rec = it->second;
+  if (!rec.admitted) {
+    if (!rec.submit_error.ok()) {
+      // The deferred submit failed when its turn came; typed error, then
+      // the query id is gone.
+      SendError(session, rec.submit_error);
+      session->queries.erase(it);
+      return;
+    }
+    // Still waiting in the admission queue: an empty, not-done response.
+    wire::RowsResponse rows;
+    rows.query_id = request.query_id;
+    SendFrame(session, wire::Encode(rows));
+    return;
+  }
+
+  const uint32_t max_rows =
+      std::clamp<uint32_t>(request.max_rows, 1, wire::kMaxRowsPerFetch);
+  wire::RowsResponse response;
+  response.query_id = request.query_id;
+  ResultCursor cursor = rec.handle.cursor();
+  bool end_of_stream = false;
+  while (response.rows.size() < max_rows) {
+    std::optional<RowView> row = cursor.NextRow();
+    if (!row.has_value()) {
+      end_of_stream = true;
+      break;
+    }
+    std::vector<Value> values;
+    const size_t n = row->num_columns();
+    values.reserve(n);
+    for (size_t i = 0; i < n; ++i) values.push_back(row->value(i));
+    response.rows.push_back(std::move(values));
+  }
+  // Live spill-I/O accounting for the tenant's window budget.
+  const uint64_t total_ios = cursor.spill_ios();
+  if (total_ios > rec.last_spill_ios) {
+    governor_.OnSpillProgress(rec.tenant, total_ios - rec.last_spill_ios);
+    rec.last_spill_ios = total_ios;
+  }
+
+  if (end_of_stream && rec.handle.done()) {
+    ReleaseSlot(session, &rec);
+    const Status& error = rec.handle.status();
+    if (!error.ok() && response.rows.empty()) {
+      // Typed end-of-stream: the failure travels as an error frame, never
+      // as a silent done-bit.
+      SendError(session, error);
+      session->queries.erase(it);
+      AdmitQueuedSubmits();
+      return;
+    }
+    if (error.ok()) {
+      response.done = true;
+      SendFrame(session, wire::Encode(response));
+      session->queries.erase(it);
+      AdmitQueuedSubmits();
+      return;
+    }
+    // Rows collected this round travel first; the error frame ends the
+    // stream on the next Fetch.
+    SendFrame(session, wire::Encode(response));
+    AdmitQueuedSubmits();
+    return;
+  }
+  SendFrame(session, wire::Encode(response));
+}
+
+void Server::HandleCancel(const std::shared_ptr<Session>& session,
+                          const std::string& payload) {
+  wire::CancelRequest request;
+  Status st = wire::Decode(payload, &request);
+  if (!st.ok()) {
+    SendErrorAndClose(session, st);
+    return;
+  }
+  auto it = session->queries.find(request.query_id);
+  if (it == session->queries.end()) {
+    SendError(session, Status::NotFound("Cancel: unknown query id " +
+                                        std::to_string(request.query_id)));
+    return;
+  }
+  QueryRec& rec = it->second;
+  if (!rec.admitted && rec.submit_error.ok()) {
+    // Still queued: drop it from the tenant's admission queue.
+    auto& queue = pending_submits_[rec.tenant];
+    for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+      if (qit->first == session->id && qit->second == request.query_id) {
+        queue.erase(qit);
+        break;
+      }
+    }
+    governor_.DropQueued(rec.tenant);
+  } else if (rec.admitted && !rec.slot_released) {
+    rec.handle.Cancel();
+    ReleaseSlot(session, &rec);
+  }
+  session->queries.erase(it);
+  wire::CancelOk ok;
+  ok.query_id = request.query_id;
+  SendFrame(session, wire::Encode(ok));
+  AdmitQueuedSubmits();
+}
+
+void Server::HandleStats(const std::shared_ptr<Session>& session) {
+  wire::StatsOk ok;
+  ok.counters = governor_.Rollup(session->tenant).Counters();
+  SendFrame(session, wire::Encode(ok));
+}
+
+void Server::ReleaseSlot(const std::shared_ptr<Session>& session,
+                         QueryRec* rec) {
+  (void)session;
+  if (rec->slot_released) return;
+  rec->slot_released = true;
+  QueryStats stats;
+  Status error;
+  if (rec->handle.valid()) {
+    stats = rec->handle.Stats();
+    error = rec->handle.status();
+    // Final spill delta (completions between fetches).
+    if (stats.spill_ios > rec->last_spill_ios) {
+      governor_.OnSpillProgress(rec->tenant,
+                                stats.spill_ios - rec->last_spill_ios);
+      rec->last_spill_ios = stats.spill_ios;
+    }
+  }
+  governor_.OnQueryFinished(rec->tenant, rec->memory_charge, stats, error);
+}
+
+void Server::SweepCompletions() {
+  std::vector<std::shared_ptr<Session>> all;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& [id, session] : sessions_) all.push_back(session);
+  }
+  bool released_any = false;
+  for (auto& session : all) {
+    if (session->cleaned) continue;
+    for (auto& [qid, rec] : session->queries) {
+      if (rec.admitted && !rec.slot_released && rec.handle.done()) {
+        // The query finished while some other session's Fetch pumped the
+        // shared clock; its slot frees now, its buffered rows stay until
+        // the owner drains them.
+        ReleaseSlot(session, &rec);
+        released_any = true;
+      }
+    }
+  }
+  if (released_any) AdmitQueuedSubmits();
+}
+
+void Server::AdmitQueuedSubmits() {
+  for (auto& [tenant, queue] : pending_submits_) {
+    while (!queue.empty()) {
+      const auto [session_id, query_id] = queue.front();
+      std::shared_ptr<Session> session = FindSession(session_id);
+      if (session == nullptr || session->cleaned) {
+        // CleanupSessionState already settled the governor charge.
+        queue.pop_front();
+        continue;
+      }
+      auto it = session->queries.find(query_id);
+      if (it == session->queries.end()) {
+        queue.pop_front();
+        continue;
+      }
+      QueryRec& rec = it->second;
+      if (!governor_.TryAdmitQueued(tenant, rec.memory_charge)) break;
+      queue.pop_front();
+      Status start = StartQuery(session, &rec);
+      if (!start.ok()) {
+        // Slot charged by TryAdmitQueued; settle it and surface the error
+        // on the owner's next Fetch.
+        governor_.OnQueryFinished(tenant, rec.memory_charge, QueryStats{},
+                                  start);
+        rec.submit_error = start;
+        rec.slot_released = true;
+      }
+    }
+  }
+}
+
+void Server::CleanupSessionState(const std::shared_ptr<Session>& session) {
+  if (session->cleaned) return;
+  session->cleaned = true;
+  for (auto& [qid, rec] : session->queries) {
+    if (rec.admitted && !rec.slot_released) {
+      rec.handle.Cancel();
+      ReleaseSlot(session, &rec);
+    } else if (!rec.admitted && rec.submit_error.ok()) {
+      auto pending = pending_submits_.find(rec.tenant);
+      if (pending != pending_submits_.end()) {
+        auto& queue = pending->second;
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+          if (it->first == session->id && it->second == qid) {
+            queue.erase(it);
+            break;
+          }
+        }
+      }
+      governor_.DropQueued(rec.tenant);
+    }
+  }
+  session->queries.clear();
+  session->portals.clear();
+  session->prepared.clear();
+  AdmitQueuedSubmits();
+}
+
+void Server::SendFrame(const std::shared_ptr<Session>& session,
+                       std::string frame) {
+  {
+    std::lock_guard<std::mutex> lock(session->out_mu);
+    if (session->fd_closed) return;  // client already gone; drop quietly
+    session->out_buffer.append(frame);
+  }
+  WakeNet();
+}
+
+void Server::SendError(const std::shared_ptr<Session>& session,
+                       const Status& status, uint32_t retry_after_ms) {
+  SendFrame(session,
+            wire::Encode(wire::ErrorFromStatus(status, retry_after_ms)));
+}
+
+void Server::SendErrorAndClose(const std::shared_ptr<Session>& session,
+                               const Status& status) {
+  SendError(session, status);
+  CleanupSessionState(session);
+  session->state = Session::State::kClosing;
+  {
+    std::lock_guard<std::mutex> lock(session->out_mu);
+    session->close_after_flush = true;
+  }
+  WakeNet();
+}
+
+}  // namespace stems::server

@@ -1,0 +1,231 @@
+// Server: the network front-end that turns the in-process Engine into a
+// multi-tenant query service.
+//
+// Two threads serve N client sessions over one shared Engine:
+//
+//   * the network thread owns every socket: a poll(2) loop accepts
+//     connections, reads bytes into per-session buffers, frames them
+//     (server/wire.h) and hands decoded work to the engine thread through
+//     a bounded queue; response bytes flow back through per-session output
+//     buffers written when the socket is writable. A slow client therefore
+//     only backs up its own buffers — it never blocks the engine clock or
+//     any other session.
+//   * the engine thread is the only thread that touches the Engine (the
+//     discrete-event core is single-threaded by design): it pops requests
+//     in arrival order, runs Prepare/Bind/Submit, pumps ResultCursors to
+//     build Fetch responses, and drives admission control.
+//
+// Sessions authenticate as a *tenant* (Hello frame); the TenantGovernor
+// decides per Submit whether the tenant may run another query now, must
+// queue behind its quota, or is rejected with a retry-after hint. Finished
+// queries roll their QueryStats up per tenant (the Stats frame).
+//
+// Lifecycle: construct over a fully-populated Engine, Start(), serve,
+// Shutdown() — which stops accepting, drains active sessions up to
+// ServerOptions::shutdown_drain_ms, cancels whatever is still running via
+// the engine's cancel path, and joins both threads. The Engine must
+// outlive the Server and must not be touched by the owner between Start()
+// and Shutdown().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "server/tenant_governor.h"
+#include "server/wire.h"
+
+namespace stems::server {
+
+struct TenantConfig {
+  std::string name;
+  /// Shared secret the Hello frame must present. Empty = no token check
+  /// for this tenant.
+  std::string token;
+  TenantQuota quota;
+};
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 = pick an ephemeral port (see
+  /// Server::port()).
+  uint16_t port = 0;
+  size_t max_sessions = 64;
+  uint32_t max_frame_payload = wire::kMaxFramePayload;
+  /// Bounded request queue between the network and engine threads; when
+  /// full, the network thread stops decoding (socket buffers provide the
+  /// backpressure to clients).
+  size_t request_queue_capacity = 256;
+  /// Graceful-shutdown drain budget: how long Shutdown() keeps serving so
+  /// active queries can finish before the remainder is cancelled.
+  uint32_t shutdown_drain_ms = 2000;
+  /// Base RunOptions for every Submit (a Submit frame's preset string
+  /// replaces them wholesale). share_stems pools SteM state across the
+  /// tenants' queries — the serving configuration.
+  RunOptions run_options;
+  /// Tenants allowed to connect. Empty = open mode: any tenant name is
+  /// accepted (no token check) and auto-registered with a default quota.
+  std::vector<TenantConfig> tenants;
+  /// Test-only hook, invoked on the engine thread right after a query is
+  /// submitted to the Engine (fault injection into the live dataflow).
+  std::function<void(const std::string& tenant, QueryHandle&)>
+      post_submit_hook;
+};
+
+class Server {
+ public:
+  /// The engine must be fully populated (AddTable) before Start().
+  Server(Engine* engine, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:<port>, spawns the network and engine threads.
+  Status Start();
+
+  /// Graceful stop: stop accepting, drain up to shutdown_drain_ms, cancel
+  /// remaining queries, close every socket, join both threads. Idempotent.
+  void Shutdown();
+
+  /// The bound port (after Start()).
+  uint16_t port() const { return port_; }
+  bool running() const { return started_; }
+
+  /// Live observability (thread-safe).
+  size_t active_sessions() const;
+  TenantRollup TenantStats(const std::string& tenant) const {
+    return governor_.Rollup(tenant);
+  }
+  const TenantGovernor& governor() const { return governor_; }
+
+ private:
+  struct Session;
+  struct QueryRec;
+
+  struct Request {
+    enum class Kind { kFrame, kProtocolError, kDisconnect };
+    Kind kind = Kind::kFrame;
+    uint64_t session_id = 0;
+    wire::FrameType type = wire::FrameType::kError;
+    std::string payload;  // frame payload, or the protocol-error message
+  };
+
+  /// Bounded MPSC queue between the network thread (producer) and the
+  /// engine thread (consumer). Control messages (disconnects) bypass the
+  /// bound so cleanup is never lost to backpressure.
+  class RequestQueue {
+   public:
+    explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+    bool TryPush(Request request);
+    void PushControl(Request request);
+    bool PopWithTimeout(Request* request, std::chrono::milliseconds timeout);
+    size_t size() const;
+    void WakeAll();
+
+   private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    size_t capacity_;
+  };
+
+  // --- network thread --------------------------------------------------------
+  void NetThreadMain();
+  void AcceptNewSession();
+  /// Reads from one session; frames and pushes requests. Returns false on
+  /// EOF/error (session disconnected).
+  bool ReadFromSession(const std::shared_ptr<Session>& session);
+  /// Extracts complete frames from the session's input buffer and pushes
+  /// them onto the request queue, honoring backpressure.
+  void ParseFrames(const std::shared_ptr<Session>& session);
+  void FlushSession(const std::shared_ptr<Session>& session);
+  void CloseSessionFd(const std::shared_ptr<Session>& session);
+  void WakeNet();
+
+  // --- engine thread ---------------------------------------------------------
+  void EngineThreadMain();
+  void ProcessRequest(const Request& request);
+  void ProcessFrame(const std::shared_ptr<Session>& session,
+                    wire::FrameType type, const std::string& payload);
+  void HandleHello(const std::shared_ptr<Session>& session,
+                   const std::string& payload);
+  void HandlePrepare(const std::shared_ptr<Session>& session,
+                     const std::string& payload);
+  void HandleBind(const std::shared_ptr<Session>& session,
+                  const std::string& payload);
+  void HandleSubmit(const std::shared_ptr<Session>& session,
+                    const std::string& payload);
+  void HandleFetch(const std::shared_ptr<Session>& session,
+                   const std::string& payload);
+  void HandleCancel(const std::shared_ptr<Session>& session,
+                    const std::string& payload);
+  void HandleStats(const std::shared_ptr<Session>& session);
+  /// Starts a bound spec on the engine and wires the QueryRec. Returns
+  /// non-OK when Engine::Submit failed (slot already released).
+  Status StartQuery(const std::shared_ptr<Session>& session, QueryRec* rec);
+  /// Returns a finished query's governor slot + memory charge and rolls
+  /// its final QueryStats into the tenant rollup (idempotent).
+  void ReleaseSlot(const std::shared_ptr<Session>& session, QueryRec* rec);
+  /// Observes queries that finished since the last sweep: releases their
+  /// governor slots, rolls up stats, then admits queued submits that now
+  /// fit.
+  void SweepCompletions();
+  void AdmitQueuedSubmits();
+  /// Cancels every live query of the session and releases its governor
+  /// charges; the session keeps only its socket state afterwards.
+  void CleanupSessionState(const std::shared_ptr<Session>& session);
+  /// Engine-thread shutdown tail: cancel everything still running.
+  void CancelAllQueries();
+  bool Drained() const;
+
+  /// Sends one response frame (appends to the session's output buffer and
+  /// wakes the network thread).
+  void SendFrame(const std::shared_ptr<Session>& session, std::string frame);
+  void SendError(const std::shared_ptr<Session>& session, const Status& status,
+                 uint32_t retry_after_ms = 0);
+  /// Error + mark the session for close-after-flush (protocol violations).
+  void SendErrorAndClose(const std::shared_ptr<Session>& session,
+                         const Status& status);
+
+  std::shared_ptr<Session> FindSession(uint64_t session_id) const;
+
+  Engine* engine_;
+  ServerOptions options_;
+  TenantGovernor governor_;
+  RequestQueue queue_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> stop_net_{false};
+  std::atomic<bool> engine_thread_done_{false};
+  std::chrono::steady_clock::time_point shutdown_deadline_{};
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+
+  mutable std::mutex sessions_mu_;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  uint64_t next_query_id_ = 1;
+
+  /// Deferred submits per tenant, admission order: (session id, query id).
+  std::unordered_map<std::string,
+                     std::deque<std::pair<uint64_t, uint64_t>>>
+      pending_submits_;
+
+  std::thread net_thread_;
+  std::thread engine_thread_;
+};
+
+}  // namespace stems::server

@@ -1,0 +1,577 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace stems::server::wire {
+
+namespace {
+
+/// Shared tail of every decoder: reader healthy and payload fully consumed.
+Status FinishDecode(const Reader& reader, const char* frame) {
+  if (!reader.ok()) {
+    return Status::InvalidArgument(std::string("malformed ") + frame +
+                                   " frame: truncated payload");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(std::string("malformed ") + frame +
+                                   " frame: trailing bytes after payload");
+  }
+  return Status::OK();
+}
+
+void PutU16(std::string* buf, uint16_t v) {
+  buf->push_back(static_cast<char>(v & 0xFF));
+  buf->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "Hello";
+    case FrameType::kPrepare: return "Prepare";
+    case FrameType::kBind: return "Bind";
+    case FrameType::kSubmit: return "Submit";
+    case FrameType::kFetch: return "Fetch";
+    case FrameType::kCancel: return "Cancel";
+    case FrameType::kStats: return "Stats";
+    case FrameType::kClose: return "Close";
+    case FrameType::kHelloOk: return "HelloOk";
+    case FrameType::kPrepareOk: return "PrepareOk";
+    case FrameType::kBindOk: return "BindOk";
+    case FrameType::kSubmitOk: return "SubmitOk";
+    case FrameType::kRows: return "Rows";
+    case FrameType::kCancelOk: return "CancelOk";
+    case FrameType::kStatsOk: return "StatsOk";
+    case FrameType::kCloseOk: return "CloseOk";
+    case FrameType::kError: return "Error";
+  }
+  return "Unknown";
+}
+
+Status DecodeFrameHeader(const uint8_t* bytes, uint32_t max_payload,
+                         FrameHeader* out) {
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+  const uint8_t type = bytes[4];
+  const uint8_t flags = bytes[5];
+  const uint16_t reserved =
+      static_cast<uint16_t>(bytes[6] | (static_cast<uint16_t>(bytes[7]) << 8));
+  if (flags != 0 || reserved != 0) {
+    return Status::InvalidArgument(
+        "malformed frame header: nonzero flags/reserved bytes (protocol "
+        "version 1 requires them zero)");
+  }
+  if (len > max_payload) {
+    return Status::InvalidArgument(
+        "oversized frame: payload of " + std::to_string(len) +
+        " bytes exceeds the limit of " + std::to_string(max_payload));
+  }
+  out->payload_len = len;
+  out->type = static_cast<FrameType>(type);
+  return Status::OK();
+}
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.push_back(static_cast<char>(type));
+  frame.push_back(0);  // flags
+  PutU16(&frame, 0);   // reserved
+  frame.append(payload);
+  return frame;
+}
+
+bool TryExtractFrame(std::string* buffer, uint32_t max_payload,
+                     FrameHeader* header, std::string* payload, Status* error) {
+  *error = Status::OK();
+  if (buffer->size() < kHeaderBytes) return false;
+  Status st = DecodeFrameHeader(
+      reinterpret_cast<const uint8_t*>(buffer->data()), max_payload, header);
+  if (!st.ok()) {
+    *error = st;
+    return false;
+  }
+  const size_t total = kHeaderBytes + header->payload_len;
+  if (buffer->size() < total) return false;
+  payload->assign(*buffer, kHeaderBytes, header->payload_len);
+  buffer->erase(0, total);
+  return true;
+}
+
+// --- Writer ------------------------------------------------------------------
+
+void Writer::U16(uint16_t v) { PutU16(&buf_, v); }
+
+void Writer::U32(uint32_t v) { PutU32(&buf_, v); }
+
+void Writer::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void Writer::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void Writer::Val(const Value& v) {
+  U8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+    case ValueType::kEot:
+      break;
+    case ValueType::kInt64:
+      U64(static_cast<uint64_t>(v.AsInt64()));
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      const double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      U64(bits);
+      break;
+    }
+    case ValueType::kString:
+      Str(v.AsString());
+      break;
+  }
+}
+
+// --- Reader ------------------------------------------------------------------
+
+bool Reader::Take(size_t n, const char** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool Reader::U8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool Reader::U16(uint16_t* v) {
+  const char* p = nullptr;
+  if (!Take(2, &p)) return false;
+  *v = static_cast<uint16_t>(static_cast<uint8_t>(p[0]) |
+                             (static_cast<uint16_t>(static_cast<uint8_t>(p[1]))
+                              << 8));
+  return true;
+}
+
+bool Reader::U32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool Reader::U64(uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  if (!U32(&lo) || !U32(&hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+bool Reader::Str(std::string* v) {
+  uint32_t len = 0;
+  if (!U32(&len)) return false;
+  const char* p = nullptr;
+  if (!Take(len, &p)) return false;
+  v->assign(p, len);
+  return true;
+}
+
+bool Reader::Val(Value* v) {
+  uint8_t tag = 0;
+  if (!U8(&tag)) return false;
+  if (tag > static_cast<uint8_t>(ValueType::kEot)) {
+    ok_ = false;  // unknown value tag: malformed, not forward-compatible
+    return false;
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *v = Value::Null();
+      return true;
+    case ValueType::kEot:
+      *v = Value::Eot();
+      return true;
+    case ValueType::kInt64: {
+      uint64_t bits = 0;
+      if (!U64(&bits)) return false;
+      *v = Value::Int64(static_cast<int64_t>(bits));
+      return true;
+    }
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      if (!U64(&bits)) return false;
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));
+      *v = Value::Double(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!Str(&s)) return false;
+      *v = Value::String(std::move(s));
+      return true;
+    }
+  }
+  ok_ = false;
+  return false;
+}
+
+// --- encoders ----------------------------------------------------------------
+
+std::string Encode(const HelloRequest& m) {
+  Writer w;
+  w.U32(m.protocol_version);
+  w.Str(m.tenant);
+  w.Str(m.token);
+  return w.Frame(FrameType::kHello);
+}
+
+std::string Encode(const PrepareRequest& m) {
+  Writer w;
+  w.U32(m.stmt_id);
+  w.Str(m.sql);
+  return w.Frame(FrameType::kPrepare);
+}
+
+std::string Encode(const BindRequest& m) {
+  Writer w;
+  w.U32(m.stmt_id);
+  w.U32(m.portal_id);
+  w.U16(static_cast<uint16_t>(m.positional.size()));
+  for (const Value& v : m.positional) w.Val(v);
+  w.U16(static_cast<uint16_t>(m.named.size()));
+  for (const auto& [name, v] : m.named) {
+    w.Str(name);
+    w.Val(v);
+  }
+  return w.Frame(FrameType::kBind);
+}
+
+std::string Encode(const SubmitRequest& m) {
+  Writer w;
+  w.U32(m.portal_id);
+  w.Str(m.preset);
+  return w.Frame(FrameType::kSubmit);
+}
+
+std::string Encode(const FetchRequest& m) {
+  Writer w;
+  w.U64(m.query_id);
+  w.U32(m.max_rows);
+  return w.Frame(FrameType::kFetch);
+}
+
+std::string Encode(const CancelRequest& m) {
+  Writer w;
+  w.U64(m.query_id);
+  return w.Frame(FrameType::kCancel);
+}
+
+std::string EncodeStatsRequest() { return EncodeFrame(FrameType::kStats, ""); }
+
+std::string EncodeCloseRequest() { return EncodeFrame(FrameType::kClose, ""); }
+
+std::string Encode(const HelloOk& m) {
+  Writer w;
+  w.U64(m.session_id);
+  w.Str(m.server_version);
+  return w.Frame(FrameType::kHelloOk);
+}
+
+std::string Encode(const PrepareOk& m) {
+  Writer w;
+  w.U32(m.stmt_id);
+  w.U16(m.num_params);
+  w.U16(static_cast<uint16_t>(m.columns.size()));
+  for (const auto& [label, type] : m.columns) {
+    w.Str(label);
+    w.U8(static_cast<uint8_t>(type));
+  }
+  return w.Frame(FrameType::kPrepareOk);
+}
+
+std::string Encode(const BindOk& m) {
+  Writer w;
+  w.U32(m.portal_id);
+  return w.Frame(FrameType::kBindOk);
+}
+
+std::string Encode(const SubmitOk& m) {
+  Writer w;
+  w.U64(m.query_id);
+  w.U8(m.admitted ? 1 : 0);
+  w.U32(m.queue_position);
+  return w.Frame(FrameType::kSubmitOk);
+}
+
+std::string Encode(const RowsResponse& m) {
+  Writer w;
+  w.U64(m.query_id);
+  w.U8(m.done ? 1 : 0);
+  w.U32(static_cast<uint32_t>(m.rows.size()));
+  for (const auto& row : m.rows) {
+    w.U16(static_cast<uint16_t>(row.size()));
+    for (const Value& v : row) w.Val(v);
+  }
+  return w.Frame(FrameType::kRows);
+}
+
+std::string Encode(const CancelOk& m) {
+  Writer w;
+  w.U64(m.query_id);
+  return w.Frame(FrameType::kCancelOk);
+}
+
+std::string Encode(const StatsOk& m) {
+  Writer w;
+  w.U16(static_cast<uint16_t>(m.counters.size()));
+  for (const auto& [key, value] : m.counters) {
+    w.Str(key);
+    w.U64(value);
+  }
+  return w.Frame(FrameType::kStatsOk);
+}
+
+std::string EncodeCloseOk() { return EncodeFrame(FrameType::kCloseOk, ""); }
+
+std::string Encode(const ErrorResponse& m) {
+  Writer w;
+  w.U16(static_cast<uint16_t>(m.code));
+  w.Str(m.message);
+  w.U32(m.sql_line);
+  w.U32(m.sql_column);
+  w.U32(m.retry_after_ms);
+  return w.Frame(FrameType::kError);
+}
+
+// --- decoders ----------------------------------------------------------------
+
+Status Decode(const std::string& payload, HelloRequest* out) {
+  Reader r(payload);
+  r.U32(&out->protocol_version);
+  r.Str(&out->tenant);
+  r.Str(&out->token);
+  return FinishDecode(r, "Hello");
+}
+
+Status Decode(const std::string& payload, PrepareRequest* out) {
+  Reader r(payload);
+  r.U32(&out->stmt_id);
+  r.Str(&out->sql);
+  return FinishDecode(r, "Prepare");
+}
+
+Status Decode(const std::string& payload, BindRequest* out) {
+  Reader r(payload);
+  r.U32(&out->stmt_id);
+  r.U32(&out->portal_id);
+  uint16_t n = 0;
+  r.U16(&n);
+  out->positional.clear();
+  for (uint16_t i = 0; i < n && r.ok(); ++i) {
+    Value v;
+    if (r.Val(&v)) out->positional.push_back(std::move(v));
+  }
+  uint16_t m = 0;
+  r.U16(&m);
+  out->named.clear();
+  for (uint16_t i = 0; i < m && r.ok(); ++i) {
+    std::string name;
+    Value v;
+    if (r.Str(&name) && r.Val(&v)) {
+      out->named.emplace_back(std::move(name), std::move(v));
+    }
+  }
+  return FinishDecode(r, "Bind");
+}
+
+Status Decode(const std::string& payload, SubmitRequest* out) {
+  Reader r(payload);
+  r.U32(&out->portal_id);
+  r.Str(&out->preset);
+  return FinishDecode(r, "Submit");
+}
+
+Status Decode(const std::string& payload, FetchRequest* out) {
+  Reader r(payload);
+  r.U64(&out->query_id);
+  r.U32(&out->max_rows);
+  return FinishDecode(r, "Fetch");
+}
+
+Status Decode(const std::string& payload, CancelRequest* out) {
+  Reader r(payload);
+  r.U64(&out->query_id);
+  return FinishDecode(r, "Cancel");
+}
+
+Status Decode(const std::string& payload, HelloOk* out) {
+  Reader r(payload);
+  r.U64(&out->session_id);
+  r.Str(&out->server_version);
+  return FinishDecode(r, "HelloOk");
+}
+
+Status Decode(const std::string& payload, PrepareOk* out) {
+  Reader r(payload);
+  r.U32(&out->stmt_id);
+  r.U16(&out->num_params);
+  uint16_t n = 0;
+  r.U16(&n);
+  out->columns.clear();
+  for (uint16_t i = 0; i < n && r.ok(); ++i) {
+    std::string label;
+    uint8_t tag = 0;
+    if (r.Str(&label) && r.U8(&tag)) {
+      out->columns.emplace_back(std::move(label),
+                                static_cast<ValueType>(tag));
+    }
+  }
+  return FinishDecode(r, "PrepareOk");
+}
+
+Status Decode(const std::string& payload, BindOk* out) {
+  Reader r(payload);
+  r.U32(&out->portal_id);
+  return FinishDecode(r, "BindOk");
+}
+
+Status Decode(const std::string& payload, SubmitOk* out) {
+  Reader r(payload);
+  r.U64(&out->query_id);
+  uint8_t admitted = 0;
+  r.U8(&admitted);
+  out->admitted = admitted != 0;
+  r.U32(&out->queue_position);
+  return FinishDecode(r, "SubmitOk");
+}
+
+Status Decode(const std::string& payload, RowsResponse* out) {
+  Reader r(payload);
+  r.U64(&out->query_id);
+  uint8_t done = 0;
+  r.U8(&done);
+  out->done = done != 0;
+  uint32_t n = 0;
+  r.U32(&n);
+  out->rows.clear();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    uint16_t cols = 0;
+    r.U16(&cols);
+    std::vector<Value> row;
+    row.reserve(cols);
+    for (uint16_t c = 0; c < cols && r.ok(); ++c) {
+      Value v;
+      if (r.Val(&v)) row.push_back(std::move(v));
+    }
+    if (r.ok()) out->rows.push_back(std::move(row));
+  }
+  return FinishDecode(r, "Rows");
+}
+
+Status Decode(const std::string& payload, CancelOk* out) {
+  Reader r(payload);
+  r.U64(&out->query_id);
+  return FinishDecode(r, "CancelOk");
+}
+
+Status Decode(const std::string& payload, StatsOk* out) {
+  Reader r(payload);
+  uint16_t n = 0;
+  r.U16(&n);
+  out->counters.clear();
+  for (uint16_t i = 0; i < n && r.ok(); ++i) {
+    std::string key;
+    uint64_t value = 0;
+    if (r.Str(&key) && r.U64(&value)) {
+      out->counters.emplace_back(std::move(key), value);
+    }
+  }
+  return FinishDecode(r, "StatsOk");
+}
+
+Status Decode(const std::string& payload, ErrorResponse* out) {
+  Reader r(payload);
+  uint16_t code = 0;
+  r.U16(&code);
+  r.Str(&out->message);
+  r.U32(&out->sql_line);
+  r.U32(&out->sql_column);
+  r.U32(&out->retry_after_ms);
+  Status st = FinishDecode(r, "Error");
+  if (!st.ok()) return st;
+  if (code > static_cast<uint16_t>(StatusCode::kInvalidQuery)) {
+    return Status::InvalidArgument(
+        "malformed Error frame: unknown status code " + std::to_string(code));
+  }
+  out->code = static_cast<StatusCode>(code);
+  return Status::OK();
+}
+
+bool ExtractSqlPosition(const std::string& message, uint32_t* line,
+                        uint32_t* column) {
+  // Scan backwards for the last " at <digits>:<digits>" — the shape every
+  // positioned diagnostic of the SQL front-end ends with.
+  for (size_t at = message.rfind(" at "); at != std::string::npos;
+       at = (at == 0) ? std::string::npos : message.rfind(" at ", at - 1)) {
+    size_t p = at + 4;
+    uint64_t l = 0, c = 0;
+    size_t digits = 0;
+    while (p < message.size() && message[p] >= '0' && message[p] <= '9') {
+      l = l * 10 + static_cast<uint64_t>(message[p] - '0');
+      ++p;
+      ++digits;
+    }
+    if (digits == 0 || p >= message.size() || message[p] != ':') continue;
+    ++p;
+    digits = 0;
+    while (p < message.size() && message[p] >= '0' && message[p] <= '9') {
+      c = c * 10 + static_cast<uint64_t>(message[p] - '0');
+      ++p;
+      ++digits;
+    }
+    if (digits == 0 || l == 0 || c == 0) continue;
+    if (l > UINT32_MAX || c > UINT32_MAX) continue;
+    *line = static_cast<uint32_t>(l);
+    *column = static_cast<uint32_t>(c);
+    return true;
+  }
+  return false;
+}
+
+ErrorResponse ErrorFromStatus(const Status& status, uint32_t retry_after_ms) {
+  ErrorResponse error;
+  error.code = status.code();
+  error.message = status.message();
+  error.retry_after_ms = retry_after_ms;
+  ExtractSqlPosition(status.message(), &error.sql_line, &error.sql_column);
+  return error;
+}
+
+Status StatusFromError(const ErrorResponse& error) {
+  return Status(error.code, error.message);
+}
+
+}  // namespace stems::server::wire

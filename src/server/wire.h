@@ -1,0 +1,288 @@
+// Wire protocol of the stems server: length-prefixed binary frames.
+//
+// Every message on a connection is one frame: an 8-byte header (payload
+// length, frame type, flags, reserved — all little-endian) followed by the
+// payload. A session is strictly request/response: the client sends one
+// request frame and the server answers with exactly one response frame, in
+// order, so pipelined requests correlate by position. Error responses carry
+// the engine's machine-readable StatusCode, the human message, a
+// best-effort SQL source position (line:column, 0:0 when absent) and a
+// retry-after hint for admission-control rejections.
+//
+//   Hello ->HelloOk      authenticate as a tenant, open the session
+//   Prepare->PrepareOk   compile SQL once (params + output schema back)
+//   Bind   ->BindOk      fill parameter placeholders into a portal
+//   Submit ->SubmitOk    run a portal (admitted immediately or queued)
+//   Fetch  ->Rows        stream up to max_rows results of a query
+//   Cancel ->CancelOk    stop a query, drop its unread results
+//   Stats  ->StatsOk     this tenant's rolled-up QueryStats counters
+//   Close  ->CloseOk     orderly session end
+//
+// Layout and an annotated example exchange: docs/server.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace stems::server::wire {
+
+/// Protocol revision spoken by this tree. A server rejects a Hello whose
+/// version it does not speak with kUnsupported.
+constexpr uint32_t kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's payload. A header announcing more is a
+/// protocol violation: the connection is poisoned (the stream cannot be
+/// resynchronized) and must close after the error frame.
+constexpr uint32_t kMaxFramePayload = 4u << 20;
+
+/// Rows served per Fetch response are clamped to this, so one greedy
+/// Fetch cannot monopolize the engine thread.
+constexpr uint32_t kMaxRowsPerFetch = 4096;
+
+/// Frame header: 8 bytes, little-endian.
+///   [0..3] u32 payload length (bytes after the header)
+///   [4]    u8  frame type (FrameType)
+///   [5]    u8  flags    — must be 0 in version 1
+///   [6..7] u16 reserved — must be 0 in version 1
+constexpr size_t kHeaderBytes = 8;
+
+enum class FrameType : uint8_t {
+  // Client -> server.
+  kHello = 0x01,
+  kPrepare = 0x02,
+  kBind = 0x03,
+  kSubmit = 0x04,
+  kFetch = 0x05,
+  kCancel = 0x06,
+  kStats = 0x07,
+  kClose = 0x08,
+  // Server -> client.
+  kHelloOk = 0x81,
+  kPrepareOk = 0x82,
+  kBindOk = 0x83,
+  kSubmitOk = 0x84,
+  kRows = 0x85,
+  kCancelOk = 0x86,
+  kStatsOk = 0x87,
+  kCloseOk = 0x88,
+  kError = 0xFF,
+};
+
+const char* FrameTypeName(FrameType type);
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  FrameType type = FrameType::kError;
+};
+
+/// Decodes and validates the 8-byte header. kInvalidArgument on nonzero
+/// flags/reserved bytes or a payload length above `max_payload` — both are
+/// unrecoverable framing errors (close the connection after responding).
+Status DecodeFrameHeader(const uint8_t* bytes, uint32_t max_payload,
+                         FrameHeader* out);
+
+/// Appends frames to `buffer` (client or server outbound stream).
+std::string EncodeFrame(FrameType type, const std::string& payload);
+
+/// Extracts one complete frame from the front of `buffer`, erasing the
+/// consumed bytes. Returns false when the buffer does not yet hold a full
+/// frame (no error) or when framing failed (`error` set — the caller must
+/// close the connection).
+bool TryExtractFrame(std::string* buffer, uint32_t max_payload,
+                     FrameHeader* header, std::string* payload, Status* error);
+
+// --- primitive serialization -------------------------------------------------
+
+/// Little-endian append-only payload builder.
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  /// u32 byte length + raw bytes (may contain NULs).
+  void Str(const std::string& s);
+  /// u8 ValueType tag + type-dependent payload.
+  void Val(const Value& v);
+
+  const std::string& payload() const { return buf_; }
+  /// The finished frame: header + payload.
+  std::string Frame(FrameType type) const { return EncodeFrame(type, buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over one frame's payload. Every getter returns
+/// false (and poisons the reader) on underrun or a malformed field; decode
+/// functions turn that into a kInvalidArgument status naming the frame.
+class Reader {
+ public:
+  explicit Reader(const std::string& payload) : data_(payload) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool Str(std::string* v);
+  bool Val(Value* v);
+
+  /// True when every payload byte was consumed (trailing garbage is a
+  /// malformed frame).
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Take(size_t n, const char** out);
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- typed messages ----------------------------------------------------------
+
+struct HelloRequest {
+  uint32_t protocol_version = kProtocolVersion;
+  std::string tenant;
+  std::string token;
+};
+
+struct PrepareRequest {
+  uint32_t stmt_id = 0;
+  std::string sql;
+};
+
+struct BindRequest {
+  uint32_t stmt_id = 0;
+  uint32_t portal_id = 0;
+  std::vector<Value> positional;
+  std::vector<std::pair<std::string, Value>> named;
+};
+
+struct SubmitRequest {
+  uint32_t portal_id = 0;
+  /// RunOptions preset: "" (server default), "paper", "low_memory",
+  /// "larger_than_memory", "multi_query".
+  std::string preset;
+};
+
+struct FetchRequest {
+  uint64_t query_id = 0;
+  uint32_t max_rows = 1024;
+};
+
+struct CancelRequest {
+  uint64_t query_id = 0;
+};
+
+struct HelloOk {
+  uint64_t session_id = 0;
+  std::string server_version;
+};
+
+struct PrepareOk {
+  uint32_t stmt_id = 0;
+  uint16_t num_params = 0;
+  /// Output schema, SELECT-list order.
+  std::vector<std::pair<std::string, ValueType>> columns;
+};
+
+struct BindOk {
+  uint32_t portal_id = 0;
+};
+
+struct SubmitOk {
+  uint64_t query_id = 0;
+  /// False when the tenant was over quota and the submit was queued; the
+  /// query admits automatically when capacity frees and Fetch starts
+  /// returning rows then.
+  bool admitted = true;
+  /// Position in the tenant's admission queue when not admitted (1-based).
+  uint32_t queue_position = 0;
+};
+
+struct RowsResponse {
+  uint64_t query_id = 0;
+  /// True once the stream is complete: every row was delivered and the
+  /// query finished cleanly. A query that failed ends with an Error frame
+  /// on the next Fetch instead (typed end-of-stream, never silent).
+  bool done = false;
+  std::vector<std::vector<Value>> rows;
+};
+
+struct CancelOk {
+  uint64_t query_id = 0;
+};
+
+struct StatsOk {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+struct ErrorResponse {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  /// 1-based SQL source position when the error is a positioned SQL
+  /// diagnostic; 0:0 otherwise.
+  uint32_t sql_line = 0;
+  uint32_t sql_column = 0;
+  /// Admission-control hint: retry the Submit after this many
+  /// milliseconds. 0 = no hint.
+  uint32_t retry_after_ms = 0;
+};
+
+// Encoders produce the complete frame (header + payload).
+std::string Encode(const HelloRequest& m);
+std::string Encode(const PrepareRequest& m);
+std::string Encode(const BindRequest& m);
+std::string Encode(const SubmitRequest& m);
+std::string Encode(const FetchRequest& m);
+std::string Encode(const CancelRequest& m);
+std::string EncodeStatsRequest();
+std::string EncodeCloseRequest();
+std::string Encode(const HelloOk& m);
+std::string Encode(const PrepareOk& m);
+std::string Encode(const BindOk& m);
+std::string Encode(const SubmitOk& m);
+std::string Encode(const RowsResponse& m);
+std::string Encode(const CancelOk& m);
+std::string Encode(const StatsOk& m);
+std::string EncodeCloseOk();
+std::string Encode(const ErrorResponse& m);
+
+// Decoders take one frame's payload. kInvalidArgument on any malformed,
+// truncated or trailing-garbage payload, with a message naming the frame.
+Status Decode(const std::string& payload, HelloRequest* out);
+Status Decode(const std::string& payload, PrepareRequest* out);
+Status Decode(const std::string& payload, BindRequest* out);
+Status Decode(const std::string& payload, SubmitRequest* out);
+Status Decode(const std::string& payload, FetchRequest* out);
+Status Decode(const std::string& payload, CancelRequest* out);
+Status Decode(const std::string& payload, HelloOk* out);
+Status Decode(const std::string& payload, PrepareOk* out);
+Status Decode(const std::string& payload, BindOk* out);
+Status Decode(const std::string& payload, SubmitOk* out);
+Status Decode(const std::string& payload, RowsResponse* out);
+Status Decode(const std::string& payload, CancelOk* out);
+Status Decode(const std::string& payload, StatsOk* out);
+Status Decode(const std::string& payload, ErrorResponse* out);
+
+/// Builds the error frame for `status`, extracting the trailing
+/// "at <line>:<column>" position the SQL front-end embeds in its
+/// diagnostics (docs/sql.md) into the structured fields.
+ErrorResponse ErrorFromStatus(const Status& status, uint32_t retry_after_ms = 0);
+
+/// The Status an ErrorResponse round-trips back to on the client.
+Status StatusFromError(const ErrorResponse& error);
+
+/// Best-effort scan for the last "at <line>:<column>" in a diagnostic
+/// message. Returns false when the message carries no position.
+bool ExtractSqlPosition(const std::string& message, uint32_t* line,
+                        uint32_t* column);
+
+}  // namespace stems::server::wire

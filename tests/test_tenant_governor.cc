@@ -1,0 +1,336 @@
+// TenantGovernor admission control: unit transitions (admit -> queue ->
+// reject, memory charges, the spill-I/O window) and the same quotas
+// enforced end-to-end over the wire — a queued Submit admitted when a
+// running query finishes, hard-over-quota rejected with a retry-after
+// hint, and per-tenant rollups matching the sum of per-query results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/tenant_governor.h"
+#include "tests/test_util.h"
+
+namespace stems::server {
+namespace {
+
+using sql::SqlParams;
+using testing::IntRows;
+using testing::IntSchema;
+using testing::ScanSpec;
+
+QueryStats StatsWith(uint64_t num_results, bool cancelled = false) {
+  QueryStats stats;
+  stats.num_results = num_results;
+  stats.tuples_routed = num_results * 10;
+  stats.cancelled = cancelled;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Unit: the governor's bookkeeping alone
+// ---------------------------------------------------------------------------
+
+TEST(TenantGovernorUnit, RegistrationRules) {
+  TenantGovernor governor;
+  EXPECT_FALSE(governor.RegisterTenant("", {}).ok());
+  TenantQuota zero_slots;
+  zero_slots.max_concurrent_queries = 0;
+  EXPECT_FALSE(governor.RegisterTenant("t", zero_slots).ok());
+  ASSERT_TRUE(governor.RegisterTenant("t", {}).ok());
+  EXPECT_EQ(governor.RegisterTenant("t", {}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(governor.HasTenant("t"));
+  EXPECT_FALSE(governor.HasTenant("u"));
+}
+
+TEST(TenantGovernorUnit, UnknownTenantRejected) {
+  TenantGovernor governor;
+  const AdmissionDecision decision = governor.OnSubmit("ghost", 0);
+  EXPECT_EQ(decision.outcome, AdmissionOutcome::kReject);
+  EXPECT_EQ(decision.status.code(), StatusCode::kNotFound);
+}
+
+TEST(TenantGovernorUnit, SlotsAdmitThenQueueThenReject) {
+  TenantGovernor governor;
+  TenantQuota quota;
+  quota.max_concurrent_queries = 2;
+  quota.max_queued_submits = 1;
+  quota.reject_retry_after_ms = 75;
+  ASSERT_TRUE(governor.RegisterTenant("t", quota).ok());
+
+  EXPECT_EQ(governor.OnSubmit("t", 0).outcome, AdmissionOutcome::kAdmit);
+  EXPECT_EQ(governor.OnSubmit("t", 0).outcome, AdmissionOutcome::kAdmit);
+  const AdmissionDecision queued = governor.OnSubmit("t", 0);
+  EXPECT_EQ(queued.outcome, AdmissionOutcome::kQueue);
+  EXPECT_GE(queued.retry_after_ms, 1u);
+  const AdmissionDecision rejected = governor.OnSubmit("t", 0);
+  EXPECT_EQ(rejected.outcome, AdmissionOutcome::kReject);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(rejected.retry_after_ms, 75u);
+
+  // No capacity yet: the queued submit stays queued.
+  EXPECT_FALSE(governor.TryAdmitQueued("t", 0));
+  // A finished query frees one slot; exactly one queued submit admits.
+  governor.OnQueryFinished("t", 0, StatsWith(5), Status::OK());
+  EXPECT_TRUE(governor.TryAdmitQueued("t", 0));
+  EXPECT_FALSE(governor.TryAdmitQueued("t", 0));  // queue now empty
+
+  const TenantRollup rollup = governor.Rollup("t");
+  EXPECT_EQ(rollup.queries_submitted, 4u);
+  EXPECT_EQ(rollup.queries_admitted, 3u);
+  EXPECT_EQ(rollup.queries_queued, 1u);
+  EXPECT_EQ(rollup.queries_rejected, 1u);
+  EXPECT_EQ(rollup.running_queries, 2u);
+  EXPECT_EQ(rollup.queued_queries, 0u);
+}
+
+TEST(TenantGovernorUnit, MemoryChargesGateAdmission) {
+  TenantGovernor governor;
+  TenantQuota quota;
+  quota.max_concurrent_queries = 100;  // memory is the binding constraint
+  quota.max_memory_entries = 1000;
+  quota.default_query_memory_entries = 400;
+  ASSERT_TRUE(governor.RegisterTenant("t", quota).ok());
+
+  EXPECT_EQ(governor.MemoryCharge("t", 0), 400u);     // default estimate
+  EXPECT_EQ(governor.MemoryCharge("t", 600), 600u);   // declared budget
+  EXPECT_EQ(governor.MemoryCharge("ghost", 600), 0u);
+
+  EXPECT_EQ(governor.OnSubmit("t", 600).outcome, AdmissionOutcome::kAdmit);
+  EXPECT_EQ(governor.OnSubmit("t", 0).outcome, AdmissionOutcome::kAdmit);
+  EXPECT_EQ(governor.Rollup("t").memory_entries_in_use, 1000u);
+  // 1000/1000 used: the next submit queues, whatever its size.
+  EXPECT_EQ(governor.OnSubmit("t", 1).outcome, AdmissionOutcome::kQueue);
+  // A query that can never fit is rejected outright, not queued forever.
+  const AdmissionDecision impossible = governor.OnSubmit("t", 2000);
+  EXPECT_EQ(impossible.outcome, AdmissionOutcome::kReject);
+  EXPECT_NE(impossible.status.message().find("can never be admitted"),
+            std::string::npos);
+
+  // Releasing the 600-entry query frees room for the queued 1-entry one.
+  governor.OnQueryFinished("t", 600, StatsWith(0), Status::OK());
+  EXPECT_EQ(governor.Rollup("t").memory_entries_in_use, 400u);
+  EXPECT_TRUE(governor.TryAdmitQueued("t", 1));
+  EXPECT_EQ(governor.Rollup("t").memory_entries_in_use, 401u);
+}
+
+TEST(TenantGovernorUnit, SpillWindowThrottles) {
+  TenantGovernor governor;
+  TenantQuota quota;
+  quota.spill_io_window_budget = 100;
+  quota.spill_window_ms = 60000;  // effectively never rolls during the test
+  ASSERT_TRUE(governor.RegisterTenant("t", quota).ok());
+
+  EXPECT_EQ(governor.OnSubmit("t", 0).outcome, AdmissionOutcome::kAdmit);
+  governor.OnSpillProgress("t", 99);
+  EXPECT_EQ(governor.OnSubmit("t", 0).outcome, AdmissionOutcome::kAdmit);
+  governor.OnSpillProgress("t", 1);  // window budget now exhausted
+  const AdmissionDecision throttled = governor.OnSubmit("t", 0);
+  EXPECT_EQ(throttled.outcome, AdmissionOutcome::kQueue);
+  EXPECT_GE(throttled.retry_after_ms, 1u);
+  EXPECT_FALSE(governor.TryAdmitQueued("t", 0));
+}
+
+TEST(TenantGovernorUnit, RollupSumsFinishedQueryStats) {
+  TenantGovernor governor;
+  ASSERT_TRUE(governor.RegisterTenant("t", {}).ok());
+  ASSERT_EQ(governor.OnSubmit("t", 0).outcome, AdmissionOutcome::kAdmit);
+  ASSERT_EQ(governor.OnSubmit("t", 0).outcome, AdmissionOutcome::kAdmit);
+  ASSERT_EQ(governor.OnSubmit("t", 0).outcome, AdmissionOutcome::kAdmit);
+  governor.OnQueryFinished("t", 0, StatsWith(5), Status::OK());
+  governor.OnQueryFinished("t", 0, StatsWith(7, /*cancelled=*/true),
+                           Status::OK());
+  governor.OnQueryFinished("t", 0, StatsWith(3), Status::Internal("wedged"));
+  const TenantRollup rollup = governor.Rollup("t");
+  EXPECT_EQ(rollup.queries_completed, 3u);
+  EXPECT_EQ(rollup.queries_cancelled, 1u);
+  EXPECT_EQ(rollup.queries_failed, 1u);
+  EXPECT_EQ(rollup.num_results, 15u);
+  EXPECT_EQ(rollup.tuples_routed, 150u);
+  EXPECT_EQ(rollup.running_queries, 0u);
+  // The Counters() surface mirrors the struct, pairwise.
+  const auto counters = rollup.Counters();
+  const auto find = [&](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_EQ(find("queries_completed"), 3u);
+  EXPECT_EQ(find("num_results"), 15u);
+  EXPECT_EQ(find("tuples_routed"), 150u);
+}
+
+// ---------------------------------------------------------------------------
+// Over the wire: the same quotas enforced by a live server
+// ---------------------------------------------------------------------------
+
+class AdmissionOverWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<std::vector<int64_t>> r_rows, s_rows;
+    for (int64_t i = 0; i < 40; ++i) {
+      r_rows.push_back({i % 8, i});
+      s_rows.push_back({i % 8, i % 4});
+    }
+    ASSERT_TRUE(engine_
+                    .AddTable(TableDef{"R", IntSchema({"a", "b"}),
+                                       {ScanSpec("R.scan")}},
+                              IntRows(r_rows))
+                    .ok());
+    ASSERT_TRUE(engine_
+                    .AddTable(TableDef{"S", IntSchema({"x", "y"}),
+                                       {ScanSpec("S.scan")}},
+                              IntRows(s_rows))
+                    .ok());
+  }
+
+  void StartServer(TenantQuota quota) {
+    ServerOptions options;
+    TenantConfig tenant;
+    tenant.name = "t";
+    tenant.quota = quota;
+    options.tenants = {tenant};
+    server_ = std::make_unique<Server>(&engine_, std::move(options));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  /// Prepares + binds + submits the join on `client`, returning the
+  /// SubmitResult (the query is left unfetched).
+  SubmitResult StartJoin(Client* client) {
+    auto prepared =
+        client->Prepare("SELECT R.b, S.y FROM R, S WHERE R.a = S.x");
+    EXPECT_TRUE(prepared.ok()) << prepared.status().message();
+    auto portal = client->Bind(prepared.Value().stmt_id);
+    EXPECT_TRUE(portal.ok());
+    auto submit = client->Submit(portal.Value());
+    EXPECT_TRUE(submit.ok()) << submit.status().message();
+    return submit.Value();
+  }
+
+  /// Fetches `query_id` to a clean end of stream, returning the row count.
+  size_t DrainQuery(Client* client, uint64_t query_id) {
+    size_t rows = 0;
+    while (true) {
+      auto fetch = client->Fetch(query_id);
+      EXPECT_TRUE(fetch.ok()) << fetch.status().message();
+      if (!fetch.ok()) return rows;
+      rows += fetch.Value().rows.size();
+      if (fetch.Value().done) return rows;
+    }
+  }
+
+  Engine engine_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(AdmissionOverWireTest, QueuedSubmitAdmitsWhenSlotFrees) {
+  TenantQuota quota;
+  quota.max_concurrent_queries = 1;
+  StartServer(quota);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), "t").ok());
+  const SubmitResult first = StartJoin(&client);
+  EXPECT_TRUE(first.admitted);
+  const SubmitResult second = StartJoin(&client);
+  EXPECT_FALSE(second.admitted) << "one slot: the second submit must queue";
+  EXPECT_EQ(second.queue_position, 1u);
+
+  // While the first query still runs, the queued one serves empty
+  // not-done fetches (no rows, no error).
+  auto parked = client.Fetch(second.query_id);
+  ASSERT_TRUE(parked.ok());
+  EXPECT_TRUE(parked.Value().rows.empty());
+  EXPECT_FALSE(parked.Value().done);
+
+  // Draining the first query frees the slot; the queued submit admits and
+  // produces the same full result set.
+  const size_t first_rows = DrainQuery(&client, first.query_id);
+  EXPECT_GT(first_rows, 0u);
+  const size_t second_rows = DrainQuery(&client, second.query_id);
+  EXPECT_EQ(second_rows, first_rows);
+
+  const TenantRollup rollup = server_->TenantStats("t");
+  EXPECT_EQ(rollup.queries_submitted, 2u);
+  EXPECT_EQ(rollup.queries_admitted, 2u);
+  EXPECT_EQ(rollup.queries_queued, 1u);
+  EXPECT_EQ(rollup.queries_rejected, 0u);
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(AdmissionOverWireTest, HardOverQuotaRejectsWithRetryAfter) {
+  TenantQuota quota;
+  quota.max_concurrent_queries = 1;
+  quota.max_queued_submits = 0;  // no queue: over-quota is a hard reject
+  quota.reject_retry_after_ms = 125;
+  StartServer(quota);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), "t").ok());
+  const SubmitResult first = StartJoin(&client);
+  EXPECT_TRUE(first.admitted);
+
+  auto prepared = client.Prepare("SELECT R.a FROM R");
+  ASSERT_TRUE(prepared.ok());
+  auto portal = client.Bind(prepared.Value().stmt_id);
+  ASSERT_TRUE(portal.ok());
+  auto rejected = client.Submit(portal.Value());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(client.last_error().retry_after_ms, 125u);
+  EXPECT_NE(client.last_error().message.find("over quota"),
+            std::string::npos);
+
+  // After the running query drains, the same portal submits cleanly.
+  DrainQuery(&client, first.query_id);
+  auto retried = client.Submit(portal.Value());
+  ASSERT_TRUE(retried.ok()) << retried.status().message();
+  EXPECT_TRUE(retried.Value().admitted);
+  EXPECT_EQ(DrainQuery(&client, retried.Value().query_id), 40u);
+
+  const TenantRollup rollup = server_->TenantStats("t");
+  EXPECT_EQ(rollup.queries_rejected, 1u);
+  EXPECT_EQ(rollup.queries_admitted, 2u);
+  EXPECT_TRUE(client.Close().ok());
+}
+
+TEST_F(AdmissionOverWireTest, RollupMatchesSumOfPerQueryResults) {
+  TenantQuota quota;
+  StartServer(quota);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), "t").ok());
+  constexpr int kQueries = 5;
+  size_t total_rows = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    const SubmitResult submit = StartJoin(&client);
+    total_rows += DrainQuery(&client, submit.query_id);
+  }
+  // The rollup is the sum of the per-query stats the client observed.
+  const TenantRollup rollup = server_->TenantStats("t");
+  EXPECT_EQ(rollup.queries_completed, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(rollup.num_results, total_rows);
+  EXPECT_GT(rollup.tuples_routed, 0u);
+
+  // The Stats wire frame serves the same counters.
+  auto counters = client.TenantStats();
+  ASSERT_TRUE(counters.ok());
+  uint64_t wire_results = 0, wire_completed = 0;
+  for (const auto& [name, value] : counters.Value()) {
+    if (name == "num_results") wire_results = value;
+    if (name == "queries_completed") wire_completed = value;
+  }
+  EXPECT_EQ(wire_results, total_rows);
+  EXPECT_EQ(wire_completed, static_cast<uint64_t>(kQueries));
+  EXPECT_TRUE(client.Close().ok());
+}
+
+}  // namespace
+}  // namespace stems::server

@@ -1,0 +1,332 @@
+// Wire-protocol codec tests: round trips for every frame type, golden
+// errors for malformed/truncated/oversized payloads, and a mutation fuzz
+// loop over the decoders (the ASan+UBSan CI job is the real referee for
+// the fuzz part).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "server/wire.h"
+
+namespace stems::server::wire {
+namespace {
+
+TEST(WireHeader, RoundTrip) {
+  const std::string frame = EncodeFrame(FrameType::kFetch, "abc");
+  ASSERT_EQ(frame.size(), kHeaderBytes + 3);
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(
+                  reinterpret_cast<const uint8_t*>(frame.data()),
+                  kMaxFramePayload, &header)
+                  .ok());
+  EXPECT_EQ(header.type, FrameType::kFetch);
+  EXPECT_EQ(header.payload_len, 3u);
+}
+
+TEST(WireHeader, NonzeroFlagsRejected) {
+  std::string frame = EncodeFrame(FrameType::kFetch, "abc");
+  frame[5] = 1;  // flags byte
+  FrameHeader header;
+  const Status st = DecodeFrameHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), kMaxFramePayload,
+      &header);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("flags"), std::string::npos);
+}
+
+TEST(WireHeader, NonzeroReservedRejected) {
+  std::string frame = EncodeFrame(FrameType::kFetch, "abc");
+  frame[7] = 0x40;  // high reserved byte
+  FrameHeader header;
+  EXPECT_FALSE(DecodeFrameHeader(
+                   reinterpret_cast<const uint8_t*>(frame.data()),
+                   kMaxFramePayload, &header)
+                   .ok());
+}
+
+TEST(WireHeader, OversizedPayloadRejected) {
+  std::string frame = EncodeFrame(FrameType::kPrepare, "x");
+  frame[0] = static_cast<char>(0xFF);  // announce a huge payload
+  frame[1] = static_cast<char>(0xFF);
+  frame[2] = static_cast<char>(0xFF);
+  frame[3] = static_cast<char>(0x7F);
+  FrameHeader header;
+  const Status st = DecodeFrameHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), kMaxFramePayload,
+      &header);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("oversized"), std::string::npos);
+}
+
+TEST(WireFraming, ExtractAcrossPartialReads) {
+  const std::string frame = EncodeFrame(FrameType::kClose, "");
+  std::string buffer;
+  FrameHeader header;
+  std::string payload;
+  Status error;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    // No complete frame until the last byte arrives; never an error.
+    EXPECT_FALSE(
+        TryExtractFrame(&buffer, kMaxFramePayload, &header, &payload, &error));
+    EXPECT_TRUE(error.ok());
+    buffer.push_back(frame[i]);
+  }
+  EXPECT_TRUE(
+      TryExtractFrame(&buffer, kMaxFramePayload, &header, &payload, &error));
+  EXPECT_EQ(header.type, FrameType::kClose);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(WireValues, AllTypesRoundTrip) {
+  const std::vector<Value> values = {
+      Value::Null(),
+      Value::Int64(0),
+      Value::Int64(-1),
+      Value::Int64(INT64_MIN),
+      Value::Int64(INT64_MAX),
+      Value::Double(3.25),
+      Value::Double(-0.0),
+      Value::String(""),
+      Value::String(std::string("nul\0byte", 8)),
+      Value::String("plain"),
+      Value::Eot(),
+  };
+  Writer w;
+  for (const Value& v : values) w.Val(v);
+  Reader r(w.payload());
+  for (const Value& expected : values) {
+    Value got;
+    ASSERT_TRUE(r.Val(&got));
+    EXPECT_EQ(got, expected) << expected.ToString();
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireValues, UnknownTagRejected) {
+  std::string payload(1, static_cast<char>(0x7F));
+  Reader r(payload);
+  Value v;
+  EXPECT_FALSE(r.Val(&v));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireMessages, HelloRoundTrip) {
+  HelloRequest in;
+  in.tenant = "tenant_a";
+  in.token = "secret";
+  const std::string frame = Encode(in);
+  HelloRequest out;
+  ASSERT_TRUE(Decode(frame.substr(kHeaderBytes), &out).ok());
+  EXPECT_EQ(out.protocol_version, kProtocolVersion);
+  EXPECT_EQ(out.tenant, "tenant_a");
+  EXPECT_EQ(out.token, "secret");
+}
+
+TEST(WireMessages, BindRoundTrip) {
+  BindRequest in;
+  in.stmt_id = 7;
+  in.portal_id = 9;
+  in.positional = {Value::Int64(1), Value::String("x")};
+  in.named = {{"min", Value::Int64(30)}, {"tag", Value::Null()}};
+  BindRequest out;
+  ASSERT_TRUE(Decode(Encode(in).substr(kHeaderBytes), &out).ok());
+  EXPECT_EQ(out.stmt_id, 7u);
+  EXPECT_EQ(out.portal_id, 9u);
+  EXPECT_EQ(out.positional, in.positional);
+  EXPECT_EQ(out.named, in.named);
+}
+
+TEST(WireMessages, RowsRoundTrip) {
+  RowsResponse in;
+  in.query_id = 42;
+  in.done = true;
+  in.rows = {{Value::Int64(1), Value::String("a")},
+             {Value::Int64(2), Value::Null()}};
+  RowsResponse out;
+  ASSERT_TRUE(Decode(Encode(in).substr(kHeaderBytes), &out).ok());
+  EXPECT_EQ(out.query_id, 42u);
+  EXPECT_TRUE(out.done);
+  EXPECT_EQ(out.rows, in.rows);
+}
+
+TEST(WireMessages, PrepareOkRoundTrip) {
+  PrepareOk in;
+  in.stmt_id = 3;
+  in.num_params = 2;
+  in.columns = {{"u.id", ValueType::kInt64}, {"u.name", ValueType::kString}};
+  PrepareOk out;
+  ASSERT_TRUE(Decode(Encode(in).substr(kHeaderBytes), &out).ok());
+  EXPECT_EQ(out.stmt_id, 3u);
+  EXPECT_EQ(out.num_params, 2u);
+  EXPECT_EQ(out.columns, in.columns);
+}
+
+TEST(WireMessages, SubmitOkAndErrorRoundTrip) {
+  SubmitOk submit;
+  submit.query_id = 11;
+  submit.admitted = false;
+  submit.queue_position = 2;
+  SubmitOk submit_out;
+  ASSERT_TRUE(Decode(Encode(submit).substr(kHeaderBytes), &submit_out).ok());
+  EXPECT_EQ(submit_out.query_id, 11u);
+  EXPECT_FALSE(submit_out.admitted);
+  EXPECT_EQ(submit_out.queue_position, 2u);
+
+  ErrorResponse error;
+  error.code = StatusCode::kResourceExhausted;
+  error.message = "tenant over quota";
+  error.retry_after_ms = 250;
+  ErrorResponse error_out;
+  ASSERT_TRUE(Decode(Encode(error).substr(kHeaderBytes), &error_out).ok());
+  EXPECT_EQ(error_out.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(error_out.message, "tenant over quota");
+  EXPECT_EQ(error_out.retry_after_ms, 250u);
+}
+
+TEST(WireMessages, StatsRoundTrip) {
+  StatsOk in;
+  in.counters = {{"queries_completed", 7}, {"num_results", 123}};
+  StatsOk out;
+  ASSERT_TRUE(Decode(Encode(in).substr(kHeaderBytes), &out).ok());
+  EXPECT_EQ(out.counters, in.counters);
+}
+
+TEST(WireMessages, TruncatedPayloadIsGoldenError) {
+  PrepareRequest in;
+  in.stmt_id = 1;
+  in.sql = "SELECT u.id FROM users u";
+  const std::string payload = Encode(in).substr(kHeaderBytes);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    PrepareRequest out;
+    const Status st = Decode(payload.substr(0, cut), &out);
+    ASSERT_FALSE(st.ok()) << "cut=" << cut;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.message().find("Prepare"), std::string::npos);
+    EXPECT_NE(st.message().find("truncated"), std::string::npos);
+  }
+}
+
+TEST(WireMessages, TrailingGarbageIsGoldenError) {
+  FetchRequest in;
+  in.query_id = 5;
+  std::string payload = Encode(in).substr(kHeaderBytes);
+  payload.push_back('!');
+  FetchRequest out;
+  const Status st = Decode(payload, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("trailing bytes"), std::string::npos);
+}
+
+TEST(WireErrors, SqlPositionExtraction) {
+  uint32_t line = 0, column = 0;
+  EXPECT_TRUE(ExtractSqlPosition("expected expression at 1:27", &line,
+                                 &column));
+  EXPECT_EQ(line, 1u);
+  EXPECT_EQ(column, 27u);
+
+  EXPECT_TRUE(ExtractSqlPosition(
+      "unknown column 'u.agee' at 2:14 (did you mean 'u.age'?) at 3:9",
+      &line, &column));
+  EXPECT_EQ(line, 3u);  // last position wins
+  EXPECT_EQ(column, 9u);
+
+  EXPECT_FALSE(ExtractSqlPosition("no position here", &line, &column));
+  EXPECT_FALSE(ExtractSqlPosition("look at this", &line, &column));
+  EXPECT_FALSE(ExtractSqlPosition("at 0:0 invalid", &line, &column));
+}
+
+TEST(WireErrors, ErrorFromStatusCarriesPosition) {
+  const ErrorResponse error = ErrorFromStatus(
+      Status::InvalidQuery("expected expression at 1:27"), 0);
+  EXPECT_EQ(error.code, StatusCode::kInvalidQuery);
+  EXPECT_EQ(error.sql_line, 1u);
+  EXPECT_EQ(error.sql_column, 27u);
+  const Status round = StatusFromError(error);
+  EXPECT_EQ(round.code(), StatusCode::kInvalidQuery);
+  EXPECT_EQ(round.message(), "expected expression at 1:27");
+}
+
+/// Mutation fuzz over every decoder: flip/trim/extend bytes of valid
+/// payloads and feed random garbage; decoders must return a Status (never
+/// crash, read out of bounds, or hang). ASan+UBSan referees in CI.
+TEST(WireFuzz, MutatedPayloadsNeverCrashDecoders) {
+  Rng rng(20260808);
+  BindRequest bind;
+  bind.stmt_id = 1;
+  bind.portal_id = 2;
+  bind.positional = {Value::Int64(7), Value::String("abc")};
+  bind.named = {{"k", Value::Double(1.5)}};
+  RowsResponse rows;
+  rows.query_id = 9;
+  rows.rows = {{Value::Int64(1), Value::String("x")}, {Value::Null()}};
+  StatsOk stats;
+  stats.counters = {{"a", 1}, {"b", 2}};
+  PrepareOk prepare_ok;
+  prepare_ok.columns = {{"c", ValueType::kInt64}};
+  const std::vector<std::string> seeds = {
+      Encode(HelloRequest{kProtocolVersion, "t", "tok"}).substr(kHeaderBytes),
+      Encode(PrepareRequest{1, "SELECT 1"}).substr(kHeaderBytes),
+      Encode(bind).substr(kHeaderBytes),
+      Encode(SubmitRequest{2, "paper"}).substr(kHeaderBytes),
+      Encode(FetchRequest{3, 100}).substr(kHeaderBytes),
+      Encode(rows).substr(kHeaderBytes),
+      Encode(stats).substr(kHeaderBytes),
+      Encode(prepare_ok).substr(kHeaderBytes),
+  };
+  auto try_all_decoders = [](const std::string& payload) {
+    HelloRequest hello;
+    (void)Decode(payload, &hello);
+    PrepareRequest prepare;
+    (void)Decode(payload, &prepare);
+    BindRequest bind_out;
+    (void)Decode(payload, &bind_out);
+    SubmitRequest submit;
+    (void)Decode(payload, &submit);
+    FetchRequest fetch;
+    (void)Decode(payload, &fetch);
+    CancelRequest cancel;
+    (void)Decode(payload, &cancel);
+    HelloOk hello_ok;
+    (void)Decode(payload, &hello_ok);
+    PrepareOk prepare_out;
+    (void)Decode(payload, &prepare_out);
+    SubmitOk submit_ok;
+    (void)Decode(payload, &submit_ok);
+    RowsResponse rows_out;
+    (void)Decode(payload, &rows_out);
+    StatsOk stats_out;
+    (void)Decode(payload, &stats_out);
+    ErrorResponse error;
+    (void)Decode(payload, &error);
+  };
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string payload = seeds[rng.NextBounded(seeds.size())];
+    switch (rng.NextBounded(4)) {
+      case 0:  // flip a few bytes
+        for (int k = 0; k < 3 && !payload.empty(); ++k) {
+          payload[rng.NextBounded(payload.size())] =
+              static_cast<char>(rng.NextBounded(256));
+        }
+        break;
+      case 1:  // truncate
+        payload.resize(rng.NextBounded(payload.size() + 1));
+        break;
+      case 2:  // extend with garbage
+        for (int k = 0; k < 5; ++k) {
+          payload.push_back(static_cast<char>(rng.NextBounded(256)));
+        }
+        break;
+      case 3: {  // pure garbage
+        payload.assign(rng.NextBounded(64), '\0');
+        for (char& c : payload) c = static_cast<char>(rng.NextBounded(256));
+        break;
+      }
+    }
+    try_all_decoders(payload);
+  }
+}
+
+}  // namespace
+}  // namespace stems::server::wire

@@ -85,9 +85,10 @@ Result<uint32_t> Client::Bind(uint32_t stmt_id, const sql::SqlParams& params) {
   request.portal_id = next_portal_id_++;
   request.positional = params.positional();
   request.named = params.named();
+  STEMS_ASSIGN_OR_RETURN(const std::string frame, wire::Encode(request));
   std::string payload;
   STEMS_RETURN_NOT_OK(
-      RoundTrip(wire::Encode(request), wire::FrameType::kBindOk, &payload));
+      RoundTrip(frame, wire::FrameType::kBindOk, &payload));
   wire::BindOk ok;
   STEMS_RETURN_NOT_OK(wire::Decode(payload, &ok));
   return ok.portal_id;
@@ -181,6 +182,10 @@ Result<std::vector<std::vector<Value>>> Client::RunQuery(
 
 Status Client::SendRaw(const void* data, size_t size) {
   return WriteAll(data, size);
+}
+
+void Client::ShutdownWriteForTest() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_WR);
 }
 
 Status Client::ReadFrameRaw(wire::FrameType* type, std::string* payload) {

@@ -116,6 +116,9 @@ class Client {
   /// Testing escape hatch: raw bytes onto the socket (malformed-frame
   /// robustness tests).
   Status SendRaw(const void* data, size_t size);
+  /// Testing escape hatch: half-closes the write side (shutdown(SHUT_WR)),
+  /// signalling EOF to the server while responses stay readable.
+  void ShutdownWriteForTest();
   /// Testing escape hatch: blocking read of the next whole frame.
   Status ReadFrameRaw(wire::FrameType* type, std::string* payload);
 

@@ -74,10 +74,21 @@ struct Server::Session {
   /// Set on an unrecoverable framing error: the byte stream cannot be
   /// resynchronized, so no further frames are parsed.
   bool reading_paused = false;
+  /// The client half-closed its write side (orderly EOF). Frames already
+  /// buffered are still parsed and answered before the session closes.
+  bool eof_seen = false;
+  /// The post-EOF end-of-input marker has been queued to the engine
+  /// thread (exactly once, after every buffered frame).
+  bool end_of_input_queued = false;
+  /// A send() hit a hard error: the peer can never receive the remaining
+  /// output, so the session closes instead of waiting for a flush.
+  bool write_dead = false;
   /// A decoded frame the bounded request queue had no room for; retried
-  /// before any further parsing (frames must stay ordered).
+  /// before any further parsing (frames must stay ordered). The flag is
+  /// written by the network thread; the engine thread reads it in
+  /// Drained() (a parked frame is still pending work).
   Request stalled_request;
-  bool has_stalled = false;
+  std::atomic<bool> has_stalled{false};
 
   // --- shared output path ---------------------------------------------------
   std::mutex out_mu;
@@ -101,9 +112,11 @@ struct Server::Session {
 
 // --- RequestQueue ------------------------------------------------------------
 
-bool Server::RequestQueue::TryPush(Request request) {
+bool Server::RequestQueue::TryPush(Request&& request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Full: return before touching `request`, so the caller still holds
+    // the intact frame and can retry it later.
     if (queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(request));
   }
@@ -270,7 +283,8 @@ void Server::AcceptNewSession() {
   }
 }
 
-bool Server::ReadFromSession(const std::shared_ptr<Session>& session) {
+Server::ReadOutcome Server::ReadFromSession(
+    const std::shared_ptr<Session>& session) {
   char buf[65536];
   while (true) {
     const ssize_t n = recv(session->fd, buf, sizeof(buf), 0);
@@ -279,12 +293,12 @@ bool Server::ReadFromSession(const std::shared_ptr<Session>& session) {
       if (n < static_cast<ssize_t>(sizeof(buf))) break;
       continue;
     }
-    if (n == 0) return false;  // orderly EOF
+    if (n == 0) return ReadOutcome::kEof;  // orderly half-close
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    return false;
+    return ReadOutcome::kError;
   }
-  return true;
+  return ReadOutcome::kOpen;
 }
 
 void Server::FlushSession(const std::shared_ptr<Session>& session) {
@@ -299,7 +313,10 @@ void Server::FlushSession(const std::shared_ptr<Session>& session) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    // Write error: the disconnect shows up as a read failure next tick.
+    // Hard write error: the peer can never receive this output. Mark the
+    // session dead so the poll loop closes it (an EOF-draining session no
+    // longer reads, so the failure would otherwise go unnoticed).
+    session->write_dead = true;
     break;
   }
   if (session->out_offset == session->out_buffer.size()) {
@@ -348,14 +365,18 @@ void Server::NetThreadMain() {
           continue;
         }
         short events = 0;
-        if (!session->reading_paused) events |= POLLIN;
+        if (!session->reading_paused && !session->eof_seen) events |= POLLIN;
         {
           std::lock_guard<std::mutex> out_lock(session->out_mu);
           if (session->out_offset < session->out_buffer.size()) {
             events |= POLLOUT;
           }
         }
-        fds.push_back({session->fd, events, 0});
+        // Nothing to wait for (e.g. EOF seen, output drained): keep the
+        // session in `polled` for its per-tick parse/close checks, but
+        // hand poll(2) a negative fd so a HUP-ready socket cannot spin
+        // the loop. fds and polled must stay index-aligned.
+        fds.push_back({events != 0 ? session->fd : -1, events, 0});
         polled.push_back(session);
         ++it;
       }
@@ -375,14 +396,36 @@ void Server::NetThreadMain() {
       const std::shared_ptr<Session>& session = polled[i];
       const short revents = fds[first_session + i].revents;
       if (session->fd_closed) continue;
-      if (revents & POLLOUT) FlushSession(session);
-      if (revents & (POLLIN | POLLHUP | POLLERR)) {
-        if (!ReadFromSession(session)) {
+      if (revents & POLLOUT) {
+        FlushSession(session);
+        if (session->write_dead) {
           CloseSessionFd(session);
           continue;
         }
       }
+      if (!session->eof_seen && (revents & (POLLIN | POLLHUP | POLLERR))) {
+        const ReadOutcome outcome = ReadFromSession(session);
+        if (outcome == ReadOutcome::kError) {
+          CloseSessionFd(session);
+          continue;
+        }
+        // Orderly EOF: the client may have pipelined requests and
+        // half-closed before reading responses. Stop reading, but parse
+        // and answer everything already buffered before closing.
+        if (outcome == ReadOutcome::kEof) session->eof_seen = true;
+      }
       ParseFrames(session);
+      if (session->eof_seen && !session->has_stalled &&
+          !session->end_of_input_queued) {
+        // Every complete buffered frame is now queued; tell the engine
+        // thread the input is done so it can answer them, clean up, and
+        // close the session after the responses flush.
+        session->end_of_input_queued = true;
+        Request request;
+        request.kind = Request::Kind::kEndOfInput;
+        request.session_id = session->id;
+        queue_.PushControl(std::move(request));
+      }
       // Server-initiated close: everything flushed, nothing more to say.
       bool flushed = false;
       bool closing = false;
@@ -457,6 +500,11 @@ void Server::EngineThreadMain() {
       ProcessRequest(request);
     }
     SweepCompletions();
+    // Re-offer queued submits every tick, not only after a completion:
+    // capacity can also free with time alone (the spill-I/O window rolls
+    // over), and a tenant with no running queries would otherwise strand
+    // its queue forever.
+    if (!pending_submits_.empty()) AdmitQueuedSubmits();
     if (shutdown_requested_ &&
         (Drained() ||
          std::chrono::steady_clock::now() >= shutdown_deadline_)) {
@@ -471,6 +519,9 @@ bool Server::Drained() const {
   if (queue_.size() != 0) return false;
   std::lock_guard<std::mutex> lock(sessions_mu_);
   for (const auto& [id, session] : sessions_) {
+    // A frame parked under backpressure is pending work the queue cannot
+    // see; the network thread re-offers it next tick, so keep draining.
+    if (!session->fd_closed && session->has_stalled) return false;
     if (session->cleaned) continue;
     for (const auto& [qid, rec] : session->queries) {
       if (!rec.admitted && rec.submit_error.ok()) return false;  // queued
@@ -501,6 +552,19 @@ void Server::ProcessRequest(const Request& request) {
     case Request::Kind::kDisconnect:
       CleanupSessionState(session);
       session->engine_cleared = true;
+      return;
+    case Request::Kind::kEndOfInput:
+      // The client half-closed after pipelining: every frame it sent has
+      // been answered above (queue order), and nothing more can arrive.
+      // Tear down like an implicit Close — flush the buffered responses,
+      // then let the network thread close the socket.
+      CleanupSessionState(session);
+      session->state = Session::State::kClosing;
+      {
+        std::lock_guard<std::mutex> lock(session->out_mu);
+        session->close_after_flush = true;
+      }
+      WakeNet();
       return;
     case Request::Kind::kProtocolError:
       SendErrorAndClose(session, Status::InvalidArgument(request.payload));
@@ -647,10 +711,20 @@ void Server::HandlePrepare(const std::shared_ptr<Session>& session,
     SendError(session, prepared.status());
     return;
   }
+  const Schema& schema = prepared.Value().spec().output_schema();
+  // The PrepareOk column list and every Rows frame carry u16 counts; a
+  // statement wider than that can never stream back correctly.
+  if (schema.columns().size() > 0xFFFF ||
+      prepared.Value().params().size() > 0xFFFF) {
+    SendError(session,
+              Status::InvalidArgument(
+                  "Prepare: statement exceeds wire limits (at most 65535 "
+                  "output columns and 65535 parameters)"));
+    return;
+  }
   wire::PrepareOk ok;
   ok.stmt_id = request.stmt_id;
   ok.num_params = static_cast<uint16_t>(prepared.Value().params().size());
-  const Schema& schema = prepared.Value().spec().output_schema();
   for (const ColumnDef& col : schema.columns()) {
     ok.columns.emplace_back(col.name, col.type);
   }
@@ -792,7 +866,7 @@ void Server::HandleFetch(const std::shared_ptr<Session>& session,
     // Still waiting in the admission queue: an empty, not-done response.
     wire::RowsResponse rows;
     rows.query_id = request.query_id;
-    SendFrame(session, wire::Encode(rows));
+    SendRows(session, rows);
     return;
   }
 
@@ -834,18 +908,18 @@ void Server::HandleFetch(const std::shared_ptr<Session>& session,
     }
     if (error.ok()) {
       response.done = true;
-      SendFrame(session, wire::Encode(response));
+      SendRows(session, response);
       session->queries.erase(it);
       AdmitQueuedSubmits();
       return;
     }
     // Rows collected this round travel first; the error frame ends the
     // stream on the next Fetch.
-    SendFrame(session, wire::Encode(response));
+    SendRows(session, response);
     AdmitQueuedSubmits();
     return;
   }
-  SendFrame(session, wire::Encode(response));
+  SendRows(session, response);
 }
 
 void Server::HandleCancel(const std::shared_ptr<Session>& session,
@@ -916,20 +990,18 @@ void Server::SweepCompletions() {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     for (auto& [id, session] : sessions_) all.push_back(session);
   }
-  bool released_any = false;
   for (auto& session : all) {
     if (session->cleaned) continue;
     for (auto& [qid, rec] : session->queries) {
       if (rec.admitted && !rec.slot_released && rec.handle.done()) {
         // The query finished while some other session's Fetch pumped the
         // shared clock; its slot frees now, its buffered rows stay until
-        // the owner drains them.
+        // the owner drains them. The engine loop re-offers queued submits
+        // right after this sweep.
         ReleaseSlot(session, &rec);
-        released_any = true;
       }
     }
   }
-  if (released_any) AdmitQueuedSubmits();
 }
 
 void Server::AdmitQueuedSubmits() {
@@ -988,6 +1060,18 @@ void Server::CleanupSessionState(const std::shared_ptr<Session>& session) {
   session->portals.clear();
   session->prepared.clear();
   AdmitQueuedSubmits();
+}
+
+void Server::SendRows(const std::shared_ptr<Session>& session,
+                      const wire::RowsResponse& response) {
+  Result<std::string> frame = wire::Encode(response);
+  if (!frame.ok()) {
+    // A row too wide for the wire format (defense in depth; Prepare
+    // already rejects over-wide schemas): typed error, not a bad frame.
+    SendError(session, frame.status());
+    return;
+  }
+  SendFrame(session, std::move(frame).Value());
 }
 
 void Server::SendFrame(const std::shared_ptr<Session>& session,

@@ -113,7 +113,7 @@ class Server {
   struct QueryRec;
 
   struct Request {
-    enum class Kind { kFrame, kProtocolError, kDisconnect };
+    enum class Kind { kFrame, kProtocolError, kEndOfInput, kDisconnect };
     Kind kind = Kind::kFrame;
     uint64_t session_id = 0;
     wire::FrameType type = wire::FrameType::kError;
@@ -126,7 +126,10 @@ class Server {
   class RequestQueue {
    public:
     explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
-    bool TryPush(Request request);
+    /// Moves `request` into the queue and returns true; when the queue is
+    /// full, returns false and leaves `request` untouched so the caller
+    /// can park and retry the intact frame.
+    bool TryPush(Request&& request);
     void PushControl(Request request);
     bool PopWithTimeout(Request* request, std::chrono::milliseconds timeout);
     size_t size() const;
@@ -140,11 +143,16 @@ class Server {
   };
 
   // --- network thread --------------------------------------------------------
+  enum class ReadOutcome {
+    kOpen,  // socket still readable (possibly after appending bytes)
+    kEof,   // orderly end of input: the peer half-closed its write side
+    kError  // hard socket error: the connection is dead both ways
+  };
+
   void NetThreadMain();
   void AcceptNewSession();
-  /// Reads from one session; frames and pushes requests. Returns false on
-  /// EOF/error (session disconnected).
-  bool ReadFromSession(const std::shared_ptr<Session>& session);
+  /// Drains readable bytes from one session into its input buffer.
+  ReadOutcome ReadFromSession(const std::shared_ptr<Session>& session);
   /// Extracts complete frames from the session's input buffer and pushes
   /// them onto the request queue, honoring backpressure.
   void ParseFrames(const std::shared_ptr<Session>& session);
@@ -191,6 +199,10 @@ class Server {
   /// Sends one response frame (appends to the session's output buffer and
   /// wakes the network thread).
   void SendFrame(const std::shared_ptr<Session>& session, std::string frame);
+  /// Encodes and sends a Rows response; a row too wide for the wire format
+  /// is surfaced as a typed error frame instead of a truncated frame.
+  void SendRows(const std::shared_ptr<Session>& session,
+                const wire::RowsResponse& response);
   void SendError(const std::shared_ptr<Session>& session, const Status& status,
                  uint32_t retry_after_ms = 0);
   /// Error + mark the session for close-after-flush (protocol violations).

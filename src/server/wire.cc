@@ -255,7 +255,13 @@ std::string Encode(const PrepareRequest& m) {
   return w.Frame(FrameType::kPrepare);
 }
 
-std::string Encode(const BindRequest& m) {
+Result<std::string> Encode(const BindRequest& m) {
+  if (m.positional.size() > 0xFFFF || m.named.size() > 0xFFFF) {
+    return Status::InvalidArgument(
+        "Bind: too many parameters (" + std::to_string(m.positional.size()) +
+        " positional, " + std::to_string(m.named.size()) +
+        " named; the wire format carries at most 65535 of each)");
+  }
   Writer w;
   w.U32(m.stmt_id);
   w.U32(m.portal_id);
@@ -326,12 +332,17 @@ std::string Encode(const SubmitOk& m) {
   return w.Frame(FrameType::kSubmitOk);
 }
 
-std::string Encode(const RowsResponse& m) {
+Result<std::string> Encode(const RowsResponse& m) {
   Writer w;
   w.U64(m.query_id);
   w.U8(m.done ? 1 : 0);
   w.U32(static_cast<uint32_t>(m.rows.size()));
   for (const auto& row : m.rows) {
+    if (row.size() > 0xFFFF) {
+      return Status::InvalidArgument(
+          "Rows: a row of " + std::to_string(row.size()) +
+          " columns exceeds the wire format's 65535-column limit");
+    }
     w.U16(static_cast<uint16_t>(row.size()));
     for (const Value& v : row) w.Val(v);
   }

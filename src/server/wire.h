@@ -236,10 +236,14 @@ struct ErrorResponse {
   uint32_t retry_after_ms = 0;
 };
 
-// Encoders produce the complete frame (header + payload).
+// Encoders produce the complete frame (header + payload). Encoders whose
+// message carries a u16-counted collection return Result and reject
+// oversized collections (> 65535 entries) instead of silently truncating
+// the count — a truncated count would desynchronize from the values and
+// fail decode as trailing garbage.
 std::string Encode(const HelloRequest& m);
 std::string Encode(const PrepareRequest& m);
-std::string Encode(const BindRequest& m);
+Result<std::string> Encode(const BindRequest& m);
 std::string Encode(const SubmitRequest& m);
 std::string Encode(const FetchRequest& m);
 std::string Encode(const CancelRequest& m);
@@ -249,7 +253,7 @@ std::string Encode(const HelloOk& m);
 std::string Encode(const PrepareOk& m);
 std::string Encode(const BindOk& m);
 std::string Encode(const SubmitOk& m);
-std::string Encode(const RowsResponse& m);
+Result<std::string> Encode(const RowsResponse& m);
 std::string Encode(const CancelOk& m);
 std::string Encode(const StatsOk& m);
 std::string EncodeCloseOk();

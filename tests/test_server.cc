@@ -376,6 +376,76 @@ TEST_F(ServerTest, TruncatedPayloadIsFatalButContained) {
   EXPECT_FALSE(client.ReadFrameRaw(&type, &payload).ok());
 }
 
+/// Use-after-move regression: with a single-slot request queue, pipelined
+/// frames constantly hit backpressure; a parked frame must survive a
+/// failed queue push intact (a corrupted payload would decode as
+/// "truncated" and kill the session).
+TEST_F(ServerTest, BackpressureKeepsParkedFramesIntact) {
+  ServerOptions options;
+  options.request_queue_capacity = 1;
+  StartServer(std::move(options));
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), "tenant_a").ok());
+
+  constexpr uint32_t kPipelined = 50;
+  std::string batch;
+  for (uint32_t i = 1; i <= kPipelined; ++i) {
+    batch += wire::Encode(wire::PrepareRequest{i, "SELECT u.id FROM users u"});
+  }
+  ASSERT_TRUE(client.SendRaw(batch.data(), batch.size()).ok());
+  for (uint32_t i = 1; i <= kPipelined; ++i) {
+    wire::FrameType type;
+    std::string payload;
+    ASSERT_TRUE(client.ReadFrameRaw(&type, &payload).ok()) << "frame " << i;
+    ASSERT_EQ(type, wire::FrameType::kPrepareOk) << "frame " << i;
+    wire::PrepareOk ok;
+    ASSERT_TRUE(wire::Decode(payload, &ok).ok());
+    EXPECT_EQ(ok.stmt_id, i);
+  }
+  EXPECT_TRUE(client.Close().ok());
+}
+
+/// A client that pipelines a whole session and half-closes (SHUT_WR)
+/// before reading must still get every response: frames buffered at EOF
+/// are parsed and answered, then the server closes after flushing.
+TEST_F(ServerTest, PipelinedRequestsAnsweredAfterHalfClose) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.ConnectRawForTest("127.0.0.1", server_->port()).ok());
+
+  wire::HelloRequest hello;
+  hello.tenant = "tenant_a";
+  std::string batch = wire::Encode(hello);
+  batch += wire::Encode(wire::PrepareRequest{1, "SELECT u.id FROM users u"});
+  wire::BindRequest bind;
+  bind.stmt_id = 1;
+  bind.portal_id = 1;
+  batch += wire::Encode(bind).Value();
+  batch += wire::Encode(wire::SubmitRequest{1, ""});
+  batch += wire::Encode(wire::FetchRequest{1, 100});  // first query id is 1
+  ASSERT_TRUE(client.SendRaw(batch.data(), batch.size()).ok());
+  client.ShutdownWriteForTest();
+
+  const wire::FrameType expected[] = {
+      wire::FrameType::kHelloOk, wire::FrameType::kPrepareOk,
+      wire::FrameType::kBindOk, wire::FrameType::kSubmitOk,
+      wire::FrameType::kRows};
+  std::string payload;
+  for (const wire::FrameType want : expected) {
+    wire::FrameType type;
+    ASSERT_TRUE(client.ReadFrameRaw(&type, &payload).ok())
+        << "expected " << wire::FrameTypeName(want) << " after half-close";
+    ASSERT_EQ(type, want);
+  }
+  wire::RowsResponse rows;
+  ASSERT_TRUE(wire::Decode(payload, &rows).ok());
+  EXPECT_EQ(rows.rows.size(), 4u);
+  EXPECT_TRUE(rows.done);
+  // Nothing more was requested: the server closes the drained session.
+  wire::FrameType type;
+  EXPECT_FALSE(client.ReadFrameRaw(&type, &payload).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Failure surfacing and mid-query disconnects
 // ---------------------------------------------------------------------------

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.h"
@@ -191,12 +193,13 @@ class AdmissionOverWireTest : public ::testing::Test {
                     .ok());
   }
 
-  void StartServer(TenantQuota quota) {
+  void StartServer(TenantQuota quota, RunOptions run_options = {}) {
     ServerOptions options;
     TenantConfig tenant;
     tenant.name = "t";
     tenant.quota = quota;
     options.tenants = {tenant};
+    options.run_options = std::move(run_options);
     server_ = std::make_unique<Server>(&engine_, std::move(options));
     ASSERT_TRUE(server_->Start().ok());
   }
@@ -298,6 +301,51 @@ TEST_F(AdmissionOverWireTest, HardOverQuotaRejectsWithRetryAfter) {
   const TenantRollup rollup = server_->TenantStats("t");
   EXPECT_EQ(rollup.queries_rejected, 1u);
   EXPECT_EQ(rollup.queries_admitted, 2u);
+  EXPECT_TRUE(client.Close().ok());
+}
+
+/// Starvation regression: a submit queued because the tenant's spill-I/O
+/// window budget is exhausted — with NO running queries left — must still
+/// be admitted when the window rolls over. Only time frees this capacity,
+/// so the server has to re-offer the queue on its own, not just after a
+/// completion.
+TEST_F(AdmissionOverWireTest, SpillWindowRolloverAdmitsQueuedSubmit) {
+  TenantQuota quota;
+  quota.spill_io_window_budget = 1;
+  quota.spill_window_ms = 500;
+  // A 16-entry budget over the 80-row build state forces spills.
+  StartServer(quota, RunOptions::LargerThanMemory(16));
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), "t").ok());
+  const SubmitResult first = StartJoin(&client);
+  ASSERT_TRUE(first.admitted);
+  const size_t first_rows = DrainQuery(&client, first.query_id);
+  ASSERT_GT(first_rows, 0u);
+  ASSERT_GT(server_->TenantStats("t").spill_ios, 0u)
+      << "premise: the join must spill under a 16-entry budget";
+
+  // The finished query's I/Os exhausted the window: this submit queues,
+  // and no completion will ever re-offer it.
+  const SubmitResult second = StartJoin(&client);
+  EXPECT_FALSE(second.admitted)
+      << "premise: the spill window must still be exhausted";
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  size_t second_rows = 0;
+  while (true) {
+    ASSERT_TRUE(std::chrono::steady_clock::now() < deadline)
+        << "queued submit was never admitted after the window rolled over";
+    auto fetch = client.Fetch(second.query_id);
+    ASSERT_TRUE(fetch.ok()) << fetch.status().message();
+    second_rows += fetch.Value().rows.size();
+    if (fetch.Value().done) break;
+    if (fetch.Value().rows.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_EQ(second_rows, first_rows);
   EXPECT_TRUE(client.Close().ok());
 }
 

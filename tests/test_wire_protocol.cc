@@ -131,11 +131,36 @@ TEST(WireMessages, BindRoundTrip) {
   in.positional = {Value::Int64(1), Value::String("x")};
   in.named = {{"min", Value::Int64(30)}, {"tag", Value::Null()}};
   BindRequest out;
-  ASSERT_TRUE(Decode(Encode(in).substr(kHeaderBytes), &out).ok());
+  ASSERT_TRUE(Decode(Encode(in).Value().substr(kHeaderBytes), &out).ok());
   EXPECT_EQ(out.stmt_id, 7u);
   EXPECT_EQ(out.portal_id, 9u);
   EXPECT_EQ(out.positional, in.positional);
   EXPECT_EQ(out.named, in.named);
+}
+
+TEST(WireMessages, OversizedBindRejectedAtEncode) {
+  // 65536 parameters cannot travel behind a u16 count: the encoder must
+  // refuse rather than truncate the count and desynchronize the frame.
+  BindRequest in;
+  in.positional.assign(0x10000, Value::Int64(1));
+  auto frame = Encode(in);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(frame.status().message().find("65535"), std::string::npos);
+
+  in.positional.clear();
+  in.named.assign(0x10000, {"p", Value::Int64(1)});
+  EXPECT_FALSE(Encode(in).ok());
+
+  // Exactly at the cap still encodes and round-trips.
+  in.named.clear();
+  in.positional.assign(0xFFFF, Value::Int64(1));
+  auto max_frame = Encode(in);
+  ASSERT_TRUE(max_frame.ok());
+  BindRequest out;
+  ASSERT_TRUE(
+      Decode(max_frame.Value().substr(kHeaderBytes), &out).ok());
+  EXPECT_EQ(out.positional.size(), 0xFFFFu);
 }
 
 TEST(WireMessages, RowsRoundTrip) {
@@ -145,10 +170,19 @@ TEST(WireMessages, RowsRoundTrip) {
   in.rows = {{Value::Int64(1), Value::String("a")},
              {Value::Int64(2), Value::Null()}};
   RowsResponse out;
-  ASSERT_TRUE(Decode(Encode(in).substr(kHeaderBytes), &out).ok());
+  ASSERT_TRUE(Decode(Encode(in).Value().substr(kHeaderBytes), &out).ok());
   EXPECT_EQ(out.query_id, 42u);
   EXPECT_TRUE(out.done);
   EXPECT_EQ(out.rows, in.rows);
+}
+
+TEST(WireMessages, OversizedRowRejectedAtEncode) {
+  RowsResponse in;
+  in.rows = {std::vector<Value>(0x10000, Value::Int64(1))};
+  auto frame = Encode(in);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(frame.status().message().find("65535"), std::string::npos);
 }
 
 TEST(WireMessages, PrepareOkRoundTrip) {
@@ -268,10 +302,10 @@ TEST(WireFuzz, MutatedPayloadsNeverCrashDecoders) {
   const std::vector<std::string> seeds = {
       Encode(HelloRequest{kProtocolVersion, "t", "tok"}).substr(kHeaderBytes),
       Encode(PrepareRequest{1, "SELECT 1"}).substr(kHeaderBytes),
-      Encode(bind).substr(kHeaderBytes),
+      Encode(bind).Value().substr(kHeaderBytes),
       Encode(SubmitRequest{2, "paper"}).substr(kHeaderBytes),
       Encode(FetchRequest{3, 100}).substr(kHeaderBytes),
-      Encode(rows).substr(kHeaderBytes),
+      Encode(rows).Value().substr(kHeaderBytes),
       Encode(stats).substr(kHeaderBytes),
       Encode(prepare_ok).substr(kHeaderBytes),
   };

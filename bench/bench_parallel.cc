@@ -1,0 +1,211 @@
+// bench_parallel: morsel-executor scaling curve (docs/parallelism.md).
+//
+// Runs one multi-join workload through the wall-clock ThreadPoolExecutor
+// at 1/2/4/8 worker threads (best-of-N wall time per point) and reports
+// routed tuples/sec plus the speedup ratios the CI bench-smoke job gates
+// on: threads_speedup_2x >= 1.0 and threads_speedup_4x >= 2.0 on the
+// 4-vCPU runner.
+//
+//   ./build/bench/bench_parallel [--quick] [--json BENCH_parallel.json]
+//
+// JSON is google-benchmark shaped ({"benchmarks": [...]}) so the CI job
+// merges it into BENCH_results.json next to the other suites. The
+// "/summary" entry carries the speedup ratios; per-thread entries carry
+// the raw rates. Every thread count must produce the same result
+// cardinality — the bench aborts otherwise, so a perf run can never quote
+// numbers from a wrong answer.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "exec/threaded_executor.h"
+
+using namespace stems;
+
+namespace {
+
+bool g_quick = false;
+// --quick still needs runs long enough (tens of ms) for the speedup
+// ratios to be stable on a shared CI runner; it trims repeats, not scale.
+size_t Repeats() { return g_quick ? 3 : 5; }
+size_t ScaleRows() { return g_quick ? 6000 : 9000; }
+
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+
+void Die(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_parallel: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Three-table chain join over synthetic uniform keys. The domain grows
+/// with the row count so the match fan-out (and thus the result set) stays
+/// bounded while the probe volume scales linearly.
+void Fill(Engine* engine) {
+  const size_t n = ScaleRows();
+  const int64_t domain = static_cast<int64_t>(n / 6);
+  std::vector<RowRef> r, s, t;
+  uint64_t x = 0x2545F4914F6CDD1DULL;
+  auto next = [&x](int64_t mod) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return static_cast<int64_t>(x % static_cast<uint64_t>(mod));
+  };
+  for (size_t i = 0; i < n; ++i) {
+    r.push_back(MakeRow({Value::Int64(next(domain)),
+                         Value::Int64(static_cast<int64_t>(i))}));
+    s.push_back(MakeRow(
+        {Value::Int64(next(domain)), Value::Int64(next(domain))}));
+  }
+  for (size_t i = 0; i < n / 2; ++i) {
+    t.push_back(MakeRow({Value::Int64(next(domain))}));
+  }
+  Schema r_schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  Schema s_schema({{"x", ValueType::kInt64}, {"y", ValueType::kInt64}});
+  Schema t_schema({{"u", ValueType::kInt64}});
+  Die(engine->AddTable(
+      TableDef{"R", r_schema, {{"R.scan", AccessMethodKind::kScan, {}}}},
+      std::move(r)));
+  Die(engine->AddTable(
+      TableDef{"S", s_schema, {{"S.scan", AccessMethodKind::kScan, {}}}},
+      std::move(s)));
+  Die(engine->AddTable(
+      TableDef{"T", t_schema, {{"T.scan", AccessMethodKind::kScan, {}}}},
+      std::move(t)));
+}
+
+struct Point {
+  size_t threads = 0;
+  double best_wall_s = 0;
+  uint64_t routed = 0;
+  size_t num_results = 0;
+  double routed_per_sec = 0;
+};
+
+Point Measure(const QuerySpec& query, const TableStore& store,
+              size_t threads) {
+  ThreadPoolExecutor executor;
+  RunOptions options;
+  options.policy = "nary_shj";
+  options.batch_size = 64;
+  options.executor = ExecutorKind::kThreaded;
+  options.num_threads = threads;
+  Point point;
+  point.threads = threads;
+  point.best_wall_s = 1e30;
+  for (size_t rep = 0; rep < Repeats(); ++rep) {
+    ExecOutcome outcome;
+    const auto t0 = std::chrono::steady_clock::now();
+    Die(executor.Execute(query, options, store, &outcome));
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    point.best_wall_s = std::min(point.best_wall_s, wall);
+    point.routed = outcome.totals.tuples_routed;
+    point.num_results = outcome.results.size();
+    if (!outcome.violations.empty()) {
+      std::fprintf(stderr, "bench_parallel: %zu audit violations\n",
+                   outcome.violations.size());
+      std::exit(1);
+    }
+  }
+  point.routed_per_sec =
+      static_cast<double>(point.routed) / point.best_wall_s;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  Engine engine;
+  Fill(&engine);
+  QueryBuilder qb(engine.catalog());
+  qb.AddTable("R").AddTable("S").AddTable("T");
+  qb.AddJoin("R.a", "S.x").AddJoin("S.y", "T.u");
+  auto built = std::move(qb).Build();
+  Die(built.status());
+  const QuerySpec query = std::move(built).Value();
+
+  std::printf("bench_parallel: %zu+%zu+%zu rows, best of %zu runs\n",
+              ScaleRows(), ScaleRows(), ScaleRows() / 2, Repeats());
+
+  std::vector<Point> points;
+  for (size_t threads : kThreadCounts) {
+    points.push_back(Measure(query, engine.store(), threads));
+    const Point& p = points.back();
+    std::printf(
+        "threads=%zu  %.3f s  %llu routed  %.0f routed/s  (%zu results)\n",
+        p.threads, p.best_wall_s,
+        static_cast<unsigned long long>(p.routed), p.routed_per_sec,
+        p.num_results);
+    if (p.num_results != points.front().num_results) {
+      std::fprintf(stderr,
+                   "bench_parallel: result cardinality diverged "
+                   "(%zu at 1 thread vs %zu at %zu threads)\n",
+                   points.front().num_results, p.num_results, p.threads);
+      return 1;
+    }
+  }
+
+  auto rate_at = [&points](size_t threads) {
+    for (const Point& p : points) {
+      if (p.threads == threads) return p.routed_per_sec;
+    }
+    return 0.0;
+  };
+  const double speedup_2x = rate_at(2) / rate_at(1);
+  const double speedup_4x = rate_at(4) / rate_at(1);
+  const double speedup_8x = rate_at(8) / rate_at(1);
+  std::printf("speedup: 2x=%.2f  4x=%.2f  8x=%.2f\n", speedup_2x, speedup_4x,
+              speedup_8x);
+
+  std::string json = "{\n \"benchmarks\": [\n";
+  char entry[512];
+  for (const Point& p : points) {
+    std::snprintf(entry, sizeof(entry),
+                  "  {\"name\": \"BM_ParallelScaling/threads:%zu\", "
+                  "\"routed_per_sec\": %.3f, \"wall_s\": %.6f, "
+                  "\"tuples_routed\": %llu, \"num_results\": %zu},\n",
+                  p.threads, p.routed_per_sec, p.best_wall_s,
+                  static_cast<unsigned long long>(p.routed), p.num_results);
+    json += entry;
+  }
+  std::snprintf(entry, sizeof(entry),
+                "  {\"name\": \"BM_ParallelScaling/summary\", "
+                "\"threads_speedup_2x\": %.4f, "
+                "\"threads_speedup_4x\": %.4f, "
+                "\"threads_speedup_8x\": %.4f}\n",
+                speedup_2x, speedup_4x, speedup_8x);
+  json += entry;
+  json += " ]\n}\n";
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

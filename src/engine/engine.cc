@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include "common/logging.h"
+#include "exec/threaded_executor.h"
 #include "query/planner.h"
 
 namespace stems {
@@ -12,6 +13,9 @@ namespace {
 constexpr uint64_t kPumpChunk = 256;
 
 }  // namespace
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
 
 Status Engine::AddTable(TableDef def, std::vector<RowRef> rows) {
   const std::string name = def.name;
@@ -38,31 +42,27 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
   exec->query = query;
   exec->policy_name = options.policy;
 
-  // The top-level batch_size knob wins over the exec escape hatch (unless
-  // left at its scalar default).
-  if (options.batch_size > 1) {
-    options.exec.eddy.batch_size = options.batch_size;
-  }
-  // Memory-pressure shorthands: the budget knob overrides the escape hatch
-  // when set, and the spill toggle turns on run files + the spilling victim
-  // policy (exact results under the budget).
-  if (options.memory_budget_entries > 0) {
-    options.exec.eddy.memory.global_entry_budget =
-        options.memory_budget_entries;
-  }
-  if (options.spill) {
-    options.exec.eddy.spill.enabled = true;
-    // Like the batch_size shorthand, defer to the escape hatch when the
-    // caller explicitly picked a (window-semantics) victim policy.
-    if (options.exec.eddy.memory.victim_policy ==
-        MemoryVictimPolicy::kLargestFirst) {
-      options.exec.eddy.memory.victim_policy =
-          MemoryVictimPolicy::kSpillColdest;
+  if (options.executor == ExecutorKind::kThreaded) {
+    // Wall-clock morsel-driven execution (docs/parallelism.md): runs to
+    // completion on the pool inside Submit — the handle is born finished
+    // and its cursors never touch the shared clock.
+    if (threaded_pool_ == nullptr) {
+      threaded_pool_ = std::make_unique<ThreadPoolExecutor>();
     }
+    ExecOutcome outcome;
+    STEMS_RETURN_NOT_OK(
+        threaded_pool_->Execute(exec->query, options, store_, &outcome));
+    exec->threaded = std::move(outcome);
+    exec->finished = true;
+    exec->completed_at = sim_.now();
+    queries_.push_back(exec);
+    CheckCompletions();  // prune any retired handle-less executions
+    return QueryHandle(exec);
   }
+
   STEMS_ASSIGN_OR_RETURN(
       exec->eddy,
-      PlanQuery(exec->query, store_, &sim_, options.exec,
+      PlanQuery(exec->query, store_, &sim_, options.EffectiveExec(),
                 options.share_stems ? &stem_pool_ : nullptr));
   STEMS_ASSIGN_OR_RETURN(std::unique_ptr<RoutingPolicy> policy,
                          PolicyRegistry::Global().Create(
@@ -82,7 +82,7 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
 void Engine::CheckCompletions() {
   for (auto& exec : queries_) {
     if (exec->finished || exec->cancelled) continue;
-    if (exec->eddy->Quiescent()) {
+    if (exec->eddy != nullptr && exec->eddy->Quiescent()) {
       // Parked prior probers can never be woken now; retiring them is the
       // RunToCompletion drain, audited by the constraint checker.
       exec->eddy->DrainParked();
@@ -99,7 +99,8 @@ void Engine::CheckCompletions() {
   std::erase_if(queries_,
                 [](const std::shared_ptr<internal::QueryExecution>& e) {
                   return (e->finished || e->cancelled) &&
-                         e->eddy->Quiescent() && e.use_count() == 1;
+                         (e->eddy == nullptr || e->eddy->Quiescent()) &&
+                         e.use_count() == 1;
                 });
 }
 

@@ -39,6 +39,7 @@
 #include "catalog/catalog.h"
 #include "eddy/eddy.h"
 #include "engine/run_options.h"
+#include "exec/executor.h"
 #include "query/query_spec.h"
 #include "sql/binder.h"
 #include "stem/stem_manager.h"
@@ -49,6 +50,7 @@ namespace stems {
 class Engine;
 class QueryHandle;
 class ResultCursor;
+class ThreadPoolExecutor;
 
 /// Execution statistics of one submitted query (snapshot; final once
 /// QueryHandle::done()).
@@ -78,6 +80,13 @@ struct QueryStats {
   std::string policy;
   bool cancelled = false;
 
+  // --- execution substrate (RunOptions::executor, docs/parallelism.md) ------
+  /// "sim" or "threaded".
+  std::string executor = "sim";
+  /// Per-worker accumulators of a threaded run, in worker-id order (the
+  /// scalar fields above are their merge); empty for sim runs.
+  std::vector<WorkerCounters> worker_counters;
+
   // --- spill subsystem (all zero when RunOptions::spill is off) -------------
   /// Simulated disk page reads + writes by the spill run files.
   uint64_t spill_ios = 0;
@@ -97,7 +106,11 @@ namespace internal {
 struct QueryExecution {
   Engine* engine = nullptr;
   QuerySpec query;  ///< owned copy; the eddy points into it
+  /// Sim executions own an eddy on the shared clock; threaded executions
+  /// own a completed ExecOutcome instead (eddy stays null — every eddy
+  /// deref below the handle API is branched on this).
   std::unique_ptr<Eddy> eddy;
+  std::optional<ExecOutcome> threaded;
   std::string policy_name;
   size_t next_result = 0;  ///< cursor consumption position (shared)
   bool finished = false;
@@ -234,6 +247,7 @@ class QueryHandle {
   const QuerySpec& query() const { return exec_->query; }
 
   /// Low-level escape hatch (module stats, constraint violations, ...).
+  /// Null for threaded executions — they have no module graph.
   Eddy* eddy() const { return exec_->eddy.get(); }
 
  private:
@@ -308,7 +322,8 @@ class PreparedQuery {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -372,6 +387,10 @@ class Engine {
   StemManager stem_pool_;
   Simulation sim_;
   std::vector<std::shared_ptr<internal::QueryExecution>> queries_;
+  /// Lazily created wall-clock executor (RunOptions::executor=threaded).
+  /// One per engine: concurrent threaded Submits serialize on its run
+  /// mutex instead of oversubscribing the machine.
+  std::unique_ptr<ThreadPoolExecutor> threaded_pool_;
 };
 
 }  // namespace stems

@@ -6,6 +6,15 @@ namespace stems {
 std::optional<TuplePtr> ResultCursor::Next() {
   internal::QueryExecution* exec = exec_.get();
   if (exec->cancelled) return std::nullopt;
+  if (exec->threaded.has_value()) {
+    // Threaded executions are born finished: the buffer is complete and no
+    // clock pumping is involved — Next() is a plain read.
+    const auto& results = exec->threaded->results;
+    if (exec->next_result < results.size()) {
+      return results[exec->next_result++];
+    }
+    return std::nullopt;
+  }
   const Eddy& eddy = *exec->eddy;
   if (exec->next_result >= eddy.num_results() && !exec->finished) {
     // Advance the shared clock just far enough for the push output to grow
@@ -94,14 +103,17 @@ std::string RowView::ToString() const {
 }
 
 uint64_t ResultCursor::spill_ios() const {
+  if (exec_->threaded.has_value()) return exec_->threaded->spill_ios;
   return exec_->eddy->SpillStats().spill_ios;
 }
 
 uint64_t ResultCursor::bytes_spilled() const {
+  if (exec_->threaded.has_value()) return exec_->threaded->bytes_spilled;
   return exec_->eddy->SpillStats().bytes_spilled;
 }
 
 size_t ResultCursor::partitions_resident() const {
+  if (exec_->threaded.has_value()) return exec_->threaded->partitions_resident;
   return exec_->eddy->SpillStats().partitions_resident;
 }
 
@@ -114,6 +126,8 @@ void QueryHandle::Wait() {
 void QueryHandle::Cancel() {
   if (exec_->cancelled) return;
   exec_->cancelled = true;
+  // Threaded executions are always finished by the time a handle exists,
+  // so this branch (live dataflow teardown) is sim-only.
   if (!exec_->finished) {
     // Still running: stop the dataflow too. (On a finished query, Cancel
     // only discards the buffered results the cursors have not consumed.)
@@ -123,8 +137,29 @@ void QueryHandle::Cancel() {
 }
 
 QueryStats QueryHandle::Stats() const {
+  if (exec_->threaded.has_value()) {
+    const ExecOutcome& outcome = *exec_->threaded;
+    QueryStats stats;
+    stats.executor = "threaded";
+    stats.num_results = outcome.results.size();
+    stats.tuples_routed = outcome.totals.tuples_routed;
+    stats.tuples_retired = outcome.totals.tuples_retired;
+    stats.routing_wall_ns = outcome.totals.routing_wall_ns;
+    stats.constraint_violations = outcome.violations.size();
+    stats.worker_counters = outcome.workers;
+    stats.completed_at = exec_->completed_at;
+    stats.policy = exec_->policy_name;
+    stats.cancelled = exec_->cancelled;
+    stats.spill_ios = outcome.spill_ios;
+    stats.bytes_spilled = outcome.bytes_spilled;
+    stats.entries_spilled = outcome.entries_spilled;
+    stats.partitions_resident = outcome.partitions_resident;
+    stats.partitions_spilled = outcome.partitions_spilled;
+    return stats;
+  }
   const Eddy& eddy = *exec_->eddy;
   QueryStats stats;
+  stats.executor = "sim";
   stats.num_results = eddy.num_results();
   stats.tuples_routed = eddy.tuples_routed();
   stats.tuples_retired = eddy.tuples_retired();
@@ -150,6 +185,12 @@ QueryStats QueryHandle::Stats() const {
 }
 
 const MetricsRecorder& QueryHandle::metrics() const {
+  if (exec_->threaded.has_value()) {
+    // No module graph, no per-module time series; per-worker counters live
+    // in Stats().worker_counters instead.
+    static const MetricsRecorder kEmpty;
+    return kEmpty;
+  }
   return exec_->eddy->ctx()->metrics;
 }
 

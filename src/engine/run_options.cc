@@ -75,7 +75,38 @@ Status RunOptions::Validate() const {
                                      "' must be > 0");
     }
   }
+  if (executor == ExecutorKind::kThreaded && share_stems) {
+    // The deeper query-shape checks need the bound spec and live in
+    // ThreadPoolExecutor::ValidateSupported; this one is pure options.
+    return Status::InvalidArgument(
+        "executor=threaded is incompatible with share_stems (cross-query "
+        "sharing is sim-only; see docs/parallelism.md)");
+  }
   return Status::OK();
+}
+
+ExecutionConfig RunOptions::EffectiveExec() const {
+  ExecutionConfig config = exec;
+  // The top-level batch_size knob wins over the exec escape hatch (unless
+  // left at its scalar default).
+  if (batch_size > 1) {
+    config.eddy.batch_size = batch_size;
+  }
+  // Memory-pressure shorthands: the budget knob overrides the escape hatch
+  // when set, and the spill toggle turns on run files + the spilling victim
+  // policy (exact results under the budget).
+  if (memory_budget_entries > 0) {
+    config.eddy.memory.global_entry_budget = memory_budget_entries;
+  }
+  if (spill) {
+    config.eddy.spill.enabled = true;
+    // Like the batch_size shorthand, defer to the escape hatch when the
+    // caller explicitly picked a (window-semantics) victim policy.
+    if (config.eddy.memory.victim_policy == MemoryVictimPolicy::kLargestFirst) {
+      config.eddy.memory.victim_policy = MemoryVictimPolicy::kSpillColdest;
+    }
+  }
+  return config;
 }
 
 RunOptions RunOptions::Paper() {
@@ -111,6 +142,14 @@ RunOptions RunOptions::MultiQuery() {
   RunOptions o;
   o.policy = "benefit_cost";
   o.share_stems = true;
+  return o;
+}
+
+RunOptions RunOptions::Threaded(size_t num_threads) {
+  RunOptions o;
+  o.executor = ExecutorKind::kThreaded;
+  o.num_threads = num_threads;
+  o.batch_size = 64;
   return o;
 }
 

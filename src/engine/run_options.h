@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "engine/policy_registry.h"
+#include "exec/executor.h"
 #include "query/planner.h"
 
 namespace stems {
@@ -63,12 +64,29 @@ struct RunOptions {
   /// budget, sharing requires the spilling victim policy.
   bool share_stems = false;
 
+  /// Which execution substrate runs the query (docs/parallelism.md):
+  /// kSim (default) is the deterministic virtual-clock dataflow; kThreaded
+  /// is the wall-clock morsel-driven thread pool. The threaded envelope is
+  /// narrower — scan-AM tables, BuildFirst semantics, no sharing — and
+  /// Engine::Submit reports Unsupported for combinations outside it.
+  ExecutorKind executor = ExecutorKind::kSim;
+
+  /// Worker threads for the threaded executor (0 = hardware concurrency,
+  /// clamped to [1, 8]). Ignored by the sim executor.
+  size_t num_threads = 0;
+
   /// Full low-level knob set: module timing defaults and per-module
   /// overrides, SteM options, and the embedded EddyOptions.
   ExecutionConfig exec;
 
   /// Checks internal consistency and that `policy` is registered.
   Status Validate() const;
+
+  /// The planner-ready ExecutionConfig: `exec` with the top-level
+  /// shorthands folded in (batch_size, memory_budget_entries, and the
+  /// spill toggle's victim-policy flip). The single place Engine::Submit
+  /// and SimExecutor translate RunOptions for PlanQuery.
+  ExecutionConfig EffectiveExec() const;
 
   // --- named presets --------------------------------------------------------
 
@@ -98,6 +116,11 @@ struct RunOptions {
   /// routing. The direct scaling preset for many-queries-per-engine
   /// workloads.
   static RunOptions MultiQuery();
+
+  /// Wall-clock morsel-driven execution on `num_threads` workers
+  /// (0 = hardware concurrency). Batch size 64 so each claimed morsel
+  /// amortizes the chunk-cursor hop, as in the sim's batched routing.
+  static RunOptions Threaded(size_t num_threads = 0);
 };
 
 }  // namespace stems

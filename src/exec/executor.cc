@@ -1,0 +1,15 @@
+#include "exec/executor.h"
+
+namespace stems {
+
+const char* ExecutorKindName(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSim:
+      return "sim";
+    case ExecutorKind::kThreaded:
+      return "threaded";
+  }
+  return "unknown";
+}
+
+}  // namespace stems

@@ -1,0 +1,108 @@
+// Executor: how a submitted query's dataflow is driven (docs/parallelism.md).
+//
+// The engine has exactly two ways to run the eddies-and-SteMs dataflow:
+//
+//   kSim      — the deterministic discrete-event simulator (src/sim/): every
+//               module is an actor on one virtual clock, executions are
+//               bit-for-bit reproducible, and virtual time prices remote
+//               latencies and disk I/O. This is the default and the
+//               reference semantics for all equivalence/property tests.
+//   kThreaded — the wall-clock morsel-driven thread pool
+//               (threaded_executor.h): TupleBatch is the morsel, SteM state
+//               is hash-sharded across workers, and routing statistics live
+//               in per-worker accumulators merged on read. Same result set,
+//               real cores.
+//
+// Both implement Executor::Execute — run one query to completion, fill an
+// ExecOutcome — which is what the sim-vs-threaded equivalence gate in CI
+// exercises. (The Engine's lazy multi-query pump is the sim executor's
+// interleaved form: several eddies share one clock and a cursor advances it
+// just far enough; see engine/engine.cc.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/tuple.h"
+
+namespace stems {
+
+class QuerySpec;
+class TableStore;
+struct RunOptions;
+
+/// Which execution substrate Engine::Submit puts the query on.
+enum class ExecutorKind { kSim, kThreaded };
+
+const char* ExecutorKindName(ExecutorKind kind);
+
+/// One worker's routing accumulators (threaded executor). Workers never
+/// share counters on the hot path — each owns one of these, and readers
+/// merge the vector (QueryStats aggregates them; the per-worker breakdown
+/// is kept for observability).
+struct WorkerCounters {
+  uint64_t morsels = 0;         ///< TupleBatch work units processed
+  uint64_t tuples_routed = 0;   ///< routing decisions made
+  uint64_t tuples_retired = 0;  ///< tuples dropped from the dataflow
+  uint64_t builds = 0;          ///< SteM inserts performed
+  uint64_t duplicates = 0;      ///< builds absorbed by set-semantics dedup
+  uint64_t probes = 0;          ///< SteM probes performed
+  uint64_t matches = 0;         ///< concatenations emitted by probes
+  uint64_t results = 0;         ///< output tuples this worker admitted
+  uint64_t routing_wall_ns = 0;  ///< wall time inside morsel processing
+
+  WorkerCounters& operator+=(const WorkerCounters& o) {
+    morsels += o.morsels;
+    tuples_routed += o.tuples_routed;
+    tuples_retired += o.tuples_retired;
+    builds += o.builds;
+    duplicates += o.duplicates;
+    probes += o.probes;
+    matches += o.matches;
+    results += o.results;
+    routing_wall_ns += o.routing_wall_ns;
+    return *this;
+  }
+};
+
+/// Everything Execute() reports back about one completed run.
+struct ExecOutcome {
+  std::vector<TuplePtr> results;
+  /// Constraint-audit verdict: invariant breaches observed while running
+  /// (empty on every correct execution; the equivalence gate compares this
+  /// against the sim run's audit).
+  std::vector<std::string> violations;
+  /// Per-worker accumulators, merged on read (size 1 for the sim executor).
+  std::vector<WorkerCounters> workers;
+  /// Aggregate of `workers` (computed by Execute).
+  WorkerCounters totals;
+  /// Spill observability (threaded executor's sharded state; the sim path
+  /// reports through Eddy::SpillStats instead).
+  uint64_t spill_ios = 0;
+  uint64_t bytes_spilled = 0;
+  uint64_t entries_spilled = 0;
+  size_t partitions_resident = 0;
+  size_t partitions_spilled = 0;
+  /// True when the run stopped early because the query's LIMIT filled.
+  bool limit_reached = false;
+};
+
+/// A strategy for running one query to completion. Implementations:
+/// SimExecutor (sim_executor.h) and ThreadPoolExecutor
+/// (threaded_executor.h).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Runs `query` over `store` to completion under `options`, filling
+  /// `*out`. Returns non-OK (and leaves `*out` unspecified) when the
+  /// query/options combination is not supported by this executor.
+  virtual Status Execute(const QuerySpec& query, const RunOptions& options,
+                         const TableStore& store, ExecOutcome* out) = 0;
+};
+
+}  // namespace stems

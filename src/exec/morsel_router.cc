@@ -1,0 +1,80 @@
+#include "exec/morsel_router.h"
+
+namespace stems {
+
+MorselRouter::MorselRouter(size_t num_slots, const std::string& policy,
+                           uint64_t seed, int worker_id)
+    : stats_(num_slots),
+      rng_(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(worker_id)) {
+  if (policy == "lottery") {
+    kind_ = Kind::kLottery;
+  } else if (policy == "benefit_cost") {
+    kind_ = Kind::kBenefitCost;
+  } else {
+    kind_ = Kind::kFirstCandidate;
+  }
+}
+
+int MorselRouter::ChooseTarget(const Tuple& tuple,
+                               const std::vector<int>& candidates) {
+  (void)tuple;
+  if (candidates.size() == 1) return candidates.front();
+  switch (kind_) {
+    case Kind::kFirstCandidate:
+      return candidates.front();
+    case Kind::kLottery: {
+      // Ticket weight favours selective SteMs (few matches per probe), the
+      // lottery's reward signal, with one base ticket so every candidate
+      // keeps a nonzero chance (exploration).
+      double total = 0;
+      std::vector<double> weight(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        const SlotStats& s = stats_[static_cast<size_t>(candidates[i])];
+        const double avg_matches =
+            s.probes == 0
+                ? 1.0
+                : static_cast<double>(s.matches) / static_cast<double>(s.probes);
+        weight[i] = 1.0 / (1.0 + avg_matches);
+        total += weight[i];
+      }
+      std::uniform_real_distribution<double> dist(0.0, total);
+      double draw = dist(rng_);
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        draw -= weight[i];
+        if (draw <= 0) return candidates[i];
+      }
+      return candidates.back();
+    }
+    case Kind::kBenefitCost: {
+      // Benefit/cost on local history: prefer the probe expected to shrink
+      // the dataflow most per entry scanned; unprobed SteMs first (their
+      // score is unknown, and probing them is the cheapest way to learn).
+      int best = candidates.front();
+      double best_score = -1;
+      for (int slot : candidates) {
+        const SlotStats& s = stats_[static_cast<size_t>(slot)];
+        if (s.probes == 0) return slot;
+        const double avg_matches =
+            static_cast<double>(s.matches) / static_cast<double>(s.probes);
+        const double avg_scanned =
+            static_cast<double>(s.scanned) / static_cast<double>(s.probes);
+        const double score = 1.0 / ((1.0 + avg_matches) * (1.0 + avg_scanned));
+        if (score > best_score) {
+          best_score = score;
+          best = slot;
+        }
+      }
+      return best;
+    }
+  }
+  return candidates.front();
+}
+
+void MorselRouter::RecordProbe(int slot, uint64_t scanned, uint64_t matches) {
+  SlotStats& s = stats_[static_cast<size_t>(slot)];
+  ++s.probes;
+  s.scanned += scanned;
+  s.matches += matches;
+}
+
+}  // namespace stems

@@ -1,0 +1,58 @@
+// MorselRouter: the threaded executor's per-worker routing policy.
+//
+// The sim's RoutingPolicy objects assume single-threaded ownership of their
+// statistics (ticket counts, benefit/cost scores); sharing one across
+// workers would put a lock on every routing decision. Instead each worker
+// owns a MorselRouter: the same policy *family* selected by
+// RunOptions::policy, but fed exclusively from that worker's observations
+// (probes issued, matches returned, entries scanned). Readers merge
+// per-worker outcomes through WorkerCounters — statistics move to the
+// workers, never the other way (docs/parallelism.md).
+//
+// Any target choice yields the identical result set: a tuple's cascade
+// reaches full span through every probe order, and §3.1 timestamps make
+// each result appear exactly once regardless (the equivalence suite pins
+// this across all policies × thread counts). The router only shapes *work*,
+// as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "runtime/tuple.h"
+
+namespace stems {
+
+class MorselRouter {
+ public:
+  /// `policy` is the RunOptions policy name; unrecognized names fall back
+  /// to the deterministic first-candidate order (the nary_shj behaviour).
+  /// `seed`/`worker_id` decorrelate the lottery streams across workers.
+  MorselRouter(size_t num_slots, const std::string& policy, uint64_t seed,
+               int worker_id);
+
+  /// Picks the SteM slot `tuple` probes next from `candidates` (non-empty,
+  /// ascending). Deterministic for nary_shj/benefit_cost given the same
+  /// local history; lottery draws from the worker's private RNG.
+  int ChooseTarget(const Tuple& tuple, const std::vector<int>& candidates);
+
+  /// Feedback after the probe: how much was scanned, how much matched.
+  void RecordProbe(int slot, uint64_t scanned, uint64_t matches);
+
+ private:
+  enum class Kind { kFirstCandidate, kLottery, kBenefitCost };
+
+  struct SlotStats {
+    uint64_t probes = 0;
+    uint64_t scanned = 0;
+    uint64_t matches = 0;
+  };
+
+  Kind kind_;
+  std::vector<SlotStats> stats_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace stems

@@ -1,0 +1,184 @@
+// ShardedStem: the threaded executor's concurrent build/probe state store.
+//
+// One ShardedStem per table slot, hash-partitioned into shards so workers
+// building and probing the same SteM contend only per shard, never globally
+// (docs/parallelism.md covers the ownership rules). Each shard owns:
+//   - its entry log (row + build timestamp),
+//   - the content-dedup set enforcing the paper's §3.2 set semantics,
+//   - one hash index per equi-join column of the slot.
+//
+// Visibility contract (the threaded analogue of the §3.1 timestamp rule):
+// a build issues its timestamp from the query-global atomic counter and
+// inserts the entry *inside the same shard critical section*, and a probe
+// issues no timestamps and reads under the same shard mutex. Together with
+// the probe-side filter `entry_ts <= probe_ts` this gives the symmetric-
+// join guarantee: for any two rows r, s with ts(r) < ts(s), s's probe is
+// ordered after r's insert (else s's probe section — which follows s's own
+// ts issuance in program order — would precede r's issuance, contradicting
+// ts(r) < ts(s)), so exactly the newer row observes the older one.
+//
+// Spill-lite: under a global resident-entry budget (the threaded mapping of
+// RunOptions::LargerThanMemory) whole shards are "spilled" — their hash
+// indexes are dropped and their entries accounted off-budget, standing in
+// for a partitioned run file exactly like the simulated spill subsystem
+// keeps its run files in memory. A probe touching a spilled shard faults it
+// back in (rebuilds the indexes, re-charges the budget). Results are never
+// affected, only the I/O counters and fault-in work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "query/query_spec.h"
+#include "runtime/tuple.h"
+#include "types/row.h"
+#include "types/value.h"
+
+namespace stems {
+
+/// Budget + counters shared by all ShardedStems of one threaded query run.
+struct ShardedSpillState {
+  /// Resident-entry budget across all stems (0 = unlimited).
+  size_t budget_entries = 0;
+  /// Entries currently charged against the budget (resident shards only).
+  std::atomic<int64_t> resident{0};
+  std::atomic<uint64_t> spill_ios{0};
+  std::atomic<uint64_t> bytes_spilled{0};
+  std::atomic<uint64_t> entries_spilled{0};  ///< entries currently off-budget
+  std::atomic<uint64_t> faults{0};           ///< shard fault-ins by probes
+};
+
+class ShardedStem {
+ public:
+  /// `ts_counter` is the query-global build-timestamp source (the threaded
+  /// TimestampAuthority); `spill` may be null for unbudgeted runs.
+  ShardedStem(int slot, const QuerySpec& query, size_t num_shards,
+              std::atomic<BuildTs>* ts_counter, ShardedSpillState* spill);
+
+  ShardedStem(const ShardedStem&) = delete;
+  ShardedStem& operator=(const ShardedStem&) = delete;
+
+  struct BuildResult {
+    bool inserted = false;  ///< false: content duplicate, absorbed (§3.2)
+    BuildTs ts = kTsInfinity;
+  };
+
+  /// Inserts `row` unless an identical row is already stored. On insert the
+  /// timestamp is issued and the entry published atomically w.r.t. probes
+  /// of the same shard (see the visibility contract above).
+  BuildResult Build(const RowRef& row);
+
+  /// Equality bindings a probe carries: (column of this slot, value).
+  using Bindings = std::vector<std::pair<int, Value>>;
+
+  /// Computes the equality bindings tuple `probe` provides for this slot
+  /// from the query's equi-join predicates (§2.1.4's index bind columns).
+  void ProbeBindings(const Tuple& probe, Bindings* out) const;
+
+  /// Invokes `fn(row, entry_ts)` for every stored entry matching `bindings`
+  /// with `entry_ts <= probe_ts` (§3.1's probe-side filter). A binding on
+  /// the shard-key column routes to one shard; a binding on another indexed
+  /// column uses that column's per-shard index across all shards; no usable
+  /// binding (range joins, cross products) scans everything. Returns the
+  /// number of entries examined (the router's cost signal).
+  /// A probe match handed back to the prober: the stored row + its build
+  /// timestamp, copied out of the shard so the (expensive) continuation —
+  /// predicate evaluation, concatenation, cascading — runs *outside* the
+  /// shard critical section and never serializes other workers. Deferring
+  /// the continuation cannot change the match set: which entries a probe
+  /// observes is fixed at lock time, and the visibility contract only
+  /// constrains the scan itself.
+  using Matches = std::vector<std::pair<RowRef, BuildTs>>;
+
+  template <typename Fn>
+  uint64_t Probe(const Bindings& bindings, BuildTs probe_ts, Fn&& fn,
+                 Matches* scratch = nullptr) {
+    Matches local;
+    Matches& matches = scratch != nullptr ? *scratch : local;
+    matches.clear();
+    const auto [binding_pos, index_pos] = IndexForBindings(bindings);
+    uint64_t scanned = 0;
+    if (index_pos >= 0) {
+      const Value& key = bindings[static_cast<size_t>(binding_pos)].second;
+      if (index_pos == 0) {
+        // Binding on the shard key: entries with this value live in exactly
+        // one shard (builds are placed by the same column).
+        scanned = ProbeShard(shards_[ShardOfValue(key)].get(), 0, &key,
+                             probe_ts, &matches);
+      } else {
+        for (auto& shard : shards_) {
+          scanned +=
+              ProbeShard(shard.get(), index_pos, &key, probe_ts, &matches);
+        }
+      }
+    } else {
+      for (auto& shard : shards_) {
+        scanned += ProbeShard(shard.get(), -1, nullptr, probe_ts, &matches);
+      }
+    }
+    for (auto& [row, ts] : matches) fn(row, ts);
+    return scanned;
+  }
+
+  int slot() const { return slot_; }
+  size_t num_shards() const { return shards_.size(); }
+  /// (resident, spilled) shard counts; sampled without a global lock.
+  std::pair<size_t, size_t> ShardResidency() const;
+  uint64_t num_entries() const { return entries_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    RowRef row;
+    BuildTs ts;
+  };
+  /// Value -> entry ordinals, one map per indexed equi-join column.
+  using ColumnIndex =
+      std::unordered_map<Value, std::vector<uint32_t>, ValueHash>;
+
+  /// Cache-line separated so two workers on adjacent shards never share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<Entry> entries;
+    std::unordered_set<RowRef, RowRefContentHash, RowRefContentEq> dedup;
+    std::vector<ColumnIndex> indexes;  ///< parallel to index_columns_
+    bool resident = true;  ///< false: indexes dropped, entries off-budget
+  };
+
+  /// (position in `bindings`, position in `index_columns_`) of the best
+  /// indexable binding — the shard-key column if bound, else any other
+  /// indexed column — or (-1, -1) when no binding is indexable.
+  std::pair<int, int> IndexForBindings(const Bindings& bindings) const;
+  size_t ShardOfValue(const Value& v) const;
+  size_t ShardOfRow(const Row& row) const;
+
+  /// Probes one shard under its mutex (faulting it in first when spilled)
+  /// and appends the ts-filtered matches to `out`. Only the scan holds the
+  /// lock; RowRefs are copied out so `out` stays valid after unlock even
+  /// if a concurrent build reallocates the entry log.
+  uint64_t ProbeShard(Shard* shard, int idx, const Value* key,
+                      BuildTs probe_ts, Matches* out);
+
+  /// Rebuilds a spilled shard's indexes and re-charges the budget. Caller
+  /// holds shard.mu.
+  void FaultInLocked(Shard* shard);
+  /// Drops the indexes of the largest resident shard other than `except`
+  /// until the budget is met (or nothing is left to spill).
+  void EnforceBudget(const Shard* except);
+
+  const int slot_;
+  const QuerySpec& query_;
+  std::atomic<BuildTs>* const ts_counter_;
+  ShardedSpillState* const spill_;
+  /// Equi-join columns of this slot, ascending; the first is the shard key.
+  std::vector<int> index_columns_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> entries_{0};
+};
+
+}  // namespace stems

@@ -1,0 +1,58 @@
+#include "exec/sim_executor.h"
+
+#include <memory>
+#include <utility>
+
+#include "engine/run_options.h"
+#include "query/planner.h"
+#include "sim/simulation.h"
+
+namespace stems {
+
+Status SimExecutor::Execute(const QuerySpec& query, const RunOptions& options,
+                            const TableStore& store, ExecOutcome* out) {
+  STEMS_RETURN_NOT_OK(options.Validate());
+  if (options.share_stems) {
+    return Status::Unsupported(
+        "SimExecutor runs one query on a private clock; cross-query sharing "
+        "needs the Engine's shared pool (Engine::Submit with share_stems)");
+  }
+  Simulation sim;
+  STEMS_ASSIGN_OR_RETURN(
+      std::unique_ptr<Eddy> eddy,
+      PlanQuery(query, store, &sim, options.EffectiveExec(), nullptr));
+  STEMS_ASSIGN_OR_RETURN(std::unique_ptr<RoutingPolicy> policy,
+                         PolicyRegistry::Global().Create(
+                             options.policy, options.policy_params));
+  eddy->SetPolicy(std::move(policy));
+  eddy->RunToCompletion();
+  if (!eddy->Quiescent()) {
+    return Status::Internal(
+        "simulation drained but the dataflow is not quiescent (a module "
+        "lost in-flight work)");
+  }
+  eddy->DrainParked();
+
+  *out = ExecOutcome{};
+  out->results = eddy->results();
+  for (const ConstraintViolation& v : eddy->violations()) {
+    out->violations.push_back(v.constraint + ": " + v.detail);
+  }
+  WorkerCounters wc;
+  wc.tuples_routed = eddy->tuples_routed();
+  wc.tuples_retired = eddy->tuples_retired();
+  wc.results = eddy->num_results();
+  wc.routing_wall_ns = eddy->routing_wall_ns();
+  out->workers.push_back(wc);
+  out->totals = wc;
+  const Eddy::SpillSummary spill = eddy->SpillStats();
+  out->spill_ios = spill.spill_ios;
+  out->bytes_spilled = spill.bytes_spilled;
+  out->entries_spilled = spill.entries_spilled;
+  out->partitions_resident = spill.partitions_resident;
+  out->partitions_spilled = spill.partitions_spilled;
+  out->limit_reached = eddy->limit_reached();
+  return Status::OK();
+}
+
+}  // namespace stems

@@ -1,0 +1,27 @@
+// SimExecutor: the deterministic simulated-clock Executor.
+//
+// Wraps the original dataflow — PlanQuery onto a private discrete-event
+// Simulation, RunToCompletion — behind the Executor interface, so the
+// sim-vs-threaded equivalence gate drives both substrates through one call
+// shape. This is the reference implementation: bit-for-bit reproducible,
+// full routing-policy machinery, constraint audit, parking, spill pricing.
+//
+// The Engine's own sim path is the *interleaved* form of this executor
+// (several live eddies share the engine clock, pumped lazily by cursors);
+// SimExecutor is the one-shot form with a clock of its own, which is what
+// tests and benches want when they compare whole runs.
+#pragma once
+
+#include "exec/executor.h"
+
+namespace stems {
+
+class SimExecutor : public Executor {
+ public:
+  const char* name() const override { return "sim"; }
+
+  Status Execute(const QuerySpec& query, const RunOptions& options,
+                 const TableStore& store, ExecOutcome* out) override;
+};
+
+}  // namespace stems

@@ -1,0 +1,407 @@
+#include "exec/threaded_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eddy/tuple_batch.h"
+#include "engine/run_options.h"
+#include "exec/morsel_router.h"
+#include "exec/sharded_stem.h"
+#include "query/join_graph.h"
+#include "query/query_spec.h"
+#include "storage/table_store.h"
+
+namespace stems {
+
+namespace {
+
+/// Shards per SteM. Plenty for 64 workers' worth of lock spreading while
+/// keeping per-shard hash maps dense; also the spill-lite granularity.
+constexpr size_t kShardsPerStem = 64;
+
+/// A contiguous row range of one table slot — what a worker claims, and
+/// materializes into the TupleBatch morsel.
+struct SourceChunk {
+  int slot;
+  size_t begin;
+  size_t end;
+};
+
+}  // namespace
+
+struct ThreadPoolExecutor::WorkerState {
+  WorkerCounters counters;
+  std::vector<TuplePtr> results;
+  std::unique_ptr<MorselRouter> router;
+  std::vector<TuplePtr> cascade_stack;
+  std::vector<int> candidates_scratch;
+  std::vector<int> passed_scratch;
+  ShardedStem::Bindings bindings_scratch;
+  ShardedStem::Matches matches_scratch;
+};
+
+struct ThreadPoolExecutor::RunState {
+  const QuerySpec* query = nullptr;
+  const JoinGraph* graph = nullptr;
+
+  std::vector<const StoredTable*> tables;  ///< per slot
+  std::vector<std::unique_ptr<ShardedStem>> stems;
+  std::atomic<BuildTs> ts_counter{1};
+  ShardedSpillState spill;
+
+  std::vector<SourceChunk> chunks;
+  std::atomic<size_t> next_chunk{0};
+
+  uint64_t full_mask = 0;
+  uint64_t all_preds_mask = 0;
+  std::vector<std::vector<const Predicate*>> selections;  ///< per slot
+  std::vector<std::vector<int>> neighbors;                ///< per slot
+
+  uint64_t limit = UINT64_MAX;
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> limit_reached{false};
+
+  /// Workers own their slot exclusively while running; padded so adjacent
+  /// workers' accumulators never share a cache line.
+  struct alignas(64) PaddedWorker {
+    WorkerState ws;
+  };
+  std::vector<PaddedWorker> workers;
+
+  std::mutex violations_mu;
+  std::vector<std::string> violations;
+};
+
+size_t ThreadPoolExecutor::EffectiveThreads(size_t requested,
+                                            size_t fallback) {
+  size_t n = requested != 0 ? requested : fallback;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    n = std::clamp<size_t>(n, 1, 8);
+  }
+  return std::clamp<size_t>(n, 1, 64);
+}
+
+Status ThreadPoolExecutor::ValidateSupported(const QuerySpec& query,
+                                             const RunOptions& options) {
+  // Options outside the envelope. Each of these exists to model behaviour
+  // the wall-clock dataflow deliberately does not reproduce; see
+  // docs/parallelism.md for the rationale per item.
+  if (options.share_stems) {
+    return Status::Unsupported(
+        "threaded executor: cross-query SteM sharing (share_stems) is "
+        "sim-only");
+  }
+  const size_t budget = options.memory_budget_entries != 0
+                            ? options.memory_budget_entries
+                            : options.exec.eddy.memory.global_entry_budget;
+  if (budget > 0 && !options.spill && !options.exec.eddy.spill.enabled) {
+    return Status::Unsupported(
+        "threaded executor: an evicting (window-semantics) memory budget is "
+        "sim-only; set spill=true for the exact larger-than-memory mode");
+  }
+  if (options.exec.eddy.relax_build_first ||
+      !options.exec.eddy.no_build_tables.empty()) {
+    return Status::Unsupported(
+        "threaded executor: relaxed BuildFirst (§3.5) is sim-only");
+  }
+  if (!options.exec.eddy.always_build) {
+    return Status::Unsupported(
+        "threaded executor: always_build=false routing is sim-only");
+  }
+  if (options.exec.eddy.result_priority_classifier != nullptr) {
+    return Status::Unsupported(
+        "threaded executor: result-priority metrics (§4.1) are sim-only");
+  }
+  // Query shapes outside the envelope.
+  if (query.num_slots() == 0 || query.num_slots() > 64) {
+    return Status::Unsupported("threaded executor: 1..64 table slots");
+  }
+  if (query.num_predicates() > 64) {
+    return Status::Unsupported("threaded executor: at most 64 predicates");
+  }
+  std::set<std::string> seen_tables;
+  for (const auto& slot : query.slots()) {
+    if (!seen_tables.insert(slot.table_name).second) {
+      return Status::Unsupported(
+          "threaded executor: self-joins (table '" + slot.table_name +
+          "' in several FROM slots) are sim-only");
+    }
+    if (slot.def == nullptr || !slot.def->HasScanAm()) {
+      return Status::Unsupported(
+          "threaded executor: table '" + slot.table_name +
+          "' has no scan access method; index-only tables (probe "
+          "bouncing, EOT coverage) are sim-only");
+    }
+  }
+  return Status::OK();
+}
+
+void ThreadPoolExecutor::AdmitResult(RunState* state, WorkerState* ws,
+                                     TuplePtr tuple) {
+  // Constraint audit (the threaded analogue of the sim's checker verdicts):
+  // a result must span everything, be fully built, and have passed every
+  // predicate. Violations are collected, never dropped — the equivalence
+  // gate compares them against the sim run's audit.
+  if (tuple->spanned_mask() != state->full_mask ||
+      !tuple->AllComponentsBuilt() ||
+      (tuple->preds_passed() & state->all_preds_mask) !=
+          state->all_preds_mask) {
+    std::lock_guard<std::mutex> lock(state->violations_mu);
+    state->violations.push_back("invalid result admitted: " +
+                                tuple->ToString());
+  }
+  const uint64_t n = state->admitted.fetch_add(1);
+  if (n < state->limit) {
+    ws->results.push_back(std::move(tuple));
+    ++ws->counters.results;
+    if (n + 1 == state->limit) {
+      // LIMIT filled: exactly `limit` admissions won the counter race;
+      // everyone else drains. This is the whole cancel path — one flag.
+      state->limit_reached.store(true, std::memory_order_relaxed);
+      state->stop.store(true, std::memory_order_relaxed);
+    }
+  } else {
+    ++ws->counters.tuples_retired;
+  }
+}
+
+void ThreadPoolExecutor::Cascade(RunState* state, WorkerState* ws,
+                                 TuplePtr tuple) {
+  const QuerySpec& query = *state->query;
+  auto& stack = ws->cascade_stack;
+  stack.push_back(std::move(tuple));
+  while (!stack.empty()) {
+    TuplePtr t = std::move(stack.back());
+    stack.pop_back();
+    if (state->stop.load(std::memory_order_relaxed)) {
+      ++ws->counters.tuples_retired;
+      continue;
+    }
+    if (t->spanned_mask() == state->full_mask) {
+      AdmitResult(state, ws, std::move(t));
+      continue;
+    }
+    // Probe candidates exactly as the sim's routing skeleton: unspanned
+    // slots join-connected to the span, falling back to every unspanned
+    // slot for cross products.
+    auto& candidates = ws->candidates_scratch;
+    candidates.clear();
+    for (int s = 0; s < static_cast<int>(query.num_slots()); ++s) {
+      if (t->Spans(s)) {
+        for (int n : state->neighbors[static_cast<size_t>(s)]) {
+          if (!t->Spans(n) &&
+              std::find(candidates.begin(), candidates.end(), n) ==
+                  candidates.end()) {
+            candidates.push_back(n);
+          }
+        }
+      }
+    }
+    if (candidates.empty()) {
+      for (int s = 0; s < static_cast<int>(query.num_slots()); ++s) {
+        if (!t->Spans(s)) candidates.push_back(s);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    ++ws->counters.tuples_routed;
+    const int target = ws->router->ChooseTarget(*t, candidates);
+    ShardedStem& stem = *state->stems[static_cast<size_t>(target)];
+
+    ShardedStem::Bindings& bindings = ws->bindings_scratch;
+    stem.ProbeBindings(*t, &bindings);
+    const BuildTs probe_ts = t->Timestamp();
+    const uint64_t new_span = t->spanned_mask() | (1ULL << target);
+    uint64_t matches = 0;
+    const uint64_t scanned = stem.Probe(
+        bindings, probe_ts, [&](const RowRef& row, BuildTs entry_ts) {
+          // Evaluate every not-yet-passed predicate the widened span can
+          // decide (the stored row's selections included) — mirrors
+          // Stem::ProcessProbe.
+          OverlayValueSource overlay(*t, target, &row->values());
+          auto& passed = ws->passed_scratch;
+          passed.clear();
+          for (const auto& pred : query.predicates()) {
+            if (t->PassedPredicate(pred.id())) continue;
+            if (!pred.CanEvaluate(new_span)) continue;
+            if (!pred.Evaluate(overlay)) return;
+            passed.push_back(pred.id());
+          }
+          TuplePtr nt = t->ConcatWith(target, row, entry_ts);
+          for (int id : passed) nt->MarkPredicatePassed(id);
+          ++matches;
+          ++ws->counters.matches;
+          if (nt->spanned_mask() == state->full_mask) {
+            AdmitResult(state, ws, std::move(nt));
+          } else {
+            stack.push_back(std::move(nt));
+          }
+        },
+        &ws->matches_scratch);
+    ++ws->counters.probes;
+    ws->router->RecordProbe(target, scanned, matches);
+    // One probe per tuple, then out of the dataflow: the cascade continues
+    // through the concatenations (see the exactly-once note in the header).
+    ++ws->counters.tuples_retired;
+  }
+}
+
+void ThreadPoolExecutor::ProcessSource(RunState* state, WorkerState* ws,
+                                       const TuplePtr& tuple) {
+  const int slot = tuple->SingletonSlot();
+  ++ws->counters.tuples_routed;
+  for (const Predicate* pred : state->selections[static_cast<size_t>(slot)]) {
+    if (!pred->Evaluate(*tuple)) {
+      ++ws->counters.tuples_retired;
+      return;
+    }
+    tuple->MarkPredicatePassed(pred->id());
+  }
+  auto built =
+      state->stems[static_cast<size_t>(slot)]->Build(tuple->component(slot).row);
+  if (!built.inserted) {
+    // Content duplicate: absorbed by set semantics (§3.2), like the sim.
+    ++ws->counters.duplicates;
+    ++ws->counters.tuples_retired;
+    return;
+  }
+  ++ws->counters.builds;
+  tuple->SetBuilt(slot, built.ts);
+  Cascade(state, ws, tuple);
+}
+
+void ThreadPoolExecutor::WorkerMain(RunState* state, int worker_id) {
+  WorkerState& ws = state->workers[static_cast<size_t>(worker_id)].ws;
+  const int num_slots = static_cast<int>(state->query->num_slots());
+  TupleBatch morsel;
+  for (;;) {
+    const size_t c = state->next_chunk.fetch_add(1);
+    if (c >= state->chunks.size()) break;
+    if (state->stop.load(std::memory_order_relaxed)) continue;  // fast drain
+    const SourceChunk& chunk = state->chunks[c];
+    const auto start = std::chrono::steady_clock::now();
+    ++ws.counters.morsels;
+    // Materialize the claimed row range as the TupleBatch morsel, then run
+    // each singleton's full lifecycle inline (build + cascade).
+    morsel.clear();
+    const auto& rows = state->tables[static_cast<size_t>(chunk.slot)]->rows();
+    for (size_t i = chunk.begin; i < chunk.end; ++i) {
+      if (rows[i]->IsEot()) continue;  // EOT markers are sim-protocol, not data
+      morsel.tuples.push_back(
+          Tuple::MakeSingleton(num_slots, chunk.slot, rows[i]));
+    }
+    for (TuplePtr& t : morsel.tuples) {
+      if (state->stop.load(std::memory_order_relaxed)) {
+        ++ws.counters.tuples_retired;
+        continue;
+      }
+      ProcessSource(state, &ws, t);
+    }
+    ws.counters.routing_wall_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+}
+
+Status ThreadPoolExecutor::Execute(const QuerySpec& query,
+                                   const RunOptions& options,
+                                   const TableStore& store, ExecOutcome* out) {
+  STEMS_RETURN_NOT_OK(ValidateSupported(query, options));
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+
+  RunState state;
+  state.query = &query;
+  JoinGraph graph(query);
+  state.graph = &graph;
+  state.full_mask = query.full_span_mask();
+  if (query.limit().has_value()) state.limit = *query.limit();
+
+  const size_t num_slots = query.num_slots();
+  state.tables.resize(num_slots);
+  state.selections.resize(num_slots);
+  state.neighbors.resize(num_slots);
+  for (size_t s = 0; s < num_slots; ++s) {
+    STEMS_ASSIGN_OR_RETURN(state.tables[s],
+                           store.GetTable(query.slots()[s].table_name));
+    state.selections[s] = query.SelectionsOn(static_cast<int>(s));
+    state.neighbors[s] = graph.Neighbors(static_cast<int>(s));
+  }
+  for (const auto& pred : query.predicates()) {
+    state.all_preds_mask |= 1ULL << pred.id();
+  }
+
+  if (options.spill || options.exec.eddy.spill.enabled) {
+    state.spill.budget_entries =
+        options.memory_budget_entries != 0
+            ? options.memory_budget_entries
+            : options.exec.eddy.memory.global_entry_budget;
+  }
+  state.stems.reserve(num_slots);
+  for (size_t s = 0; s < num_slots; ++s) {
+    state.stems.push_back(std::make_unique<ShardedStem>(
+        static_cast<int>(s), query, kShardsPerStem, &state.ts_counter,
+        &state.spill));
+  }
+
+  // Morsel size: RunOptions::batch_size, the same knob that sizes the sim's
+  // routing batches. LIMIT 0 short-circuits like the sim's unseeded scans.
+  const size_t morsel_rows = std::max<size_t>(1, options.batch_size);
+  if (state.limit > 0) {
+    for (size_t s = 0; s < num_slots; ++s) {
+      const size_t n = state.tables[s]->num_rows();
+      for (size_t begin = 0; begin < n; begin += morsel_rows) {
+        state.chunks.push_back(SourceChunk{static_cast<int>(s), begin,
+                                           std::min(begin + morsel_rows, n)});
+      }
+    }
+  }
+
+  const size_t num_threads =
+      EffectiveThreads(options.num_threads, default_threads_);
+  state.workers = std::vector<RunState::PaddedWorker>(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    state.workers[w].ws.router = std::make_unique<MorselRouter>(
+        num_slots, options.policy, options.policy_params.seed,
+        static_cast<int>(w));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (size_t w = 1; w < num_threads; ++w) {
+    threads.emplace_back(WorkerMain, &state, static_cast<int>(w));
+  }
+  WorkerMain(&state, 0);
+  for (auto& t : threads) t.join();
+
+  *out = ExecOutcome{};
+  out->workers.reserve(num_threads);
+  for (auto& padded : state.workers) {
+    out->totals += padded.ws.counters;
+    out->workers.push_back(padded.ws.counters);
+    out->results.insert(out->results.end(),
+                        std::make_move_iterator(padded.ws.results.begin()),
+                        std::make_move_iterator(padded.ws.results.end()));
+  }
+  out->violations = std::move(state.violations);
+  out->limit_reached = state.limit_reached.load();
+  out->spill_ios = state.spill.spill_ios.load();
+  out->bytes_spilled = state.spill.bytes_spilled.load();
+  out->entries_spilled = state.spill.entries_spilled.load();
+  for (const auto& stem : state.stems) {
+    const auto [resident, spilled] = stem->ShardResidency();
+    out->partitions_resident += resident;
+    out->partitions_spilled += spilled;
+  }
+  return Status::OK();
+}
+
+}  // namespace stems

@@ -35,10 +35,11 @@ Result<RunOptions> OptionsForPreset(const RunOptions& base,
   if (preset == "low_memory") return RunOptions::LowMemory();
   if (preset == "larger_than_memory") return RunOptions::LargerThanMemory();
   if (preset == "multi_query") return RunOptions::MultiQuery();
+  if (preset == "threaded") return RunOptions::Threaded();
   return Status::InvalidArgument(
       "unknown RunOptions preset '" + preset +
       "' (expected one of: paper, low_memory, larger_than_memory, "
-      "multi_query)");
+      "multi_query, threaded)");
 }
 
 }  // namespace
@@ -495,8 +496,19 @@ void Server::ParseFrames(const std::shared_ptr<Session>& session) {
 
 void Server::EngineThreadMain() {
   while (true) {
+    engine_ticks_.fetch_add(1, std::memory_order_relaxed);
+    // Only two things make progress with *time* rather than with a queued
+    // request: the governor's admission window (queued submits can start
+    // to fit as the spill-I/O window rolls over) and the shutdown drain
+    // deadline. Poll at 20ms only while one of those is pending; otherwise
+    // park on the queue's cv with a long bounded timeout so an idle server
+    // burns ~0 CPU. Every producer (TryPush/PushControl/WakeAll) notifies
+    // the cv, so new work still wakes the loop immediately.
+    const bool timed_work = HasQueuedSubmits() || shutdown_requested_;
+    const auto timeout = timed_work ? std::chrono::milliseconds(20)
+                                    : std::chrono::milliseconds(250);
     Request request;
-    if (queue_.PopWithTimeout(&request, std::chrono::milliseconds(20))) {
+    if (queue_.PopWithTimeout(&request, timeout)) {
       ProcessRequest(request);
     }
     SweepCompletions();
@@ -504,7 +516,7 @@ void Server::EngineThreadMain() {
     // capacity can also free with time alone (the spill-I/O window rolls
     // over), and a tenant with no running queries would otherwise strand
     // its queue forever.
-    if (!pending_submits_.empty()) AdmitQueuedSubmits();
+    if (HasQueuedSubmits()) AdmitQueuedSubmits();
     if (shutdown_requested_ &&
         (Drained() ||
          std::chrono::steady_clock::now() >= shutdown_deadline_)) {
@@ -1002,6 +1014,13 @@ void Server::SweepCompletions() {
       }
     }
   }
+}
+
+bool Server::HasQueuedSubmits() const {
+  for (const auto& [tenant, queue] : pending_submits_) {
+    if (!queue.empty()) return true;
+  }
+  return false;
 }
 
 void Server::AdmitQueuedSubmits() {

@@ -103,6 +103,12 @@ class Server {
 
   /// Live observability (thread-safe).
   size_t active_sessions() const;
+  /// Engine-loop wakeups since Start(). An idle server must stay on the
+  /// long cv-wait cadence, so this grows by only a few per second with no
+  /// clients connected (regression-tested: the loop must not busy-tick).
+  uint64_t engine_ticks() const {
+    return engine_ticks_.load(std::memory_order_relaxed);
+  }
   TenantRollup TenantStats(const std::string& tenant) const {
     return governor_.Rollup(tenant);
   }
@@ -189,6 +195,9 @@ class Server {
   /// fit.
   void SweepCompletions();
   void AdmitQueuedSubmits();
+  /// True if any tenant has a deferred submit waiting for capacity (the
+  /// per-tenant deques can be empty; the map keeps drained entries).
+  bool HasQueuedSubmits() const;
   /// Cancels every live query of the session and releases its governor
   /// charges; the session keeps only its socket state afterwards.
   void CleanupSessionState(const std::shared_ptr<Session>& session);
@@ -220,6 +229,7 @@ class Server {
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> stop_net_{false};
   std::atomic<bool> engine_thread_done_{false};
+  std::atomic<uint64_t> engine_ticks_{0};
   std::chrono::steady_clock::time_point shutdown_deadline_{};
 
   int listen_fd_ = -1;

@@ -6,8 +6,10 @@
 // (injected stuck module), a session killed mid-Fetch over pooled SteMs,
 // and graceful shutdown draining then cancelling.
 #include <gtest/gtest.h>
+#include <sys/resource.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -610,6 +612,58 @@ TEST_F(ServerTest, ShutdownIsImmediateWhenDrained) {
                            std::chrono::steady_clock::now() - t0)
                            .count();
   EXPECT_LT(elapsed, 2000);
+}
+
+TEST_F(ServerTest, IdleServerStaysParkedOnTheQueueCv) {
+  // Regression: the engine loop used to poll the request queue on a flat
+  // 20ms timeout even with nothing running — ~50 wakeups/sec of pure idle
+  // burn. Idle must mean the long cv-wait cadence (a handful of wakeups
+  // per second at most); queued submits and shutdown still get the fast
+  // 20ms tick because only *time* can unblock them.
+  StartServer();
+  // One connect/query round-trip to prove we measure post-activity idle,
+  // not just never-started.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), "tenant_a").ok());
+  ASSERT_TRUE(client.RunQuery("SELECT u.id FROM users u").ok());
+  ASSERT_TRUE(client.Close().ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // settle
+  const uint64_t before = server_->engine_ticks();
+  rusage ru_before{};
+  getrusage(RUSAGE_SELF, &ru_before);
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  const uint64_t idle_ticks = server_->engine_ticks() - before;
+  rusage ru_after{};
+  getrusage(RUSAGE_SELF, &ru_after);
+
+  // 600ms on a 250ms cv-wait is ~3 wakeups; the old 20ms tick was ~30.
+  // Allow jitter headroom but stay far below the polling cadence.
+  EXPECT_LE(idle_ticks, 8u) << "engine loop is busy-ticking while idle";
+  const auto cpu_us = [](const timeval& tv) {
+    return static_cast<int64_t>(tv.tv_sec) * 1000000 + tv.tv_usec;
+  };
+  const int64_t burned_us =
+      (cpu_us(ru_after.ru_utime) - cpu_us(ru_before.ru_utime)) +
+      (cpu_us(ru_after.ru_stime) - cpu_us(ru_before.ru_stime));
+  // ~0 CPU over 600ms of wall idle. 100ms is an order of magnitude of
+  // headroom for sanitizer builds and the test thread's own bookkeeping.
+  EXPECT_LT(burned_us, 100000) << "idle server burned " << burned_us
+                               << "us CPU over a 600ms window";
+}
+
+TEST_F(ServerTest, ThreadedPresetMatchesInProcess) {
+  StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port(), "tenant_a").ok());
+  auto rows = client.RunQuery(kBulkSql,
+                              SqlParams().Set("min", Value::Int64(0)),
+                              "threaded");
+  ASSERT_TRUE(rows.ok()) << rows.status().message();
+  EXPECT_EQ(Sorted(WireRows(rows.Value())),
+            Sorted(InProcessRows(kBulkSql,
+                                 SqlParams().Set("min", Value::Int64(0)))));
+  EXPECT_TRUE(client.Close().ok());
 }
 
 TEST_F(ServerTest, CancelStopsAStreamingQuery) {

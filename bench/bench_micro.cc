@@ -131,12 +131,21 @@ void RunSmallQuery(ConstraintMode mode, const std::string& policy,
   state.SetLabel("items = routing steps");
 }
 
+// Observability cost knob for the reorder workload: kDefault is the
+// shipping configuration (registry publishing on, tracing off — the
+// disabled trace path is one branch on a null pointer), kBare turns the
+// whole observability layer off (the pre-observability baseline), kTraced
+// samples every 64th event into the per-query ring. CI asserts kDefault
+// within 3% and kTraced within 15% of kBare on routed_per_sec.
+enum class ObsMode { kDefault, kBare, kTraced };
+
 // The §4.1 reorder workload (bench_reorder's shape: prioritized subset of
 // R, T with a slow scan plus an index, priority bounce on SteM(T)),
 // measured for wall-clock routing throughput across batch sizes. This is
 // the acceptance workload for the batched-dataflow refactor: batch_size=64
 // must route ≥ 2x the tuples/sec of batch_size=1.
-void RunReorderWorkload(size_t batch_size, benchmark::State& state) {
+void RunReorderWorkload(size_t batch_size, benchmark::State& state,
+                        ObsMode obs_mode = ObsMode::kDefault) {
   constexpr int64_t kPriorityCutoff = 10;
   int64_t tuples_routed = 0;
   int64_t outputs = 0;
@@ -174,6 +183,8 @@ void RunReorderWorkload(size_t batch_size, benchmark::State& state) {
     StemOptions t_stem;
     t_stem.bounce_mode = ProbeBounceMode::kPrioritized;
     options.exec.stem_overrides["T"] = t_stem;
+    if (obs_mode == ObsMode::kBare) options.publish_metrics = false;
+    if (obs_mode == ObsMode::kTraced) options.trace_every_n = 64;
     QueryHandle handle = engine.Submit(query, options).ValueOrDie();
     state.ResumeTiming();
     handle.Wait();
@@ -339,11 +350,24 @@ BENCHMARK(BM_EddyEndToEnd_CheckerRecord);
 void BM_ReorderWorkload(benchmark::State& state) {
   RunReorderWorkload(static_cast<size_t>(state.range(0)), state);
 }
+void BM_ReorderWorkloadBare(benchmark::State& state) {
+  RunReorderWorkload(static_cast<size_t>(state.range(0)), state,
+                     ObsMode::kBare);
+}
+void BM_ReorderWorkloadTraced(benchmark::State& state) {
+  RunReorderWorkload(static_cast<size_t>(state.range(0)), state,
+                     ObsMode::kTraced);
+}
 BENCHMARK(BM_ReorderWorkload)
     ->ArgName("batch")
     ->Arg(1)
     ->Arg(8)
     ->Arg(64);
+// The observability-overhead pair (batch 64 only — the hot routing
+// configuration): Bare is the pre-observability baseline, Traced samples
+// every 64th event. CI compares both against the default run above.
+BENCHMARK(BM_ReorderWorkloadBare)->ArgName("batch")->Arg(64);
+BENCHMARK(BM_ReorderWorkloadTraced)->ArgName("batch")->Arg(64);
 
 // --- Row hashing / dedup ------------------------------------------------------
 

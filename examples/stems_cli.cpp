@@ -2,7 +2,9 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/stems_cli
+//   ./build/examples/stems_cli             # serve + query demo
+//   ./build/examples/stems_cli --metrics   # + Prometheus exposition
+//   ./build/examples/stems_cli --explain   # EXPLAIN ANALYZE profile
 //
 // Where quickstart runs queries in process, this example is the serving
 // topology: a Server multiplexes N client sessions onto one shared Engine
@@ -12,8 +14,17 @@
 // shows a positioned SQL error frame, and prints the tenant's rolled-up
 // stats. Doubles as a smoke test: cardinalities are asserted, so a wrong
 // result set fails the binary.
+//
+// Subcommands (docs/observability.md):
+//   --metrics  after the demo workload, fetch the server's engine-wide
+//              metrics over the Metrics wire frame and print the
+//              Prometheus plaintext; asserts the admission counters moved.
+//   --explain  run EXPLAIN ANALYZE on the demo join in process and print
+//              the per-module profile table; asserts the SteM rows appear.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "engine/engine.h"
 #include "server/client.h"
@@ -34,26 +45,51 @@ void Check(bool ok, const char* what) {
   }
 }
 
-}  // namespace
-
-int main() {
-  // 1. Populate the shared engine, exactly as an in-process caller would.
-  Engine engine;
+/// The shared demo catalog: users ⋈ orders, small enough to eyeball.
+void Populate(Engine* engine) {
   Schema users({{"id", ValueType::kInt64}, {"age", ValueType::kInt64}});
   Schema orders(
       {{"user_id", ValueType::kInt64}, {"item_id", ValueType::kInt64}});
-  engine.AddTable(
+  engine->AddTable(
       TableDef{"users", users, {{"users.scan", AccessMethodKind::kScan, {}}}},
       {MakeRow({Value::Int64(1), Value::Int64(34)}),
        MakeRow({Value::Int64(2), Value::Int64(57)}),
        MakeRow({Value::Int64(3), Value::Int64(25)})});
-  engine.AddTable(
+  engine->AddTable(
       TableDef{"orders", orders,
                {{"orders.scan", AccessMethodKind::kScan, {}}}},
       {MakeRow({Value::Int64(1), Value::Int64(10)}),
        MakeRow({Value::Int64(1), Value::Int64(11)}),
        MakeRow({Value::Int64(2), Value::Int64(10)}),
        MakeRow({Value::Int64(3), Value::Int64(12)})});
+}
+
+/// --explain: the EXPLAIN ANALYZE surface, in process (the wire path
+/// rejects it at Prepare: the statement runs to completion at submit).
+int RunExplain() {
+  Engine engine;
+  Populate(&engine);
+  auto table = engine.ExplainAnalyze(
+      "EXPLAIN ANALYZE SELECT u.id, o.item_id FROM users u, orders o "
+      "WHERE u.id = o.user_id AND u.age >= 30");
+  Check(table.ok(), "explain analyze");
+  std::printf("%s", table.Value().c_str());
+  // The profile must show the join's SteMs and the selection module with
+  // an observed selectivity — the columns a routing post-mortem reads.
+  Check(table.Value().find("SteM") != std::string::npos,
+        "profile lists SteM modules");
+  Check(table.Value().find("SM") != std::string::npos,
+        "profile lists the selection module");
+  Check(table.Value().find("sel(obs)") != std::string::npos,
+        "profile carries the observed-selectivity column");
+  std::printf("OK\n");
+  return 0;
+}
+
+int RunServe(bool print_metrics) {
+  // 1. Populate the shared engine, exactly as an in-process caller would.
+  Engine engine;
+  Populate(&engine);
 
   // 2. Serve it: ephemeral loopback port, one configured tenant whose
   //    SteM state is pooled across queries (the serving configuration).
@@ -121,8 +157,45 @@ int main() {
     }
   }
 
+  // 6. --metrics: the engine-wide registry over the Metrics wire frame —
+  //    what a scraper would read from Server::MetricsText().
+  if (print_metrics) {
+    auto metrics = client.Metrics();
+    Check(metrics.ok(), "metrics");
+    std::printf("--- metrics ---\n%s", metrics.Value().c_str());
+    Check(metrics.Value().find("stems_server_submits_admitted") !=
+              std::string::npos,
+          "exposition carries the admission counters");
+    Check(metrics.Value().find("stems_engine_queries_completed") !=
+              std::string::npos,
+          "exposition carries the engine completion counter");
+  }
+
   Check(client.Close().ok(), "close");
   server.Shutdown();
   std::printf("OK\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool metrics = false;
+  bool explain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--metrics] [--explain]\n"
+                   "  --metrics  print the server's Prometheus exposition\n"
+                   "  --explain  print an EXPLAIN ANALYZE profile\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (explain) return RunExplain();
+  return RunServe(metrics);
 }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "spill/buffer_pool.h"
 
 namespace stems {
@@ -23,6 +26,13 @@ Eddy::Eddy(const QuerySpec& query, Simulation* sim, EddyOptions options)
       this, options_.constraint_mode, options_.max_routes_per_tuple);
   results_series_ = ctx_.metrics.SeriesHandle("results");
   prioritized_series_ = ctx_.metrics.SeriesHandle("results.prioritized");
+  ctx_.registry = options_.registry;
+  ctx_.tracer = options_.tracer;
+  if (ctx_.registry != nullptr) {
+    reg_routed_ = ctx_.registry->GetCounter("eddy.tuples_routed");
+    reg_results_ = ctx_.registry->GetCounter("eddy.results");
+    reg_queue_hwm_ = ctx_.registry->GetGauge("eddy.route_queue_hwm");
+  }
 }
 
 Eddy::~Eddy() = default;
@@ -30,6 +40,7 @@ Eddy::~Eddy() = default;
 void Eddy::RegisterModule(std::unique_ptr<Module> module) {
   Module* raw = module.get();
   raw->set_id(static_cast<int>(modules_.size()));
+  raw->set_tracer(ctx_.tracer);
   raw->SetSink([this](TuplePtr t, Module* from) {
     OnModuleEmit(std::move(t), from);
   });
@@ -50,6 +61,7 @@ void Eddy::RegisterModule(std::unique_ptr<Module> module) {
       if (options_.spill.enabled && !stem->spill_enabled()) {
         if (buffer_pool_ == nullptr) {
           buffer_pool_ = std::make_unique<BufferPool>(options_.spill);
+          buffer_pool_->AttachRegistry(ctx_.registry);
         }
         stem->EnableSpill(buffer_pool_.get(), options_.spill);
       }
@@ -200,6 +212,9 @@ void Eddy::InjectTuple(TuplePtr tuple) {
     return;
   }
   route_queue_.push_back(std::move(tuple));
+  if (reg_queue_hwm_ != nullptr) {
+    reg_queue_hwm_->SetMax(static_cast<int64_t>(route_queue_.size()));
+  }
   MaybeStartRouting();
 }
 
@@ -242,6 +257,7 @@ void Eddy::MaybeStartRouting() {
 
 bool Eddy::PreRoute(TuplePtr& tuple) {
   ++tuples_routed_;
+  if (reg_routed_ != nullptr) reg_routed_->Add();
   tuple->IncrementRouteCount();
 
   // BoundedRepetition backstop: a policy bug must not hang the simulation.
@@ -280,6 +296,7 @@ void Eddy::AdmitResult(TuplePtr tuple) {
     return;
   }
   results_series_->Increment(ctx_.sim->now());
+  if (reg_results_ != nullptr) reg_results_->Add();
   const bool prioritized = options_.result_priority_classifier
                                ? options_.result_priority_classifier(*tuple)
                                : tuple->prioritized();
@@ -318,7 +335,15 @@ void Eddy::RouteOne(TuplePtr tuple) {
     return;
   }
 
+  // Sampling is decided *before* the policy runs so score tracing is live
+  // during the decision it describes.
+  const bool traced = ctx_.tracer != nullptr && ctx_.tracer->SampleRoute();
+  if (traced) policy_->set_score_tracing(true);
   RouteDecision decision = policy_->Route(tuple);
+  if (traced) {
+    TraceRouteDecision(tuple, decision, 1);
+    policy_->set_score_tracing(false);
+  }
   checker_->Check(*tuple, decision);
 
   switch (decision.kind) {
@@ -393,7 +418,12 @@ void Eddy::RouteBatchFromQueue() {
   }
   if (pending_scratch_.empty()) return;
 
-  // Phase 2: one policy consultation for the whole batch.
+  // Phase 2: one policy consultation for the whole batch. One sampling
+  // draw covers the batch (the trace records the batch size); scores are
+  // live during the consultation they describe.
+  const bool traced = ctx_.tracer != nullptr && !policy_batch_.tuples.empty() &&
+                      ctx_.tracer->SampleRoute();
+  if (traced) policy_->set_score_tracing(true);
   policy_->ChooseBatch(policy_batch_, &decisions_scratch_);
   if (decisions_scratch_.size() != policy_batch_.size()) {
     // A custom ChooseBatch returned the wrong number of decisions (e.g. a
@@ -408,6 +438,11 @@ void Eddy::RouteBatchFromQueue() {
     for (const TuplePtr& t : policy_batch_.tuples) {
       decisions_scratch_.push_back(policy_->Route(t));
     }
+  }
+  if (traced) {
+    TraceRouteDecision(policy_batch_.tuples.front(),
+                       decisions_scratch_.front(), policy_batch_.size());
+    policy_->set_score_tracing(false);
   }
 
   // Phase 3: audit + dispatch. The audit is amortized within the batch:
@@ -494,6 +529,40 @@ void Eddy::RouteBatchFromQueue() {
   flush_cluster();
   pending_scratch_.clear();
   policy_batch_.clear();
+}
+
+void Eddy::TraceRouteDecision(const TuplePtr& tuple,
+                              const RouteDecision& decision, size_t batch) {
+  obs::TraceEvent ev;
+  ev.cat = "route";
+  ev.ph = 'i';
+  ev.ts_us = static_cast<uint64_t>(ctx_.sim->now());
+  const char* kind = "retire";
+  switch (decision.kind) {
+    case RouteDecision::Kind::kSend:
+      ev.name = decision.dest->name();
+      ev.tid = static_cast<uint32_t>(decision.dest->id());
+      kind = "send";
+      break;
+    case RouteDecision::Kind::kPark:
+      ev.name = "park";
+      kind = "park";
+      break;
+    case RouteDecision::Kind::kRetire:
+      ev.name = "retire";
+      break;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\"lineage\":%llu,\"kind\":\"%s\",\"intent\":%d,\"batch\":%zu",
+                static_cast<unsigned long long>(tuple->spanned_mask()), kind,
+                static_cast<int>(decision.intent), batch);
+  ev.args_json = buf;
+  const std::string& scores = policy_->LastDecisionScores();
+  if (!scores.empty()) {
+    ev.args_json += ",\"scores\":\"" + obs::Tracer::JsonEscape(scores) + "\"";
+  }
+  ctx_.tracer->Record(std::move(ev));
 }
 
 void Eddy::OnStemChanged(int table_ordinal) {

@@ -1,5 +1,7 @@
 #include "eddy/policies/benefit_cost_policy.h"
 
+#include <cstdio>
+
 #include "engine/policy_registry.h"
 
 namespace stems {
@@ -35,6 +37,12 @@ int BenefitCostPolicy::ChooseProbeSlot(const Tuple& /*tuple*/,
         static_cast<double>(stem->queue_length()) +
         static_cast<double>(stem->ExpectedProbeSpillCost());
     const double score = (matches_per_probe + 0.01) / latency;
+    if (score_tracing()) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%sslot=%d:%.4f",
+                    last_scores_.empty() ? "" : " ", slot, score);
+      last_scores_ += buf;
+    }
     if (score > best_score) {
       best_score = score;
       best = slot;

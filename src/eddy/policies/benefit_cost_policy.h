@@ -37,7 +37,13 @@ class BenefitCostPolicy : public PolicyBase {
 
   const char* name() const override { return "benefit-cost"; }
 
+  const std::string& LastDecisionScores() const override {
+    return last_scores_;
+  }
+
  protected:
+  void OnScoreTracingStart() override { last_scores_.clear(); }
+
   /// §4.1 statistics move slowly relative to a batch: sharing one
   /// benefit/cost evaluation across a homogeneous-lineage group trades a
   /// per-tuple re-evaluation (and its exploration draw) for one per group.
@@ -61,6 +67,9 @@ class BenefitCostPolicy : public PolicyBase {
 
   BenefitCostPolicyOptions options_;
   Rng rng_;
+  /// Per-slot benefit/cost terms of the last traced decision (score
+  /// tracing only — empty and never touched on the untraced hot path).
+  std::string last_scores_;
 };
 
 }  // namespace stems

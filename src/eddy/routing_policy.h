@@ -7,6 +7,7 @@
 // the SteMs/AMs internally and audited by the eddy's ConstraintChecker.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "eddy/tuple_batch.h"
@@ -78,8 +79,34 @@ class RoutingPolicy {
     for (const TuplePtr& t : batch.tuples) out->push_back(Route(t));
   }
 
+  // --- observability (src/obs/trace.h) --------------------------------------
+
+  /// The eddy turns this on just for decisions a tracer sampled; policies
+  /// that compute numeric scores then describe them via
+  /// LastDecisionScores(). Off by default so the hot path never formats.
+  void set_score_tracing(bool on) {
+    score_tracing_ = on;
+    if (on) OnScoreTracingStart();
+  }
+
+  /// Scores behind the most recent Route()/ChooseBatch() decision, as a
+  /// short "slot=N:<score>" list. Empty when untraced or when the policy
+  /// has no numeric scores (e.g. the static nary_shj ordering).
+  virtual const std::string& LastDecisionScores() const {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
+
  protected:
+  bool score_tracing() const { return score_tracing_; }
+
+  /// Called when score tracing turns on for the next decision; policies
+  /// clear their previous scores here so a scoreless decision (e.g. a
+  /// pre-decided build) never reports stale terms.
+  virtual void OnScoreTracingStart() {}
+
   Eddy* eddy_ = nullptr;
+  bool score_tracing_ = false;
 };
 
 }  // namespace stems

@@ -41,6 +41,12 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
   // execution owns a copy so the handle outlives the caller's spec.
   exec->query = query;
   exec->policy_name = options.policy;
+  exec->submitted_wall = std::chrono::steady_clock::now();
+  if (options.publish_metrics) exec->registry = &registry_;
+  if (options.trace_every_n > 0) {
+    exec->tracer = std::make_shared<obs::Tracer>(options.trace_every_n,
+                                                 options.trace_capacity);
+  }
 
   if (options.executor == ExecutorKind::kThreaded) {
     // Wall-clock morsel-driven execution (docs/parallelism.md): runs to
@@ -50,19 +56,25 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
       threaded_pool_ = std::make_unique<ThreadPoolExecutor>();
     }
     ExecOutcome outcome;
+    ExecObs obs;
+    obs.registry = exec->registry;
+    obs.tracer = exec->tracer.get();
     STEMS_RETURN_NOT_OK(
-        threaded_pool_->Execute(exec->query, options, store_, &outcome));
+        threaded_pool_->Execute(exec->query, options, store_, &outcome, obs));
     exec->threaded = std::move(outcome);
     exec->finished = true;
-    exec->completed_at = sim_.now();
+    MarkFinished(exec.get());
     queries_.push_back(exec);
     CheckCompletions();  // prune any retired handle-less executions
     return QueryHandle(exec);
   }
 
+  ExecutionConfig cfg = options.EffectiveExec();
+  cfg.eddy.registry = exec->registry;
+  cfg.eddy.tracer = exec->tracer.get();
   STEMS_ASSIGN_OR_RETURN(
       exec->eddy,
-      PlanQuery(exec->query, store_, &sim_, options.EffectiveExec(),
+      PlanQuery(exec->query, store_, &sim_, cfg,
                 options.share_stems ? &stem_pool_ : nullptr));
   STEMS_ASSIGN_OR_RETURN(std::unique_ptr<RoutingPolicy> policy,
                          PolicyRegistry::Global().Create(
@@ -79,6 +91,19 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
   return QueryHandle(exec);
 }
 
+void Engine::MarkFinished(internal::QueryExecution* exec) {
+  exec->completed_at = sim_.now();
+  exec->wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - exec->submitted_wall)
+          .count());
+  if (exec->registry != nullptr) {
+    exec->registry->GetCounter("engine.queries_completed")->Add();
+    exec->registry->GetHistogram("engine.query_wall_us")
+        ->Observe(exec->wall_us);
+  }
+}
+
 void Engine::CheckCompletions() {
   for (auto& exec : queries_) {
     if (exec->finished || exec->cancelled) continue;
@@ -87,7 +112,7 @@ void Engine::CheckCompletions() {
       // RunToCompletion drain, audited by the constraint checker.
       exec->eddy->DrainParked();
       exec->finished = true;
-      exec->completed_at = sim_.now();
+      MarkFinished(exec.get());
     }
   }
   // Prune retired executions nobody holds a handle to anymore (the engine's
@@ -124,7 +149,7 @@ void Engine::PumpUntilResult(internal::QueryExecution* exec, size_t target) {
             "dataflow was not quiescent (a module lost in-flight work); "
             "the result set may be truncated");
         exec->finished = true;
-        exec->completed_at = sim_.now();
+        MarkFinished(exec);
       }
     } else {
       CheckCompletions();

@@ -31,6 +31,7 @@
 // escape hatch; the planner's PlanQuery() is the layer below that.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -40,6 +41,9 @@
 #include "eddy/eddy.h"
 #include "engine/run_options.h"
 #include "exec/executor.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "query/query_spec.h"
 #include "sql/binder.h"
 #include "stem/stem_manager.h"
@@ -116,6 +120,17 @@ struct QueryExecution {
   bool finished = false;
   bool cancelled = false;
   SimTime completed_at = kSimTimeNever;
+  /// Per-query trace sink (RunOptions::trace_every_n > 0); shared so the
+  /// handle can export after the engine pruned the execution's eddy.
+  std::shared_ptr<obs::Tracer> tracer;
+  /// Engine-wide registry this query publishes into (null when
+  /// RunOptions::publish_metrics is off).
+  obs::MetricsRegistry* registry = nullptr;
+  /// Wall clock: submission time, and submit-to-completion span (the
+  /// engine.query_wall_us histogram's sample). For sim queries the span
+  /// includes time the clock sat idle between cursor pumps.
+  std::chrono::steady_clock::time_point submitted_wall;
+  uint64_t wall_us = 0;
   /// Non-OK when the engine had to force completion (idle clock with a
   /// non-quiescent eddy): the buffered results may be incomplete. Surfaced
   /// through QueryHandle::status() / ResultCursor::status().
@@ -246,6 +261,18 @@ class QueryHandle {
   const MetricsRecorder& metrics() const;
   const QuerySpec& query() const { return exec_->query; }
 
+  /// Per-module execution profile (tuples in/out, observed vs assumed
+  /// selectivity, build/probe/match counts, spill I/O, busy/queue-wait
+  /// virtual time). Snapshot while running, final once done(). The text
+  /// rendering (Profile().ToTable()) is what EXPLAIN ANALYZE returns.
+  obs::QueryProfile Profile() const;
+
+  /// The query's trace spans as Chrome trace_event JSON (load in
+  /// chrome://tracing or Perfetto). Tracing is enabled per query via
+  /// RunOptions::trace_every_n; without it this returns an empty (but
+  /// well-formed) trace document.
+  std::string DumpTrace() const;
+
   /// Low-level escape hatch (module stats, constraint violations, ...).
   /// Null for threaded executions — they have no module graph.
   Eddy* eddy() const { return exec_->eddy.get(); }
@@ -353,6 +380,12 @@ class Engine {
   /// the serving hot path skips every front-end stage.
   Result<PreparedQuery> Prepare(const std::string& sql);
 
+  /// Runs `sql` to completion and returns the rendered per-module profile
+  /// (the long-hand form of submitting "EXPLAIN ANALYZE <sql>" and reading
+  /// its one-row result; see docs/observability.md).
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     RunOptions options = {});
+
   /// Programmatic escape hatch: submits a QueryBuilder-built spec.
   /// Validates `options`, plans `query` (one SteM per table, one AM per
   /// access method, one SM per selection around an eddy), instantiates the
@@ -367,6 +400,16 @@ class Engine {
   /// Queries submitted and not yet finished or cancelled.
   size_t active_queries() const;
 
+  // --- observability (docs/observability.md) ---------------------------------
+
+  /// The engine-wide metric registry every query publishes into (unless
+  /// RunOptions::publish_metrics is off): eddy routing counters, SteM
+  /// build/probe/match traffic, spill I/O, executor contention, and the
+  /// engine.query_wall_us completion histogram. The server exposes it as
+  /// Prometheus text (Server::MetricsText()).
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+
  private:
   friend class ResultCursor;
   friend class QueryHandle;
@@ -377,6 +420,9 @@ class Engine {
   void PumpToCompletion(internal::QueryExecution* exec);
   /// Marks quiescent queries finished (draining their parked tuples).
   void CheckCompletions();
+  /// Completion bookkeeping shared by every finish path: stamps
+  /// completed_at / wall_us and publishes the completion metrics.
+  void MarkFinished(internal::QueryExecution* exec);
 
   Catalog catalog_;
   TableStore store_;
@@ -386,6 +432,9 @@ class Engine {
   /// pools.
   StemManager stem_pool_;
   Simulation sim_;
+  /// Engine-wide metric registry (handles are pointer-stable; queries,
+  /// executors and the server all publish into it).
+  obs::MetricsRegistry registry_;
   std::vector<std::shared_ptr<internal::QueryExecution>> queries_;
   /// Lazily created wall-clock executor (RunOptions::executor=threaded).
   /// One per engine: concurrent threaded Submits serialize on its run

@@ -15,12 +15,35 @@ Result<QueryHandle> Engine::Query(const std::string& sql,
         bound.params.front().ToString() +
         "); use Engine::Prepare and Bind to supply values");
   }
+  if (bound.explain_analyze) {
+    // EXPLAIN ANALYZE: the profile only means something for a finished
+    // run, so drive it to completion now; the caller reads
+    // handle.Profile() (Engine::ExplainAnalyze renders it as text).
+    STEMS_ASSIGN_OR_RETURN(QueryHandle handle,
+                           Submit(bound.spec, std::move(options)));
+    handle.Wait();
+    return handle;
+  }
   return Submit(bound.spec, std::move(options));
+}
+
+Result<std::string> Engine::ExplainAnalyze(const std::string& sql,
+                                           RunOptions options) {
+  // Accepts both the bare query and the "EXPLAIN ANALYZE ..." form (Query
+  // runs the latter to completion already; Wait() is then a no-op).
+  STEMS_ASSIGN_OR_RETURN(QueryHandle handle, Query(sql, std::move(options)));
+  handle.Wait();
+  return handle.Profile().ToTable();
 }
 
 Result<PreparedQuery> Engine::Prepare(const std::string& sql) {
   STEMS_ASSIGN_OR_RETURN(sql::BoundStatement bound,
                          sql::ParseAndBind(sql, catalog_));
+  if (bound.explain_analyze) {
+    return Status::InvalidQuery(
+        "EXPLAIN ANALYZE cannot be prepared: it runs its query to "
+        "completion at submit; use Engine::Query or Engine::ExplainAnalyze");
+  }
   return PreparedQuery(this, std::move(bound));
 }
 

@@ -1,5 +1,6 @@
 // ResultCursor and QueryHandle: the pull side of the Engine façade.
 #include "engine/engine.h"
+#include "stem/stem.h"
 
 namespace stems {
 
@@ -182,6 +183,86 @@ QueryStats QueryHandle::Stats() const {
   stats.partitions_resident = spill.partitions_resident;
   stats.partitions_spilled = spill.partitions_spilled;
   return stats;
+}
+
+obs::QueryProfile QueryHandle::Profile() const {
+  obs::QueryProfile p;
+  const QueryStats stats = Stats();
+  p.executor = stats.executor;
+  p.policy = stats.policy;
+  p.num_results = stats.num_results;
+  p.tuples_routed = stats.tuples_routed;
+  p.tuples_retired = stats.tuples_retired;
+  p.routing_wall_ns = stats.routing_wall_ns;
+  p.wall_us = exec_->wall_us;
+  p.spill_ios = stats.spill_ios;
+  p.bytes_spilled = stats.bytes_spilled;
+  if (exec_->completed_at != kSimTimeNever) {
+    p.virtual_time_us = static_cast<uint64_t>(exec_->completed_at);
+  }
+
+  if (exec_->threaded.has_value()) {
+    // No module graph: one row per worker, on the wall clock (the busy
+    // column carries wall microseconds inside morsel processing).
+    const ExecOutcome& outcome = *exec_->threaded;
+    for (size_t w = 0; w < outcome.workers.size(); ++w) {
+      const WorkerCounters& c = outcome.workers[w];
+      obs::ModuleProfileRow row;
+      row.name = "worker" + std::to_string(w);
+      row.kind = "worker";
+      row.tuples_in = c.tuples_routed;
+      row.tuples_out = c.results;
+      row.builds = c.builds;
+      row.probes = c.probes;
+      row.matches = c.matches;
+      row.busy_vus = c.routing_wall_ns / 1000;
+      if (c.tuples_routed > 0) {
+        row.observed_selectivity = static_cast<double>(c.results) /
+                                   static_cast<double>(c.tuples_routed);
+      }
+      p.modules.push_back(std::move(row));
+    }
+    return p;
+  }
+
+  for (const auto& module : exec_->eddy->modules()) {
+    obs::ModuleProfileRow row;
+    row.name = module->name();
+    row.kind = ModuleKindName(module->kind());
+    const ModuleStats& ms = module->stats();
+    row.tuples_in = ms.tuples_in;
+    row.tuples_out = ms.tuples_out;
+    row.busy_vus = static_cast<uint64_t>(ms.busy_time);
+    row.queue_wait_vus = static_cast<uint64_t>(ms.queue_wait_time);
+    row.max_queue_len = ms.max_queue_len;
+    if (ms.tuples_in > 0) {
+      row.observed_selectivity = static_cast<double>(ms.tuples_out) /
+                                 static_cast<double>(ms.tuples_in);
+    }
+    // The prior a conventional optimizer would have started from; the gap
+    // to the observed column is the mis-estimation adaptive routing absorbs.
+    row.assumed_selectivity =
+        module->kind() == ModuleKind::kSelection ? 0.5 : 1.0;
+    if (module->kind() == ModuleKind::kStem) {
+      const auto* stem = static_cast<const Stem*>(module.get());
+      row.builds = stem->builds();
+      row.probes = stem->probes_processed();
+      row.matches = stem->matches_emitted();
+      row.spill_ios = stem->spill_ios();
+      row.bytes_spilled = stem->bytes_spilled();
+    }
+    p.modules.push_back(std::move(row));
+  }
+  return p;
+}
+
+std::string QueryHandle::DumpTrace() const {
+  if (exec_->tracer == nullptr) {
+    // Well-formed empty trace, so consumers need no special casing.
+    return "{\"traceEvents\":[],\"otherData\":{\"events_seen\":0,"
+           "\"events_recorded\":0,\"every_n\":0}}";
+  }
+  return exec_->tracer->ToJson();
 }
 
 const MetricsRecorder& QueryHandle::metrics() const {

@@ -75,6 +75,22 @@ struct RunOptions {
   /// clamped to [1, 8]). Ignored by the sim executor.
   size_t num_threads = 0;
 
+  /// Trace-span sampling (src/obs/trace.h, docs/observability.md):
+  /// 0 disables tracing entirely (no tracer is allocated; every
+  /// instrumentation site costs one branch on a null pointer), 1 records
+  /// every routing decision / module service span / worker morsel, N
+  /// records every Nth per stream. Export via QueryHandle::DumpTrace()
+  /// (Chrome trace_event JSON).
+  uint64_t trace_every_n = 0;
+
+  /// Ring capacity of the per-query tracer (most recent events win).
+  size_t trace_capacity = 16384;
+
+  /// Publish this query's counters into the engine-wide metric registry
+  /// (Engine::metrics_registry(), Server::MetricsText()). On by default;
+  /// benches turn it off to measure the instrumentation's own cost.
+  bool publish_metrics = true;
+
   /// Full low-level knob set: module timing defaults and per-module
   /// overrides, SteM options, and the embedded EddyOptions.
   ExecutionConfig exec;

@@ -33,6 +33,19 @@ class QuerySpec;
 class TableStore;
 struct RunOptions;
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
+/// Observability hookup for one Execute() call: the engine-wide registry
+/// the run publishes into and the per-query trace sink. Both nullable —
+/// a default-constructed ExecObs runs the query dark (tests, benches).
+struct ExecObs {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
 /// Which execution substrate Engine::Submit puts the query on.
 enum class ExecutorKind { kSim, kThreaded };
 
@@ -85,6 +98,10 @@ struct ExecOutcome {
   uint64_t entries_spilled = 0;
   size_t partitions_resident = 0;
   size_t partitions_spilled = 0;
+  /// Shard-mutex contention (threaded executor): blocked hot-path
+  /// acquisitions and the wall time they spent waiting.
+  uint64_t shard_lock_waits = 0;
+  uint64_t shard_lock_wait_ns = 0;
   /// True when the run stopped early because the query's LIMIT filled.
   bool limit_reached = false;
 };
@@ -100,9 +117,11 @@ class Executor {
 
   /// Runs `query` over `store` to completion under `options`, filling
   /// `*out`. Returns non-OK (and leaves `*out` unspecified) when the
-  /// query/options combination is not supported by this executor.
+  /// query/options combination is not supported by this executor. `obs`
+  /// carries the optional metric/trace sinks the run publishes into.
   virtual Status Execute(const QuerySpec& query, const RunOptions& options,
-                         const TableStore& store, ExecOutcome* out) = 0;
+                         const TableStore& store, ExecOutcome* out,
+                         const ExecObs& obs = {}) = 0;
 };
 
 }  // namespace stems

@@ -1,10 +1,38 @@
 #include "exec/sharded_stem.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace stems {
 
 namespace {
+
+/// Scoped shard lock that accounts contention: the uncontended path is one
+/// try_lock; only when that fails does it read the clock and charge the
+/// blocked time to the run's shared counters.
+class ContentionLock {
+ public:
+  ContentionLock(std::mutex& mu, ShardedSpillState* spill) : mu_(mu) {
+    if (mu_.try_lock()) return;
+    const auto start = std::chrono::steady_clock::now();
+    mu_.lock();
+    if (spill != nullptr) {
+      const auto waited = std::chrono::steady_clock::now() - start;
+      spill->lock_waits.fetch_add(1, std::memory_order_relaxed);
+      spill->lock_wait_ns.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                  .count()),
+          std::memory_order_relaxed);
+    }
+  }
+  ~ContentionLock() { mu_.unlock(); }
+  ContentionLock(const ContentionLock&) = delete;
+  ContentionLock& operator=(const ContentionLock&) = delete;
+
+ private:
+  std::mutex& mu_;
+};
 
 /// Rough in-memory footprint of a row, for the spill byte counters (the
 /// same order of accounting the simulated spill files use).
@@ -56,7 +84,7 @@ ShardedStem::BuildResult ShardedStem::Build(const RowRef& row) {
   Shard& shard = *shards_[ShardOfRow(*row)];
   BuildResult out;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    ContentionLock lock(shard.mu, spill_);
     if (shard.dedup.count(row) > 0) return out;  // absorbed (§3.2)
     // Timestamp issuance and entry publication share this critical
     // section — the visibility contract every probe relies on.
@@ -106,7 +134,7 @@ void ShardedStem::ProbeBindings(const Tuple& probe, Bindings* out) const {
 
 uint64_t ShardedStem::ProbeShard(Shard* shard, int idx, const Value* key,
                                  BuildTs probe_ts, Matches* out) {
-  std::lock_guard<std::mutex> lock(shard->mu);
+  ContentionLock lock(shard->mu, spill_);
   if (!shard->resident) FaultInLocked(shard);
   uint64_t scanned = 0;
   auto visit = [&](const Entry& e) {

@@ -52,6 +52,11 @@ struct ShardedSpillState {
   std::atomic<uint64_t> bytes_spilled{0};
   std::atomic<uint64_t> entries_spilled{0};  ///< entries currently off-budget
   std::atomic<uint64_t> faults{0};           ///< shard fault-ins by probes
+  /// Shard-mutex contention on the hot paths (Build / ProbeShard): how many
+  /// acquisitions found the mutex held, and the wall time spent blocked.
+  /// The uncontended path pays one try_lock and no clock read.
+  std::atomic<uint64_t> lock_waits{0};
+  std::atomic<uint64_t> lock_wait_ns{0};
 };
 
 class ShardedStem {

@@ -10,7 +10,8 @@
 namespace stems {
 
 Status SimExecutor::Execute(const QuerySpec& query, const RunOptions& options,
-                            const TableStore& store, ExecOutcome* out) {
+                            const TableStore& store, ExecOutcome* out,
+                            const ExecObs& obs) {
   STEMS_RETURN_NOT_OK(options.Validate());
   if (options.share_stems) {
     return Status::Unsupported(
@@ -18,9 +19,11 @@ Status SimExecutor::Execute(const QuerySpec& query, const RunOptions& options,
         "needs the Engine's shared pool (Engine::Submit with share_stems)");
   }
   Simulation sim;
-  STEMS_ASSIGN_OR_RETURN(
-      std::unique_ptr<Eddy> eddy,
-      PlanQuery(query, store, &sim, options.EffectiveExec(), nullptr));
+  ExecutionConfig cfg = options.EffectiveExec();
+  cfg.eddy.registry = obs.registry;
+  cfg.eddy.tracer = obs.tracer;
+  STEMS_ASSIGN_OR_RETURN(std::unique_ptr<Eddy> eddy,
+                         PlanQuery(query, store, &sim, cfg, nullptr));
   STEMS_ASSIGN_OR_RETURN(std::unique_ptr<RoutingPolicy> policy,
                          PolicyRegistry::Global().Create(
                              options.policy, options.policy_params));

@@ -21,7 +21,8 @@ class SimExecutor : public Executor {
   const char* name() const override { return "sim"; }
 
   Status Execute(const QuerySpec& query, const RunOptions& options,
-                 const TableStore& store, ExecOutcome* out) override;
+                 const TableStore& store, ExecOutcome* out,
+                 const ExecObs& obs = {}) override;
 };
 
 }  // namespace stems

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <set>
 #include <string>
@@ -13,6 +14,8 @@
 #include "engine/run_options.h"
 #include "exec/morsel_router.h"
 #include "exec/sharded_stem.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "query/join_graph.h"
 #include "query/query_spec.h"
 #include "storage/table_store.h"
@@ -67,6 +70,12 @@ struct ThreadPoolExecutor::RunState {
   std::atomic<uint64_t> admitted{0};
   std::atomic<bool> stop{false};
   std::atomic<bool> limit_reached{false};
+
+  /// Per-query trace sink (null when tracing is off). Morsel spans are
+  /// stamped with wall time relative to `run_start` so the whole run's
+  /// timeline starts at ts=0 in the exported Chrome trace.
+  obs::Tracer* tracer = nullptr;
+  std::chrono::steady_clock::time_point run_start;
 
   /// Workers own their slot exclusively while running; padded so adjacent
   /// workers' accumulators never share a cache line.
@@ -305,20 +314,43 @@ void ThreadPoolExecutor::WorkerMain(RunState* state, int worker_id) {
       }
       ProcessSource(state, &ws, t);
     }
+    const auto end = std::chrono::steady_clock::now();
     ws.counters.routing_wall_ns += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start)
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
             .count());
+    if (state->tracer != nullptr && state->tracer->SampleMorsel()) {
+      char args[96];
+      std::snprintf(args, sizeof(args),
+                    "\"slot\":%d,\"rows\":%zu,\"chunk\":%zu", chunk.slot,
+                    morsel.tuples.size(), c);
+      obs::TraceEvent ev;
+      ev.name = "morsel";
+      ev.cat = "morsel";
+      ev.ph = 'X';
+      ev.ts_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              start - state->run_start)
+              .count());
+      ev.dur_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+              .count());
+      ev.tid = static_cast<uint32_t>(worker_id);
+      ev.args_json = args;
+      state->tracer->Record(std::move(ev));
+    }
   }
 }
 
 Status ThreadPoolExecutor::Execute(const QuerySpec& query,
                                    const RunOptions& options,
-                                   const TableStore& store, ExecOutcome* out) {
+                                   const TableStore& store, ExecOutcome* out,
+                                   const ExecObs& obs) {
   STEMS_RETURN_NOT_OK(ValidateSupported(query, options));
   std::lock_guard<std::mutex> run_lock(run_mu_);
 
   RunState state;
+  state.tracer = obs.tracer;
+  state.run_start = std::chrono::steady_clock::now();
   state.query = &query;
   JoinGraph graph(query);
   state.graph = &graph;
@@ -396,10 +428,30 @@ Status ThreadPoolExecutor::Execute(const QuerySpec& query,
   out->spill_ios = state.spill.spill_ios.load();
   out->bytes_spilled = state.spill.bytes_spilled.load();
   out->entries_spilled = state.spill.entries_spilled.load();
+  out->shard_lock_waits = state.spill.lock_waits.load();
+  out->shard_lock_wait_ns = state.spill.lock_wait_ns.load();
   for (const auto& stem : state.stems) {
     const auto [resident, spilled] = stem->ShardResidency();
     out->partitions_resident += resident;
     out->partitions_spilled += spilled;
+  }
+
+  // Publish run totals into the engine-wide registry once, after the join —
+  // workers never touch shared metric state on the hot path.
+  if (obs.registry != nullptr) {
+    obs.registry->GetCounter("exec.morsels")->Add(out->totals.morsels);
+    obs.registry->GetCounter("eddy.tuples_routed")
+        ->Add(out->totals.tuples_routed);
+    obs.registry->GetCounter("eddy.results")->Add(out->totals.results);
+    obs.registry->GetCounter("stem.builds")->Add(out->totals.builds);
+    obs.registry->GetCounter("stem.probes")->Add(out->totals.probes);
+    obs.registry->GetCounter("stem.matches")->Add(out->totals.matches);
+    obs.registry->GetCounter("exec.shard_lock_waits")
+        ->Add(state.spill.lock_waits.load(std::memory_order_relaxed));
+    obs.registry->GetCounter("exec.shard_lock_wait_ns")
+        ->Add(state.spill.lock_wait_ns.load(std::memory_order_relaxed));
+    obs.registry->GetCounter("spill.ios")->Add(out->spill_ios);
+    obs.registry->GetCounter("spill.bytes")->Add(out->bytes_spilled);
   }
   return Status::OK();
 }

@@ -40,7 +40,8 @@ class ThreadPoolExecutor : public Executor {
   const char* name() const override { return "threaded"; }
 
   Status Execute(const QuerySpec& query, const RunOptions& options,
-                 const TableStore& store, ExecOutcome* out) override;
+                 const TableStore& store, ExecOutcome* out,
+                 const ExecObs& obs = {}) override;
 
   /// Whether the query/options combination is inside the threaded
   /// envelope. Non-OK names the first sim-only feature requested

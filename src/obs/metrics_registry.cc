@@ -1,0 +1,122 @@
+#include "obs/metrics_registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace stems::obs {
+
+double Histogram::Percentile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based), then walk buckets.
+  double rank = q * static_cast<double>(total);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(seen + counts[i]) >= rank) {
+      // Interpolate inside bucket i: (lo, hi] with lo = 2^(i-1), hi = 2^i.
+      double lo = i == 0 ? 0.0 : static_cast<double>(1ull << (i - 1));
+      double hi = static_cast<double>(1ull << i);
+      double frac = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += counts[i];
+  }
+  return static_cast<double>(1ull << (kNumBuckets - 1));
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry keys use dots
+// as namespace separators; sanitize everything else to '_'.
+std::string Sanitize(const std::string& name) {
+  std::string out = "stems_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendLine(std::string* out, const std::string& name, const char* type,
+                int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  *out += "# TYPE " + name + " " + type + "\n";
+  *out += name + " " + buf + "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    AppendLine(&out, Sanitize(name), "counter",
+               static_cast<int64_t>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    AppendLine(&out, Sanitize(name), "gauge", g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = Sanitize(name);
+    out += "# TYPE " + p + " summary\n";
+    char buf[64];
+    for (double q : {0.5, 0.95, 0.99}) {
+      std::snprintf(buf, sizeof(buf), "{quantile=\"%.2g\"} %.1f\n", q,
+                    h->Percentile(q));
+      out += p + buf;
+    }
+    std::snprintf(buf, sizeof(buf), "_sum %" PRIu64 "\n", h->sum());
+    out += p + buf;
+    std::snprintf(buf, sizeof(buf), "_count %" PRIu64 "\n", h->count());
+    out += p + buf;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, static_cast<int64_t>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.emplace_back(name, g->value());
+  }
+  return out;
+}
+
+}  // namespace stems::obs

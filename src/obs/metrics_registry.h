@@ -1,0 +1,118 @@
+// MetricsRegistry: the engine-wide, thread-safe observability substrate.
+//
+// Every subsystem (eddy, SteMs, spill buffer pool, morsel workers, tenant
+// governor, server request queue) publishes into one registry of named
+// counters, gauges, and fixed-bucket latency histograms. Handles returned by
+// the registry are pointer-stable for its lifetime, so hot paths resolve a
+// metric once and then touch a single relaxed atomic per update.
+//
+// The registry is *dual-clocked* by convention, not by mechanism: metrics fed
+// from the sim executor record virtual SimTime quantities (suffix `_vus`,
+// virtual microseconds), metrics fed from the threaded executor and the
+// server record wall-clock quantities (suffix `_us`/`_ns`). A metric name
+// states its clock; the registry itself only stores numbers.
+//
+// Exposition is Prometheus-style plaintext (`ExpositionText()`): counters and
+// gauges as single samples, histograms as summary quantiles (p50/p95/p99)
+// plus `_count`/`_sum`. Names are sanitized (dots become underscores) and
+// prefixed `stems_`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stems::obs {
+
+/// Monotone counter. All mutators are wait-free relaxed atomics.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-writer-wins instantaneous value, plus a monotone high-water mark
+/// (`SetMax`) for queue-depth style metrics.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if above the current value (CAS loop).
+  void SetMax(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram with power-of-two bucket bounds:
+/// bucket i counts observations in (2^(i-1), 2^i], bucket 0 counts [0, 1].
+/// Percentiles interpolate linearly inside the winning bucket — cheap,
+/// lock-free to record, and accurate enough for p50/p95/p99 dashboards.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;  // covers up to ~2^39 (~9 minutes in us)
+
+  void Observe(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated value at quantile `q` in [0, 1] (0.5 = p50). Returns 0 when
+  /// empty. Reads are racy-but-consistent-enough snapshots (relaxed loads).
+  double Percentile(double q) const;
+
+ private:
+  static size_t BucketFor(uint64_t value) {
+    if (value <= 1) return 0;
+    size_t b = 64 - static_cast<size_t>(__builtin_clzll(value - 1));
+    return b < kNumBuckets ? b : kNumBuckets - 1;
+  }
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Named metric registry. Lookup takes a mutex; returned pointers are stable
+/// for the registry's lifetime, so callers cache them at wiring time and the
+/// steady state never touches the lock.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Prometheus-style plaintext exposition of every registered metric, in
+  /// sorted name order (deterministic output for tests and diffing).
+  std::string ExpositionText() const;
+
+  /// Point-in-time numeric snapshot (counters + gauges), for programmatic
+  /// consumers (governor re-pricing, tests). Histogram quantiles are
+  /// exposition-only.
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace stems::obs

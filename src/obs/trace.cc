@@ -1,0 +1,84 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace stems::obs {
+
+void Tracer::Record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[next_] = std::move(ev);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::string Tracer::JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  // Oldest-first: once the ring wrapped, next_ points at the oldest event.
+  const size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = ring_[(next_ + i) % n];
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(ev.name) + "\",\"cat\":\"";
+    out += ev.cat;
+    out += "\",\"ph\":\"";
+    out.push_back(ev.ph);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ts\":%" PRIu64 ",\"pid\":1,\"tid\":%u", ev.ts_us,
+                  ev.tid);
+    out += buf;
+    if (ev.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%" PRIu64, ev.dur_us);
+      out += buf;
+    }
+    if (ev.ph == 'i') {
+      out += ",\"s\":\"t\"";  // instant-event scope: thread
+    }
+    if (!ev.args_json.empty()) {
+      out += ",\"args\":{" + ev.args_json + "}";
+    }
+    out += "}";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"otherData\":{\"events_seen\":%" PRIu64
+                ",\"events_recorded\":%" PRIu64 ",\"every_n\":%" PRIu64 "}}",
+                route_seen_.load(std::memory_order_relaxed) +
+                    service_seen_.load(std::memory_order_relaxed) +
+                    morsel_seen_.load(std::memory_order_relaxed),
+                recorded_, every_n_);
+  out += buf;
+  return out;
+}
+
+}  // namespace stems::obs

@@ -1,0 +1,96 @@
+// Tracer: per-query ring buffer of trace spans, exportable as Chrome
+// `trace_event` JSON (chrome://tracing, Perfetto).
+//
+// Three event streams share one buffer:
+//   * routing decisions — the eddy's choice for a tuple batch: lineage mask,
+//     module chosen, routing intent (category "route", instant events);
+//   * module service spans — one complete span per serviced group, on the
+//     virtual clock (category "module", 'X' events whose ts/dur are virtual
+//     microseconds);
+//   * worker morsel spans — one complete span per claimed morsel in the
+//     threaded executor, on the wall clock (category "morsel").
+//
+// Sampling: each stream keeps its own counter and records every Nth event
+// (`RunOptions::trace_every_n`; 1 = everything). The *disabled* path is one
+// branch — when tracing is off no Tracer exists and every instrumentation
+// site is `if (tracer_ != nullptr)` on a cached pointer.
+//
+// The ring keeps the most recent `capacity` events (oldest overwritten);
+// `events_seen` vs `events_recorded` in the JSON metadata says how much was
+// dropped by sampling + wraparound.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stems::obs {
+
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";  ///< static-string category ("route"/"module"/"morsel")
+  char ph = 'X';         ///< 'X' complete span, 'i' instant
+  uint64_t ts_us = 0;    ///< virtual or wall microseconds (per stream)
+  uint64_t dur_us = 0;   ///< span duration; ignored for 'i'
+  uint32_t tid = 0;      ///< worker id (threaded) or module id (sim)
+  std::string args_json; ///< pre-rendered JSON object body sans braces, or ""
+};
+
+class Tracer {
+ public:
+  /// `every_n` >= 1: record every Nth event per stream.
+  explicit Tracer(uint64_t every_n, size_t capacity = 16384)
+      : every_n_(every_n == 0 ? 1 : every_n), capacity_(capacity) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Per-stream sampling decisions; cheap enough for the routing hot loop
+  /// (one relaxed fetch_add + compare).
+  bool SampleRoute() { return Sample(route_seen_); }
+  bool SampleService() { return Sample(service_seen_); }
+  bool SampleMorsel() { return Sample(morsel_seen_); }
+
+  void Record(TraceEvent ev);
+
+  uint64_t events_seen() const {
+    return route_seen_.load(std::memory_order_relaxed) +
+           service_seen_.load(std::memory_order_relaxed) +
+           morsel_seen_.load(std::memory_order_relaxed);
+  }
+  uint64_t events_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+  }
+  uint64_t every_n() const { return every_n_; }
+
+  /// Chrome trace JSON: {"traceEvents":[...], "otherData":{...}}. Events are
+  /// emitted oldest-first. Safe to call while workers still record (locks
+  /// the ring), though normally called after completion.
+  std::string ToJson() const;
+
+  /// Escapes `s` for embedding inside a JSON string literal.
+  static std::string JsonEscape(const std::string& s);
+
+ private:
+  bool Sample(std::atomic<uint64_t>& seen) {
+    uint64_t n = seen.fetch_add(1, std::memory_order_relaxed);
+    return n % every_n_ == 0;
+  }
+
+  const uint64_t every_n_;
+  const size_t capacity_;
+
+  std::atomic<uint64_t> route_seen_{0};
+  std::atomic<uint64_t> service_seen_{0};
+  std::atomic<uint64_t> morsel_seen_{0};
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  ///< ring once size reaches capacity_
+  size_t next_ = 0;               ///< overwrite cursor when full
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace stems::obs

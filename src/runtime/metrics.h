@@ -3,10 +3,19 @@
 // The paper's evaluation plots cumulative quantities against time (results
 // output, index probes made). Counters here record (virtual time, value)
 // step series that benches sample on a fixed grid to print figure data.
+//
+// Thread-safety: every series mutation and read is internally synchronized
+// (a per-series mutex plus a recorder-level map mutex), so a recorder
+// reached from the threaded executor's workers is race-free. The sim
+// executor is single-threaded and pays one uncontended lock per increment.
+// Engine-wide, cross-query aggregation lives in obs::MetricsRegistry
+// (src/obs/metrics_registry.h); this recorder is the per-query, sim-facing
+// series view layered beside it.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,15 +23,32 @@
 
 namespace stems {
 
-/// A monotone step series of (time, cumulative value).
+/// A monotone step series of (time, cumulative value). Internally
+/// synchronized; safe to Increment from several workers concurrently.
 class CounterSeries {
  public:
+  CounterSeries() = default;
+  /// Copies take a consistent snapshot of the source (benches copy series
+  /// out of a recorder to keep plotting after the query is gone).
+  CounterSeries(const CounterSeries& other) {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    points_ = other.points_;
+    total_ = other.total_;
+  }
+  CounterSeries& operator=(const CounterSeries& other) {
+    if (this == &other) return *this;
+    std::scoped_lock lock(mu_, other.mu_);
+    points_ = other.points_;
+    total_ = other.total_;
+    return *this;
+  }
+
   void Increment(SimTime now, int64_t delta = 1);
 
-  int64_t total() const { return total_; }
-  const std::vector<std::pair<SimTime, int64_t>>& points() const {
-    return points_;
-  }
+  int64_t total() const;
+
+  /// Snapshot of the step points (copy, taken under the series lock).
+  std::vector<std::pair<SimTime, int64_t>> points() const;
 
   /// Value of the counter at time `t` (steps are right-continuous).
   int64_t ValueAt(SimTime t) const;
@@ -36,6 +62,7 @@ class CounterSeries {
   SimTime TimeToReach(int64_t value) const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::pair<SimTime, int64_t>> points_;
   int64_t total_ = 0;
 };
@@ -44,20 +71,26 @@ class CounterSeries {
 class MetricsRecorder {
  public:
   void Count(const std::string& name, SimTime now, int64_t delta = 1) {
-    series_[name].Increment(now, delta);
+    SeriesHandle(name)->Increment(now, delta);
   }
 
   /// Stable handle for hot paths: resolves the series once; callers then
   /// Increment() without re-building the key or re-searching the map.
-  /// (std::map nodes are pointer-stable across later insertions.)
+  /// (std::map nodes are pointer-stable across later insertions, and the
+  /// map itself is guarded by mu_ — handles stay valid and race-free.)
   CounterSeries* SeriesHandle(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
     return &series_[name];
   }
 
   const CounterSeries& Series(const std::string& name) const;
-  bool Has(const std::string& name) const { return series_.count(name) > 0; }
+  bool Has(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return series_.count(name) > 0;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, CounterSeries> series_;
 };
 

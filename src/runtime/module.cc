@@ -1,6 +1,9 @@
 #include "runtime/module.h"
 
 #include <cassert>
+#include <cstdio>
+
+#include "obs/trace.h"
 
 namespace stems {
 
@@ -52,6 +55,22 @@ void Module::Emit(TuplePtr tuple) {
   sink_(std::move(tuple), this);
 }
 
+void Module::TraceService(SimTime start, SimTime duration, size_t group_size) {
+  if (!tracer_->SampleService()) return;
+  obs::TraceEvent ev;
+  ev.name = name_;
+  ev.cat = "module";
+  ev.ph = 'X';
+  ev.ts_us = static_cast<uint64_t>(start);
+  ev.dur_us = static_cast<uint64_t>(duration);
+  ev.tid = static_cast<uint32_t>(id_ < 0 ? 0 : id_);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"group\":%zu,\"queued\":%zu", group_size,
+                queue_.size());
+  ev.args_json = buf;
+  tracer_->Record(std::move(ev));
+}
+
 void Module::MaybeStartService() {
   if (busy_ || queue_.empty()) return;
   busy_ = true;
@@ -62,6 +81,7 @@ void Module::MaybeStartService() {
         static_cast<uint64_t>(sim_->now() - entry.enqueued_at);
     const SimTime service = ServiceTime(*entry.tuple);
     stats_.busy_time += static_cast<uint64_t>(service);
+    if (tracer_ != nullptr) TraceService(sim_->now(), service, 1);
     sim_->Schedule(service, [this, t = std::move(entry.tuple)]() mutable {
       Process(std::move(t));
       busy_ = false;
@@ -85,6 +105,7 @@ void Module::MaybeStartService() {
     in_service_.push_back(std::move(entry.tuple));
   }
   stats_.busy_time += static_cast<uint64_t>(total);
+  if (tracer_ != nullptr) TraceService(now, total, n);
   sim_->Schedule(total, [this] {
     ProcessBatch(&in_service_);
     busy_ = false;

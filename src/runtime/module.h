@@ -18,6 +18,10 @@
 
 namespace stems {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 enum class ModuleKind { kSelection, kScanAm, kIndexAm, kStem, kOperator };
 
 const char* ModuleKindName(ModuleKind kind);
@@ -78,6 +82,11 @@ class Module {
   void set_service_batch(size_t n) { service_batch_ = n == 0 ? 1 : n; }
   size_t service_batch() const { return service_batch_; }
 
+  /// Observability: when set (by the eddy at registration), every sampled
+  /// service group records one complete trace span (virtual clock). Null =
+  /// tracing disabled; the service path pays one branch.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   size_t queue_length() const { return queue_.size(); }
   bool busy() const { return busy_; }
   /// True when no queued or in-service work remains. AMs with outstanding
@@ -111,11 +120,14 @@ class Module {
 
  private:
   void MaybeStartService();
+  /// Records a sampled 'X' span for a service period starting now.
+  void TraceService(SimTime start, SimTime duration, size_t group_size);
 
   Simulation* sim_;
   std::string name_;
   int id_ = -1;
   TupleSink sink_;
+  obs::Tracer* tracer_ = nullptr;
 
   struct QueueEntry {
     TuplePtr tuple;

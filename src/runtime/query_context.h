@@ -8,6 +8,11 @@
 
 namespace stems {
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 /// Owned by the query executor (Eddy or a static plan); modules keep a
 /// non-owning pointer for its lifetime.
 struct QueryContext {
@@ -15,6 +20,12 @@ struct QueryContext {
   Simulation* sim = nullptr;
   TimestampAuthority ts;
   MetricsRecorder metrics;
+  /// Engine-wide metric registry (nullable: tests and detached eddies run
+  /// without one; instrumentation sites branch on the cached pointer).
+  obs::MetricsRegistry* registry = nullptr;
+  /// Per-query trace-span sink; null when tracing is disabled
+  /// (RunOptions::trace_every_n == 0) — the one-branch disabled path.
+  obs::Tracer* tracer = nullptr;
 
   /// Slots of `query` bound to exactly this table definition. Identity
   /// comparison on the resolved TableDef, not a name compare: two catalog

@@ -145,6 +145,15 @@ Result<std::vector<std::pair<std::string, uint64_t>>> Client::TenantStats() {
   return std::move(ok.counters);
 }
 
+Result<std::string> Client::Metrics() {
+  std::string payload;
+  STEMS_RETURN_NOT_OK(RoundTrip(wire::EncodeMetricsRequest(),
+                                wire::FrameType::kMetricsOk, &payload));
+  wire::MetricsOk ok;
+  STEMS_RETURN_NOT_OK(wire::Decode(payload, &ok));
+  return std::move(ok.text);
+}
+
 Status Client::Close() {
   if (fd_ < 0) return Status::OK();
   std::string payload;

@@ -95,6 +95,9 @@ class Client {
   /// This tenant's rolled-up QueryStats counters.
   Result<std::vector<std::pair<std::string, uint64_t>>> TenantStats();
 
+  /// Engine-wide metrics, Prometheus plaintext (Server::MetricsText()).
+  Result<std::string> Metrics();
+
   /// Orderly session end (Close/CloseOk), then disconnects.
   Status Close();
 

@@ -120,6 +120,7 @@ bool Server::RequestQueue::TryPush(Request&& request) {
     // the intact frame and can retry it later.
     if (queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(request));
+    high_water_ = std::max(high_water_, queue_.size());
   }
   cv_.notify_one();
   return true;
@@ -129,6 +130,7 @@ void Server::RequestQueue::PushControl(Request request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(request));
+    high_water_ = std::max(high_water_, queue_.size());
   }
   cv_.notify_one();
 }
@@ -147,6 +149,11 @@ bool Server::RequestQueue::PopWithTimeout(Request* request,
 size_t Server::RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+size_t Server::RequestQueue::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
 }
 
 void Server::RequestQueue::WakeAll() { cv_.notify_all(); }
@@ -630,6 +637,9 @@ void Server::ProcessFrame(const std::shared_ptr<Session>& session,
     case FrameType::kStats:
       HandleStats(session);
       return;
+    case FrameType::kMetrics:
+      HandleMetrics(session);
+      return;
     case FrameType::kClose:
       CleanupSessionState(session);
       session->state = Session::State::kClosing;
@@ -817,6 +827,17 @@ void Server::HandleSubmit(const std::shared_ptr<Session>& session,
 
   const AdmissionDecision decision =
       governor_.OnSubmit(session->tenant, rec.memory_charge);
+  {
+    // Cross-tenant admission outcomes, one counter per verdict: the feed
+    // behind the stems_server_submits_* exposition series.
+    obs::MetricsRegistry& registry = engine_->metrics_registry();
+    const char* name =
+        decision.outcome == AdmissionOutcome::kAdmit ? "server.submits_admitted"
+        : decision.outcome == AdmissionOutcome::kQueue
+            ? "server.submits_queued"
+            : "server.submits_rejected";
+    registry.GetCounter(name)->Add(1);
+  }
   if (decision.outcome == AdmissionOutcome::kReject) {
     SendError(session, decision.status, decision.retry_after_ms);
     return;
@@ -881,6 +902,21 @@ void Server::HandleFetch(const std::shared_ptr<Session>& session,
     SendRows(session, rows);
     return;
   }
+
+  // Wall time serving this admitted Fetch (cursor pumping dominates),
+  // observed on every exit path below. Queued-submit polls above are
+  // excluded — they would drown the histogram in empty round trips.
+  struct FetchTimer {
+    obs::Histogram* hist;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    ~FetchTimer() {
+      hist->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    }
+  } fetch_timer{engine_->metrics_registry().GetHistogram("server.fetch_us")};
 
   const uint32_t max_rows =
       std::clamp<uint32_t>(request.max_rows, 1, wire::kMaxRowsPerFetch);
@@ -973,6 +1009,31 @@ void Server::HandleCancel(const std::shared_ptr<Session>& session,
 void Server::HandleStats(const std::shared_ptr<Session>& session) {
   wire::StatsOk ok;
   ok.counters = governor_.Rollup(session->tenant).Counters();
+  // Server-level health rides along with the tenant's rollup, so one Stats
+  // frame answers both "how is my workload doing" and "is the server
+  // keeping up".
+  ok.counters.emplace_back("server.engine_ticks", engine_ticks());
+  ok.counters.emplace_back("server.request_queue_high_water",
+                           queue_.high_water());
+  SendFrame(session, wire::Encode(ok));
+}
+
+std::string Server::MetricsText() {
+  obs::MetricsRegistry& registry = engine_->metrics_registry();
+  registry.GetGauge("server.sessions_active")
+      ->Set(static_cast<int64_t>(active_sessions()));
+  registry.GetGauge("server.engine_ticks")
+      ->Set(static_cast<int64_t>(engine_ticks()));
+  registry.GetGauge("server.request_queue_depth")
+      ->Set(static_cast<int64_t>(queue_.size()));
+  registry.GetGauge("server.request_queue_high_water")
+      ->Set(static_cast<int64_t>(queue_.high_water()));
+  return registry.ExpositionText();
+}
+
+void Server::HandleMetrics(const std::shared_ptr<Session>& session) {
+  wire::MetricsOk ok;
+  ok.text = MetricsText();
   SendFrame(session, wire::Encode(ok));
 }
 
@@ -992,8 +1053,32 @@ void Server::ReleaseSlot(const std::shared_ptr<Session>& session,
                                 stats.spill_ios - rec->last_spill_ios);
       rec->last_spill_ios = stats.spill_ios;
     }
+    MaybeLogSlowQuery(*rec);
   }
   governor_.OnQueryFinished(rec->tenant, rec->memory_charge, stats, error);
+}
+
+void Server::MaybeLogSlowQuery(const QueryRec& rec) {
+  if (options_.slow_query_ms == 0 || !rec.handle.valid()) return;
+  const obs::QueryProfile profile = rec.handle.Profile();
+  const uint64_t wall_ms = profile.wall_us / 1000;
+  if (wall_ms < options_.slow_query_ms) return;
+  engine_->metrics_registry().GetCounter("server.slow_queries")->Add(1);
+  std::string line =
+      "slow query: tenant=" + rec.tenant + " wall_ms=" +
+      std::to_string(wall_ms) + " threshold_ms=" +
+      std::to_string(options_.slow_query_ms) + " executor=" +
+      profile.executor + " policy=" + profile.policy + " results=" +
+      std::to_string(profile.num_results) + " tuples_routed=" +
+      std::to_string(profile.tuples_routed) + " spill_ios=" +
+      std::to_string(profile.spill_ios) + " bytes_spilled=" +
+      std::to_string(profile.bytes_spilled) + " modules=" +
+      std::to_string(profile.modules.size());
+  if (options_.slow_query_log) {
+    options_.slow_query_log(line);
+  } else {
+    STEMS_LOG(Warning) << line;
+  }
 }
 
 void Server::SweepCompletions() {

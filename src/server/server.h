@@ -76,6 +76,14 @@ struct ServerOptions {
   /// Tenants allowed to connect. Empty = open mode: any tenant name is
   /// accepted (no token check) and auto-registered with a default quota.
   std::vector<TenantConfig> tenants;
+  /// Slow-query log threshold: a query whose submit-to-finish wall time
+  /// reaches this many milliseconds is reported (one line: tenant, wall
+  /// time, result/routing/spill counters) when its slot is released.
+  /// 0 disables the log.
+  uint32_t slow_query_ms = 0;
+  /// Receives each slow-query line; when unset, lines go to STEMS_LOG
+  /// (Warning). Called on the engine thread — keep it cheap.
+  std::function<void(const std::string& line)> slow_query_log;
   /// Test-only hook, invoked on the engine thread right after a query is
   /// submitted to the Engine (fault injection into the live dataflow).
   std::function<void(const std::string& tenant, QueryHandle&)>
@@ -113,6 +121,11 @@ class Server {
     return governor_.Rollup(tenant);
   }
   const TenantGovernor& governor() const { return governor_; }
+  /// Prometheus-style plaintext exposition of the engine's metrics
+  /// registry, with the server.* gauges (sessions, engine ticks, request
+  /// queue depth/high-water) refreshed first. Thread-safe; also serves the
+  /// Metrics wire frame.
+  std::string MetricsText();
 
  private:
   struct Session;
@@ -139,6 +152,8 @@ class Server {
     void PushControl(Request request);
     bool PopWithTimeout(Request* request, std::chrono::milliseconds timeout);
     size_t size() const;
+    /// Deepest the queue has ever been (backpressure observability).
+    size_t high_water() const;
     void WakeAll();
 
    private:
@@ -146,6 +161,7 @@ class Server {
     std::condition_variable cv_;
     std::deque<Request> queue_;
     size_t capacity_;
+    size_t high_water_ = 0;
   };
 
   // --- network thread --------------------------------------------------------
@@ -184,6 +200,10 @@ class Server {
   void HandleCancel(const std::shared_ptr<Session>& session,
                     const std::string& payload);
   void HandleStats(const std::shared_ptr<Session>& session);
+  void HandleMetrics(const std::shared_ptr<Session>& session);
+  /// Reports a finished query on the slow-query log when it ran at least
+  /// ServerOptions::slow_query_ms (no-op when disabled or never started).
+  void MaybeLogSlowQuery(const QueryRec& rec);
   /// Starts a bound spec on the engine and wires the QueryRec. Returns
   /// non-OK when Engine::Submit failed (slot already released).
   Status StartQuery(const std::shared_ptr<Session>& session, QueryRec* rec);

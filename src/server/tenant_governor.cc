@@ -22,6 +22,8 @@ std::vector<std::pair<std::string, uint64_t>> TenantRollup::Counters() const {
       {"running_queries", running_queries},
       {"queued_queries", queued_queries},
       {"memory_entries_in_use", memory_entries_in_use},
+      {"queue_high_water", queue_high_water},
+      {"queued_time_ms", queued_time_ms},
   };
 }
 
@@ -148,9 +150,21 @@ AdmissionDecision TenantGovernor::OnSubmit(const std::string& tenant,
   }
   ++rollup.queries_queued;
   ++rollup.queued_queries;
+  rollup.queue_high_water =
+      std::max(rollup.queue_high_water, rollup.queued_queries);
+  state.queued_since.push_back(Clock::now());
   decision.outcome = AdmissionOutcome::kQueue;
   decision.retry_after_ms = std::max(retry, 1u);
   return decision;
+}
+
+void TenantGovernor::SettleQueuedTime(TenantState* state) {
+  if (state->queued_since.empty()) return;
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - state->queued_since.front());
+  state->rollup.queued_time_ms +=
+      static_cast<uint64_t>(std::max<int64_t>(waited.count(), 0));
+  state->queued_since.pop_front();
 }
 
 bool TenantGovernor::TryAdmitQueued(const std::string& tenant,
@@ -169,6 +183,7 @@ bool TenantGovernor::TryAdmitQueued(const std::string& tenant,
     return false;
   }
   --rollup.queued_queries;
+  SettleQueuedTime(&state);
   ++rollup.queries_admitted;
   ++rollup.running_queries;
   if (state.quota.max_memory_entries > 0) {
@@ -183,6 +198,10 @@ void TenantGovernor::DropQueued(const std::string& tenant) {
   if (it == tenants_.end()) return;
   TenantRollup& rollup = it->second.rollup;
   if (rollup.queued_queries > 0) --rollup.queued_queries;
+  // A cancel may remove a mid-queue entry while this settles the oldest
+  // timestamp: queued_time_ms stays exact in total, only its attribution
+  // across the tenant's own submits can shift.
+  SettleQueuedTime(&it->second);
 }
 
 void TenantGovernor::OnQueryFinished(const std::string& tenant,

@@ -29,6 +29,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -83,6 +84,12 @@ struct TenantRollup {
   uint64_t running_queries = 0;
   uint64_t queued_queries = 0;
   uint64_t memory_entries_in_use = 0;
+  // Admission-queue observability.
+  /// Most deferred submits this tenant ever had waiting at once.
+  uint64_t queue_high_water = 0;
+  /// Total wall-clock milliseconds deferred submits spent waiting in the
+  /// admission queue before being admitted (or dropped/cancelled).
+  uint64_t queued_time_ms = 0;
 
   /// The rollup as ordered (name, value) counters — the Stats wire frame's
   /// payload.
@@ -152,8 +159,15 @@ class TenantGovernor {
     Clock::time_point window_start{};
     uint64_t window_spill_ios = 0;
     bool window_open = false;
+    /// Enqueue times of the deferred submits, admission (FIFO) order —
+    /// mirrors the server's pending-submit deque, which admits and drops
+    /// from the front.
+    std::deque<Clock::time_point> queued_since;
   };
 
+  /// Pops the oldest enqueue timestamp and adds its elapsed wait to
+  /// rollup.queued_time_ms. Caller holds mu_.
+  void SettleQueuedTime(TenantState* state);
   /// Rolls the window forward and returns the I/Os consumed in the
   /// current window. Caller holds mu_.
   uint64_t WindowSpillIos(TenantState* state, Clock::time_point now) const;

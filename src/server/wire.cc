@@ -42,6 +42,7 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kCancel: return "Cancel";
     case FrameType::kStats: return "Stats";
     case FrameType::kClose: return "Close";
+    case FrameType::kMetrics: return "Metrics";
     case FrameType::kHelloOk: return "HelloOk";
     case FrameType::kPrepareOk: return "PrepareOk";
     case FrameType::kBindOk: return "BindOk";
@@ -50,6 +51,7 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kCancelOk: return "CancelOk";
     case FrameType::kStatsOk: return "StatsOk";
     case FrameType::kCloseOk: return "CloseOk";
+    case FrameType::kMetricsOk: return "MetricsOk";
     case FrameType::kError: return "Error";
   }
   return "Unknown";
@@ -299,6 +301,10 @@ std::string EncodeStatsRequest() { return EncodeFrame(FrameType::kStats, ""); }
 
 std::string EncodeCloseRequest() { return EncodeFrame(FrameType::kClose, ""); }
 
+std::string EncodeMetricsRequest() {
+  return EncodeFrame(FrameType::kMetrics, "");
+}
+
 std::string Encode(const HelloOk& m) {
   Writer w;
   w.U64(m.session_id);
@@ -363,6 +369,12 @@ std::string Encode(const StatsOk& m) {
     w.U64(value);
   }
   return w.Frame(FrameType::kStatsOk);
+}
+
+std::string Encode(const MetricsOk& m) {
+  Writer w;
+  w.Str(m.text);
+  return w.Frame(FrameType::kMetricsOk);
 }
 
 std::string EncodeCloseOk() { return EncodeFrame(FrameType::kCloseOk, ""); }
@@ -521,6 +533,12 @@ Status Decode(const std::string& payload, StatsOk* out) {
     }
   }
   return FinishDecode(r, "StatsOk");
+}
+
+Status Decode(const std::string& payload, MetricsOk* out) {
+  Reader r(payload);
+  r.Str(&out->text);
+  return FinishDecode(r, "MetricsOk");
 }
 
 Status Decode(const std::string& payload, ErrorResponse* out) {

@@ -16,6 +16,7 @@
 //   Fetch  ->Rows        stream up to max_rows results of a query
 //   Cancel ->CancelOk    stop a query, drop its unread results
 //   Stats  ->StatsOk     this tenant's rolled-up QueryStats counters
+//   Metrics->MetricsOk   engine-wide metrics, Prometheus plaintext
 //   Close  ->CloseOk     orderly session end
 //
 // Layout and an annotated example exchange: docs/server.md.
@@ -61,6 +62,7 @@ enum class FrameType : uint8_t {
   kCancel = 0x06,
   kStats = 0x07,
   kClose = 0x08,
+  kMetrics = 0x09,
   // Server -> client.
   kHelloOk = 0x81,
   kPrepareOk = 0x82,
@@ -70,6 +72,7 @@ enum class FrameType : uint8_t {
   kCancelOk = 0x86,
   kStatsOk = 0x87,
   kCloseOk = 0x88,
+  kMetricsOk = 0x89,
   kError = 0xFF,
 };
 
@@ -224,6 +227,13 @@ struct StatsOk {
   std::vector<std::pair<std::string, uint64_t>> counters;
 };
 
+struct MetricsOk {
+  /// Prometheus-style plaintext exposition of the server's engine-wide
+  /// metrics registry (obs::MetricsRegistry::ExpositionText plus the
+  /// server.* gauges refreshed at serve time).
+  std::string text;
+};
+
 struct ErrorResponse {
   StatusCode code = StatusCode::kInternal;
   std::string message;
@@ -249,6 +259,7 @@ std::string Encode(const FetchRequest& m);
 std::string Encode(const CancelRequest& m);
 std::string EncodeStatsRequest();
 std::string EncodeCloseRequest();
+std::string EncodeMetricsRequest();
 std::string Encode(const HelloOk& m);
 std::string Encode(const PrepareOk& m);
 std::string Encode(const BindOk& m);
@@ -256,6 +267,7 @@ std::string Encode(const SubmitOk& m);
 Result<std::string> Encode(const RowsResponse& m);
 std::string Encode(const CancelOk& m);
 std::string Encode(const StatsOk& m);
+std::string Encode(const MetricsOk& m);
 std::string EncodeCloseOk();
 std::string Encode(const ErrorResponse& m);
 
@@ -274,6 +286,7 @@ Status Decode(const std::string& payload, SubmitOk* out);
 Status Decode(const std::string& payload, RowsResponse* out);
 Status Decode(const std::string& payload, CancelOk* out);
 Status Decode(const std::string& payload, StatsOk* out);
+Status Decode(const std::string& payload, MetricsOk* out);
 Status Decode(const std::string& payload, ErrorResponse* out);
 
 /// Builds the error frame for `status`, extracting the trailing

@@ -1,5 +1,7 @@
 #include "spill/buffer_pool.h"
 
+#include "obs/metrics_registry.h"
+
 namespace stems {
 
 namespace {
@@ -18,6 +20,19 @@ BufferPool::BufferPool(const SpillOptions& options)
   if (write_latency_ == nullptr) {
     write_latency_ = std::make_shared<FixedLatency>(kDefaultWriteLatency);
   }
+}
+
+void BufferPool::AttachRegistry(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    reg_hits_ = reg_misses_ = reg_evictions_ = reg_writes_ = reg_io_vus_ =
+        nullptr;
+    return;
+  }
+  reg_hits_ = registry->GetCounter("spill.pool_hits");
+  reg_misses_ = registry->GetCounter("spill.pool_misses");
+  reg_evictions_ = registry->GetCounter("spill.pool_evictions");
+  reg_writes_ = registry->GetCounter("spill.pool_writes");
+  reg_io_vus_ = registry->GetCounter("spill.pool_io_vus");
 }
 
 SimTime BufferPool::SampleRead() {
@@ -56,8 +71,10 @@ size_t BufferPool::AcquireFrame(SimTime* cost) {
     if (f.dirty) {
       *cost += SampleWrite();
       ++stats_.writebacks;
+      if (reg_writes_ != nullptr) reg_writes_->Add();
     }
     ++stats_.evictions;
+    if (reg_evictions_ != nullptr) reg_evictions_->Add();
     frame_of_.erase(f.page);
     f = Frame{};
     return idx;
@@ -73,6 +90,7 @@ SimTime BufferPool::Fetch(PageKey page) {
   if (it != frame_of_.end()) {
     frames_[it->second].referenced = true;
     ++stats_.hits;
+    if (reg_hits_ != nullptr) reg_hits_->Add();
     return 0;
   }
   SimTime cost = 0;
@@ -87,6 +105,8 @@ SimTime BufferPool::Fetch(PageKey page) {
   cost += SampleRead();
   ++stats_.misses;
   stats_.io_time += cost;
+  if (reg_misses_ != nullptr) reg_misses_->Add();
+  if (reg_io_vus_ != nullptr) reg_io_vus_->Add(static_cast<uint64_t>(cost));
   return cost;
 }
 
@@ -108,6 +128,9 @@ SimTime BufferPool::Create(PageKey page) {
   f.pins = 0;
   frame_of_[page] = idx;
   stats_.io_time += cost;
+  if (reg_io_vus_ != nullptr && cost > 0) {
+    reg_io_vus_->Add(static_cast<uint64_t>(cost));
+  }
   return cost;
 }
 
@@ -115,6 +138,8 @@ SimTime BufferPool::WriteThrough(PageKey page) {
   const SimTime cost = SampleWrite();
   ++stats_.writethroughs;
   stats_.io_time += cost;
+  if (reg_writes_ != nullptr) reg_writes_->Add();
+  if (reg_io_vus_ != nullptr) reg_io_vus_->Add(static_cast<uint64_t>(cost));
   auto it = frame_of_.find(page);
   if (it != frame_of_.end()) frames_[it->second].dirty = false;
   return cost;

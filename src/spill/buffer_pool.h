@@ -23,6 +23,11 @@
 
 namespace stems {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Page address: (file id, page number) packed by the owning SpillFile.
 using PageKey = uint64_t;
 
@@ -81,6 +86,11 @@ class BufferPool {
   size_t frames_in_use() const { return frame_of_.size(); }
   size_t capacity() const { return capacity_; }
 
+  /// Observability: publish hit/miss/eviction/write traffic into the
+  /// engine-wide registry (spill.pool_* counters, aggregated across pools).
+  /// Null detaches; each stats site then pays one branch.
+  void AttachRegistry(obs::MetricsRegistry* registry);
+
  private:
   struct Frame {
     PageKey page = 0;
@@ -110,6 +120,13 @@ class BufferPool {
   uint64_t reads_sampled_ = 0;
 
   BufferPoolStats stats_;
+
+  /// Engine-wide registry handles (null when detached).
+  obs::Counter* reg_hits_ = nullptr;
+  obs::Counter* reg_misses_ = nullptr;
+  obs::Counter* reg_evictions_ = nullptr;
+  obs::Counter* reg_writes_ = nullptr;
+  obs::Counter* reg_io_vus_ = nullptr;
 };
 
 }  // namespace stems

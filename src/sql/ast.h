@@ -74,6 +74,9 @@ struct AstTableRef {
 
 /// A full SELECT statement.
 struct SelectStatement {
+  /// "EXPLAIN ANALYZE SELECT ...": run the query to completion and return
+  /// its per-module execution profile instead of the result rows.
+  bool explain_analyze = false;
   bool select_star = false;
   std::vector<AstColumn> select_list;  ///< empty iff select_star
   std::vector<AstTableRef> from;

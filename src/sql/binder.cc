@@ -209,6 +209,7 @@ Result<BoundStatement> Binder::Bind(const SelectStatement& stmt,
   if (!errors.empty()) return CombineStatuses(errors);
 
   BoundStatement bound;
+  bound.explain_analyze = stmt.explain_analyze;
   bound.spec = std::move(built).Value();
   // Build() already ran ValidateQueryShape; the SQL-only intent check is
   // join-connectedness (cross products, see validation.h).

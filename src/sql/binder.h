@@ -41,6 +41,9 @@ struct ParamSite {
 struct BoundStatement {
   QuerySpec spec;
   std::vector<ParamSite> params;
+  /// "EXPLAIN ANALYZE ..." prefix: the caller wants the execution profile,
+  /// not the rows (Engine::Query runs such statements to completion).
+  bool explain_analyze = false;
 };
 
 class Binder {

@@ -31,6 +31,8 @@ TokenKind KeywordOrIdent(const std::string& word) {
   if (upper == "AS") return TokenKind::kAs;
   if (upper == "LIMIT") return TokenKind::kLimit;
   if (upper == "NULL") return TokenKind::kNull;
+  if (upper == "EXPLAIN") return TokenKind::kExplain;
+  if (upper == "ANALYZE") return TokenKind::kAnalyze;
   return TokenKind::kIdent;
 }
 
@@ -52,6 +54,10 @@ const char* TokenKindName(TokenKind kind) {
       return "LIMIT";
     case TokenKind::kNull:
       return "NULL";
+    case TokenKind::kExplain:
+      return "EXPLAIN";
+    case TokenKind::kAnalyze:
+      return "ANALYZE";
     case TokenKind::kIdent:
       return "identifier";
     case TokenKind::kInt:

@@ -19,6 +19,13 @@ class Parser {
 
   Result<SelectStatement> ParseSelect() {
     SelectStatement stmt;
+    if (Accept(TokenKind::kExplain)) {
+      STEMS_RETURN_NOT_OK(Expect(
+          TokenKind::kAnalyze,
+          "expected ANALYZE after EXPLAIN (only EXPLAIN ANALYZE is "
+          "supported: adaptive routing has no static plan to explain)"));
+      stmt.explain_analyze = true;
+    }
     STEMS_RETURN_NOT_OK(Expect(TokenKind::kSelect, "expected SELECT"));
     STEMS_RETURN_NOT_OK(ParseSelectList(&stmt));
     STEMS_RETURN_NOT_OK(Expect(TokenKind::kFrom, "expected FROM"));

@@ -21,6 +21,8 @@ enum class TokenKind : uint8_t {
   kAs,
   kLimit,
   kNull,
+  kExplain,
+  kAnalyze,
   // Literals and names.
   kIdent,      ///< bare identifier (case-sensitive, like the catalog)
   kInt,        ///< [0-9]+

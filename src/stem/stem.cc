@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics_registry.h"
 #include "spill/spill_file.h"
 #include "spill/spill_options.h"
 
@@ -87,6 +88,11 @@ Stem::Stem(QueryContext* ctx, std::string table_name, StemOptions options,
   evictions_series_ = ctx_->metrics.SeriesHandle(name() + ".evictions");
   spill_out_series_ = ctx_->metrics.SeriesHandle(name() + ".spill.out");
   spill_in_series_ = ctx_->metrics.SeriesHandle(name() + ".spill.in");
+  if (ctx_->registry != nullptr) {
+    reg_builds_ = ctx_->registry->GetCounter("stem.builds");
+    reg_probes_ = ctx_->registry->GetCounter("stem.probes");
+    reg_matches_ = ctx_->registry->GetCounter("stem.matches");
+  }
 }
 
 CounterSeries* Stem::SpanSeries(uint64_t mask) {
@@ -294,6 +300,7 @@ void Stem::ProcessBuild(TuplePtr tuple) {
 
   const BuildTs ts = ctx_->ts.Issue();
   ++builds_;
+  if (reg_builds_ != nullptr) reg_builds_->Add();
   if (ts > max_entry_ts_) max_entry_ts_ = ts;
   if (pooled) query_ts_.emplace(row, ts);
 
@@ -577,6 +584,7 @@ void Stem::ProcessProbe(TuplePtr tuple) {
   const BuildTs last_match_ts = tuple->last_match_ts();
   const bool pooled = storage_->pooled();
   ++probes_processed_;
+  if (reg_probes_ != nullptr) reg_probes_->Add();
   uint32_t matches_this_probe = 0;
 
   const auto& entries = storage_->entries();
@@ -614,6 +622,7 @@ void Stem::ProcessProbe(TuplePtr tuple) {
     TuplePtr concat = tuple->ConcatWith(target_slot, entry.row, entry_ts);
     for (const Predicate* p : preds) concat->MarkPredicatePassed(p->id());
     ++matches_emitted_;
+    if (reg_matches_ != nullptr) reg_matches_->Add();
     ++matches_this_probe;
     // Partial-result accounting (online metric, §1.2/§3.4): intermediate
     // spans are the partial results FFF surfaces to users.

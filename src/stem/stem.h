@@ -53,6 +53,11 @@
 
 namespace stems {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
+
 class BufferPool;
 struct SpillOptions;
 
@@ -329,6 +334,11 @@ class Stem : public Module {
 
   /// Hot-path metrics: series handles resolved once (the per-match
   /// "span.<mask>" key used to be rebuilt per emitted concatenation).
+  /// Engine-wide registry handles (null when no registry is attached).
+  obs::Counter* reg_builds_ = nullptr;
+  obs::Counter* reg_probes_ = nullptr;
+  obs::Counter* reg_matches_ = nullptr;
+
   CounterSeries* dups_series_ = nullptr;
   CounterSeries* bounces_series_ = nullptr;
   CounterSeries* evictions_series_ = nullptr;

@@ -24,10 +24,10 @@ void AblationCoalescing() {
     Engine engine;
     engine.AddTable(
         TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
-        GenerateTableR(400, 100, 3));
+        GenerateTableR(400, 100, 3)).IgnoreError();
     engine.AddTable(
         TableDef{"S", SchemaS(), {{"S.idx", AccessMethodKind::kIndex, {0}}}},
-        GenerateTableS(100));
+        GenerateTableS(100)).IgnoreError();
     QueryBuilder qb(engine.catalog());
     qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
     QuerySpec query = qb.Build().ValueOrDie();
@@ -61,12 +61,12 @@ void AblationBounceMode() {
     Engine engine;
     engine.AddTable(
         TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
-        GenerateTableR(400, 400, 5));
+        GenerateTableR(400, 400, 5)).IgnoreError();
     engine.AddTable(TableDef{"T",
                              SchemaT(),
                              {{"T.scan", AccessMethodKind::kScan, {}},
                               {"T.idx", AccessMethodKind::kIndex, {0}}}},
-                    GenerateTableT(400, 6));
+                    GenerateTableT(400, 6)).IgnoreError();
     QueryBuilder qb(engine.catalog());
     qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
     QuerySpec query = qb.Build().ValueOrDie();
@@ -102,10 +102,10 @@ void AblationMemoryBudget() {
         {"k", ColumnGenSpec::Kind::kUniform, 0, 499, 0, 0}};
     engine.AddTable(
         TableDef{"A", schema, {{"A.scan", AccessMethodKind::kScan, {}}}},
-        GenerateRows(cols, 500, 71));
+        GenerateRows(cols, 500, 71)).IgnoreError();
     engine.AddTable(
         TableDef{"B", schema, {{"B.scan", AccessMethodKind::kScan, {}}}},
-        GenerateRows(cols, 500, 72));
+        GenerateRows(cols, 500, 72)).IgnoreError();
     QueryBuilder qb(engine.catalog());
     qb.AddTable("A").AddTable("B").AddJoin("A.k", "B.k");
     QuerySpec query = qb.Build().ValueOrDie();
@@ -135,10 +135,10 @@ void AblationAdaptiveThreshold() {
         {"k", ColumnGenSpec::Kind::kSequential, 0, 0, 0, 0}};
     engine.AddTable(
         TableDef{"A", schema, {{"A.scan", AccessMethodKind::kScan, {}}}},
-        GenerateRows(cols, 2000, 81));
+        GenerateRows(cols, 2000, 81)).IgnoreError();
     engine.AddTable(
         TableDef{"B", schema, {{"B.scan", AccessMethodKind::kScan, {}}}},
-        GenerateRows(cols, 2000, 82));
+        GenerateRows(cols, 2000, 82)).IgnoreError();
     QueryBuilder qb(engine.catalog());
     qb.AddTable("A").AddTable("B").AddJoin("A.k", "B.k");
     QuerySpec query = qb.Build().ValueOrDie();

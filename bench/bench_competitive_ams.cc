@@ -52,10 +52,11 @@ Outcome Run(Variant variant) {
     s.access_methods = {{"S.slow", AccessMethodKind::kIndex, {0}},
                         {"S.fast", AccessMethodKind::kIndex, {0}}};
   }
-  catalog.AddTable(r);
-  catalog.AddTable(s);
-  store.AddTable("R", SchemaR(), GenerateTableR(kRRows, kDistinct, 3));
-  store.AddTable("S", SchemaS(), GenerateTableS(kDistinct));
+  catalog.AddTable(r).IgnoreError();
+  catalog.AddTable(s).IgnoreError();
+  store.AddTable("R", SchemaR(), GenerateTableR(kRRows, kDistinct, 3))
+      .IgnoreError();
+  store.AddTable("S", SchemaS(), GenerateTableS(kDistinct)).IgnoreError();
 
   QueryBuilder qb(catalog);
   qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");

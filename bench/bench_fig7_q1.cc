@@ -43,10 +43,11 @@ struct Setup {
 void Build(Setup* s) {
   TableDef r{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}};
   TableDef sdef{"S", SchemaS(), {{"S.idx_x", AccessMethodKind::kIndex, {0}}}};
-  s->catalog.AddTable(r);
-  s->catalog.AddTable(sdef);
-  s->store.AddTable("R", SchemaR(), GenerateTableR(kRRows, kDistinctA, 7));
-  s->store.AddTable("S", SchemaS(), GenerateTableS(kDistinctA));
+  s->catalog.AddTable(r).IgnoreError();
+  s->catalog.AddTable(sdef).IgnoreError();
+  s->store.AddTable("R", SchemaR(), GenerateTableR(kRRows, kDistinctA, 7))
+      .IgnoreError();
+  s->store.AddTable("S", SchemaS(), GenerateTableS(kDistinctA)).IgnoreError();
   QueryBuilder qb(s->catalog);
   qb.AddTable("R").AddTable("S").AddJoin("R.a", "S.x");
   s->query = qb.Build().ValueOrDie();

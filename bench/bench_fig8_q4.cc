@@ -52,8 +52,8 @@ void Build(Setup* s) {
              SchemaT(),
              {{"T.scan", AccessMethodKind::kScan, {}},
               {"T.idx", AccessMethodKind::kIndex, {0}}}};
-  s->catalog.AddTable(r);
-  s->catalog.AddTable(t);
+  s->catalog.AddTable(r).IgnoreError();
+  s->catalog.AddTable(t).IgnoreError();
   // R.key = 0..N-1 in scan order; T.key = a random permutation of the same
   // domain, so early hash matches are probabilistic as in the paper.
   std::vector<RowRef> r_rows;
@@ -61,8 +61,8 @@ void Build(Setup* s) {
     r_rows.push_back(MakeRow({Value::Int64(static_cast<int64_t>(i)),
                               Value::Int64(static_cast<int64_t>(i % 250))}));
   }
-  s->store.AddTable("R", SchemaR(), std::move(r_rows));
-  s->store.AddTable("T", SchemaT(), GenerateTableT(Rows(), 11));
+  s->store.AddTable("R", SchemaR(), std::move(r_rows)).IgnoreError();
+  s->store.AddTable("T", SchemaT(), GenerateTableT(Rows(), 11)).IgnoreError();
   QueryBuilder qb(s->catalog);
   qb.AddTable("R").AddTable("T").AddJoin("R.key", "T.key");
   s->query = qb.Build().ValueOrDie();

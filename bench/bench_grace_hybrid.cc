@@ -46,13 +46,17 @@ Outcome Run(size_t bounce_batch) {
   TableStore store;
   auto schema = Schema({{"k", ValueType::kInt64}});
   catalog.AddTable(
-      TableDef{"R", schema, {{"R.scan", AccessMethodKind::kScan, {}}}});
+      TableDef{"R", schema, {{"R.scan", AccessMethodKind::kScan, {}}}})
+      .IgnoreError();
   catalog.AddTable(
-      TableDef{"S", schema, {{"S.scan", AccessMethodKind::kScan, {}}}});
+      TableDef{"S", schema, {{"S.scan", AccessMethodKind::kScan, {}}}})
+      .IgnoreError();
   std::vector<ColumnGenSpec> one_uniform{
       {"k", ColumnGenSpec::Kind::kUniform, 0, Domain() - 1, 0, 0}};
-  store.AddTable("R", schema, GenerateRows(one_uniform, Rows(), 31));
-  store.AddTable("S", schema, GenerateRows(one_uniform, Rows(), 32));
+  store.AddTable("R", schema, GenerateRows(one_uniform, Rows(), 31))
+      .IgnoreError();
+  store.AddTable("S", schema, GenerateRows(one_uniform, Rows(), 32))
+      .IgnoreError();
   QueryBuilder qb(catalog);
   qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.k");
   QuerySpec query = qb.Build().ValueOrDie();

@@ -100,10 +100,10 @@ void RunSmallQuery(ConstraintMode mode, const std::string& policy,
         {"k", ColumnGenSpec::Kind::kUniform, 0, 255, 0, 0}};
     engine.AddTable(
         TableDef{"R", schema, {{"R.scan", AccessMethodKind::kScan, {}}}},
-        GenerateRows(cols, 512, 51));
+        GenerateRows(cols, 512, 51)).IgnoreError();
     engine.AddTable(
         TableDef{"S", schema, {{"S.scan", AccessMethodKind::kScan, {}}}},
-        GenerateRows(cols, 512, 52));
+        GenerateRows(cols, 512, 52)).IgnoreError();
     QueryBuilder qb(engine.catalog());
     qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.k");
     QuerySpec query = qb.Build().ValueOrDie();
@@ -158,12 +158,12 @@ void RunReorderWorkload(size_t batch_size, benchmark::State& state,
     // (and that a production feed with skewed keys produces naturally).
     engine.AddTable(
         TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
-        GenerateTableR(2000, 100, 5));
+        GenerateTableR(2000, 100, 5)).IgnoreError();
     engine.AddTable(TableDef{"T",
                              SchemaT(),
                              {{"T.scan", AccessMethodKind::kScan, {}},
                               {"T.idx", AccessMethodKind::kIndex, {0}}}},
-                    GenerateTableT(250, 6));
+                    GenerateTableT(250, 6)).IgnoreError();
     QueryBuilder qb(engine.catalog());
     qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
     QuerySpec query = qb.Build().ValueOrDie();
@@ -227,10 +227,10 @@ void RunSpillWorkload(benchmark::State& state) {
           {"k", ColumnGenSpec::Kind::kUniform, 0, 299, 0, 0}};
       engine.AddTable(
           TableDef{"R", schema, {{"R.scan", AccessMethodKind::kScan, {}}}},
-          GenerateRows(cols, rows, 71));
+          GenerateRows(cols, rows, 71)).IgnoreError();
       engine.AddTable(
           TableDef{"S", schema, {{"S.scan", AccessMethodKind::kScan, {}}}},
-          GenerateRows(cols, rows, 72));
+          GenerateRows(cols, rows, 72)).IgnoreError();
       QueryBuilder qb(engine.catalog());
       qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.k");
       QuerySpec query = qb.Build().ValueOrDie();
@@ -286,10 +286,10 @@ void RunSharedFanoutWorkload(size_t fanout, benchmark::State& state) {
           {"v", ColumnGenSpec::Kind::kSequential, 0, 0, 1, 1.0}};
       engine.AddTable(TableDef{"R", SchemaFor(cols),
                                {{"R.scan", AccessMethodKind::kScan, {}}}},
-                      GenerateRows(cols, rows, 81));
+                      GenerateRows(cols, rows, 81)).IgnoreError();
       engine.AddTable(TableDef{"S", SchemaFor(cols),
                                {{"S.scan", AccessMethodKind::kScan, {}}}},
-                      GenerateRows(cols, rows, 82));
+                      GenerateRows(cols, rows, 82)).IgnoreError();
       QueryBuilder qb(engine.catalog());
       qb.AddTable("R").AddTable("S").AddJoin("R.k", "S.k");
       QuerySpec query = qb.Build().ValueOrDie();

@@ -39,15 +39,15 @@ void Build(Setup* s) {
   for (const char* name : {"R", "S", "T"}) {
     s->catalog.AddTable(TableDef{
         name, schema2, {{std::string(name) + ".scan",
-                         AccessMethodKind::kScan, {}}}});
+                         AccessMethodKind::kScan, {}}}}).IgnoreError();
   }
   std::vector<ColumnGenSpec> cols{
       {"key", ColumnGenSpec::Kind::kSequential, 0, 0, 0, 0},
       {"a", ColumnGenSpec::Kind::kUniform, 0, kDomain - 1, 0, 0},
       {"b", ColumnGenSpec::Kind::kUniform, 0, kDomain - 1, 0, 0}};
-  s->store.AddTable("R", schema2, GenerateRows(cols, kRows, 41));
-  s->store.AddTable("S", schema2, GenerateRows(cols, kRows, 42));
-  s->store.AddTable("T", schema2, GenerateRows(cols, kRows, 43));
+  s->store.AddTable("R", schema2, GenerateRows(cols, kRows, 41)).IgnoreError();
+  s->store.AddTable("S", schema2, GenerateRows(cols, kRows, 42)).IgnoreError();
+  s->store.AddTable("T", schema2, GenerateRows(cols, kRows, 43)).IgnoreError();
   QueryBuilder qb(s->catalog);
   qb.AddTable("R").AddTable("S").AddTable("T");
   qb.AddJoin("R.a", "S.a").AddJoin("S.b", "T.b");

@@ -42,12 +42,12 @@ Outcome Run(ProbeBounceMode mode) {
   // R.a spans [0, T rows); T.key matches it.
   engine.AddTable(
       TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
-      GenerateTableR(Rows(), TRows(), 5));
+      GenerateTableR(Rows(), TRows(), 5)).IgnoreError();
   engine.AddTable(TableDef{"T",
                            SchemaT(),
                            {{"T.scan", AccessMethodKind::kScan, {}},
                             {"T.idx", AccessMethodKind::kIndex, {0}}}},
-                  GenerateTableT(TRows(), 6));
+                  GenerateTableT(TRows(), 6)).IgnoreError();
   QueryBuilder qb(engine.catalog());
   qb.AddTable("R").AddTable("T").AddJoin("R.a", "T.key");
   QuerySpec query = qb.Build().ValueOrDie();

@@ -48,18 +48,21 @@ void Build(Setup* s) {
                           {"b", ValueType::kInt64},
                           {"d", ValueType::kInt64}});
   s->catalog.AddTable(
-      TableDef{"R", schema_r, {{"R.scan", AccessMethodKind::kScan, {}}}});
+      TableDef{"R", schema_r, {{"R.scan", AccessMethodKind::kScan, {}}}})
+      .IgnoreError();
   s->catalog.AddTable(
-      TableDef{"S", schema_s, {{"S.scan", AccessMethodKind::kScan, {}}}});
+      TableDef{"S", schema_s, {{"S.scan", AccessMethodKind::kScan, {}}}})
+      .IgnoreError();
   s->catalog.AddTable(
-      TableDef{"T", schema_t, {{"T.scan", AccessMethodKind::kScan, {}}}});
+      TableDef{"T", schema_t, {{"T.scan", AccessMethodKind::kScan, {}}}})
+      .IgnoreError();
   std::vector<ColumnGenSpec> cols{
       {"key", ColumnGenSpec::Kind::kSequential, 0, 0, 0, 0},
       {"u", ColumnGenSpec::Kind::kUniform, 0, kDomain - 1, 0, 0},
       {"v", ColumnGenSpec::Kind::kUniform, 0, kDomain - 1, 0, 0}};
-  s->store.AddTable("R", schema_r, GenerateRows(cols, kRows, 21));
-  s->store.AddTable("S", schema_s, GenerateRows(cols, kRows, 22));
-  s->store.AddTable("T", schema_t, GenerateRows(cols, kRows, 23));
+  s->store.AddTable("R", schema_r, GenerateRows(cols, kRows, 21)).IgnoreError();
+  s->store.AddTable("S", schema_s, GenerateRows(cols, kRows, 22)).IgnoreError();
+  s->store.AddTable("T", schema_t, GenerateRows(cols, kRows, 23)).IgnoreError();
   QueryBuilder qb(s->catalog);
   qb.AddTable("R").AddTable("S").AddTable("T");
   qb.AddJoin("R.a", "S.x").AddJoin("S.y", "T.b").AddJoin("T.d", "R.c");

@@ -31,13 +31,13 @@ void FillCatalog(Engine* engine) {
   Schema items({{"id", ValueType::kInt64}, {"price", ValueType::kInt64}});
   engine->AddTable(TableDef{"users", users,
                             {{"users.scan", AccessMethodKind::kScan, {}}}},
-                   {});
+                   {}).IgnoreError();
   engine->AddTable(TableDef{"orders", orders,
                             {{"orders.scan", AccessMethodKind::kScan, {}}}},
-                   {});
+                   {}).IgnoreError();
   engine->AddTable(TableDef{"items", items,
                             {{"items.scan", AccessMethodKind::kScan, {}}}},
-                   {});
+                   {}).IgnoreError();
 }
 
 sql::SqlParams ServingParams() {

@@ -27,9 +27,10 @@ int main() {
   std::vector<ColumnGenSpec> acc_cols{
       {"id", ColumnGenSpec::Kind::kSequential, 0, 0, 0, 0},
       {"region", ColumnGenSpec::Kind::kUniform, 0, 4, 0, 0}};
+  // Fresh engine + literal schema: registration cannot fail here.
   engine.AddTable(TableDef{"accounts", accounts,
                            {{"accounts.scan", AccessMethodKind::kScan, {}}}},
-                  GenerateRows(acc_cols, 400, 1));
+                  GenerateRows(acc_cols, 400, 1)).IgnoreError();
 
   // "creditscores": served by two mirror websites (scans at different
   // speeds; one stalls) AND a keyed lookup form (async index on id).
@@ -42,7 +43,7 @@ int main() {
                            {{"mirror1.scan", AccessMethodKind::kScan, {}},
                             {"mirror2.scan", AccessMethodKind::kScan, {}},
                             {"lookup.form", AccessMethodKind::kIndex, {0}}}},
-                  GenerateRows(score_cols, 400, 2));
+                  GenerateRows(score_cols, 400, 2)).IgnoreError();
 
   // Parse + resolve once; the score threshold stays a parameter.
   PreparedQuery prepared =

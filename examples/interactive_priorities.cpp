@@ -16,14 +16,15 @@ namespace {
 
 void RunOnce(bool prioritize, int64_t hot_region) {
   Engine engine;
+  // Fresh engine + literal schema: registration cannot fail here.
   engine.AddTable(
       TableDef{"R", SchemaR(), {{"R.scan", AccessMethodKind::kScan, {}}}},
-      GenerateTableR(600, 250, 12));
+      GenerateTableR(600, 250, 12)).IgnoreError();
   engine.AddTable(TableDef{"T",
                            SchemaT(),
                            {{"T.scan", AccessMethodKind::kScan, {}},
                             {"T.idx", AccessMethodKind::kIndex, {0}}}},
-                  GenerateTableT(250, 13));
+                  GenerateTableT(250, 13)).IgnoreError();
 
   RunOptions options;  // nary_shj: deliberately not index-hungry
   options.exec.scan_overrides["R.scan"].period = Millis(8);

@@ -37,18 +37,18 @@ int main() {
       TableDef{"users", users, {{"users.scan", AccessMethodKind::kScan, {}}}},
       {MakeRow({Value::Int64(1), Value::Int64(34)}),
        MakeRow({Value::Int64(2), Value::Int64(57)}),
-       MakeRow({Value::Int64(3), Value::Int64(25)})});
+       MakeRow({Value::Int64(3), Value::Int64(25)})}).IgnoreError();
   engine.AddTable(
       TableDef{"orders", orders, {{"orders.scan", AccessMethodKind::kScan, {}}}},
       {MakeRow({Value::Int64(1), Value::Int64(10)}),
        MakeRow({Value::Int64(1), Value::Int64(11)}),
        MakeRow({Value::Int64(2), Value::Int64(10)}),
-       MakeRow({Value::Int64(3), Value::Int64(12)})});
+       MakeRow({Value::Int64(3), Value::Int64(12)})}).IgnoreError();
   engine.AddTable(
       TableDef{"items", items, {{"items.scan", AccessMethodKind::kScan, {}}}},
       {MakeRow({Value::Int64(10), Value::Int64(999)}),
        MakeRow({Value::Int64(11), Value::Int64(25)}),
-       MakeRow({Value::Int64(12), Value::Int64(150)})});
+       MakeRow({Value::Int64(12), Value::Int64(150)})}).IgnoreError();
 
   // 2. Submit the query as SQL: explicit projection, conjunctive WHERE.
   const char* sql =

@@ -54,14 +54,14 @@ void Populate(Engine* engine) {
       TableDef{"users", users, {{"users.scan", AccessMethodKind::kScan, {}}}},
       {MakeRow({Value::Int64(1), Value::Int64(34)}),
        MakeRow({Value::Int64(2), Value::Int64(57)}),
-       MakeRow({Value::Int64(3), Value::Int64(25)})});
+       MakeRow({Value::Int64(3), Value::Int64(25)})}).IgnoreError();
   engine->AddTable(
       TableDef{"orders", orders,
                {{"orders.scan", AccessMethodKind::kScan, {}}}},
       {MakeRow({Value::Int64(1), Value::Int64(10)}),
        MakeRow({Value::Int64(1), Value::Int64(11)}),
        MakeRow({Value::Int64(2), Value::Int64(10)}),
-       MakeRow({Value::Int64(3), Value::Int64(12)})});
+       MakeRow({Value::Int64(3), Value::Int64(12)})}).IgnoreError();
 }
 
 /// --explain: the EXPLAIN ANALYZE surface, in process (the wire path

@@ -29,10 +29,10 @@ int main() {
       {"amount", ColumnGenSpec::Kind::kSequential, 0, 0, 0, 0}};
   engine.AddTable(TableDef{"clicks", clicks,
                            {{"clicks.stream", AccessMethodKind::kScan, {}}}},
-                  GenerateRows(click_cols, kStreamLen, 8));
+                  GenerateRows(click_cols, kStreamLen, 8)).IgnoreError();
   engine.AddTable(
       TableDef{"buys", buys, {{"buys.stream", AccessMethodKind::kScan, {}}}},
-      GenerateRows(buy_cols, kStreamLen, 9));
+      GenerateRows(buy_cols, kStreamLen, 9)).IgnoreError();
 
   const char* sql = "SELECT * FROM clicks, buys WHERE clicks.user = buys.user";
   std::printf("continuous query: %s\n", sql);

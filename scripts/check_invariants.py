@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: structural rules the compiler cannot express.
+
+Complements the Clang thread-safety analysis (docs/static_analysis.md):
+TSA proves lock discipline *given* that code uses the annotated
+stems::Mutex; this script proves the premises and the cross-cutting
+conventions:
+
+  naked-mutex      Raw std::mutex / lock types / condition_variable are
+                   forbidden outside src/common/thread_annotations.h.
+                   Everything must go through the annotated wrappers, or
+                   the thread-safety lane silently loses coverage.
+
+  wall-clock       Virtual-clock code (the discrete-event simulator and
+                   everything scheduled on it) must not read the wall
+                   clock: steady_clock/system_clock::now() there breaks
+                   determinism and sim/threaded equivalence. A read that
+                   is *intentionally* wall-clock (observability spans)
+                   carries a `// wall-clock: <why>` comment within the
+                   preceding five lines. src/sim/ gets no such escape:
+                   the clock itself may never consult real time.
+
+  engine-thread    Only the engine thread may touch the Engine. In
+                   src/server/server.cc, `engine_->` must not appear in
+                   the network-thread section (between the
+                   `--- network thread` and `--- engine thread` section
+                   markers), and no other file under src/server/ may
+                   dereference an Engine at all.
+
+  nodiscard        Status and Result<T> (src/common/status.h) must be
+                   declared [[nodiscard]] so a discarded error status is
+                   a -Werror build break, not a silent drop.
+
+  atomic-doc       Every std::atomic<> member declaration carries a
+                   nearby `relaxed:` or `sync:` comment saying why its
+                   memory ordering is sufficient. Undocumented atomics
+                   are where the next data race hides.
+
+Suppression (sparingly): a line, or the line above it, may carry
+`// invariant: allow(<rule>) -- <reason>`. The reason is mandatory.
+
+Exit status 0 = clean, 1 = violations (printed one per line as
+path:line: [rule] message). Run from anywhere; paths resolve against the
+repo root (the parent of this script's directory).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Directories whose code runs on (or defines) the virtual clock. The
+# threaded executor (src/exec/), the server (src/server/) and the
+# observability layer (src/obs/) are wall-clock land by design.
+VIRTUAL_CLOCK_DIRS = (
+    "src/sim",
+    "src/eddy",
+    "src/stem",
+    "src/am",
+    "src/sm",
+    "src/engine",
+    "src/spill",
+    "src/baseline",
+    "src/runtime",
+    "src/query",
+)
+
+SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cc", "tests/**/*.h", "tests/**/*.cc",
+                "bench/**/*.h", "bench/**/*.cc")
+
+ANNOTATIONS_HEADER = "src/common/thread_annotations.h"
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable"
+    r"|condition_variable_any)\b")
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(steady_clock|system_clock|high_resolution_clock)::now\b")
+ATOMIC_MEMBER_RE = re.compile(r"^\s+(?:mutable\s+)?std::atomic<")
+ATOMIC_POINTER_RE = re.compile(r"std::atomic<[^<>]*>\s*[*&]")
+ATOMIC_DOC_RE = re.compile(r"relaxed[-:]|sync:")
+WALL_CLOCK_DOC_RE = re.compile(r"//.*wall-clock:")
+ALLOW_RE = re.compile(r"//\s*invariant:\s*allow\(([a-z-]+)\)\s*--\s*\S")
+
+NET_THREAD_MARKER = "--- network thread"
+ENGINE_THREAD_MARKER = "--- engine thread"
+
+
+def is_comment(line: str) -> bool:
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*")
+
+
+def allowed(lines, i, rule):
+    """True if line i (0-based) or the line above carries a matching
+    `// invariant: allow(<rule>) -- reason` suppression."""
+    for j in (i, i - 1):
+        if j < 0:
+            continue
+        m = ALLOW_RE.search(lines[j])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def check_file(rel, lines, errors):
+    in_net_section = False
+    for i, line in enumerate(lines):
+        lineno = i + 1
+
+        # naked-mutex ---------------------------------------------------
+        if rel != ANNOTATIONS_HEADER and not is_comment(line):
+            m = NAKED_MUTEX_RE.search(line)
+            if m and not allowed(lines, i, "naked-mutex"):
+                errors.append(
+                    f"{rel}:{lineno}: [naked-mutex] raw std::{m.group(1)}; "
+                    f"use stems::Mutex / MutexLock / CondVar from "
+                    f"{ANNOTATIONS_HEADER} so the thread-safety analysis "
+                    f"sees it")
+
+        # wall-clock ----------------------------------------------------
+        if rel.startswith(VIRTUAL_CLOCK_DIRS) and not is_comment(line):
+            m = WALL_CLOCK_RE.search(line)
+            if m and not allowed(lines, i, "wall-clock"):
+                documented = any(
+                    WALL_CLOCK_DOC_RE.search(lines[j])
+                    for j in range(max(0, i - 5), i + 1))
+                if rel.startswith("src/sim/"):
+                    errors.append(
+                        f"{rel}:{lineno}: [wall-clock] "
+                        f"{m.group(1)}::now() inside the simulator core; "
+                        f"the virtual clock must never consult real time "
+                        f"(no marker escape in src/sim/)")
+                elif not documented:
+                    errors.append(
+                        f"{rel}:{lineno}: [wall-clock] "
+                        f"{m.group(1)}::now() in a virtual-clock path "
+                        f"without a `// wall-clock: <why>` marker in the "
+                        f"preceding five lines")
+
+        # engine-thread -------------------------------------------------
+        if rel == "src/server/server.cc":
+            if NET_THREAD_MARKER in line:
+                in_net_section = True
+            elif ENGINE_THREAD_MARKER in line:
+                in_net_section = False
+            elif (in_net_section and "engine_->" in line
+                  and not is_comment(line)
+                  and not allowed(lines, i, "engine-thread")):
+                errors.append(
+                    f"{rel}:{lineno}: [engine-thread] engine_-> in the "
+                    f"network-thread section; only the engine thread may "
+                    f"touch the Engine (server.h threading contract)")
+        elif rel.startswith("src/server/") and "engine_->" in line:
+            if not is_comment(line) and not allowed(lines, i, "engine-thread"):
+                errors.append(
+                    f"{rel}:{lineno}: [engine-thread] engine_-> outside "
+                    f"server.cc; Engine access is confined to the server's "
+                    f"engine thread")
+
+        # atomic-doc ----------------------------------------------------
+        if (rel.startswith("src/") and ATOMIC_MEMBER_RE.search(line)
+                and not ATOMIC_POINTER_RE.search(line)):
+            # Pointers/references to atomics are aliases, not new shared
+            # state — the owning declaration carries the doc. The ten-line
+            # window lets one comment cover a small group of members.
+            documented = any(
+                ATOMIC_DOC_RE.search(lines[j])
+                for j in range(max(0, i - 10), i + 1))
+            if not documented and not allowed(lines, i, "atomic-doc"):
+                errors.append(
+                    f"{rel}:{lineno}: [atomic-doc] std::atomic member "
+                    f"without a nearby `relaxed:` or `sync:` comment "
+                    f"explaining why its ordering suffices")
+
+
+def check_nodiscard(errors):
+    status_h = REPO_ROOT / "src/common/status.h"
+    text = status_h.read_text(encoding="utf-8")
+    for cls in ("Status", "Result"):
+        pattern = rf"class\s+\[\[nodiscard\]\]\s+{cls}\b"
+        if not re.search(pattern, text):
+            errors.append(
+                f"src/common/status.h:1: [nodiscard] class {cls} is not "
+                f"declared [[nodiscard]]; discarded error statuses would "
+                f"compile silently")
+
+
+def main():
+    errors = []
+    seen = set()
+    for pattern in SOURCE_GLOBS:
+        for path in sorted(REPO_ROOT.glob(pattern)):
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            if rel in seen:
+                continue
+            seen.add(rel)
+            lines = path.read_text(encoding="utf-8").splitlines()
+            check_file(rel, lines, errors)
+    check_nodiscard(errors)
+
+    if errors:
+        for e in errors:
+            print(e)
+        print(f"\ncheck_invariants: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_invariants: OK ({len(seen)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

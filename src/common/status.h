@@ -30,7 +30,9 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Success-or-error return type. Cheap to copy in the OK case.
-class Status {
+/// [[nodiscard]]: ignoring a returned Status is how errors vanish; a
+/// discarded call site must either handle it or cast through IgnoreError().
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -70,6 +72,11 @@ class Status {
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Explicitly discards the status. The only sanctioned way past
+  /// [[nodiscard]] — reserve it for paths where failure is genuinely
+  /// uninteresting (best-effort cleanup), and say why at the call site.
+  void IgnoreError() const {}
+
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
@@ -77,7 +84,7 @@ class Status {
 
 /// A value or an error. Use `ValueOrDie()` only where failure is a bug.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
   Result(T value) : repr_(std::move(value)) {}

@@ -1,0 +1,179 @@
+// Thread-safety annotations and the engine's only sanctioned lock types.
+//
+// Every mutex in the engine is a stems::Mutex, every scoped acquisition a
+// stems::MutexLock, every condition wait a stems::CondVar — the repo-invariant
+// linter (scripts/check_invariants.py, rule `naked-mutex`) rejects raw
+// std::mutex / std::lock_guard anywhere else. The wrappers carry Clang
+// Thread Safety Analysis capability attributes, so under clang with
+// -Wthread-safety (added automatically by the build; CI runs it with
+// -Werror) an access to a STEMS_GUARDED_BY field without its lock, or a
+// call to a STEMS_REQUIRES function without the capability, is a *compile
+// error*, not a code-review hope. On non-clang compilers every annotation
+// macro expands to nothing and the wrappers are zero-cost veneers over the
+// standard types.
+//
+// This is how the project's two hardest prose invariants became
+// machine-checked (docs/static_analysis.md):
+//   * the §3.1 visibility contract — ShardedStem build-timestamp issuance
+//     must happen inside the shard critical section (sharded_stem.h);
+//   * engine-thread ownership — only the server's engine thread touches
+//     the Engine (server.h; the linter's `engine-thread` rule covers the
+//     cross-file half).
+//
+// Annotation conventions:
+//   * every field a mutex protects is STEMS_GUARDED_BY(that mutex);
+//   * every helper that expects the caller to hold a lock says so with
+//     STEMS_REQUIRES(mu) instead of a "caller holds mu" comment;
+//   * scoped lock types are STEMS_SCOPED_CAPABILITY with ACQUIRE/RELEASE
+//     on the constructor/destructor (the absl::MutexLock idiom);
+//   * fields synchronized by something other than a mutex (atomics,
+//     thread ownership, happens-before via thread start/join) carry a
+//     `// relaxed:` / `// sync:` comment the linter recognizes
+//     (rule `atomic-doc`).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Attribute spelling: clang's capability analysis. GCC accepts none of
+// these, so they compile away entirely (the linter still enforces the
+// conventions textually there).
+#if defined(__clang__)
+#define STEMS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define STEMS_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" in diagnostics).
+#define STEMS_CAPABILITY(x) STEMS_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define STEMS_SCOPED_CAPABILITY STEMS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define STEMS_GUARDED_BY(x) STEMS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer-field annotation: the pointed-to data requires holding `x`.
+#define STEMS_PT_GUARDED_BY(x) STEMS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function precondition: the caller must hold the listed capabilities.
+/// Replaces "caller holds mu_" comments with a compiler-checked contract.
+#define STEMS_REQUIRES(...) \
+  STEMS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the caller must NOT hold the listed capabilities
+/// (documents lock-ordering / self-deadlock hazards).
+#define STEMS_EXCLUDES(...) STEMS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define STEMS_ACQUIRE(...) \
+  STEMS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (held on entry).
+#define STEMS_RELEASE(...) \
+  STEMS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the return
+/// value that means success.
+#define STEMS_TRY_ACQUIRE(...) \
+  STEMS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define STEMS_RETURN_CAPABILITY(x) STEMS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from analysis. Every use must
+/// say why in an adjacent comment.
+#define STEMS_NO_THREAD_SAFETY_ANALYSIS \
+  STEMS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Runtime assertion that the capability is held (for call graphs the
+/// static analysis cannot follow, e.g. callbacks).
+#define STEMS_ASSERT_CAPABILITY(x) \
+  STEMS_THREAD_ANNOTATION_(assert_capability(x))
+
+namespace stems {
+
+class CondVar;
+
+/// The engine's mutex: std::mutex with a capability attribute. Prefer
+/// MutexLock for scoped sections; Lock/Unlock exist for the rare
+/// non-scoped protocol (and for scoped wrappers like ContentionLock).
+class STEMS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() STEMS_ACQUIRE() { mu_.lock(); }
+  void Unlock() STEMS_RELEASE() { mu_.unlock(); }
+  bool TryLock() STEMS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped acquisition (the std::lock_guard of this codebase). Takes a
+/// pointer so call sites read `MutexLock lock(&mu_);` — an acquisition is
+/// visibly an action on the mutex, not a copy of it.
+class STEMS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) STEMS_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() STEMS_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to stems::Mutex. Waits take the Mutex (with a
+/// REQUIRES contract) rather than a std::unique_lock, so guarded state
+/// stays inside the annotated world; predicates are written as explicit
+/// `while` loops in the caller — where the capability is held and the
+/// analysis can see the guarded reads — never as lambdas (a lambda body is
+/// a separate function the analysis treats as lock-free).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) STEMS_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands it back without unlocking (the caller still holds it).
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      STEMS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      STEMS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace stems

@@ -232,10 +232,14 @@ void Eddy::MaybeStartRouting() {
     route_queue_.pop_front();
     ctx_.sim->Schedule(options_.routing_overhead,
                        [this, t = std::move(tuple)]() mutable {
+                         // wall-clock: measures the real CPU cost of the
+                         // routing decision (routing_wall_ns_ is an
+                         // observability counter, never simulation input).
                          const auto start = std::chrono::steady_clock::now();
                          RouteOne(std::move(t));
                          routing_busy_ = false;
                          MaybeStartRouting();
+                         // wall-clock: closes the span opened above.
                          routing_wall_ns_ += static_cast<uint64_t>(
                              (std::chrono::steady_clock::now() - start)
                                  .count());
@@ -246,10 +250,13 @@ void Eddy::MaybeStartRouting() {
   // during the routing_overhead window join this batch, and the closure
   // captures only `this` (no allocation).
   ctx_.sim->Schedule(options_.routing_overhead, [this] {
+    // wall-clock: measures the real CPU cost of batch routing
+    // (observability counter only, never simulation input).
     const auto start = std::chrono::steady_clock::now();
     RouteBatchFromQueue();
     routing_busy_ = false;
     MaybeStartRouting();
+    // wall-clock: closes the span opened above.
     routing_wall_ns_ += static_cast<uint64_t>(
         (std::chrono::steady_clock::now() - start).count());
   });

@@ -41,6 +41,8 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
   // execution owns a copy so the handle outlives the caller's spec.
   exec->query = query;
   exec->policy_name = options.policy;
+  // wall-clock: stamps real submission time for the engine.query_wall_us
+  // histogram; the simulation itself runs on sim_'s virtual clock.
   exec->submitted_wall = std::chrono::steady_clock::now();
   if (options.publish_metrics) exec->registry = &registry_;
   if (options.trace_every_n > 0) {
@@ -93,6 +95,8 @@ Result<QueryHandle> Engine::Submit(const QuerySpec& query,
 
 void Engine::MarkFinished(internal::QueryExecution* exec) {
   exec->completed_at = sim_.now();
+  // wall-clock: closes the observability span opened at Submit; virtual
+  // completion time is recorded separately (completed_at, sim_.now()).
   exec->wall_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - exec->submitted_wall)

@@ -10,12 +10,13 @@ namespace {
 /// Scoped shard lock that accounts contention: the uncontended path is one
 /// try_lock; only when that fails does it read the clock and charge the
 /// blocked time to the run's shared counters.
-class ContentionLock {
+class STEMS_SCOPED_CAPABILITY ContentionLock {
  public:
-  ContentionLock(std::mutex& mu, ShardedSpillState* spill) : mu_(mu) {
-    if (mu_.try_lock()) return;
+  ContentionLock(Mutex& mu, ShardedSpillState* spill) STEMS_ACQUIRE(mu)
+      : mu_(mu) {
+    if (mu_.TryLock()) return;
     const auto start = std::chrono::steady_clock::now();
-    mu_.lock();
+    mu_.Lock();
     if (spill != nullptr) {
       const auto waited = std::chrono::steady_clock::now() - start;
       spill->lock_waits.fetch_add(1, std::memory_order_relaxed);
@@ -26,12 +27,12 @@ class ContentionLock {
           std::memory_order_relaxed);
     }
   }
-  ~ContentionLock() { mu_.unlock(); }
+  ~ContentionLock() STEMS_RELEASE() { mu_.Unlock(); }
   ContentionLock(const ContentionLock&) = delete;
   ContentionLock& operator=(const ContentionLock&) = delete;
 
  private:
-  std::mutex& mu_;
+  Mutex& mu_;
 };
 
 /// Rough in-memory footprint of a row, for the spill byte counters (the
@@ -61,6 +62,9 @@ ShardedStem::ShardedStem(int slot, const QuerySpec& query, size_t num_shards,
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    // The shard is private until the constructor returns; the lock exists
+    // to satisfy the guarded_by contract, and is uncontended by definition.
+    MutexLock lock(&shard->mu);
     shard->indexes.resize(index_columns_.size());
     shards_.push_back(std::move(shard));
   }
@@ -202,7 +206,7 @@ void ShardedStem::EnforceBudget(const Shard* except) {
     size_t victim_size = 0;
     for (auto& shard : shards_) {
       if (shard.get() == except) continue;
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       if (!shard->resident) continue;
       const size_t n = shard->entries.size();
       if (n > victim_size) {
@@ -211,7 +215,7 @@ void ShardedStem::EnforceBudget(const Shard* except) {
       }
     }
     if (victim == nullptr) return;  // nothing local left to spill
-    std::lock_guard<std::mutex> lock(victim->mu);
+    MutexLock lock(&victim->mu);
     if (!victim->resident || victim->entries.empty()) continue;
     victim->indexes.clear();
     victim->resident = false;
@@ -230,7 +234,7 @@ std::pair<size_t, size_t> ShardedStem::ShardResidency() const {
   size_t resident = 0;
   size_t spilled = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     if (shard->entries.empty()) continue;
     if (shard->resident) {
       ++resident;

@@ -29,12 +29,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "query/query_spec.h"
 #include "runtime/tuple.h"
 #include "types/row.h"
@@ -43,6 +43,9 @@
 namespace stems {
 
 /// Budget + counters shared by all ShardedStems of one threaded query run.
+/// relaxed: every field is a monotone statistic accumulated by many workers
+/// and only read after the workers join (or for a best-effort budget check);
+/// no field orders any other memory access.
 struct ShardedSpillState {
   /// Resident-entry budget across all stems (0 = unlimited).
   size_t budget_entries = 0;
@@ -51,10 +54,11 @@ struct ShardedSpillState {
   std::atomic<uint64_t> spill_ios{0};
   std::atomic<uint64_t> bytes_spilled{0};
   std::atomic<uint64_t> entries_spilled{0};  ///< entries currently off-budget
-  std::atomic<uint64_t> faults{0};           ///< shard fault-ins by probes
-  /// Shard-mutex contention on the hot paths (Build / ProbeShard): how many
-  /// acquisitions found the mutex held, and the wall time spent blocked.
-  /// The uncontended path pays one try_lock and no clock read.
+  std::atomic<uint64_t> faults{0};  ///< relaxed: shard fault-ins by probes
+  /// relaxed: shard-mutex contention counters for the hot paths (Build /
+  /// ProbeShard): how many acquisitions found the mutex held, and the wall
+  /// time spent blocked. The uncontended path pays one try_lock and no
+  /// clock read.
   std::atomic<uint64_t> lock_waits{0};
   std::atomic<uint64_t> lock_wait_ns{0};
 };
@@ -147,12 +151,18 @@ class ShardedStem {
       std::unordered_map<Value, std::vector<uint32_t>, ValueHash>;
 
   /// Cache-line separated so two workers on adjacent shards never share.
+  /// All state is guarded by `mu` — the shard critical section of the §3.1
+  /// visibility contract — so an access outside it is a compile error
+  /// under -Wthread-safety.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::vector<Entry> entries;
-    std::unordered_set<RowRef, RowRefContentHash, RowRefContentEq> dedup;
-    std::vector<ColumnIndex> indexes;  ///< parallel to index_columns_
-    bool resident = true;  ///< false: indexes dropped, entries off-budget
+    mutable Mutex mu;
+    std::vector<Entry> entries STEMS_GUARDED_BY(mu);
+    std::unordered_set<RowRef, RowRefContentHash, RowRefContentEq> dedup
+        STEMS_GUARDED_BY(mu);
+    /// Parallel to index_columns_.
+    std::vector<ColumnIndex> indexes STEMS_GUARDED_BY(mu);
+    /// false: indexes dropped, entries off-budget.
+    bool resident STEMS_GUARDED_BY(mu) = true;
   };
 
   /// (position in `bindings`, position in `index_columns_`) of the best
@@ -169,20 +179,24 @@ class ShardedStem {
   uint64_t ProbeShard(Shard* shard, int idx, const Value* key,
                       BuildTs probe_ts, Matches* out);
 
-  /// Rebuilds a spilled shard's indexes and re-charges the budget. Caller
-  /// holds shard.mu.
-  void FaultInLocked(Shard* shard);
+  /// Rebuilds a spilled shard's indexes and re-charges the budget.
+  void FaultInLocked(Shard* shard) STEMS_REQUIRES(shard->mu);
   /// Drops the indexes of the largest resident shard other than `except`
   /// until the budget is met (or nothing is left to spill).
   void EnforceBudget(const Shard* except);
 
   const int slot_;
   const QuerySpec& query_;
+  /// sync: the query-global timestamp authority; fetch_add is issued inside
+  /// the shard critical section (see Build), the shard mutex provides the
+  /// ordering the §3.1 contract needs.
   std::atomic<BuildTs>* const ts_counter_;
   ShardedSpillState* const spill_;
   /// Equi-join columns of this slot, ascending; the first is the shard key.
   std::vector<int> index_columns_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// relaxed: monotone statistic (total inserted entries across shards);
+  /// sampled by observers, never used to order other accesses.
   std::atomic<uint64_t> entries_{0};
 };
 

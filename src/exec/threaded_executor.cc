@@ -55,10 +55,15 @@ struct ThreadPoolExecutor::RunState {
 
   std::vector<const StoredTable*> tables;  ///< per slot
   std::vector<std::unique_ptr<ShardedStem>> stems;
+  /// sync: the query-global timestamp authority; every fetch_add happens
+  /// inside a shard critical section (ShardedStem::Build), which supplies
+  /// the §3.1 ordering.
   std::atomic<BuildTs> ts_counter{1};
   ShardedSpillState spill;
 
   std::vector<SourceChunk> chunks;
+  /// relaxed: the morsel-dispatch cursor; fetch_add is the whole claim
+  /// protocol (chunks itself is immutable once workers start).
   std::atomic<size_t> next_chunk{0};
 
   uint64_t full_mask = 0;
@@ -67,7 +72,12 @@ struct ThreadPoolExecutor::RunState {
   std::vector<std::vector<int>> neighbors;                ///< per slot
 
   uint64_t limit = UINT64_MAX;
+  /// sync: the LIMIT admission counter — the fetch_add race decides which
+  /// `limit` admissions win (exactly-once by construction, any order is a
+  /// valid serialization).
   std::atomic<uint64_t> admitted{0};
+  /// relaxed: advisory drain flags; a worker that misses a store does a
+  /// bounded amount of extra (discarded) work, never wrong work.
   std::atomic<bool> stop{false};
   std::atomic<bool> limit_reached{false};
 
@@ -84,8 +94,8 @@ struct ThreadPoolExecutor::RunState {
   };
   std::vector<PaddedWorker> workers;
 
-  std::mutex violations_mu;
-  std::vector<std::string> violations;
+  Mutex violations_mu;
+  std::vector<std::string> violations STEMS_GUARDED_BY(violations_mu);
 };
 
 size_t ThreadPoolExecutor::EffectiveThreads(size_t requested,
@@ -163,7 +173,7 @@ void ThreadPoolExecutor::AdmitResult(RunState* state, WorkerState* ws,
       !tuple->AllComponentsBuilt() ||
       (tuple->preds_passed() & state->all_preds_mask) !=
           state->all_preds_mask) {
-    std::lock_guard<std::mutex> lock(state->violations_mu);
+    MutexLock lock(&state->violations_mu);
     state->violations.push_back("invalid result admitted: " +
                                 tuple->ToString());
   }
@@ -346,7 +356,7 @@ Status ThreadPoolExecutor::Execute(const QuerySpec& query,
                                    const TableStore& store, ExecOutcome* out,
                                    const ExecObs& obs) {
   STEMS_RETURN_NOT_OK(ValidateSupported(query, options));
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(&run_mu_);
 
   RunState state;
   state.tracer = obs.tracer;
@@ -423,7 +433,11 @@ Status ThreadPoolExecutor::Execute(const QuerySpec& query,
                         std::make_move_iterator(padded.ws.results.begin()),
                         std::make_move_iterator(padded.ws.results.end()));
   }
-  out->violations = std::move(state.violations);
+  {
+    // Workers are joined, but the guarded_by contract is unconditional.
+    MutexLock lock(&state.violations_mu);
+    out->violations = std::move(state.violations);
+  }
   out->limit_reached = state.limit_reached.load();
   out->spill_ios = state.spill.spill_ios.load();
   out->bytes_spilled = state.spill.bytes_spilled.load();

@@ -24,8 +24,8 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "exec/executor.h"
 
 namespace stems {
@@ -64,7 +64,7 @@ class ThreadPoolExecutor : public Executor {
 
   /// One query runs at a time per executor; concurrent Submits queue here
   /// rather than oversubscribing the machine.
-  std::mutex run_mu_;
+  Mutex run_mu_;
   size_t default_threads_;
 };
 

@@ -35,21 +35,21 @@ double Histogram::Percentile(double q) const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -80,7 +80,7 @@ void AppendLine(std::string* out, const std::string& name, const char* type,
 }  // namespace
 
 std::string MetricsRegistry::ExpositionText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     AppendLine(&out, Sanitize(name), "counter",
@@ -107,7 +107,7 @@ std::string MetricsRegistry::ExpositionText() const {
 }
 
 std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<std::string, int64_t>> out;
   out.reserve(counters_.size() + gauges_.size());
   for (const auto& [name, c] : counters_) {

@@ -22,13 +22,16 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace stems::obs {
 
 /// Monotone counter. All mutators are wait-free relaxed atomics.
+/// relaxed: a monotone statistic — readers tolerate slightly stale values
+/// and no other data is published through it.
 class Counter {
  public:
   void Add(uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
@@ -40,6 +43,7 @@ class Counter {
 
 /// Last-writer-wins instantaneous value, plus a monotone high-water mark
 /// (`SetMax`) for queue-depth style metrics.
+/// relaxed: an instantaneous statistic — no ordering with other state.
 class Gauge {
  public:
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
@@ -54,6 +58,7 @@ class Gauge {
   int64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
+  /// relaxed: instantaneous statistic (class doc).
   std::atomic<int64_t> v_{0};
 };
 
@@ -61,6 +66,8 @@ class Gauge {
 /// bucket i counts observations in (2^(i-1), 2^i], bucket 0 counts [0, 1].
 /// Percentiles interpolate linearly inside the winning bucket — cheap,
 /// lock-free to record, and accurate enough for p50/p95/p99 dashboards.
+/// relaxed: bucket/count/sum updates are independent statistics; readers
+/// take racy-but-close snapshots by design.
 class Histogram {
  public:
   static constexpr size_t kNumBuckets = 40;  // covers up to ~2^39 (~9 minutes in us)
@@ -85,6 +92,7 @@ class Histogram {
     return b < kNumBuckets ? b : kNumBuckets - 1;
   }
 
+  /// relaxed: independent statistics; racy-but-close snapshots (class doc).
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
@@ -109,10 +117,12 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, int64_t>> Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      STEMS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ STEMS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      STEMS_GUARDED_BY(mu_);
 };
 
 }  // namespace stems::obs

@@ -6,7 +6,7 @@
 namespace stems::obs {
 
 void Tracer::Record(TraceEvent ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
@@ -40,7 +40,7 @@ std::string Tracer::JsonEscape(const std::string& s) {
 }
 
 std::string Tracer::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"traceEvents\":[";
   char buf[128];
   bool first = true;

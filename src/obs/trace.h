@@ -22,9 +22,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace stems::obs {
 
@@ -61,7 +62,7 @@ class Tracer {
            morsel_seen_.load(std::memory_order_relaxed);
   }
   uint64_t events_recorded() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return recorded_;
   }
   uint64_t every_n() const { return every_n_; }
@@ -83,14 +84,18 @@ class Tracer {
   const uint64_t every_n_;
   const size_t capacity_;
 
+  /// relaxed: per-stream sampling counters — each is an independent
+  /// statistic; the modulo decision needs no ordering with the ring.
   std::atomic<uint64_t> route_seen_{0};
   std::atomic<uint64_t> service_seen_{0};
   std::atomic<uint64_t> morsel_seen_{0};
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  ///< ring once size reaches capacity_
-  size_t next_ = 0;               ///< overwrite cursor when full
-  uint64_t recorded_ = 0;
+  mutable Mutex mu_;
+  /// Ring once size reaches capacity_.
+  std::vector<TraceEvent> ring_ STEMS_GUARDED_BY(mu_);
+  /// Overwrite cursor when full.
+  size_t next_ STEMS_GUARDED_BY(mu_) = 0;
+  uint64_t recorded_ STEMS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace stems::obs

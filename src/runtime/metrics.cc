@@ -5,7 +5,7 @@
 namespace stems {
 
 void CounterSeries::Increment(SimTime now, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   total_ += delta;
   if (!points_.empty() && points_.back().first == now) {
     points_.back().second = total_;
@@ -15,17 +15,17 @@ void CounterSeries::Increment(SimTime now, int64_t delta) {
 }
 
 int64_t CounterSeries::total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_;
 }
 
 std::vector<std::pair<SimTime, int64_t>> CounterSeries::points() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return points_;
 }
 
 int64_t CounterSeries::ValueAt(SimTime t) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Last point with time <= t.
   auto it = std::upper_bound(
       points_.begin(), points_.end(), t,
@@ -50,7 +50,7 @@ std::vector<int64_t> CounterSeries::Sample(SimTime horizon,
 }
 
 SimTime CounterSeries::TimeToReach(int64_t value) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [t, v] : points_) {
     if (v >= value) return t;
   }
@@ -59,7 +59,7 @@ SimTime CounterSeries::TimeToReach(int64_t value) const {
 
 const CounterSeries& MetricsRecorder::Series(const std::string& name) const {
   static const CounterSeries kEmpty;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = series_.find(name);
   return it == series_.end() ? kEmpty : it->second;
 }

@@ -15,10 +15,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "sim/clock.h"
 
 namespace stems {
@@ -31,15 +31,24 @@ class CounterSeries {
   /// Copies take a consistent snapshot of the source (benches copy series
   /// out of a recorder to keep plotting after the query is gone).
   CounterSeries(const CounterSeries& other) {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(&other.mu_);
     points_ = other.points_;
     total_ = other.total_;
   }
   CounterSeries& operator=(const CounterSeries& other) {
     if (this == &other) return *this;
-    std::scoped_lock lock(mu_, other.mu_);
-    points_ = other.points_;
-    total_ = other.total_;
+    // Snapshot the source, then assign under our own lock: never holds
+    // both mutexes at once, so no lock-order cycle between two series.
+    std::vector<std::pair<SimTime, int64_t>> points;
+    int64_t total;
+    {
+      MutexLock lock(&other.mu_);
+      points = other.points_;
+      total = other.total_;
+    }
+    MutexLock lock(&mu_);
+    points_ = std::move(points);
+    total_ = total;
     return *this;
   }
 
@@ -62,9 +71,9 @@ class CounterSeries {
   SimTime TimeToReach(int64_t value) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<SimTime, int64_t>> points_;
-  int64_t total_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::pair<SimTime, int64_t>> points_ STEMS_GUARDED_BY(mu_);
+  int64_t total_ STEMS_GUARDED_BY(mu_) = 0;
 };
 
 /// Named counter series.
@@ -79,19 +88,19 @@ class MetricsRecorder {
   /// (std::map nodes are pointer-stable across later insertions, and the
   /// map itself is guarded by mu_ — handles stay valid and race-free.)
   CounterSeries* SeriesHandle(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return &series_[name];
   }
 
   const CounterSeries& Series(const std::string& name) const;
   bool Has(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return series_.count(name) > 0;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, CounterSeries> series_;
+  mutable Mutex mu_;
+  std::map<std::string, CounterSeries> series_ STEMS_GUARDED_BY(mu_);
 };
 
 }  // namespace stems

@@ -85,18 +85,25 @@ struct Server::Session {
   /// output, so the session closes instead of waiting for a flush.
   bool write_dead = false;
   /// A decoded frame the bounded request queue had no room for; retried
-  /// before any further parsing (frames must stay ordered). The flag is
-  /// written by the network thread; the engine thread reads it in
-  /// Drained() (a parked frame is still pending work).
+  /// before any further parsing (frames must stay ordered). The payload is
+  /// read and written only by the network thread; the flag alone crosses
+  /// threads (the engine thread reads it in Drained(), where a parked
+  /// frame is still pending work).
   Request stalled_request;
+  /// relaxed-ok: flag-only cross-thread read; the engine thread never
+  /// touches stalled_request itself, so no ordering is required (seq_cst
+  /// default kept for simplicity).
   std::atomic<bool> has_stalled{false};
 
   // --- shared output path ---------------------------------------------------
-  std::mutex out_mu;
-  std::string out_buffer;
-  size_t out_offset = 0;
-  bool close_after_flush = false;
+  Mutex out_mu;
+  std::string out_buffer STEMS_GUARDED_BY(out_mu);
+  size_t out_offset STEMS_GUARDED_BY(out_mu) = 0;
+  bool close_after_flush STEMS_GUARDED_BY(out_mu) = false;
 
+  /// sync: close/cleanup handshake bits between the net and engine
+  /// threads; exchange() makes each transition exactly-once, and the
+  /// seq_cst default orders them against the surrounding socket state.
   std::atomic<bool> fd_closed{false};
   std::atomic<bool> engine_cleared{false};
   std::atomic<bool> disconnect_queued{false};
@@ -115,31 +122,37 @@ struct Server::Session {
 
 bool Server::RequestQueue::TryPush(Request&& request) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Full: return before touching `request`, so the caller still holds
     // the intact frame and can retry it later.
     if (queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(request));
     high_water_ = std::max(high_water_, queue_.size());
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 void Server::RequestQueue::PushControl(Request request) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(request));
     high_water_ = std::max(high_water_, queue_.size());
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool Server::RequestQueue::PopWithTimeout(Request* request,
                                           std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty(); })) {
-    return false;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(&mu_);
+  // Explicit predicate loop (not a wait lambda): the guarded queue_ reads
+  // stay in this function, where the analysis sees the lock held.
+  while (queue_.empty()) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
+        queue_.empty()) {
+      return false;
+    }
   }
   *request = std::move(queue_.front());
   queue_.pop_front();
@@ -147,16 +160,16 @@ bool Server::RequestQueue::PopWithTimeout(Request* request,
 }
 
 size_t Server::RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 size_t Server::RequestQueue::high_water() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return high_water_;
 }
 
-void Server::RequestQueue::WakeAll() { cv_.notify_all(); }
+void Server::RequestQueue::WakeAll() { cv_.NotifyAll(); }
 
 // --- lifecycle ---------------------------------------------------------------
 
@@ -241,14 +254,14 @@ void Server::Shutdown() {
   if (wake_pipe_[1] >= 0) close(wake_pipe_[1]);
   wake_pipe_[0] = wake_pipe_[1] = -1;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     sessions_.clear();
   }
   started_ = false;
 }
 
 size_t Server::active_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   size_t n = 0;
   for (const auto& [id, session] : sessions_) {
     if (!session->fd_closed) ++n;
@@ -258,7 +271,7 @@ size_t Server::active_sessions() const {
 
 std::shared_ptr<Server::Session> Server::FindSession(
     uint64_t session_id) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   auto it = sessions_.find(session_id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -281,7 +294,7 @@ void Server::AcceptNewSession() {
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto session = std::make_shared<Session>();
     session->fd = fd;
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     if (sessions_.size() >= options_.max_sessions) {
       close(fd);
       return;
@@ -310,7 +323,7 @@ Server::ReadOutcome Server::ReadFromSession(
 }
 
 void Server::FlushSession(const std::shared_ptr<Session>& session) {
-  std::lock_guard<std::mutex> lock(session->out_mu);
+  MutexLock lock(&session->out_mu);
   while (session->out_offset < session->out_buffer.size()) {
     const ssize_t n =
         send(session->fd, session->out_buffer.data() + session->out_offset,
@@ -351,7 +364,7 @@ void Server::NetThreadMain() {
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     bool accepting = false;
     {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
+      MutexLock lock(&sessions_mu_);
       accepting = !shutdown_requested_ &&
                   sessions_.size() < options_.max_sessions;
     }
@@ -359,7 +372,7 @@ void Server::NetThreadMain() {
     if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
 
     {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
+      MutexLock lock(&sessions_mu_);
       for (auto it = sessions_.begin(); it != sessions_.end();) {
         const std::shared_ptr<Session>& session = it->second;
         if (session->fd_closed) {
@@ -375,7 +388,7 @@ void Server::NetThreadMain() {
         short events = 0;
         if (!session->reading_paused && !session->eof_seen) events |= POLLIN;
         {
-          std::lock_guard<std::mutex> out_lock(session->out_mu);
+          MutexLock out_lock(&session->out_mu);
           if (session->out_offset < session->out_buffer.size()) {
             events |= POLLOUT;
           }
@@ -438,7 +451,7 @@ void Server::NetThreadMain() {
       bool flushed = false;
       bool closing = false;
       {
-        std::lock_guard<std::mutex> out_lock(session->out_mu);
+        MutexLock out_lock(&session->out_mu);
         flushed = session->out_offset == session->out_buffer.size();
         closing = session->close_after_flush;
       }
@@ -447,7 +460,7 @@ void Server::NetThreadMain() {
   }
 
   // Shutdown: one best-effort flush, then close everything.
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   for (auto& [id, session] : sessions_) {
     if (session->fd_closed) continue;
     FlushSession(session);
@@ -536,7 +549,7 @@ void Server::EngineThreadMain() {
 
 bool Server::Drained() const {
   if (queue_.size() != 0) return false;
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   for (const auto& [id, session] : sessions_) {
     // A frame parked under backpressure is pending work the queue cannot
     // see; the network thread re-offers it next tick, so keep draining.
@@ -555,7 +568,7 @@ bool Server::Drained() const {
 void Server::CancelAllQueries() {
   std::vector<std::shared_ptr<Session>> all;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     for (auto& [id, session] : sessions_) all.push_back(session);
   }
   for (auto& session : all) {
@@ -580,7 +593,7 @@ void Server::ProcessRequest(const Request& request) {
       CleanupSessionState(session);
       session->state = Session::State::kClosing;
       {
-        std::lock_guard<std::mutex> lock(session->out_mu);
+        MutexLock lock(&session->out_mu);
         session->close_after_flush = true;
       }
       WakeNet();
@@ -645,7 +658,7 @@ void Server::ProcessFrame(const std::shared_ptr<Session>& session,
       session->state = Session::State::kClosing;
       SendFrame(session, wire::EncodeCloseOk());
       {
-        std::lock_guard<std::mutex> lock(session->out_mu);
+        MutexLock lock(&session->out_mu);
         session->close_after_flush = true;
       }
       WakeNet();
@@ -1084,7 +1097,7 @@ void Server::MaybeLogSlowQuery(const QueryRec& rec) {
 void Server::SweepCompletions() {
   std::vector<std::shared_ptr<Session>> all;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     for (auto& [id, session] : sessions_) all.push_back(session);
   }
   for (auto& session : all) {
@@ -1181,7 +1194,7 @@ void Server::SendRows(const std::shared_ptr<Session>& session,
 void Server::SendFrame(const std::shared_ptr<Session>& session,
                        std::string frame) {
   {
-    std::lock_guard<std::mutex> lock(session->out_mu);
+    MutexLock lock(&session->out_mu);
     if (session->fd_closed) return;  // client already gone; drop quietly
     session->out_buffer.append(frame);
   }
@@ -1200,7 +1213,7 @@ void Server::SendErrorAndClose(const std::shared_ptr<Session>& session,
   CleanupSessionState(session);
   session->state = Session::State::kClosing;
   {
-    std::lock_guard<std::mutex> lock(session->out_mu);
+    MutexLock lock(&session->out_mu);
     session->close_after_flush = true;
   }
   WakeNet();

@@ -30,18 +30,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/engine.h"
 #include "server/tenant_governor.h"
 #include "server/wire.h"
@@ -157,11 +156,11 @@ class Server {
     void WakeAll();
 
    private:
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<Request> queue_;
+    mutable Mutex mu_;
+    CondVar cv_;
+    std::deque<Request> queue_ STEMS_GUARDED_BY(mu_);
     size_t capacity_;
-    size_t high_water_ = 0;
+    size_t high_water_ STEMS_GUARDED_BY(mu_) = 0;
   };
 
   // --- network thread --------------------------------------------------------
@@ -245,20 +244,32 @@ class Server {
   TenantGovernor governor_;
   RequestQueue queue_;
 
+  /// sync: lifecycle flags crossing the owner / net / engine threads;
+  /// the default seq_cst accesses give each flag flip a single global
+  /// order, and thread start/join bracket the non-atomic state around it.
   std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> stop_net_{false};
   std::atomic<bool> engine_thread_done_{false};
+  /// relaxed: monotone wakeup counter, observability only.
   std::atomic<uint64_t> engine_ticks_{0};
+  /// sync: written by Shutdown() strictly before the shutdown_requested_
+  /// store; the engine thread reads it only after observing that flag, so
+  /// the seq_cst flag publishes this plain field.
   std::chrono::steady_clock::time_point shutdown_deadline_{};
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   uint16_t port_ = 0;
 
-  mutable std::mutex sessions_mu_;
-  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
-  uint64_t next_session_id_ = 1;
+  mutable Mutex sessions_mu_;
+  /// The session map is shared between the net thread (accept/poll/erase)
+  /// and the engine thread (FindSession); Session field ownership is
+  /// documented on the struct itself (server.cc).
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_
+      STEMS_GUARDED_BY(sessions_mu_);
+  uint64_t next_session_id_ STEMS_GUARDED_BY(sessions_mu_) = 1;
+  /// Engine-thread-owned (only HandleSubmit touches it); not guarded.
   uint64_t next_query_id_ = 1;
 
   /// Deferred submits per tenant, admission order: (session id, query id).

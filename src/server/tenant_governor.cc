@@ -36,7 +36,7 @@ Status TenantGovernor::RegisterTenant(const std::string& name,
     return Status::InvalidArgument("tenant '" + name +
                                    "': max_concurrent_queries must be >= 1");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tenants_.count(name) != 0) {
     return Status::AlreadyExists("tenant '" + name + "' already registered");
   }
@@ -46,12 +46,12 @@ Status TenantGovernor::RegisterTenant(const std::string& name,
 }
 
 bool TenantGovernor::HasTenant(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tenants_.count(name) != 0;
 }
 
 std::vector<std::string> TenantGovernor::TenantNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tenant_order_;
 }
 
@@ -101,7 +101,7 @@ AdmissionOutcome TenantGovernor::CheckCapacity(TenantState* state,
 
 AdmissionDecision TenantGovernor::OnSubmit(const std::string& tenant,
                                            size_t memory_entries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   AdmissionDecision decision;
   if (it == tenants_.end()) {
@@ -169,7 +169,7 @@ void TenantGovernor::SettleQueuedTime(TenantState* state) {
 
 bool TenantGovernor::TryAdmitQueued(const std::string& tenant,
                                     size_t memory_entries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return false;
   TenantState& state = it->second;
@@ -193,7 +193,7 @@ bool TenantGovernor::TryAdmitQueued(const std::string& tenant,
 }
 
 void TenantGovernor::DropQueued(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   TenantRollup& rollup = it->second.rollup;
@@ -208,7 +208,7 @@ void TenantGovernor::OnQueryFinished(const std::string& tenant,
                                      size_t memory_entries,
                                      const QueryStats& stats,
                                      const Status& error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   TenantState& state = it->second;
@@ -235,7 +235,7 @@ void TenantGovernor::OnQueryFinished(const std::string& tenant,
 void TenantGovernor::OnSpillProgress(const std::string& tenant,
                                      uint64_t spill_io_delta) {
   if (spill_io_delta == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   TenantState& state = it->second;
@@ -244,14 +244,14 @@ void TenantGovernor::OnSpillProgress(const std::string& tenant,
 }
 
 TenantRollup TenantGovernor::Rollup(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? TenantRollup{} : it->second.rollup;
 }
 
 size_t TenantGovernor::MemoryCharge(const std::string& tenant,
                                     size_t declared_entries) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return 0;
   return declared_entries > 0 ? declared_entries

@@ -30,12 +30,12 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/engine.h"
 
 namespace stems::server {
@@ -166,19 +166,21 @@ class TenantGovernor {
   };
 
   /// Pops the oldest enqueue timestamp and adds its elapsed wait to
-  /// rollup.queued_time_ms. Caller holds mu_.
-  void SettleQueuedTime(TenantState* state);
+  /// rollup.queued_time_ms.
+  void SettleQueuedTime(TenantState* state) STEMS_REQUIRES(mu_);
   /// Rolls the window forward and returns the I/Os consumed in the
-  /// current window. Caller holds mu_.
-  uint64_t WindowSpillIos(TenantState* state, Clock::time_point now) const;
-  /// Capacity check shared by OnSubmit and TryAdmitQueued. Caller holds
-  /// mu_. Returns kAdmit/kQueue (never kReject) with retry hints set.
+  /// current window.
+  uint64_t WindowSpillIos(TenantState* state, Clock::time_point now) const
+      STEMS_REQUIRES(mu_);
+  /// Capacity check shared by OnSubmit and TryAdmitQueued. Returns
+  /// kAdmit/kQueue (never kReject) with retry hints set.
   AdmissionOutcome CheckCapacity(TenantState* state, size_t memory_entries,
-                                 uint32_t* retry_after_ms);
+                                 uint32_t* retry_after_ms)
+      STEMS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, TenantState> tenants_;
-  std::vector<std::string> tenant_order_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, TenantState> tenants_ STEMS_GUARDED_BY(mu_);
+  std::vector<std::string> tenant_order_ STEMS_GUARDED_BY(mu_);
 };
 
 }  // namespace stems::server

@@ -1,0 +1,42 @@
+// Positive control for the negative-compilation suite: the same shapes as
+// the failing probes, written correctly, must compile cleanly under
+// -Wthread-safety -Werror. Guards against the suite "passing" because the
+// probe files fail for an unrelated reason (bad include path, syntax).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  int Read() {
+    stems::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  void Deposit() {
+    stems::MutexLock lock(&mu_);
+    ApplyLocked(1);
+  }
+
+  void WaitNonZero() {
+    stems::MutexLock lock(&mu_);
+    while (balance_ == 0) {
+      cv_.Wait(mu_);
+    }
+  }
+
+ private:
+  void ApplyLocked(int delta) STEMS_REQUIRES(mu_) { balance_ += delta; }
+
+  stems::Mutex mu_;
+  stems::CondVar cv_;
+  int balance_ STEMS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit();
+  return a.Read();
+}

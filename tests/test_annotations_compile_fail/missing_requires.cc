@@ -1,0 +1,27 @@
+// Negative-compilation probe: calling a STEMS_REQUIRES(mu) helper without
+// holding the mutex must be rejected by -Wthread-safety -Werror.
+//
+// Compiled by run.cmake under clang only; the build expects FAILURE.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Ledger {
+ public:
+  // BAD: the REQUIRES contract is not satisfied at this call site.
+  void Deposit() { ApplyLocked(1); }
+
+ private:
+  void ApplyLocked(int delta) STEMS_REQUIRES(mu_) { balance_ += delta; }
+
+  stems::Mutex mu_;
+  int balance_ STEMS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger l;
+  l.Deposit();
+  return 0;
+}

@@ -1,0 +1,50 @@
+# Negative-compilation suite for the thread-safety annotations
+# (docs/static_analysis.md). Registered as ctest `test_annotations_compile_fail`
+# when the toolchain is clang; GCC builds skip it (the annotations expand to
+# nothing there, so nothing could fail).
+#
+# Proves two rejections and one acceptance:
+#   unguarded_access.cc   must NOT compile (guarded field, lock not held)
+#   missing_requires.cc   must NOT compile (REQUIRES callee, lock not held)
+#   guarded_ok.cc         MUST compile (correct locking, incl. CondVar::Wait)
+#
+# Invoked as:
+#   cmake -DCOMPILER=<clang++> -DSRC_DIR=<repo root> -P run.cmake
+
+set(FLAGS -std=c++20 -fsyntax-only -Wthread-safety -Werror -I${SRC_DIR}/src)
+set(SUITE_DIR ${SRC_DIR}/tests/test_annotations_compile_fail)
+set(failures 0)
+
+function(expect_compile src should_succeed)
+  execute_process(
+    COMMAND ${COMPILER} ${FLAGS} ${SUITE_DIR}/${src}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(should_succeed AND NOT rc EQUAL 0)
+    message(SEND_ERROR
+      "${src}: expected clean compile but got rc=${rc}:\n${err}")
+    math(EXPR failures "${failures}+1")
+  elseif(NOT should_succeed AND rc EQUAL 0)
+    message(SEND_ERROR
+      "${src}: expected a thread-safety error but it COMPILED — "
+      "the annotation wall has a hole")
+    math(EXPR failures "${failures}+1")
+  elseif(NOT should_succeed AND NOT err MATCHES "thread-safety|thread safety")
+    message(SEND_ERROR
+      "${src}: failed to compile, but not with a thread-safety "
+      "diagnostic:\n${err}")
+    math(EXPR failures "${failures}+1")
+  else()
+    message(STATUS "${src}: OK")
+  endif()
+  set(failures ${failures} PARENT_SCOPE)
+endfunction()
+
+expect_compile(guarded_ok.cc TRUE)
+expect_compile(unguarded_access.cc FALSE)
+expect_compile(missing_requires.cc FALSE)
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} probe(s) failed")
+endif()

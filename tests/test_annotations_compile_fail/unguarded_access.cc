@@ -1,0 +1,25 @@
+// Negative-compilation probe: reading a STEMS_GUARDED_BY field without
+// holding its mutex must be rejected by -Wthread-safety -Werror.
+//
+// Compiled by run.cmake under clang only; the build expects FAILURE.
+// If this file ever compiles, the annotation wall has a hole.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BAD: touches balance_ with mu_ not held.
+  int Read() { return balance_; }
+
+ private:
+  stems::Mutex mu_;
+  int balance_ STEMS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  return a.Read();
+}

@@ -6,11 +6,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/engine.h"
 #include "obs/metrics_registry.h"
 #include "obs/profile.h"
@@ -504,12 +504,12 @@ TEST_F(ObsServerTest, MetricsFrameServesExpositionEndToEnd) {
 }
 
 TEST_F(ObsServerTest, SlowQueryLogFiresAboveThreshold) {
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::string> lines;
   server::ServerOptions options;
   options.slow_query_ms = 1;
   options.slow_query_log = [&](const std::string& line) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     lines.push_back(line);
   };
   // Pin a floor under the query's wall time (the hook runs on the engine
@@ -526,7 +526,7 @@ TEST_F(ObsServerTest, SlowQueryLogFiresAboveThreshold) {
   EXPECT_TRUE(client.Close().ok());
   srv.Shutdown();
 
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(&mu);
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_NE(lines[0].find("slow query: tenant=tenant_a"), std::string::npos)
       << lines[0];

@@ -36,6 +36,17 @@ conventions:
                    memory ordering is sufficient. Undocumented atomics
                    are where the next data race hides.
 
+  schedulable-atomic
+                   Atomic members in the concurrent subsystems (src/exec/
+                   and src/server/) must be stems::Atomic<T>, not raw
+                   std::atomic<T>, so the schedule-exploration harness
+                   (src/check/) sees the access as a preemption point.
+                   A raw atomic there is invisible to the model checker:
+                   every interleaving around it goes untested. Atomics
+                   that are genuinely outside any sync protocol (pure
+                   statistics read by nobody the checker cares about)
+                   carry an allow(schedulable-atomic) suppression.
+
 Suppression (sparingly): a line, or the line above it, may carry
 `// invariant: allow(<rule>) -- <reason>`. The reason is mandatory.
 
@@ -173,6 +184,18 @@ def check_file(rel, lines, errors):
                     f"{rel}:{lineno}: [atomic-doc] std::atomic member "
                     f"without a nearby `relaxed:` or `sync:` comment "
                     f"explaining why its ordering suffices")
+
+        # schedulable-atomic --------------------------------------------
+        if (rel.startswith(("src/exec/", "src/server/"))
+                and ATOMIC_MEMBER_RE.search(line)
+                and not ATOMIC_POINTER_RE.search(line)
+                and not allowed(lines, i, "schedulable-atomic")):
+            errors.append(
+                f"{rel}:{lineno}: [schedulable-atomic] raw std::atomic "
+                f"member in a schedule-explored subsystem; use "
+                f"stems::Atomic<T> ({ANNOTATIONS_HEADER}) so the model "
+                f"checker treats it as a preemption point, or add "
+                f"`// invariant: allow(schedulable-atomic) -- <reason>`")
 
 
 def check_nodiscard(errors):

@@ -1,0 +1,300 @@
+#include "check/explorer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+namespace stems::check {
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+size_t RandomSource::Pick(const std::vector<std::string>& choices) {
+  std::uniform_int_distribution<size_t> dist(0, choices.size() - 1);
+  return dist(rng_);
+}
+
+PctSource::PctSource(uint64_t seed, size_t num_threads, size_t depth,
+                     size_t max_steps)
+    : rng_(seed) {
+  priority_.resize(num_threads);
+  // Distinct random priorities well above the demotion range.
+  std::vector<uint64_t> perm(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), rng_);
+  for (size_t i = 0; i < num_threads; ++i) {
+    priority_[i] = max_steps + 1 + perm[i];
+  }
+  next_low_ = max_steps;  // demotions hand out max_steps, max_steps-1, ...
+  // d-1 change points, sampled uniformly over the step budget.
+  if (depth > 1 && max_steps > 0) {
+    std::uniform_int_distribution<size_t> dist(1, max_steps);
+    for (size_t k = 0; k + 1 < depth; ++k) change_points_.insert(dist(rng_));
+  }
+}
+
+size_t PctSource::Pick(const std::vector<std::string>& choices) {
+  ++step_;
+  // Partition the choices: thread steps (r<i>) vs wake injections (s/t).
+  size_t best = choices.size();
+  uint64_t best_prio = 0;
+  for (size_t c = 0; c < choices.size(); ++c) {
+    if (choices[c][0] != 'r') continue;
+    const size_t tid =
+        static_cast<size_t>(std::atoi(choices[c].c_str() + 1));
+    const uint64_t prio = tid < priority_.size() ? priority_[tid] : 0;
+    if (best == choices.size() || prio > best_prio) {
+      best = c;
+      best_prio = prio;
+    }
+  }
+  if (best == choices.size()) {
+    // Only injections available: uniform.
+    std::uniform_int_distribution<size_t> dist(0, choices.size() - 1);
+    return dist(rng_);
+  }
+  if (change_points_.count(step_) > 0) {
+    // Demote the would-be leader below everyone demoted before it, then
+    // re-pick by falling through to a fresh scan.
+    const size_t tid = static_cast<size_t>(std::atoi(choices[best].c_str() + 1));
+    if (tid < priority_.size() && next_low_ > 0) {
+      priority_[tid] = next_low_--;
+    }
+    best_prio = 0;
+    best = choices.size();
+    for (size_t c = 0; c < choices.size(); ++c) {
+      if (choices[c][0] != 'r') continue;
+      const size_t t2 = static_cast<size_t>(std::atoi(choices[c].c_str() + 1));
+      const uint64_t prio = t2 < priority_.size() ? priority_[t2] : 0;
+      if (best == choices.size() || prio > best_prio) {
+        best = c;
+        best_prio = prio;
+      }
+    }
+  }
+  return best;
+}
+
+size_t DfsSource::Pick(const std::vector<std::string>& choices) {
+  if (depth_ < frames_.size()) {
+    const Frame& f = frames_[depth_];
+    ++depth_;
+    // A deterministic body re-presents the same choices along the same
+    // prefix; if not, decline and let the scheduler report divergence.
+    if (f.chosen >= choices.size()) return choices.size();
+    return f.chosen;
+  }
+  if (frames_.size() >= max_depth_) {
+    ++pruned_;  // branch truncated: below this depth only choice 0 is taken
+    ++depth_;
+    return 0;
+  }
+  frames_.push_back(Frame{0, choices.size()});
+  ++depth_;
+  return 0;
+}
+
+bool DfsSource::Advance() {
+  depth_ = 0;
+  while (!frames_.empty()) {
+    if (frames_.back().chosen + 1 < frames_.back().num_choices) {
+      ++frames_.back().chosen;
+      return true;
+    }
+    frames_.pop_back();
+  }
+  return false;
+}
+
+size_t ReplaySource::Pick(const std::vector<std::string>& choices) {
+  if (pos_ >= tokens_.size()) return choices.size();  // trace exhausted
+  const std::string& want = tokens_[pos_];
+  for (size_t c = 0; c < choices.size(); ++c) {
+    if (choices[c] == want) {
+      ++pos_;
+      return c;
+    }
+  }
+  return choices.size();  // divergence
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+std::string Explorer::RunOne(const TestFactory& factory,
+                             DecisionSource* source, std::string* trace) {
+  TestCase tc = factory();
+  Scheduler::Options sopts;
+  sopts.max_steps = opts_.max_steps;
+  sopts.spurious_budget = opts_.spurious_budget;
+  Scheduler sched(sopts);
+  ScheduleResult r = sched.Run(std::move(tc.threads), source);
+  *trace = r.trace;
+  if (!r.completed) return r.failure;
+  if (tc.check) {
+    std::string inv = tc.check();
+    if (!inv.empty()) return "invariant violated: " + inv;
+  }
+  return "";
+}
+
+Explorer::Result Explorer::Replay(const std::string& name,
+                                  const TestFactory& factory,
+                                  const std::string& trace) {
+  Result result;
+  std::vector<std::string> tokens;
+  if (!Scheduler::DecodeTrace(trace, &tokens)) {
+    result.ok = false;
+    result.failure = "malformed trace: " + trace;
+    return result;
+  }
+  ReplaySource source(std::move(tokens));
+  std::string taken;
+  const std::string failure = RunOne(factory, &source, &taken);
+  result.schedules = 1;
+  if (!failure.empty()) {
+    result.ok = false;
+    result.failure = failure;
+    result.failing_trace = taken;
+    std::fprintf(stderr, "[check] %s: replay FAILED (%s)\n  trace: %s\n",
+                 name.c_str(), failure.c_str(), taken.c_str());
+  } else {
+    std::fprintf(stderr, "[check] %s: replay passed (%zu steps)\n",
+                 name.c_str(), taken.size());
+  }
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->GetCounter("check.schedules_explored")->Add(1);
+  }
+  return result;
+}
+
+Explorer::Result Explorer::Explore(const std::string& name,
+                                   const TestFactory& factory) {
+  if (const char* env = std::getenv("STEMS_SCHEDULE")) {
+    return Replay(name, factory, env);
+  }
+  size_t random_schedules = opts_.random_schedules;
+  if (const char* env = std::getenv("STEMS_EXPLORE_SCHEDULES")) {
+    random_schedules = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+
+  Result result;
+  size_t random_run = 0, pct_run = 0, dfs_run = 0;
+  std::set<size_t> seen_traces;  // duplicate-schedule hashes count as pruned
+  const std::hash<std::string> hasher;
+
+  auto run_and_note = [&](DecisionSource* source,
+                          const char* strategy) -> bool {
+    std::string trace;
+    const std::string failure = RunOne(factory, source, &trace);
+    ++result.schedules;
+    if (!seen_traces.insert(hasher(trace)).second) ++result.pruned;
+    if (!failure.empty()) {
+      result.ok = false;
+      result.failure = "[" + std::string(strategy) + "] " + failure;
+      result.failing_trace = trace;
+      return false;
+    }
+    return true;
+  };
+
+  bool keep_going = true;
+  for (size_t i = 0; keep_going && i < random_schedules; ++i) {
+    RandomSource source(opts_.seed + i);
+    keep_going = run_and_note(&source, "random");
+    if (keep_going) ++random_run;
+  }
+  for (size_t i = 0; keep_going && i < opts_.pct_schedules; ++i) {
+    // Thread count is only known after the factory runs; probe one case.
+    const size_t num_threads = factory().threads.size();
+    PctSource source(opts_.seed * 7919 + i, num_threads, opts_.pct_depth,
+                     opts_.max_steps);
+    keep_going = run_and_note(&source, "pct");
+    if (keep_going) ++pct_run;
+  }
+  if (keep_going && opts_.dfs_max_schedules > 0) {
+    DfsSource dfs(opts_.dfs_max_depth);
+    for (size_t i = 0; keep_going && i < opts_.dfs_max_schedules; ++i) {
+      keep_going = run_and_note(&dfs, "dfs");
+      if (keep_going) {
+        ++dfs_run;
+        if (!dfs.Advance()) break;  // tree exhausted: full coverage
+      }
+    }
+    if (keep_going && dfs_run == opts_.dfs_max_schedules) {
+      ++result.pruned;  // enumeration stopped at the schedule cap
+    }
+    result.pruned += dfs.pruned();
+  }
+
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->GetCounter("check.schedules_explored")
+        ->Add(result.schedules);
+    opts_.metrics->GetCounter("check.states_pruned")->Add(result.pruned);
+  }
+  if (result.ok) {
+    std::fprintf(stderr,
+                 "[check] %s: OK — %zu schedules (random=%zu pct=%zu "
+                 "dfs=%zu), pruned=%zu\n",
+                 name.c_str(), result.schedules, random_run, pct_run, dfs_run,
+                 result.pruned);
+  } else {
+    std::fprintf(stderr,
+                 "[check] %s: FAILED after %zu schedules: %s\n"
+                 "  failing trace: %s\n"
+                 "  replay: STEMS_SCHEDULE='%s' (re-run this test binary "
+                 "filtered to this harness)\n",
+                 name.c_str(), result.schedules, result.failure.c_str(),
+                 result.failing_trace.c_str(), result.failing_trace.c_str());
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+std::vector<CorpusEntry> LoadCorpus(const std::string& dir) {
+  std::vector<CorpusEntry> entries;
+  std::error_code ec;
+  std::vector<std::filesystem::path> files;
+  for (const auto& de : std::filesystem::directory_iterator(dir, ec)) {
+    if (de.path().extension() == ".trace") files.push_back(de.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    CorpusEntry entry;
+    entry.file = path.filename().string();
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      const std::string key = line.substr(0, colon);
+      std::string value = line.substr(colon + 1);
+      const size_t start = value.find_first_not_of(" \t");
+      value = start == std::string::npos ? "" : value.substr(start);
+      if (key == "target") {
+        entry.target = value;
+      } else if (key == "expect") {
+        entry.expect = value;
+      } else if (key == "trace") {
+        entry.trace = value;
+      }
+    }
+    if (entry.target.empty() || entry.trace.empty() ||
+        (entry.expect != "pass" && entry.expect != "fail")) {
+      entry.target = "__malformed__";
+    }
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+}  // namespace stems::check

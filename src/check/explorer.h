@@ -1,0 +1,177 @@
+// Schedule exploration on top of check::Scheduler: strategies, trace
+// replay, the regression corpus, and coverage metrics.
+//
+// A harness test supplies a TestFactory that builds a *fresh* test case
+// (shared state + thread bodies + invariant check) per schedule; the
+// Explorer runs it under many schedules and reports the first failing one
+// with its decision trace. Workflow on failure:
+//
+//   [check] stem_visibility: FAILED under trace v1:r0,r1,r1,...
+//   replay: STEMS_SCHEDULE='v1:r0,r1,r1,...' ./test_schedule_explore
+//           --gtest_filter=<the failing test>
+//
+// and once fixed, the trace goes into tests/schedule_corpus/ so the exact
+// interleaving is re-checked forever (see LoadCorpus / docs).
+//
+// Strategies (docs/static_analysis.md, "Dynamic exploration"):
+//   random  seeded uniform pick per decision — broad, cheap coverage
+//   pct     PCT (Burckhardt et al.): random thread priorities plus d-1
+//           priority-change points — finds depth-d ordering bugs with
+//           provable probability
+//   dfs     bounded-exhaustive depth-first enumeration — *all* schedules
+//           of small configs (2 threads, short bodies), the model-checking
+//           mode proper
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/scheduler.h"
+#include "obs/metrics_registry.h"
+
+namespace stems::check {
+
+/// One fresh instance of a harness scenario. `threads` run under the
+/// scheduler; after they all finish, `check` is called on the Run() caller's
+/// thread and returns a failure description ("" = invariant holds).
+struct TestCase {
+  std::vector<std::function<void()>> threads;
+  std::function<std::string()> check;
+};
+using TestFactory = std::function<TestCase()>;
+
+/// Seeded uniform random walk.
+class RandomSource : public DecisionSource {
+ public:
+  explicit RandomSource(uint64_t seed) : rng_(seed) {}
+  size_t Pick(const std::vector<std::string>& choices) override;
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// PCT: each thread gets a random priority; the highest-priority runnable
+/// thread always runs, except at d-1 pre-sampled change points where the
+/// running thread's priority drops to the bottom. Non-thread choices
+/// (spurious wakes, timeouts) are taken uniformly when no thread choice
+/// exists, and with small probability otherwise.
+class PctSource : public DecisionSource {
+ public:
+  PctSource(uint64_t seed, size_t num_threads, size_t depth,
+            size_t max_steps);
+  size_t Pick(const std::vector<std::string>& choices) override;
+
+ private:
+  std::mt19937_64 rng_;
+  std::vector<uint64_t> priority_;  // [thread] higher runs first
+  std::set<size_t> change_points_;  // steps where the leader is demoted
+  size_t step_ = 0;
+  uint64_t next_low_ = 0;  // descending counter: each demotion goes lower
+};
+
+/// Bounded-exhaustive DFS over the decision tree. One instance persists
+/// across schedules: Pick() replays the recorded prefix then extends it;
+/// Advance() moves to the next unexplored branch (false = tree exhausted).
+class DfsSource : public DecisionSource {
+ public:
+  /// Branches deeper than `max_depth` are not enumerated (the first choice
+  /// is taken); each such truncation counts as a pruned state.
+  explicit DfsSource(size_t max_depth) : max_depth_(max_depth) {}
+  size_t Pick(const std::vector<std::string>& choices) override;
+  bool Advance();
+  size_t pruned() const { return pruned_; }
+
+ private:
+  struct Frame {
+    size_t chosen;
+    size_t num_choices;
+  };
+  const size_t max_depth_;
+  std::vector<Frame> frames_;
+  size_t depth_ = 0;    // position within frames_ for the current schedule
+  size_t pruned_ = 0;   // branches abandoned at the depth cap
+};
+
+/// Replays a recorded trace verbatim; declines (returns >= choices.size())
+/// on divergence or when the trace runs out early.
+class ReplaySource : public DecisionSource {
+ public:
+  explicit ReplaySource(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+  size_t Pick(const std::vector<std::string>& choices) override;
+
+ private:
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Runs a harness scenario under all configured strategies.
+class Explorer {
+ public:
+  struct Options {
+    size_t random_schedules = 200;   // STEMS_EXPLORE_SCHEDULES overrides
+    size_t pct_schedules = 100;
+    size_t pct_depth = 3;
+    size_t dfs_max_schedules = 0;    // 0 = DFS disabled
+    size_t dfs_max_depth = 64;
+    size_t spurious_budget = 0;
+    size_t max_steps = 20000;
+    uint64_t seed = 1;
+    /// When set, check.schedules_explored / check.states_pruned are
+    /// published here (per-harness coverage in CI logs).
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  struct Result {
+    bool ok = true;
+    std::string failure;        // first failing schedule's description
+    std::string failing_trace;  // its decision trace (replayable)
+    size_t schedules = 0;       // schedules actually run
+    size_t pruned = 0;          // depth-cap truncations + duplicate traces
+  };
+
+  explicit Explorer(Options opts) : opts_(opts) {}
+
+  /// Explores `factory` under every configured strategy, stopping at the
+  /// first failure. Honors STEMS_SCHEDULE (replay that one trace instead)
+  /// and STEMS_EXPLORE_SCHEDULES (override random_schedules). Prints a
+  /// one-line per-harness summary and, on failure, the replay command.
+  Result Explore(const std::string& name, const TestFactory& factory);
+
+  /// Replays exactly one recorded schedule.
+  Result Replay(const std::string& name, const TestFactory& factory,
+                const std::string& trace);
+
+ private:
+  // Runs one schedule; returns "" or the failure description, and always
+  // reports the trace taken through *trace.
+  std::string RunOne(const TestFactory& factory, DecisionSource* source,
+                     std::string* trace);
+
+  Options opts_;
+};
+
+/// A checked-in regression schedule (tests/schedule_corpus/*.trace):
+///   target: <harness name>      — which TestFactory to drive
+///   expect: pass | fail         — fail = the trace must still trip the
+///                                 invariant on the *mutated* code path
+///   trace: v1:...               — the decision trace
+/// '#' lines are comments.
+struct CorpusEntry {
+  std::string file;
+  std::string target;
+  std::string expect;
+  std::string trace;
+};
+
+/// Loads every *.trace file under `dir` (sorted by name); malformed files
+/// are reported as entries with target "__malformed__" so tests fail
+/// loudly instead of silently skipping.
+std::vector<CorpusEntry> LoadCorpus(const std::string& dir);
+
+}  // namespace stems::check

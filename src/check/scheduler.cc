@@ -1,0 +1,398 @@
+#include "check/scheduler.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace stems::check {
+namespace {
+
+/// Index of the calling thread within its Scheduler; -1 on unmanaged
+/// threads (the hook is never installed there, so this is only read from
+/// managed ones).
+thread_local int t_self_index = -1;
+
+/// Thrown out of a hook point to unwind a managed thread when the schedule
+/// aborts (deadlock / livelock / divergence / another thread's exception).
+/// Only thrown from points that fire *before* an acquisition — Lock, TryLock,
+/// CondWait — so stack unwinding never double-releases a real mutex; the
+/// points that fire after a release (Unlock, Notify, Atomic) return silently
+/// instead, because they can run inside noexcept destructors.
+struct SchedulerAbort {};
+
+}  // namespace
+
+Scheduler::~Scheduler() {
+  {
+    // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+    std::lock_guard<std::mutex> lk(lock_);
+    abort_ = true;
+  }
+  turn_cv_.notify_all();
+  for (ThreadInfo& ti : threads_) {
+    if (ti.thread.joinable()) ti.thread.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread side
+// ---------------------------------------------------------------------------
+
+void Scheduler::ThreadMain(int index, std::function<void()> body) {
+  t_self_index = index;
+  ScopedHook hook(this);
+  {
+    // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+    std::unique_lock<std::mutex> lk(lock_);
+    threads_[index].state = ThreadState::kRunnable;
+    turn_cv_.notify_all();
+    turn_cv_.wait(lk, [&] { return active_ == index || abort_; });
+    if (abort_) {
+      threads_[index].state = ThreadState::kFinished;
+      active_ = kSchedulerTurn;
+      turn_cv_.notify_all();
+      return;
+    }
+  }
+  std::string err;
+  try {
+    body();
+  } catch (const SchedulerAbort&) {
+    // Unwound deliberately; the scheduler already recorded why.
+  } catch (const std::exception& e) {
+    err = std::string("uncaught exception: ") + e.what();
+  } catch (...) {
+    err = "uncaught non-std exception";
+  }
+  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+  std::unique_lock<std::mutex> lk(lock_);
+  threads_[index].state = ThreadState::kFinished;
+  if (!err.empty() && thread_failure_.empty()) {
+    thread_failure_ = "thread " + std::to_string(index) + ": " + err;
+  }
+  active_ = kSchedulerTurn;
+  turn_cv_.notify_all();
+}
+
+// invariant: allow(naked-mutex) -- scheduler-internal lock handle (models the hooked seam)
+void Scheduler::YieldLocked(std::unique_lock<std::mutex>& lk) {
+  const int self = SelfIndex();
+  active_ = kSchedulerTurn;
+  turn_cv_.notify_all();
+  turn_cv_.wait(lk, [&] { return active_ == self || abort_; });
+}
+
+int Scheduler::SelfIndex() const { return t_self_index; }
+
+// ---------------------------------------------------------------------------
+// Hook points (called from managed threads)
+// ---------------------------------------------------------------------------
+
+void Scheduler::MutexLockPoint(void* mu) {
+  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+  std::unique_lock<std::mutex> lk(lock_);
+  if (abort_) throw SchedulerAbort{};
+  ThreadInfo& ti = threads_[SelfIndex()];
+  ti.state = ThreadState::kBlockedMutex;
+  ti.wait_mu = mu;
+  YieldLocked(lk);  // the pick granted the modeled mutex (ApplyChoice)
+  if (abort_) throw SchedulerAbort{};
+}
+
+void Scheduler::MutexUnlockPoint(void* mu) {
+  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+  std::unique_lock<std::mutex> lk(lock_);
+  if (abort_) return;  // may run inside a noexcept destructor: never throw
+  mutex_owner_.erase(mu);
+  threads_[SelfIndex()].state = ThreadState::kRunnable;
+  YieldLocked(lk);
+}
+
+bool Scheduler::TryLockPoint(void* mu) {
+  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+  std::unique_lock<std::mutex> lk(lock_);
+  if (abort_) throw SchedulerAbort{};
+  const int self = SelfIndex();
+  // Yield *before* resolving: whether the try succeeds depends on where the
+  // other threads are, which is exactly what the strategy explores.
+  threads_[self].state = ThreadState::kRunnable;
+  YieldLocked(lk);
+  if (abort_) throw SchedulerAbort{};
+  if (!MutexFree(mu)) return false;
+  mutex_owner_[mu] = self;
+  return true;
+}
+
+bool Scheduler::CondWaitPoint(void* cv, void* mu, bool timed) {
+  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+  std::unique_lock<std::mutex> lk(lock_);
+  if (abort_) throw SchedulerAbort{};
+  ThreadInfo& ti = threads_[SelfIndex()];
+  mutex_owner_.erase(mu);  // the wrapper really released it before calling us
+  ti.state = ThreadState::kBlockedCond;
+  ti.wait_cv = cv;
+  ti.wait_mu = mu;
+  ti.timed_wait = timed;
+  ti.wake = WakeReason::kNone;
+  // Parked until (a) a notify / injected spurious wake / virtual timeout
+  // moves us to kBlockedMutex, then (b) a pick grants the modeled mutex.
+  YieldLocked(lk);
+  if (abort_) throw SchedulerAbort{};
+  const bool timed_out = (ti.wake == WakeReason::kTimeout);
+  ti.wake = WakeReason::kNone;
+  ti.wait_cv = nullptr;
+  ti.wait_mu = nullptr;
+  return timed_out;
+}
+
+void Scheduler::NotifyPoint(void* cv, bool notify_all) {
+  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+  std::unique_lock<std::mutex> lk(lock_);
+  if (abort_) return;  // notify can sit on teardown paths: never throw
+  // Deterministic wake order: ascending thread index.
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    ThreadInfo& ti = threads_[i];
+    if (ti.state == ThreadState::kBlockedCond && ti.wait_cv == cv) {
+      ti.wake = WakeReason::kNotify;
+      ti.state = ThreadState::kBlockedMutex;
+      ti.wait_cv = nullptr;
+      if (!notify_all) break;
+    }
+  }
+  threads_[SelfIndex()].state = ThreadState::kRunnable;
+  YieldLocked(lk);
+}
+
+void Scheduler::AtomicPoint(const void* /*addr*/) {
+  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+  std::unique_lock<std::mutex> lk(lock_);
+  if (abort_) return;  // stems::Atomic ops are noexcept: never throw
+  threads_[SelfIndex()].state = ThreadState::kRunnable;
+  YieldLocked(lk);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler side
+// ---------------------------------------------------------------------------
+
+bool Scheduler::MutexFree(void* mu) const {
+  return mutex_owner_.find(mu) == mutex_owner_.end();
+}
+
+std::vector<std::string> Scheduler::LegalChoices() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    const ThreadInfo& ti = threads_[i];
+    const bool runnable =
+        ti.state == ThreadState::kRunnable ||
+        (ti.state == ThreadState::kBlockedMutex && MutexFree(ti.wait_mu));
+    if (runnable) out.push_back("r" + std::to_string(i));
+  }
+  if (spurious_used_ < opts_.spurious_budget) {
+    for (size_t i = 0; i < threads_.size(); ++i) {
+      if (threads_[i].state == ThreadState::kBlockedCond) {
+        out.push_back("s" + std::to_string(i));
+      }
+    }
+  }
+  if (out.empty()) {
+    // Timeouts model "the wait expired because nothing else could run";
+    // offering them only here keeps the DFS space small and makes a
+    // deadlock report mean "even timeouts could not help".
+    for (size_t i = 0; i < threads_.size(); ++i) {
+      const ThreadInfo& ti = threads_[i];
+      if (ti.state == ThreadState::kBlockedCond && ti.timed_wait) {
+        out.push_back("t" + std::to_string(i));
+      }
+    }
+  }
+  return out;
+}
+
+bool Scheduler::ApplyChoice(const std::string& token) {
+  if (token.size() < 2) return false;
+  const char kind = token[0];
+  const int i = std::atoi(token.c_str() + 1);
+  if (i < 0 || static_cast<size_t>(i) >= threads_.size()) return false;
+  ThreadInfo& ti = threads_[static_cast<size_t>(i)];
+  switch (kind) {
+    case 'r':
+      if (ti.state == ThreadState::kBlockedMutex) {
+        if (!MutexFree(ti.wait_mu)) return false;
+        mutex_owner_[ti.wait_mu] = i;
+        ti.wait_mu = nullptr;
+        ti.state = ThreadState::kRunnable;
+      } else if (ti.state != ThreadState::kRunnable) {
+        return false;
+      }
+      active_ = i;
+      turn_cv_.notify_all();
+      return true;
+    case 's':
+      if (ti.state != ThreadState::kBlockedCond) return false;
+      if (spurious_used_ >= opts_.spurious_budget) return false;
+      ++spurious_used_;
+      ti.wake = WakeReason::kSpurious;
+      ti.state = ThreadState::kBlockedMutex;
+      ti.wait_cv = nullptr;
+      return true;  // no control transfer: the waiter still needs the mutex
+    case 't':
+      if (ti.state != ThreadState::kBlockedCond || !ti.timed_wait) return false;
+      ti.wake = WakeReason::kTimeout;
+      ti.state = ThreadState::kBlockedMutex;
+      ti.wait_cv = nullptr;
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Scheduler::WaitsForReport() const {
+  std::ostringstream os;
+  os << "waits-for:";
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    const ThreadInfo& ti = threads_[i];
+    if (ti.state == ThreadState::kFinished) continue;
+    os << "\n  thread " << i << ": ";
+    switch (ti.state) {
+      case ThreadState::kBlockedMutex: {
+        os << "blocked on mutex " << ti.wait_mu;
+        auto it = mutex_owner_.find(ti.wait_mu);
+        if (it != mutex_owner_.end()) os << " held by thread " << it->second;
+        break;
+      }
+      case ThreadState::kBlockedCond:
+        os << (ti.timed_wait ? "timed" : "untimed") << " wait on condvar "
+           << ti.wait_cv << " (reacquires mutex " << ti.wait_mu << ")";
+        break;
+      default:
+        os << "runnable (livelock)";
+        break;
+    }
+    // Held mutexes complete the cycle picture.
+    for (const auto& [mu, owner] : mutex_owner_) {
+      if (owner == static_cast<int>(i)) os << "; holds mutex " << mu;
+    }
+  }
+  return os.str();
+}
+
+ScheduleResult Scheduler::Run(std::vector<std::function<void()>> bodies,
+                              DecisionSource* source) {
+  ScheduleResult result;
+  threads_.resize(bodies.size());
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    threads_[i].thread = std::thread(&Scheduler::ThreadMain, this,
+                                     static_cast<int>(i), std::move(bodies[i]));
+  }
+  {
+    // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+    std::unique_lock<std::mutex> lk(lock_);
+    turn_cv_.wait(lk, [&] {
+      for (const ThreadInfo& ti : threads_) {
+        if (ti.state == ThreadState::kNotStarted) return false;
+      }
+      return true;
+    });
+
+    while (true) {
+      turn_cv_.wait(lk, [&] { return active_ == kSchedulerTurn; });
+      if (!thread_failure_.empty()) {
+        result.failure = thread_failure_;
+        break;
+      }
+      bool all_finished = true;
+      for (const ThreadInfo& ti : threads_) {
+        if (ti.state != ThreadState::kFinished) all_finished = false;
+      }
+      if (all_finished) {
+        result.completed = true;
+        break;
+      }
+      if (tokens_.size() >= opts_.max_steps) {
+        result.failure = "livelock: schedule exceeded " +
+                         std::to_string(opts_.max_steps) + " steps";
+        break;
+      }
+      const std::vector<std::string> choices = LegalChoices();
+      if (choices.empty()) {
+        result.failure = "deadlock: no runnable thread, no timeout to fire; " +
+                         WaitsForReport();
+        break;
+      }
+      const size_t pick = source->Pick(choices);
+      if (pick >= choices.size()) {
+        result.failure =
+            "replay divergence: decision source declined all of [" +
+            EncodeTrace(choices) + "] at step " +
+            std::to_string(tokens_.size());
+        break;
+      }
+      tokens_.push_back(choices[pick]);
+      if (!ApplyChoice(choices[pick])) {
+        result.failure = "internal: illegal choice " + choices[pick];
+        break;
+      }
+      // r<i> handed control to thread i; s/t only mutated waiter state, so
+      // the next loop iteration picks again immediately.
+    }
+
+    if (!result.completed) {
+      // Failure drain: wake everyone; parked threads unwind (or run free —
+      // every hook point is non-blocking once abort_ is set) and finish.
+      abort_ = true;
+      turn_cv_.notify_all();
+      turn_cv_.wait(lk, [&] {
+        for (const ThreadInfo& ti : threads_) {
+          if (ti.state != ThreadState::kFinished) return false;
+        }
+        return true;
+      });
+    }
+  }
+  for (ThreadInfo& ti : threads_) {
+    if (ti.thread.joinable()) ti.thread.join();
+  }
+  result.trace = EncodeTrace(tokens_);
+  result.steps = tokens_.size();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Trace format
+// ---------------------------------------------------------------------------
+
+std::string Scheduler::EncodeTrace(const std::vector<std::string>& tokens) {
+  std::string out = "v1:";
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ',';
+    out += tokens[i];
+  }
+  return out;
+}
+
+bool Scheduler::DecodeTrace(const std::string& trace,
+                            std::vector<std::string>* tokens) {
+  tokens->clear();
+  const std::string prefix = "v1:";
+  if (trace.rfind(prefix, 0) != 0) return false;
+  const std::string body = trace.substr(prefix.size());
+  if (body.empty()) return true;
+  size_t start = 0;
+  while (start <= body.size()) {
+    const size_t comma = body.find(',', start);
+    const std::string tok = body.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 's' && tok[0] != 't')) {
+      return false;
+    }
+    for (size_t i = 1; i < tok.size(); ++i) {
+      if (tok[i] < '0' || tok[i] > '9') return false;
+    }
+    tokens->push_back(tok);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+}  // namespace stems::check

@@ -1,0 +1,177 @@
+// Model-checking scheduler: runs N real threads one-runnable-at-a-time and
+// explores their interleavings systematically (CHESS / loom style).
+//
+// How it composes with the engine: every stems::Mutex / CondVar /
+// stems::Atomic operation consults the thread-local sched::Hook
+// (src/common/thread_annotations.h). The Scheduler installs itself as that
+// hook on each thread it spawns, models the mutex/condvar state itself, and
+// blocks every thread at each synchronization point until the active
+// exploration strategy picks it. Because the model grants a mutex only when
+// it is free, the *real* lock that follows a granted MutexLockPoint never
+// contends — real sync primitives degenerate to uncontended no-ops and the
+// schedule alone decides every ordering.
+//
+// Each decision is recorded as a token; the concatenated trace replays a
+// schedule exactly (Scheduler in replay mode, STEMS_SCHEDULE=<trace> at the
+// harness level). Decision tokens:
+//   r<i>  run thread i for one step (until its next sync point)
+//   s<i>  spuriously wake cv-waiter i (bounded by spurious_budget)
+//   t<i>  fire the virtual timeout of timed cv-waiter i (only offered when
+//         nothing else is runnable — timeouts model "the wait expired
+//         because no progress was possible", keeping the DFS space small)
+//
+// Deadlock: no choice available while unfinished threads remain — reported
+// with a waits-for description of every blocked thread. Livelock: more
+// steps than max_steps — reported with the tail of the trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+// The scheduler *implements* the modeled side of the sync seam, so its own
+// coordination must not recurse into the hooked wrappers; it uses the raw
+// standard primitives, suppressed per line below.
+#include <condition_variable>  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+#include <mutex>               // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+#include <thread>
+
+#include "common/thread_annotations.h"
+
+namespace stems::check {
+
+/// Picks the next decision each time the scheduler reaches a choice point.
+/// `choices` holds the encoded tokens (see file comment) of every legal
+/// decision, in deterministic order; Pick returns an index into it.
+class DecisionSource {
+ public:
+  virtual ~DecisionSource() = default;
+  virtual size_t Pick(const std::vector<std::string>& choices) = 0;
+};
+
+/// Outcome of running one schedule to completion (or to a detected hang).
+struct ScheduleResult {
+  /// All threads finished and no thread body threw.
+  bool completed = false;
+  /// Non-empty when the schedule itself failed: deadlock (with waits-for
+  /// report), livelock (step cap), replay divergence, or an exception
+  /// escaping a thread body.
+  std::string failure;
+  /// The decision trace actually taken, encoded as `v1:tok,tok,...`.
+  std::string trace;
+  size_t steps = 0;
+};
+
+/// One scheduler instance runs one schedule over fresh thread bodies. The
+/// harness (Explorer) constructs a new Scheduler per explored schedule.
+class Scheduler : public sched::Hook {
+ public:
+  struct Options {
+    /// Hard cap on decisions before the schedule is declared a livelock.
+    size_t max_steps = 20000;
+    /// How many spurious cv wakeups the strategy may inject in total.
+    size_t spurious_budget = 0;
+  };
+
+  explicit Scheduler(Options opts) : opts_(opts) {}
+  ~Scheduler() override;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Runs `bodies` (one real thread each) to completion under `source`'s
+  /// decisions. Blocks until every thread finished or the schedule failed
+  /// (deadlock / livelock / divergence); threads are always joined before
+  /// return, so harness state the bodies touch is safe to inspect.
+  ScheduleResult Run(std::vector<std::function<void()>> bodies,
+                     DecisionSource* source);
+
+  // --- sched::Hook (called from the spawned threads) ---------------------
+  void MutexLockPoint(void* mu) override;
+  void MutexUnlockPoint(void* mu) override;
+  bool TryLockPoint(void* mu) override;
+  bool CondWaitPoint(void* cv, void* mu, bool timed) override;
+  void NotifyPoint(void* cv, bool notify_all) override;
+  void AtomicPoint(const void* addr) override;
+
+  /// Trace-format helpers shared with the Explorer / env replay.
+  static std::string EncodeTrace(const std::vector<std::string>& tokens);
+  /// Returns false on malformed input (bad version tag / empty token).
+  static bool DecodeTrace(const std::string& trace,
+                          std::vector<std::string>* tokens);
+
+ private:
+  enum class ThreadState {
+    kNotStarted,
+    kRunnable,      // will run when picked
+    kBlockedMutex,  // waiting for wait_mu to be modeled-free
+    kBlockedCond,   // inside CondWaitPoint, not yet woken
+    kFinished,
+  };
+
+  // Why a cv waiter was woken — decides CondWaitPoint's return value and
+  // shows up in waits-for reports.
+  enum class WakeReason { kNone, kNotify, kSpurious, kTimeout };
+
+  struct ThreadInfo {
+    ThreadState state = ThreadState::kNotStarted;
+    void* wait_mu = nullptr;  // kBlockedMutex / kBlockedCond: mutex to (re)acquire
+    void* wait_cv = nullptr;  // kBlockedCond: condition waited on
+    bool timed_wait = false;
+    WakeReason wake = WakeReason::kNone;
+    std::thread thread;
+  };
+
+  // --- thread-side protocol (all under lock_) ----------------------------
+  void ThreadMain(int index, std::function<void()> body);
+  // Parks the calling thread until the scheduler picks it again.
+  void YieldLocked(std::unique_lock<std::mutex>& lk);  // invariant: allow(naked-mutex) -- scheduler-internal lock handle
+  int SelfIndex() const;
+
+  // --- scheduler-side (run on the Run() caller's thread) -----------------
+  bool MutexFree(void* mu) const;
+  std::vector<std::string> LegalChoices() const;
+  // Applies the decision `token`; returns false if it names no legal move
+  // (replay divergence).
+  bool ApplyChoice(const std::string& token);
+  std::string WaitsForReport() const;
+
+  const Options opts_;
+
+  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+  mutable std::mutex lock_;
+  // Threads park on this until `active_ == their index`; the scheduler
+  // parks until `active_ == kSchedulerTurn`. One cv broadcast keeps the
+  // protocol simple; N is small.
+  // invariant: allow(naked-mutex) -- scheduler internals model the hooked seam and must not recurse into it
+  std::condition_variable turn_cv_;
+
+  static constexpr int kSchedulerTurn = -1;
+  int active_ = kSchedulerTurn;         // whose turn it is to run
+  std::vector<ThreadInfo> threads_;     // fixed size after Run() starts
+  std::map<void*, int> mutex_owner_;    // modeled mutex -> owning thread
+  size_t spurious_used_ = 0;
+  bool abort_ = false;                  // schedule failed; threads must exit
+  std::vector<std::string> tokens_;     // decisions taken so far
+  std::string thread_failure_;          // first exception out of a body
+};
+
+/// RAII: installs `s` as the calling thread's hook, restores on destruction.
+/// Used by Scheduler's spawned threads; exposed for tests that need a
+/// hook on the main thread.
+class ScopedHook {
+ public:
+  explicit ScopedHook(sched::Hook* s) : prev_(sched::ThreadHook()) {
+    sched::SetThreadHook(s);
+  }
+  ~ScopedHook() { sched::SetThreadHook(prev_); }
+  ScopedHook(const ScopedHook&) = delete;
+  ScopedHook& operator=(const ScopedHook&) = delete;
+
+ private:
+  sched::Hook* const prev_;
+};
+
+}  // namespace stems::check

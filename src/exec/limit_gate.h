@@ -1,0 +1,76 @@
+// LimitGate: the threaded executor's exact-LIMIT admission protocol,
+// extracted so the schedule-exploration harness (src/check/) can drive the
+// real protocol object over every interleaving.
+//
+// The protocol is one fetch_add race: the first `limit` admissions win, the
+// winner of slot limit-1 raises the stop flag, everyone else drains. Any
+// interleaving is a valid serialization — the invariant the harness checks
+// is *exactly once*: across all workers, precisely `limit` TryAdmit calls
+// return admitted=true and precisely one returns filled=true, no matter how
+// the fetch_adds and the stop-flag store interleave.
+//
+// Built on stems::Atomic so each access is a scheduling yield point under
+// the model checker (and a plain std::atomic op in production).
+#pragma once
+
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace stems {
+
+class LimitGate {
+ public:
+  /// `limit` = max admissions; UINT64_MAX = unlimited.
+  explicit LimitGate(uint64_t limit = UINT64_MAX) : limit_(limit) {}
+  LimitGate(const LimitGate&) = delete;
+  LimitGate& operator=(const LimitGate&) = delete;
+
+  /// Single-threaded setup only (before workers start).
+  void SetLimit(uint64_t limit) { limit_ = limit; }
+  uint64_t limit() const { return limit_; }
+
+  struct Admit {
+    bool admitted = false;  ///< this call won one of the `limit` slots
+    bool filled = false;    ///< this call won the *last* slot (raises stop)
+  };
+
+  /// The admission race. Exactly `limit` calls return admitted across all
+  /// threads; exactly one of those returns filled.
+  Admit TryAdmit() {
+    Admit out;
+    const uint64_t n = admitted_.fetch_add(1);
+    if (n >= limit_) return out;
+    out.admitted = true;
+    if (n + 1 == limit_) {
+      out.filled = true;
+      // LIMIT filled: this is the whole cancel path — one flag. The store
+      // order (limit_reached before stop) is what Fetch observers rely on:
+      // whoever sees stop also owes them a defined limit_reached.
+      limit_reached_.store(true);
+      stop_.store(true);
+    }
+    return out;
+  }
+
+  /// External cancel: drain without marking the limit as reached.
+  void RequestStop() { stop_.store(true); }
+
+  /// Advisory drain flag; a worker that reads a stale false does a bounded
+  /// amount of extra (discarded) work, never wrong work.
+  bool stop_requested() const { return stop_.load(); }
+  bool limit_reached() const { return limit_reached_.load(); }
+
+ private:
+  uint64_t limit_;
+  /// sync: the LIMIT admission counter — the fetch_add race decides which
+  /// `limit` admissions win (exactly-once by construction, any order is a
+  /// valid serialization). stems::Atomic: a model-checking yield point.
+  Atomic<uint64_t> admitted_{0};
+  /// sync: drain + limit flags, stored only by the filling admission (or an
+  /// external cancel), read by every worker. stems::Atomic (yield points).
+  Atomic<bool> stop_{false};
+  Atomic<bool> limit_reached_{false};
+};
+
+}  // namespace stems

@@ -45,8 +45,10 @@ uint64_t PagesFor(uint64_t bytes) { return bytes / 4096 + 1; }
 
 }  // namespace
 
+bool ShardedStem::mutation_ts_outside_lock_for_test = false;
+
 ShardedStem::ShardedStem(int slot, const QuerySpec& query, size_t num_shards,
-                         std::atomic<BuildTs>* ts_counter,
+                         Atomic<BuildTs>* ts_counter,
                          ShardedSpillState* spill)
     : slot_(slot), query_(query), ts_counter_(ts_counter), spill_(spill) {
   for (const auto& pred : query.predicates()) {
@@ -87,12 +89,20 @@ size_t ShardedStem::ShardOfRow(const Row& row) const {
 ShardedStem::BuildResult ShardedStem::Build(const RowRef& row) {
   Shard& shard = *shards_[ShardOfRow(*row)];
   BuildResult out;
+  // Deliberately broken ordering for the harness's mutation check: issuing
+  // the timestamp out here decouples it from the entry's publication, and
+  // the model checker must find the interleaving where that loses a match.
+  BuildTs mutated_ts = kTsInfinity;
+  if (mutation_ts_outside_lock_for_test) {
+    mutated_ts = ts_counter_->fetch_add(1);
+  }
   {
     ContentionLock lock(shard.mu, spill_);
     if (shard.dedup.count(row) > 0) return out;  // absorbed (§3.2)
     // Timestamp issuance and entry publication share this critical
     // section — the visibility contract every probe relies on.
-    out.ts = ts_counter_->fetch_add(1);
+    out.ts = mutation_ts_outside_lock_for_test ? mutated_ts
+                                               : ts_counter_->fetch_add(1);
     out.inserted = true;
     const auto ord = static_cast<uint32_t>(shard.entries.size());
     shard.entries.push_back(Entry{row, out.ts});

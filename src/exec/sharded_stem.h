@@ -45,21 +45,31 @@ namespace stems {
 /// Budget + counters shared by all ShardedStems of one threaded query run.
 /// relaxed: every field is a monotone statistic accumulated by many workers
 /// and only read after the workers join (or for a best-effort budget check);
-/// no field orders any other memory access.
+/// no field orders any other memory access. They stay std::atomic (not the
+/// schedulable stems::Atomic) deliberately: statistics are not part of any
+/// sync protocol, and turning them into yield points would blow up the
+/// model checker's state space for zero coverage.
 struct ShardedSpillState {
   /// Resident-entry budget across all stems (0 = unlimited).
   size_t budget_entries = 0;
   /// Entries currently charged against the budget (resident shards only).
+  // invariant: allow(schedulable-atomic) -- relaxed: best-effort budget statistic, not a sync protocol (struct doc)
   std::atomic<int64_t> resident{0};
+  // invariant: allow(schedulable-atomic) -- relaxed: monotone statistic (struct doc)
   std::atomic<uint64_t> spill_ios{0};
+  // invariant: allow(schedulable-atomic) -- relaxed: monotone statistic (struct doc)
   std::atomic<uint64_t> bytes_spilled{0};
+  // invariant: allow(schedulable-atomic) -- relaxed: monotone statistic (struct doc)
   std::atomic<uint64_t> entries_spilled{0};  ///< entries currently off-budget
+  // invariant: allow(schedulable-atomic) -- relaxed: monotone statistic (struct doc)
   std::atomic<uint64_t> faults{0};  ///< relaxed: shard fault-ins by probes
   /// relaxed: shard-mutex contention counters for the hot paths (Build /
   /// ProbeShard): how many acquisitions found the mutex held, and the wall
   /// time spent blocked. The uncontended path pays one try_lock and no
   /// clock read.
+  // invariant: allow(schedulable-atomic) -- relaxed: monotone statistic (struct doc)
   std::atomic<uint64_t> lock_waits{0};
+  // invariant: allow(schedulable-atomic) -- relaxed: monotone statistic (struct doc)
   std::atomic<uint64_t> lock_wait_ns{0};
 };
 
@@ -68,7 +78,15 @@ class ShardedStem {
   /// `ts_counter` is the query-global build-timestamp source (the threaded
   /// TimestampAuthority); `spill` may be null for unbudgeted runs.
   ShardedStem(int slot, const QuerySpec& query, size_t num_shards,
-              std::atomic<BuildTs>* ts_counter, ShardedSpillState* spill);
+              Atomic<BuildTs>* ts_counter, ShardedSpillState* spill);
+
+  /// Test-only mutation switch for the schedule-exploration harness: when
+  /// true, Build issues the timestamp *before* entering the shard critical
+  /// section — the exact §3.1 violation the visibility contract forbids.
+  /// The model checker must find an interleaving where a probe pair loses
+  /// a match (tests/test_schedule_explore.cc), proving the harness can see
+  /// through correctly-locked-but-misordered code. Never set in production.
+  static bool mutation_ts_outside_lock_for_test;
 
   ShardedStem(const ShardedStem&) = delete;
   ShardedStem& operator=(const ShardedStem&) = delete;
@@ -189,14 +207,16 @@ class ShardedStem {
   const QuerySpec& query_;
   /// sync: the query-global timestamp authority; fetch_add is issued inside
   /// the shard critical section (see Build), the shard mutex provides the
-  /// ordering the §3.1 contract needs.
-  std::atomic<BuildTs>* const ts_counter_;
+  /// ordering the §3.1 contract needs. stems::Atomic: a yield point under
+  /// the model checker.
+  Atomic<BuildTs>* const ts_counter_;
   ShardedSpillState* const spill_;
   /// Equi-join columns of this slot, ascending; the first is the shard key.
   std::vector<int> index_columns_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// relaxed: monotone statistic (total inserted entries across shards);
   /// sampled by observers, never used to order other accesses.
+  // invariant: allow(schedulable-atomic) -- observer statistic, not a sync protocol
   std::atomic<uint64_t> entries_{0};
 };
 

@@ -12,6 +12,7 @@
 
 #include "eddy/tuple_batch.h"
 #include "engine/run_options.h"
+#include "exec/limit_gate.h"
 #include "exec/morsel_router.h"
 #include "exec/sharded_stem.h"
 #include "obs/metrics_registry.h"
@@ -57,29 +58,24 @@ struct ThreadPoolExecutor::RunState {
   std::vector<std::unique_ptr<ShardedStem>> stems;
   /// sync: the query-global timestamp authority; every fetch_add happens
   /// inside a shard critical section (ShardedStem::Build), which supplies
-  /// the §3.1 ordering.
-  std::atomic<BuildTs> ts_counter{1};
+  /// the §3.1 ordering. stems::Atomic: a model-checking yield point.
+  Atomic<BuildTs> ts_counter{1};
   ShardedSpillState spill;
 
   std::vector<SourceChunk> chunks;
-  /// relaxed: the morsel-dispatch cursor; fetch_add is the whole claim
+  /// sync: the morsel-dispatch cursor; fetch_add is the whole claim
   /// protocol (chunks itself is immutable once workers start).
-  std::atomic<size_t> next_chunk{0};
+  /// stems::Atomic: a model-checking yield point.
+  Atomic<size_t> next_chunk{0};
 
   uint64_t full_mask = 0;
   uint64_t all_preds_mask = 0;
   std::vector<std::vector<const Predicate*>> selections;  ///< per slot
   std::vector<std::vector<int>> neighbors;                ///< per slot
 
-  uint64_t limit = UINT64_MAX;
-  /// sync: the LIMIT admission counter — the fetch_add race decides which
-  /// `limit` admissions win (exactly-once by construction, any order is a
-  /// valid serialization).
-  std::atomic<uint64_t> admitted{0};
-  /// relaxed: advisory drain flags; a worker that misses a store does a
-  /// bounded amount of extra (discarded) work, never wrong work.
-  std::atomic<bool> stop{false};
-  std::atomic<bool> limit_reached{false};
+  /// The LIMIT admission race + drain flags (exec/limit_gate.h) — the
+  /// protocol object the schedule-exploration harness drives directly.
+  LimitGate gate;
 
   /// Per-query trace sink (null when tracing is off). Morsel spans are
   /// stamped with wall time relative to `run_start` so the whole run's
@@ -177,16 +173,9 @@ void ThreadPoolExecutor::AdmitResult(RunState* state, WorkerState* ws,
     state->violations.push_back("invalid result admitted: " +
                                 tuple->ToString());
   }
-  const uint64_t n = state->admitted.fetch_add(1);
-  if (n < state->limit) {
+  if (state->gate.TryAdmit().admitted) {
     ws->results.push_back(std::move(tuple));
     ++ws->counters.results;
-    if (n + 1 == state->limit) {
-      // LIMIT filled: exactly `limit` admissions won the counter race;
-      // everyone else drains. This is the whole cancel path — one flag.
-      state->limit_reached.store(true, std::memory_order_relaxed);
-      state->stop.store(true, std::memory_order_relaxed);
-    }
   } else {
     ++ws->counters.tuples_retired;
   }
@@ -200,7 +189,7 @@ void ThreadPoolExecutor::Cascade(RunState* state, WorkerState* ws,
   while (!stack.empty()) {
     TuplePtr t = std::move(stack.back());
     stack.pop_back();
-    if (state->stop.load(std::memory_order_relaxed)) {
+    if (state->gate.stop_requested()) {
       ++ws->counters.tuples_retired;
       continue;
     }
@@ -304,7 +293,7 @@ void ThreadPoolExecutor::WorkerMain(RunState* state, int worker_id) {
   for (;;) {
     const size_t c = state->next_chunk.fetch_add(1);
     if (c >= state->chunks.size()) break;
-    if (state->stop.load(std::memory_order_relaxed)) continue;  // fast drain
+    if (state->gate.stop_requested()) continue;  // fast drain
     const SourceChunk& chunk = state->chunks[c];
     const auto start = std::chrono::steady_clock::now();
     ++ws.counters.morsels;
@@ -318,7 +307,7 @@ void ThreadPoolExecutor::WorkerMain(RunState* state, int worker_id) {
           Tuple::MakeSingleton(num_slots, chunk.slot, rows[i]));
     }
     for (TuplePtr& t : morsel.tuples) {
-      if (state->stop.load(std::memory_order_relaxed)) {
+      if (state->gate.stop_requested()) {
         ++ws.counters.tuples_retired;
         continue;
       }
@@ -365,7 +354,7 @@ Status ThreadPoolExecutor::Execute(const QuerySpec& query,
   JoinGraph graph(query);
   state.graph = &graph;
   state.full_mask = query.full_span_mask();
-  if (query.limit().has_value()) state.limit = *query.limit();
+  if (query.limit().has_value()) state.gate.SetLimit(*query.limit());
 
   const size_t num_slots = query.num_slots();
   state.tables.resize(num_slots);
@@ -397,7 +386,7 @@ Status ThreadPoolExecutor::Execute(const QuerySpec& query,
   // Morsel size: RunOptions::batch_size, the same knob that sizes the sim's
   // routing batches. LIMIT 0 short-circuits like the sim's unseeded scans.
   const size_t morsel_rows = std::max<size_t>(1, options.batch_size);
-  if (state.limit > 0) {
+  if (state.gate.limit() > 0) {
     for (size_t s = 0; s < num_slots; ++s) {
       const size_t n = state.tables[s]->num_rows();
       for (size_t begin = 0; begin < n; begin += morsel_rows) {
@@ -438,7 +427,7 @@ Status ThreadPoolExecutor::Execute(const QuerySpec& query,
     MutexLock lock(&state.violations_mu);
     out->violations = std::move(state.violations);
   }
-  out->limit_reached = state.limit_reached.load();
+  out->limit_reached = state.gate.limit_reached();
   out->spill_ios = state.spill.spill_ios.load();
   out->bytes_spilled = state.spill.bytes_spilled.load();
   out->entries_spilled = state.spill.entries_spilled.load();

@@ -90,10 +90,15 @@ struct Server::Session {
   /// threads (the engine thread reads it in Drained(), where a parked
   /// frame is still pending work).
   Request stalled_request;
-  /// relaxed-ok: flag-only cross-thread read; the engine thread never
-  /// touches stalled_request itself, so no ordering is required (seq_cst
-  /// default kept for simplicity).
-  std::atomic<bool> has_stalled{false};
+  /// sync: flag-only cross-thread read; the engine thread never touches
+  /// stalled_request itself (seq_cst default kept for simplicity).
+  /// stems::Atomic for model-checking yield points (src/check/).
+  Atomic<bool> has_stalled{false};
+
+  /// sync: fairness lane, written once by the engine thread at Hello and
+  /// read by the network thread when stamping requests (0 until then —
+  /// the shared pre-auth lane).
+  Atomic<uint32_t> lane{0};
 
   // --- shared output path ---------------------------------------------------
   Mutex out_mu;
@@ -103,10 +108,10 @@ struct Server::Session {
 
   /// sync: close/cleanup handshake bits between the net and engine
   /// threads; exchange() makes each transition exactly-once, and the
-  /// seq_cst default orders them against the surrounding socket state.
-  std::atomic<bool> fd_closed{false};
-  std::atomic<bool> engine_cleared{false};
-  std::atomic<bool> disconnect_queued{false};
+  /// seq_cst accesses order them against the surrounding socket state.
+  Atomic<bool> fd_closed{false};
+  Atomic<bool> engine_cleared{false};
+  Atomic<bool> disconnect_queued{false};
 
   // --- engine-thread-owned --------------------------------------------------
   enum class State { kAwaitHello, kReady, kClosing };
@@ -117,59 +122,6 @@ struct Server::Session {
   std::unordered_map<uint32_t, QuerySpec> portals;
   std::map<uint64_t, QueryRec> queries;
 };
-
-// --- RequestQueue ------------------------------------------------------------
-
-bool Server::RequestQueue::TryPush(Request&& request) {
-  {
-    MutexLock lock(&mu_);
-    // Full: return before touching `request`, so the caller still holds
-    // the intact frame and can retry it later.
-    if (queue_.size() >= capacity_) return false;
-    queue_.push_back(std::move(request));
-    high_water_ = std::max(high_water_, queue_.size());
-  }
-  cv_.NotifyOne();
-  return true;
-}
-
-void Server::RequestQueue::PushControl(Request request) {
-  {
-    MutexLock lock(&mu_);
-    queue_.push_back(std::move(request));
-    high_water_ = std::max(high_water_, queue_.size());
-  }
-  cv_.NotifyOne();
-}
-
-bool Server::RequestQueue::PopWithTimeout(Request* request,
-                                          std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  MutexLock lock(&mu_);
-  // Explicit predicate loop (not a wait lambda): the guarded queue_ reads
-  // stay in this function, where the analysis sees the lock held.
-  while (queue_.empty()) {
-    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout &&
-        queue_.empty()) {
-      return false;
-    }
-  }
-  *request = std::move(queue_.front());
-  queue_.pop_front();
-  return true;
-}
-
-size_t Server::RequestQueue::size() const {
-  MutexLock lock(&mu_);
-  return queue_.size();
-}
-
-size_t Server::RequestQueue::high_water() const {
-  MutexLock lock(&mu_);
-  return high_water_;
-}
-
-void Server::RequestQueue::WakeAll() { cv_.NotifyAll(); }
 
 // --- lifecycle ---------------------------------------------------------------
 
@@ -353,6 +305,7 @@ void Server::CloseSessionFd(const std::shared_ptr<Session>& session) {
     Request request;
     request.kind = Request::Kind::kDisconnect;
     request.session_id = session->id;
+    request.lane = session->lane.load();
     queue_.PushControl(std::move(request));
   }
 }
@@ -445,6 +398,7 @@ void Server::NetThreadMain() {
         Request request;
         request.kind = Request::Kind::kEndOfInput;
         request.session_id = session->id;
+        request.lane = session->lane.load();
         queue_.PushControl(std::move(request));
       }
       // Server-initiated close: everything flushed, nothing more to say.
@@ -492,6 +446,7 @@ void Server::ParseFrames(const std::shared_ptr<Session>& session) {
         Request request;
         request.kind = Request::Kind::kProtocolError;
         request.session_id = session->id;
+        request.lane = session->lane.load();
         request.payload = error.message();
         queue_.PushControl(std::move(request));
       }
@@ -500,6 +455,7 @@ void Server::ParseFrames(const std::shared_ptr<Session>& session) {
     Request request;
     request.kind = Request::Kind::kFrame;
     request.session_id = session->id;
+    request.lane = session->lane.load();
     request.type = header.type;
     request.payload = std::move(payload);
     if (!queue_.TryPush(std::move(request))) {
@@ -724,6 +680,12 @@ void Server::HandleHello(const std::shared_ptr<Session>& session,
   }
   session->tenant = hello.tenant;
   session->state = Session::State::kReady;
+  // Assign the tenant's fairness lane; every frame the network thread
+  // parses after this store is stamped with it (frames already in flight
+  // ride the shared pre-auth lane 0, which is harmless).
+  uint32_t& lane = tenant_lanes_[hello.tenant];
+  if (lane == 0) lane = next_lane_id_++;
+  session->lane.store(lane);
   wire::HelloOk ok;
   ok.session_id = session->id;
   ok.server_version = kServerVersion;

@@ -42,6 +42,7 @@
 
 #include "common/thread_annotations.h"
 #include "engine/engine.h"
+#include "server/request_queue.h"
 #include "server/tenant_governor.h"
 #include "server/wire.h"
 
@@ -130,38 +131,9 @@ class Server {
   struct Session;
   struct QueryRec;
 
-  struct Request {
-    enum class Kind { kFrame, kProtocolError, kEndOfInput, kDisconnect };
-    Kind kind = Kind::kFrame;
-    uint64_t session_id = 0;
-    wire::FrameType type = wire::FrameType::kError;
-    std::string payload;  // frame payload, or the protocol-error message
-  };
-
-  /// Bounded MPSC queue between the network thread (producer) and the
-  /// engine thread (consumer). Control messages (disconnects) bypass the
-  /// bound so cleanup is never lost to backpressure.
-  class RequestQueue {
-   public:
-    explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
-    /// Moves `request` into the queue and returns true; when the queue is
-    /// full, returns false and leaves `request` untouched so the caller
-    /// can park and retry the intact frame.
-    bool TryPush(Request&& request);
-    void PushControl(Request request);
-    bool PopWithTimeout(Request* request, std::chrono::milliseconds timeout);
-    size_t size() const;
-    /// Deepest the queue has ever been (backpressure observability).
-    size_t high_water() const;
-    void WakeAll();
-
-   private:
-    mutable Mutex mu_;
-    CondVar cv_;
-    std::deque<Request> queue_ STEMS_GUARDED_BY(mu_);
-    size_t capacity_;
-    size_t high_water_ STEMS_GUARDED_BY(mu_) = 0;
-  };
+  // Request + RequestQueue live in server/request_queue.h: the bounded,
+  // lane-fair MPSC hand-off between the two threads (extracted so the
+  // schedule-exploration harness can drive the real queue).
 
   // --- network thread --------------------------------------------------------
   enum class ReadOutcome {
@@ -245,13 +217,15 @@ class Server {
   RequestQueue queue_;
 
   /// sync: lifecycle flags crossing the owner / net / engine threads;
-  /// the default seq_cst accesses give each flag flip a single global
-  /// order, and thread start/join bracket the non-atomic state around it.
-  std::atomic<bool> started_{false};
-  std::atomic<bool> shutdown_requested_{false};
-  std::atomic<bool> stop_net_{false};
-  std::atomic<bool> engine_thread_done_{false};
+  /// the (seq_cst) accesses give each flag flip a single global order, and
+  /// thread start/join bracket the non-atomic state around it.
+  /// stems::Atomic: model-checking yield points (src/check/).
+  Atomic<bool> started_{false};
+  Atomic<bool> shutdown_requested_{false};
+  Atomic<bool> stop_net_{false};
+  Atomic<bool> engine_thread_done_{false};
   /// relaxed: monotone wakeup counter, observability only.
+  // invariant: allow(schedulable-atomic) -- observability statistic, not a sync protocol
   std::atomic<uint64_t> engine_ticks_{0};
   /// sync: written by Shutdown() strictly before the shutdown_requested_
   /// store; the engine thread reads it only after observing that flag, so
@@ -276,6 +250,13 @@ class Server {
   std::unordered_map<std::string,
                      std::deque<std::pair<uint64_t, uint64_t>>>
       pending_submits_;
+
+  /// Tenant -> fairness lane id for the request queue. Engine-thread-owned
+  /// (assigned in HandleHello); sessions carry their lane in an atomic the
+  /// network thread reads when stamping requests. Lane 0 is the shared
+  /// pre-authentication lane, so ids start at 1.
+  std::unordered_map<std::string, uint32_t> tenant_lanes_;
+  uint32_t next_lane_id_ = 1;
 
   std::thread net_thread_;
   std::thread engine_thread_;

@@ -1,0 +1,141 @@
+// Deterministic (single-threaded) unit tests for the server's lane-fair
+// RequestQueue: round-robin dequeue across tenant lanes, per-lane capacity,
+// pre-auth lane priority, control-message ordering, and the backpressure
+// high-water mark. The concurrent behavior is covered by the
+// schedule-exploration harness (tests/test_schedule_explore.cc).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "server/request_queue.h"
+
+namespace stems::server {
+namespace {
+
+Request Frame(uint32_t lane, const std::string& payload) {
+  Request request;
+  request.kind = Request::Kind::kFrame;
+  request.session_id = lane;  // one session per lane in these tests
+  request.lane = lane;
+  request.payload = payload;
+  return request;
+}
+
+std::string PopPayload(RequestQueue* queue) {
+  Request out;
+  EXPECT_TRUE(queue->PopWithTimeout(&out, std::chrono::milliseconds(50)));
+  return out.payload;
+}
+
+TEST(RequestQueueTest, RoundRobinAcrossTenantLanes) {
+  RequestQueue queue(/*per_lane_capacity=*/8);
+  // Tenant 1 floods; tenants 2 and 3 each queue one request.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.TryPush(Frame(1, "a" + std::to_string(i))));
+  }
+  ASSERT_TRUE(queue.TryPush(Frame(2, "b0")));
+  ASSERT_TRUE(queue.TryPush(Frame(3, "c0")));
+
+  // One request per lane per turn, ascending lane id, wrapping — the
+  // chatty tenant cannot crowd the others out of the pump.
+  EXPECT_EQ(PopPayload(&queue), "a0");
+  EXPECT_EQ(PopPayload(&queue), "b0");
+  EXPECT_EQ(PopPayload(&queue), "c0");
+  EXPECT_EQ(PopPayload(&queue), "a1");
+  EXPECT_EQ(PopPayload(&queue), "a2");
+  EXPECT_EQ(PopPayload(&queue), "a3");
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RequestQueueTest, PerLaneFifoIsPreserved) {
+  RequestQueue queue(/*per_lane_capacity=*/8);
+  ASSERT_TRUE(queue.TryPush(Frame(1, "a0")));
+  ASSERT_TRUE(queue.TryPush(Frame(2, "b0")));
+  ASSERT_TRUE(queue.TryPush(Frame(1, "a1")));
+  ASSERT_TRUE(queue.TryPush(Frame(2, "b1")));
+
+  std::vector<std::string> lane1;
+  std::vector<std::string> lane2;
+  Request out;
+  while (queue.PopWithTimeout(&out, std::chrono::milliseconds(1))) {
+    (out.lane == 1 ? lane1 : lane2).push_back(out.payload);
+  }
+  EXPECT_EQ(lane1, (std::vector<std::string>{"a0", "a1"}));
+  EXPECT_EQ(lane2, (std::vector<std::string>{"b0", "b1"}));
+}
+
+TEST(RequestQueueTest, CapacityBoundIsPerLaneNotGlobal) {
+  RequestQueue queue(/*per_lane_capacity=*/2);
+  ASSERT_TRUE(queue.TryPush(Frame(1, "a0")));
+  ASSERT_TRUE(queue.TryPush(Frame(1, "a1")));
+  // Lane 1 is full — and must stay full without consuming lane 2's budget.
+  Request overflow = Frame(1, "a2");
+  EXPECT_FALSE(queue.TryPush(std::move(overflow)));
+  // The rejected request is left intact for the caller's retry.
+  EXPECT_EQ(overflow.payload, "a2");
+  EXPECT_TRUE(queue.TryPush(Frame(2, "b0")));
+  EXPECT_TRUE(queue.TryPush(Frame(2, "b1")));
+  EXPECT_EQ(queue.size(), 4u);
+}
+
+TEST(RequestQueueTest, ControlBypassesCapacityButKeepsLaneOrder) {
+  RequestQueue queue(/*per_lane_capacity=*/1);
+  ASSERT_TRUE(queue.TryPush(Frame(1, "a0")));
+  EXPECT_FALSE(queue.TryPush(Frame(1, "a1")));  // lane full
+
+  // The end-of-input marker ignores the bound but queues *behind* the
+  // lane's pending frames: pipelined requests are answered before the
+  // session winds down (the half-close contract).
+  Request eof;
+  eof.kind = Request::Kind::kEndOfInput;
+  eof.session_id = 1;
+  eof.lane = 1;
+  queue.PushControl(std::move(eof));
+
+  Request out;
+  ASSERT_TRUE(queue.PopWithTimeout(&out, std::chrono::milliseconds(50)));
+  EXPECT_EQ(out.kind, Request::Kind::kFrame);
+  EXPECT_EQ(out.payload, "a0");
+  ASSERT_TRUE(queue.PopWithTimeout(&out, std::chrono::milliseconds(50)));
+  EXPECT_EQ(out.kind, Request::Kind::kEndOfInput);
+}
+
+TEST(RequestQueueTest, PreAuthLaneDrainsBeforeTenantLanes) {
+  RequestQueue queue(/*per_lane_capacity=*/8);
+  ASSERT_TRUE(queue.TryPush(Frame(2, "b0")));
+  ASSERT_TRUE(queue.TryPush(Frame(0, "hello")));
+  ASSERT_TRUE(queue.TryPush(Frame(1, "a0")));
+
+  // Lane 0 carries a session's pre-authentication frames; it must drain
+  // before any tenant lane so a session's requests can never reorder
+  // across its Hello-time lane switch.
+  EXPECT_EQ(PopPayload(&queue), "hello");
+  EXPECT_EQ(PopPayload(&queue), "a0");  // round-robin resumes from lane 1
+  EXPECT_EQ(PopPayload(&queue), "b0");
+}
+
+TEST(RequestQueueTest, HighWaterTracksDeepestTotal) {
+  RequestQueue queue(/*per_lane_capacity=*/8);
+  EXPECT_EQ(queue.high_water(), 0u);
+  ASSERT_TRUE(queue.TryPush(Frame(1, "a0")));
+  ASSERT_TRUE(queue.TryPush(Frame(2, "b0")));
+  ASSERT_TRUE(queue.TryPush(Frame(2, "b1")));
+  EXPECT_EQ(queue.high_water(), 3u);
+  Request out;
+  ASSERT_TRUE(queue.PopWithTimeout(&out, std::chrono::milliseconds(50)));
+  ASSERT_TRUE(queue.TryPush(Frame(1, "a1")));
+  // High water is a running maximum, not the current depth.
+  EXPECT_EQ(queue.high_water(), 3u);
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(RequestQueueTest, EmptyPopTimesOut) {
+  RequestQueue queue(/*per_lane_capacity=*/1);
+  Request out;
+  EXPECT_FALSE(queue.PopWithTimeout(&out, std::chrono::milliseconds(5)));
+}
+
+}  // namespace
+}  // namespace stems::server

@@ -448,6 +448,79 @@ TEST_F(ServerTest, PipelinedRequestsAnsweredAfterHalfClose) {
   EXPECT_FALSE(client.ReadFrameRaw(&type, &payload).ok());
 }
 
+/// Fairness regression (the ROADMAP item the lane-aware queue fixes): a
+/// chatty tenant flooding the request queue must not starve another
+/// tenant's access to the engine pump. Every chatty Submit stalls the
+/// engine thread (post_submit_hook), so the flood's backlog takes hundreds
+/// of milliseconds to drain; round-robin dequeue must answer the quiet
+/// tenant's query while most of that backlog is still queued. Under the
+/// old FIFO queue the quiet tenant's frames waited behind the whole flood.
+TEST_F(ServerTest, ChattyTenantCannotStarveQuietTenant) {
+  constexpr uint32_t kChatty = 40;
+  ServerOptions options;
+  TenantConfig chatty;
+  chatty.name = "tenant_chatty";
+  chatty.quota.max_concurrent_queries = kChatty;  // all submits admit
+  chatty.quota.max_queued_submits = kChatty;
+  TenantConfig quiet;
+  quiet.name = "tenant_quiet";
+  options.tenants = {chatty, quiet};
+  options.post_submit_hook = [](const std::string& tenant, QueryHandle&) {
+    if (tenant == "tenant_chatty") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  };
+  StartServer(std::move(options));
+
+  Client flood;
+  ASSERT_TRUE(
+      flood.Connect("127.0.0.1", server_->port(), "tenant_chatty").ok());
+  std::string batch;
+  for (uint32_t i = 1; i <= kChatty; ++i) {
+    batch += wire::Encode(wire::PrepareRequest{i, "SELECT u.id FROM users u"});
+    wire::BindRequest bind;
+    bind.stmt_id = i;
+    bind.portal_id = i;
+    batch += wire::Encode(bind).Value();
+    batch += wire::Encode(wire::SubmitRequest{i, ""});
+  }
+  ASSERT_TRUE(flood.SendRaw(batch.data(), batch.size()).ok());
+
+  Client prompt;
+  ASSERT_TRUE(
+      prompt.Connect("127.0.0.1", server_->port(), "tenant_quiet").ok());
+  auto rows = prompt.RunQuery("SELECT u.id FROM users u");
+  ASSERT_TRUE(rows.ok()) << rows.status().message();
+  EXPECT_EQ(rows.Value().size(), 4u);
+
+  // The ordering assertion: the quiet tenant was served while the flood
+  // was still draining. FIFO would have processed all chatty submits
+  // before the quiet tenant's first post-Hello frame.
+  const TenantRollup backlog = server_->TenantStats("tenant_chatty");
+  EXPECT_LT(backlog.queries_submitted, static_cast<uint64_t>(kChatty))
+      << "quiet tenant waited for the whole chatty backlog";
+  const TenantRollup served = server_->TenantStats("tenant_quiet");
+  EXPECT_EQ(served.queries_completed, 1u);
+
+  // The backpressure gauge saw the flood queue up.
+  const std::string metrics = server_->MetricsText();
+  const auto pos = metrics.find("server_request_queue_high_water");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t value_at = metrics.find_first_of("0123456789", pos);
+  ASSERT_NE(value_at, std::string::npos);
+  EXPECT_GE(std::stoull(metrics.substr(value_at)), 5u)
+      << "expected the chatty backlog to register on the high-water gauge";
+
+  // Drain: the flood's responses all arrive eventually.
+  for (uint32_t i = 1; i <= 3 * kChatty; ++i) {
+    wire::FrameType type;
+    std::string payload;
+    ASSERT_TRUE(flood.ReadFrameRaw(&type, &payload).ok()) << "frame " << i;
+  }
+  EXPECT_TRUE(flood.Close().ok());
+  EXPECT_TRUE(prompt.Close().ok());
+}
+
 // ---------------------------------------------------------------------------
 // Failure surfacing and mid-query disconnects
 // ---------------------------------------------------------------------------
